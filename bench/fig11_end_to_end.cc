@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fig. 11 + Table 5 — End-to-end comparison: throughput per unit area
+ * and per unit power for every evaluated system, plus the absolute
+ * accelerator operating points. GenPairX+GenDP is *derived* (NMSL
+ * simulation + measured workload + cost roll-up); the baselines are the
+ * reported-constant models.
+ */
+
+#include "common.hh"
+#include "hwsim/baseline_models.hh"
+#include "hwsim/nmsl.hh"
+#include "hwsim/pipeline_model.hh"
+
+int
+main()
+{
+    using namespace gpx;
+    using namespace gpx::bench;
+
+    banner("End-to-end throughput per area and per power",
+           "Fig. 11 + Table 5 (paper: 958x/1575x vs MM2, 2.35x/1.43x vs "
+           "GenCache, 1.97x/2.38x vs GenDP)");
+
+    MappingStack s = buildStack(1);
+    hwsim::WorkloadProfile measured = measureProfile(s);
+    auto workload = hwsim::buildWorkload(*s.seedmap, s.dataset.pairs);
+    hwsim::NmslConfig cfg;
+    cfg.windowSize = 1024;
+    auto nmsl = hwsim::NmslSim(cfg).run(workload);
+
+    hwsim::PipelineModel pm(2.0);
+    auto design = pm.design(nmsl, cfg, measured);
+    auto ours = design.asSystemPoint("GenPairX+GenDP (simulated)");
+
+    // Long-read operating point (paper §4.7: ~10x below short reads).
+    hwsim::LongReadWorkload lw;
+    double longMbps = pm.longReadMbps(design, lw);
+
+    std::vector<hwsim::SystemPoint> systems =
+        hwsim::BaselineModels::all();
+    systems.push_back(ours);
+    systems.push_back(hwsim::BaselineModels::genPairXReported());
+    systems.push_back({ "GenPairX+GenDP (Long Reads)", longMbps,
+                        ours.areaMm2, ours.powerW });
+
+    util::Table table({ "system", "Mbp/s", "mm2", "W", "Mbp/s/mm2",
+                        "Mbp/s/W" });
+    for (const auto &sys : systems) {
+        table.row()
+            .cell(sys.name)
+            .cell(sys.throughputMbps, 0)
+            .cell(sys.areaMm2, 1)
+            .cell(sys.powerW, 1)
+            .cell(sys.mbpsPerMm2(), 2)
+            .cell(sys.mbpsPerW(), 2);
+    }
+    table.print("Fig. 11 / Table 5: end-to-end comparison");
+
+    auto mm2 = hwsim::BaselineModels::mm2Cpu();
+    auto gc = hwsim::BaselineModels::genCache();
+    auto gd = hwsim::BaselineModels::genDp();
+    auto gpu = hwsim::BaselineModels::bwaMemGpu();
+    std::printf("\nmeasured GenPairX+GenDP vs baselines:\n"
+                "  vs MM2:      %7.0fx per-area, %7.0fx per-W "
+                "(paper 958x / 1575x)\n"
+                "  vs GenCache: %7.2fx per-area, %7.2fx per-W "
+                "(paper 2.35x / 1.43x)\n"
+                "  vs GenDP:    %7.2fx per-area, %7.2fx per-W "
+                "(paper 1.97x / 2.38x)\n"
+                "  vs BWA-GPU:  %7.0fx per-area, %7.0fx per-W "
+                "(paper 3053x / 1685x)\n",
+                ours.mbpsPerMm2() / mm2.mbpsPerMm2(),
+                ours.mbpsPerW() / mm2.mbpsPerW(),
+                ours.mbpsPerMm2() / gc.mbpsPerMm2(),
+                ours.mbpsPerW() / gc.mbpsPerW(),
+                ours.mbpsPerMm2() / gd.mbpsPerMm2(),
+                ours.mbpsPerW() / gd.mbpsPerW(),
+                ours.mbpsPerMm2() / gpu.mbpsPerMm2(),
+                ours.mbpsPerW() / gpu.mbpsPerW());
+    std::printf("long reads: %.0f Mbp/s = %.1fx below short reads "
+                "(paper: roughly one order of magnitude)\n",
+                longMbps, ours.throughputMbps / longMbps);
+    return 0;
+}

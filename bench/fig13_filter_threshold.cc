@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 13 — Sensitivity to the index filtering threshold: mapping
+ * precision, recall and F1 of GenPair WITHOUT DP fallback (paper §7.8),
+ * on Mason-simulated reads (SNP 1e-3, INDEL 2e-4) over a repeat-rich
+ * genome, evaluated paftools-style (location only).
+ */
+
+#include "common.hh"
+#include "eval/mapping_eval.hh"
+
+int
+main()
+{
+    using namespace gpx;
+    using namespace gpx::bench;
+
+    banner("Index filtering threshold sweep (no DP fallback)",
+           "Fig. 13 (paper: precision falls / recall rises with the "
+           "threshold; both flatten beyond ~4000)");
+
+    // Repeat-heavy genome: high-copy, low-divergence satellites create
+    // the >500-location seed tail that the threshold acts on (GRCh38's
+    // centromeric satellite role).
+    simdata::GenomeParams gp;
+    gp.length = kBenchGenomeLen;
+    gp.chromosomes = 2;
+    gp.repeatFraction = 0.55;
+    gp.satelliteFamilies = 4;
+    gp.repeatDivergence = 0.008;
+    gp.seed = 7;
+    genomics::Reference ref = simdata::generateGenome(gp);
+    simdata::VariantParams vp; // §7.8: SNP 1e-3, INDEL 2e-4
+    simdata::DiploidGenome diploid(ref, vp);
+    simdata::ReadSimParams rp;
+    rp.errors = simdata::ErrorProfile::uniform(0.003);
+    simdata::ReadSimulator sim(diploid, rp);
+    auto pairs = sim.simulate(6000);
+
+    util::Table table({ "threshold", "mapped pairs %", "precision",
+                        "recall", "F1" });
+
+    for (u32 threshold : { 50u, 100u, 200u, 500u, 1000u, 2000u, 4000u,
+                           8000u, 0u }) {
+        genpair::SeedMapParams sp;
+        sp.filterThreshold = threshold;
+        genpair::SeedMap map(ref, sp);
+        genpair::GenPairPipeline pipe(ref, map, genpair::GenPairParams{},
+                                      nullptr); // no DP fallback (§7.8)
+        eval::MappingEvaluator ev(50);
+        u64 mappedPairs = 0;
+        for (const auto &pair : pairs) {
+            auto pm = pipe.mapPair(pair);
+            mappedPairs += pm.bothMapped();
+            ev.addPair(pair, pm);
+        }
+        const auto &acc = ev.result();
+        table.row()
+            .cell(threshold == 0 ? std::string("unlimited")
+                                 : std::to_string(threshold))
+            .cell(100.0 * mappedPairs / pairs.size(), 2)
+            .cell(acc.precision(), 4)
+            .cell(acc.recall(), 4)
+            .cell(acc.f1(), 4);
+    }
+    table.print("Fig. 13: filter-threshold sensitivity");
+    std::printf("paper reference: precision ~0.999->0.997, recall "
+                "~0.85->0.87, F1 plateau past 4000; threshold 500 "
+                "chosen as the accuracy/performance trade-off.\n");
+    return 0;
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the software kernels backing the
+ * hardware models: xxHash seeding, SeedMap lookup, the SHD mask kernel,
+ * light alignment and the DP fallback aligner. These provide the
+ * software-side MCUPS/throughput numbers quoted in EXPERIMENTS.md.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "align/affine.hh"
+#include "align/shd.hh"
+#include "align/wfa.hh"
+#include "filters/grim_filter.hh"
+#include "filters/sneakysnake.hh"
+#include "genpair/light_align.hh"
+#include "genpair/seeder.hh"
+#include "genpair/seedmap.hh"
+#include "simdata/genome_generator.hh"
+#include "util/rng.hh"
+#include "util/xxhash.hh"
+
+namespace {
+
+using namespace gpx;
+
+genomics::Reference &
+sharedRef()
+{
+    static genomics::Reference ref = [] {
+        simdata::GenomeParams gp;
+        gp.length = 1 << 20;
+        gp.chromosomes = 1;
+        gp.seed = 7;
+        return simdata::generateGenome(gp);
+    }();
+    return ref;
+}
+
+genpair::SeedMap &
+sharedMap()
+{
+    static genpair::SeedMap map(sharedRef(), genpair::SeedMapParams{});
+    return map;
+}
+
+void
+BM_Xxh32Seed(benchmark::State &state)
+{
+    auto seed = sharedRef().chromosome(0).sub(1000, 50);
+    const auto &packed = seed.packed();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            util::xxh32(packed.data(), packed.size()));
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_Xxh32Seed);
+
+void
+BM_PartitionedSeeding(benchmark::State &state)
+{
+    genpair::PartitionedSeeder seeder(sharedMap());
+    auto read = sharedRef().chromosome(0).sub(5000, 150);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(seeder.extract(read));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_PartitionedSeeding);
+
+void
+BM_SeedMapLookup(benchmark::State &state)
+{
+    auto &map = sharedMap();
+    util::Pcg32 rng(3);
+    std::vector<u32> hashes;
+    for (int i = 0; i < 1024; ++i) {
+        auto seed = sharedRef().chromosome(0).sub(rng.below(900000), 50);
+        hashes.push_back(map.hashSeed(seed));
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        auto span = map.lookup(hashes[i++ & 1023]);
+        benchmark::DoNotOptimize(span.data());
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_SeedMapLookup);
+
+void
+BM_ShdMasks(benchmark::State &state)
+{
+    auto read = sharedRef().chromosome(0).sub(10000, 150);
+    auto window = sharedRef().chromosome(0).sub(9995, 160);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(align::shiftedMasks(read, window, 5, 5));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_ShdMasks);
+
+void
+BM_LightAlign(benchmark::State &state)
+{
+    genpair::LightAligner aligner(sharedRef(),
+                                  genpair::LightAlignParams{});
+    auto read = sharedRef().chromosome(0).sub(20000, 150);
+    read.set(70, (read.at(70) + 1) & 3u);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(aligner.align(read, 20000));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_LightAlign);
+
+void
+BM_DpFitAlign(benchmark::State &state)
+{
+    auto read = sharedRef().chromosome(0).sub(30000, 150);
+    auto window = sharedRef().chromosome(0).sub(29976, 198);
+    auto scheme = genomics::ScoringScheme::shortRead();
+    u64 cells = 0;
+    for (auto _ : state) {
+        auto r = align::fitAlign(read, window, scheme);
+        cells += r.cellUpdates;
+        benchmark::DoNotOptimize(r.score);
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+    state.counters["cells/s"] = benchmark::Counter(
+        static_cast<double>(cells), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DpFitAlign);
+
+
+void
+BM_WfaGlobalAlign(benchmark::State &state)
+{
+    // The WFA fallback-substrate kernel on a lightly edited read (the
+    // common fallback case): work is penalty-proportional.
+    auto read = sharedRef().chromosome(0).sub(40000, 150);
+    read.set(40, (read.at(40) + 1) & 3u);
+    read.set(90, (read.at(90) + 1) & 3u);
+    auto window = sharedRef().chromosome(0).sub(40000, 158);
+    u64 ops = 0;
+    for (auto _ : state) {
+        auto r = align::wfaGlobalAlign(read, window);
+        ops += r.wavefrontOps;
+        benchmark::DoNotOptimize(r.penalty);
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+    state.counters["wf-ops/s"] = benchmark::Counter(
+        static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WfaGlobalAlign);
+
+void
+BM_SneakySnakeGate(benchmark::State &state)
+{
+    // The SS8 pre-alignment gate on a passing candidate.
+    filters::SneakySnakeFilter gate;
+    auto read = sharedRef().chromosome(0).sub(50000, 150);
+    read.set(75, (read.at(75) + 1) & 3u);
+    auto window = sharedRef().chromosome(0).sub(49995, 160);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gate.evaluate(read, window, 5, 5));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_SneakySnakeGate);
+
+void
+BM_GrimFilterQuery(benchmark::State &state)
+{
+    // GRIM bin-bitvector membership test (no reference bases touched).
+    static filters::GrimFilter grim(sharedRef(), filters::GrimParams{});
+    auto read = sharedRef().chromosome(0).sub(60000, 150);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(grim.evaluate(read, 60000, 5));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_GrimFilterQuery);
+
+} // namespace

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * §7.4 "Host integration" — the PCIe bandwidth budget of the saturated
+ * design: 14.5 GB/s of 2-bit read pairs in, 5.4 GB/s of locations +
+ * CIGARs out at 192.7 MPair/s, sustained by PCIe Gen3/Gen4 x16. Also
+ * answers the inverse question: at what pair rate would each link
+ * generation become the binding constraint instead of the HBM.
+ */
+
+#include "common.hh"
+#include "hwsim/host_interface.hh"
+
+int
+main()
+{
+    using namespace gpx;
+    using namespace gpx::bench;
+
+    banner("Host-interface bandwidth budget",
+           "SS7.4 host integration (paper: 14.5 GB/s in, 5.4 GB/s out "
+           "at 192.7 MPair/s; Gen3/Gen4 x16 both sufficient)");
+
+    const double paperMpairs = 192.7;
+    hwsim::HostTrafficConfig cfg;
+    auto demand = hwsim::hostDemand(paperMpairs, cfg);
+
+    std::printf("design point %.1f MPair/s, %u bp reads, 2-bit encoding:\n"
+                "  input  %.1f GB/s   (paper: 14.5 GB/s)\n"
+                "  output %.1f GB/s   (paper: 5.4 GB/s)\n\n",
+                paperMpairs, cfg.readLen, demand.inputGBs,
+                demand.outputGBs);
+
+    util::Table table({ "link", "GB/s per direction", "sustains design",
+                        "link-bound cap (MPair/s)" });
+    for (const auto &link : hwsim::pcieGenerations()) {
+        table.row()
+            .cell(link.name)
+            .cell(link.gbPerSecPerDirection, 2)
+            .cell(std::string(link.sustains(demand) ? "yes" : "NO"))
+            .cell(hwsim::maxMpairsOn(link, cfg), 1);
+    }
+    table.print("PCIe generations vs the saturated design");
+
+    // Read-length sensitivity: longer reads raise input demand linearly
+    // while output stays per-pair, shifting where the link binds.
+    util::Table lens({ "read len", "input GB/s", "output GB/s",
+                       "Gen3 x16 ok" });
+    for (u32 len : { 100u, 150u, 250u, 300u }) {
+        hwsim::HostTrafficConfig c;
+        c.readLen = len;
+        auto d = hwsim::hostDemand(paperMpairs, c);
+        lens.row()
+            .cell(static_cast<u64>(len))
+            .cell(d.inputGBs, 1)
+            .cell(d.outputGBs, 1)
+            .cell(std::string(
+                hwsim::pcieGenerations()[0].sustains(d) ? "yes" : "NO"));
+    }
+    lens.print("Read-length sensitivity at the same pair rate");
+    return 0;
+}

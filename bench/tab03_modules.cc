@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Table 3 — GenPairX module sizing: per-instance throughput, latency and
+ * replica counts, derived from the measured software workload profile
+ * and the NMSL-sustained rate (the paper's §7.2 methodology).
+ */
+
+#include "common.hh"
+#include "hwsim/nmsl.hh"
+#include "hwsim/pipeline_model.hh"
+#include "hwsim/pipeline_sim.hh"
+
+int
+main()
+{
+    using namespace gpx;
+    using namespace gpx::bench;
+
+    banner("GenPairX module sizing from software profiling",
+           "Table 3 (paper: PS 333/10cyc/1, PA 83.0/24.1cyc/3, "
+           "LA 1.1/156cyc/174 at 192.7 MPair/s)");
+
+    MappingStack s = buildStack(1);
+    hwsim::WorkloadProfile measured = measureProfile(s);
+
+    auto workload = hwsim::buildWorkload(*s.seedmap, s.dataset.pairs);
+    hwsim::NmslConfig cfg;
+    cfg.windowSize = 1024;
+    auto nmsl = hwsim::NmslSim(cfg).run(workload);
+
+    std::printf("measured workload profile: filter iterations/pair = "
+                "%.1f, light aligns/pair = %.1f, locations/seed = %.1f\n"
+                "NMSL sustained rate (simulated): %.1f MPair/s "
+                "(paper: 192.7)\n\n",
+                measured.avgFilterIterationsPerPair,
+                measured.avgLightAlignsPerPair,
+                measured.avgLocationsPerSeed, nmsl.mpairsPerSec);
+
+    hwsim::ModuleModels mm(2.0);
+    util::Table table({ "module", "MPair/s per inst", "latency (cycles)",
+                        "# instances (measured)", "# instances (paper)" });
+
+    auto emit = [&](const hwsim::ModuleSpec &spec, u32 paperCount) {
+        table.row()
+            .cell(spec.name)
+            .cell(spec.throughputMpairs, 2)
+            .cell(spec.latencyCycles, 1)
+            .cell(static_cast<long long>(spec.instances))
+            .cell(static_cast<long long>(paperCount));
+    };
+    emit(mm.partitionedSeeding(nmsl.mpairsPerSec), 1);
+    emit(mm.pairedAdjacencyFilter(measured, nmsl.mpairsPerSec), 3);
+    emit(mm.lightAlignment(measured, nmsl.mpairsPerSec), 174);
+    table.print("Table 3: module throughput, latency and instance counts");
+
+    // Reference sizing at the paper's own workload numbers.
+    util::Table paperTable({ "module", "MPair/s per inst",
+                             "# instances at 192.7 MPair/s" });
+    hwsim::WorkloadProfile paper = hwsim::WorkloadProfile::paperDefault();
+    for (const auto &spec :
+         { mm.partitionedSeeding(192.7),
+           mm.pairedAdjacencyFilter(paper, 192.7),
+           mm.lightAlignment(paper, 192.7) }) {
+        paperTable.row()
+            .cell(spec.name)
+            .cell(spec.throughputMpairs, 2)
+            .cell(static_cast<long long>(spec.instances));
+    }
+    paperTable.print("Sanity: sizing at the paper's reported workload");
+
+    // Cycle-level validation: run the sized design against a per-pair
+    // workload with the measured means and heavy-tailed dispersion; a
+    // balanced design must sustain ~the NMSL rate (paper §7.2's
+    // circular-buffer argument).
+    hwsim::PipelineSimConfig simCfg;
+    simCfg.nmslMpairs = nmsl.mpairsPerSec;
+    simCfg.paInstances =
+        mm.pairedAdjacencyFilter(measured, nmsl.mpairsPerSec).instances;
+    simCfg.laInstances =
+        mm.lightAlignment(measured, nmsl.mpairsPerSec).instances;
+    auto simWork = hwsim::GenPairXPipelineSim::synthesizeWorkload(
+        measured, 40000, 99);
+    auto simRes = hwsim::GenPairXPipelineSim(simCfg).run(simWork);
+    std::printf("\ncycle-level validation of the sized design: sustained "
+                "%.1f MPair/s = %.1f%% of the NMSL rate\n"
+                "  PA util %.0f%%, LA util %.0f%%, buffer high-water "
+                "%zu/%zu, source stalls %llu cycles\n",
+                simRes.mpairsPerSec,
+                100 * simRes.efficiencyVsNmsl(simCfg),
+                100 * simRes.paUtilization, 100 * simRes.laUtilization,
+                simRes.buf1MaxOccupancy, simRes.buf2MaxOccupancy,
+                static_cast<unsigned long long>(simRes.sourceStallCycles));
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table 4 — Area and power breakdown of GenPairX + GenDP at 7 nm,
+ * rolled up from the synthesized block costs, the CACTI-lite SRAM
+ * model, the NMSL buffer sizing and the GenDP MCUPS sizing.
+ */
+
+#include "common.hh"
+#include "hwsim/nmsl.hh"
+#include "hwsim/pipeline_model.hh"
+
+int
+main()
+{
+    using namespace gpx;
+    using namespace gpx::bench;
+
+    banner("Area and power breakdown (7 nm)",
+           "Table 4 (paper: GenPairX 66.80 mm2 / 0.88 W; with GenDP "
+           "381.1 mm2 / 209.0 W)");
+
+    MappingStack s = buildStack(1);
+    hwsim::WorkloadProfile measured = measureProfile(s);
+
+    auto workload = hwsim::buildWorkload(*s.seedmap, s.dataset.pairs);
+    hwsim::NmslConfig cfg;
+    cfg.windowSize = 1024;
+    auto nmsl = hwsim::NmslSim(cfg).run(workload);
+
+    hwsim::PipelineModel pm(2.0);
+    auto design = pm.design(nmsl, cfg, measured);
+
+    util::Table table({ "component", "area (mm2)", "power (mW)" });
+    for (const auto &row : design.breakdown) {
+        table.row()
+            .cell(row.name)
+            .cell(row.cost.areaMm2, 3)
+            .cell(row.cost.powerMw, 2);
+    }
+    table.row()
+        .cell("GenPairX total")
+        .cell(design.genPairXCost.areaMm2, 2)
+        .cell(design.genPairXCost.powerMw, 1);
+    table.row()
+        .cell("GenDP Chain (sized)")
+        .cell(hwsim::GenDpModel::chainCost(design.chainMcups).areaMm2, 1)
+        .cell(hwsim::GenDpModel::chainCost(design.chainMcups).powerMw, 0);
+    table.row()
+        .cell("GenDP Align (sized)")
+        .cell(hwsim::GenDpModel::alignCost(design.alignMcups).areaMm2, 1)
+        .cell(hwsim::GenDpModel::alignCost(design.alignMcups).powerMw, 0);
+    table.row()
+        .cell("GenPairX + GenDP")
+        .cell(design.totalCost.areaMm2, 1)
+        .cell(design.totalCost.powerMw, 0);
+    table.print("Table 4: area/power breakdown (measured workload)");
+
+    std::printf("GenDP sizing: chain %.0f MCUPS (paper 331,772), align "
+                "%.0f MCUPS (paper 3,469,180)\n",
+                design.chainMcups, design.alignMcups);
+    return 0;
+}

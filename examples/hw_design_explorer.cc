@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Hardware design-space explorer: wire a software profiling run into the
+ * GenPairX hardware models and explore window sizes and memory
+ * technologies, printing throughput, area and power for each design
+ * point — the workflow an architect would use to retarget GenPairX.
+ *
+ * Run: ./build/examples/hw_design_explorer
+ */
+
+#include <cstdio>
+
+#include "baseline/mm2lite.hh"
+#include "genpair/pipeline.hh"
+#include "hwsim/nmsl.hh"
+#include "hwsim/pipeline_model.hh"
+#include "simdata/genome_generator.hh"
+#include "simdata/read_simulator.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gpx;
+
+    // Software profiling run (the paper's §7.2 methodology).
+    simdata::GenomeParams gp;
+    gp.length = 2 << 20;
+    gp.chromosomes = 2;
+    genomics::Reference ref = simdata::generateGenome(gp);
+    simdata::DiploidGenome donor(ref, simdata::VariantParams{});
+    simdata::ReadSimulator sim(donor, simdata::ReadSimParams{});
+    auto pairs = sim.simulate(5000);
+
+    genpair::SeedMap seedmap(ref, genpair::SeedMapParams{});
+    baseline::Mm2Lite mm2(ref, baseline::Mm2LiteParams{});
+    genpair::GenPairPipeline pipeline(ref, seedmap,
+                                      genpair::GenPairParams{}, &mm2);
+    for (const auto &pair : pairs)
+        pipeline.mapPair(pair);
+    auto profile = hwsim::WorkloadProfile::fromStats(
+        pipeline.stats(), 150, 15000, 75000,
+        seedmap.stats().avgLocationsPerSeed);
+    std::printf("profiled workload: %.1f filter iters/pair, %.1f light "
+                "aligns/pair, %.1f%% DP-align fraction\n\n",
+                profile.avgFilterIterationsPerPair,
+                profile.avgLightAlignsPerPair,
+                100 * profile.dpAlignFrac());
+
+    auto workload = hwsim::buildWorkload(seedmap, pairs);
+    hwsim::PipelineModel pm(2.0);
+
+    util::Table table({ "memory", "window", "MPair/s", "Mbp/s",
+                        "area (mm2)", "power (W)", "Mbp/s/W" });
+    for (const auto &mem :
+         { hwsim::MemoryConfig::ddr5(), hwsim::MemoryConfig::gddr6(),
+           hwsim::MemoryConfig::hbm2() }) {
+        for (u32 window : { 64u, 1024u }) {
+            hwsim::NmslConfig cfg;
+            cfg.mem = mem;
+            cfg.windowSize = window;
+            auto nmsl = hwsim::NmslSim(cfg).run(workload);
+            auto design = pm.design(nmsl, cfg, profile);
+            double watts = design.totalCost.powerMw / 1000.0 +
+                           nmsl.dramTotalPowerW;
+            table.row()
+                .cell(mem.name)
+                .cell(static_cast<long long>(window))
+                .cell(design.endToEndMpairs, 1)
+                .cell(design.throughputMbps(), 0)
+                .cell(design.totalCost.areaMm2, 1)
+                .cell(watts, 1)
+                .cell(design.throughputMbps() / watts, 1);
+        }
+    }
+    table.print("GenPairX+GenDP design space");
+    std::printf("use hwsim::PipelineModel::throughputUnder() to stress a "
+                "fixed design with harder workloads (see "
+                "bench/fig12_error_sweep.cc).\n");
+    return 0;
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Structural-variant detection with paired-end discordance — the
+ * downstream analysis the paper's motivation (§3) cites as a key
+ * reason paired-end mapping dominates: "more accurate detection of
+ * structural variants ... and repetitive regions".
+ *
+ * A donor genome carries a planted 400 bp deletion. Reads simulated
+ * from the donor map back to the *original* reference, so pairs that
+ * straddle the deletion show an implied insert ~400 bp longer than the
+ * library insert. The example maps the reads with GenPairPipeline,
+ * collects discordant pairs (BreakDancer-style), clusters their
+ * implied breakpoints and recovers the deletion's position and size.
+ *
+ * Run: ./build/examples/sv_detection
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baseline/mm2lite.hh"
+#include "genpair/pipeline.hh"
+#include "simdata/genome_generator.hh"
+#include "util/rng.hh"
+
+int
+main()
+{
+    using namespace gpx;
+    using genomics::DnaSequence;
+
+    // Reference genome, and a donor that lost 400 bp at position 300k.
+    simdata::GenomeParams gp;
+    gp.length = 1 << 20;
+    gp.chromosomes = 1;
+    gp.seed = 17;
+    genomics::Reference ref = simdata::generateGenome(gp);
+
+    const GlobalPos delStart = 300000;
+    const u32 delLen = 400;
+    const DnaSequence &chrom = ref.chromosome(0);
+    DnaSequence donor = chrom.sub(0, delStart);
+    donor.append(chrom.sub(delStart + delLen,
+                           chrom.size() - delStart - delLen));
+    std::printf("planted deletion: ref [%llu, %llu) (%u bp)\n",
+                static_cast<unsigned long long>(delStart),
+                static_cast<unsigned long long>(delStart + delLen),
+                delLen);
+
+    // Simulate FR pairs from the donor: fragment of ~400 bp, read 1
+    // forward from the left end, read 2 reverse-complement from the
+    // right end (what ReadSimulator does, done by hand here because
+    // the donor is a custom haplotype).
+    util::Pcg32 rng(23);
+    const u32 readLen = 150;
+    const double insertMean = 400.0, insertSd = 30.0;
+    std::vector<genomics::ReadPair> pairs;
+    for (int i = 0; i < 60000; ++i) {
+        double g = std::sqrt(-2.0 * std::log(rng.uniform())) *
+                   std::cos(6.28318530718 * rng.uniform());
+        u32 insert = static_cast<u32>(
+            std::max(2.0 * readLen, insertMean + insertSd * g));
+        if (donor.size() < insert + 1)
+            continue;
+        GlobalPos start =
+            rng.below64(donor.size() - insert);
+        genomics::ReadPair p;
+        p.first.name = "frag" + std::to_string(i);
+        p.first.seq = donor.sub(start, readLen);
+        p.second.name = p.first.name;
+        p.second.seq =
+            donor.sub(start + insert - readLen, readLen).revComp();
+        pairs.push_back(std::move(p));
+    }
+
+    // Map against the original reference. Delta is widened so the
+    // deletion-straddling pairs (insert ~800 on the reference) stay on
+    // the fast path instead of falling back.
+    genpair::SeedMap map(ref, genpair::SeedMapParams{});
+    baseline::Mm2Lite mm2(ref, baseline::Mm2LiteParams{});
+    genpair::GenPairParams params;
+    params.delta = 1200;
+    genpair::GenPairPipeline pipe(ref, map, params, &mm2);
+
+    struct Discordant
+    {
+        GlobalPos leftEnd;   ///< rightmost base of the left read
+        GlobalPos rightStart;///< leftmost base of the right read
+        u64 impliedInsert;
+    };
+    std::vector<Discordant> discordant;
+    u64 mapped = 0;
+    for (const auto &p : pairs) {
+        auto pm = pipe.mapPair(p);
+        if (!pm.bothMapped())
+            continue;
+        ++mapped;
+        const auto &a = pm.first.pos <= pm.second.pos ? pm.first
+                                                      : pm.second;
+        const auto &b = pm.first.pos <= pm.second.pos ? pm.second
+                                                      : pm.first;
+        u64 insert = b.pos + readLen - a.pos;
+        // Discordance test: > mean + 5 sd implies a deletion between
+        // the two reads.
+        if (insert > insertMean + 5 * insertSd)
+            discordant.push_back(
+                { a.pos + readLen, b.pos, insert });
+    }
+    std::printf("mapped %llu/%zu pairs, %zu discordant\n",
+                static_cast<unsigned long long>(mapped), pairs.size(),
+                discordant.size());
+    if (discordant.empty()) {
+        std::printf("no discordant evidence found\n");
+        return 1;
+    }
+
+    // Repeats create occasional false discordance (a read mismapped to
+    // a distant repeat copy) — the same ambiguity §3 says paired-end
+    // context exists to fight. Cluster the evidence by position and
+    // keep the largest cluster before intersecting gaps.
+    std::sort(discordant.begin(), discordant.end(),
+              [](const Discordant &x, const Discordant &y) {
+                  return x.leftEnd < y.leftEnd;
+              });
+    std::size_t bestBegin = 0, bestLen = 0;
+    for (std::size_t i = 0; i < discordant.size();) {
+        std::size_t j = i + 1;
+        while (j < discordant.size() &&
+               discordant[j].leftEnd - discordant[i].leftEnd < 1000)
+            ++j;
+        if (j - i > bestLen) {
+            bestLen = j - i;
+            bestBegin = i;
+        }
+        ++i;
+    }
+    std::printf("largest breakpoint cluster: %zu of %zu pairs\n",
+                bestLen, discordant.size());
+
+    // The breakpoint lies inside every clustered pair's gap: intersect
+    // the gaps and average the implied size.
+    GlobalPos lo = 0, hi = ~GlobalPos{0};
+    double sizeSum = 0;
+    for (std::size_t i = bestBegin; i < bestBegin + bestLen; ++i) {
+        const auto &d = discordant[i];
+        lo = std::max(lo, d.leftEnd);
+        hi = std::min(hi, d.rightStart);
+        sizeSum += d.impliedInsert - insertMean;
+    }
+    const double estSize = sizeSum / bestLen;
+    std::printf("breakpoint interval: [%llu, %llu] (truth %llu)\n",
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(delStart));
+    std::printf("estimated deletion size: %.0f bp (truth %u)\n", estSize,
+                delLen);
+
+    const bool hit = lo <= delStart + delLen && delStart <= hi &&
+                     std::abs(estSize - delLen) < 60;
+    std::printf("%s\n", hit ? "deletion recovered" : "MISSED");
+    return hit ? 0 : 1;
+}

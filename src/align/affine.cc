@@ -1,0 +1,333 @@
+#include "align/affine.hh"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace align {
+
+using genomics::Cigar;
+using genomics::CigarOp;
+using genomics::DnaSequence;
+using genomics::ScoringScheme;
+
+namespace {
+
+constexpr i32 kNegInf = std::numeric_limits<i32>::min() / 4;
+
+/** Alignment boundary conditions. */
+enum class Mode { Global, Fit, Local };
+
+/** Traceback byte layout. */
+constexpr u8 kSrcMask = 0x07;
+constexpr u8 kSrcDiag = 0;
+constexpr u8 kSrcE1 = 1;
+constexpr u8 kSrcE2 = 2;
+constexpr u8 kSrcF1 = 3;
+constexpr u8 kSrcF2 = 4;
+constexpr u8 kSrcStart = 5;
+constexpr u8 kExtE1 = 0x08;
+constexpr u8 kExtE2 = 0x10;
+constexpr u8 kExtF1 = 0x20;
+constexpr u8 kExtF2 = 0x40;
+
+struct EngineResult
+{
+    bool valid = false;
+    i32 score = 0;
+    Cigar cigar;
+    u64 queryStart = 0;
+    u64 targetStart = 0;
+    u64 targetEnd = 0;
+    u64 cellUpdates = 0;
+};
+
+/**
+ * Shared DP engine. Computes H/E1/E2/F1/F2 row by row with a full
+ * traceback matrix and reconstructs the optimal path for the requested
+ * boundary conditions.
+ */
+EngineResult
+run(const DnaSequence &query, const DnaSequence &target,
+    const ScoringScheme &sc, Mode mode, i32 band)
+{
+    const std::size_t m = query.size();
+    const std::size_t n = target.size();
+    EngineResult out;
+    if (m == 0 || n == 0)
+        return out;
+
+    gpx_assert((m + 1) * (n + 1) <= (1ull << 27),
+               "DP matrix too large; use banding or smaller windows");
+
+    std::vector<u8> tb((m + 1) * (n + 1), 0);
+    auto tbAt = [&](std::size_t i, std::size_t j) -> u8 & {
+        return tb[i * (n + 1) + j];
+    };
+
+    std::vector<i32> hPrev(n + 1, kNegInf), hCur(n + 1, kNegInf);
+    std::vector<i32> f1(n + 1, kNegInf), f2(n + 1, kNegInf);
+
+    const i32 oe1 = sc.gapOpen1 + sc.gapExtend1;
+    const i32 oe2 = sc.gapOpen2 + sc.gapExtend2;
+
+    // Row 0.
+    hPrev[0] = 0;
+    tbAt(0, 0) = kSrcStart;
+    for (std::size_t j = 1; j <= n; ++j) {
+        if (mode == Mode::Global) {
+            hPrev[j] = -sc.gapCost(static_cast<u32>(j));
+            // Record which gap piece is cheaper so traceback extends it.
+            bool piece1 = sc.gapOpen1 + static_cast<i32>(j) * sc.gapExtend1 <=
+                          sc.gapOpen2 + static_cast<i32>(j) * sc.gapExtend2;
+            u8 flags = piece1 ? kSrcE1 : kSrcE2;
+            if (j > 1)
+                flags |= piece1 ? kExtE1 : kExtE2;
+            tbAt(0, j) = flags;
+        } else {
+            hPrev[j] = 0; // free target start
+            tbAt(0, j) = kSrcStart;
+        }
+    }
+
+    i32 best = kNegInf;
+    std::size_t bestI = 0, bestJ = 0;
+
+    for (std::size_t i = 1; i <= m; ++i) {
+        i32 e1 = kNegInf, e2 = kNegInf;
+        std::size_t jLo = 1, jHi = n;
+        if (band >= 0) {
+            i64 lo = static_cast<i64>(i) - band;
+            i64 hi = static_cast<i64>(i) + band;
+            jLo = static_cast<std::size_t>(std::max<i64>(1, lo));
+            jHi = static_cast<std::size_t>(
+                std::min<i64>(static_cast<i64>(n), hi));
+        }
+        std::fill(hCur.begin(), hCur.end(), kNegInf);
+
+        // Column 0: query-only gap (insertion).
+        if (mode == Mode::Local) {
+            hCur[0] = 0;
+            tbAt(i, 0) = kSrcStart;
+        } else {
+            hCur[0] = -sc.gapCost(static_cast<u32>(i));
+            bool piece1 = sc.gapOpen1 + static_cast<i32>(i) * sc.gapExtend1 <=
+                          sc.gapOpen2 + static_cast<i32>(i) * sc.gapExtend2;
+            u8 flags = piece1 ? kSrcF1 : kSrcF2;
+            if (i > 1)
+                flags |= piece1 ? kExtF1 : kExtF2;
+            tbAt(i, 0) = flags;
+        }
+        // Maintain F across the banded region; reset off-band columns.
+        if (band >= 0 && jLo > 1) {
+            f1[jLo - 1] = kNegInf;
+            f2[jLo - 1] = kNegInf;
+        }
+
+        for (std::size_t j = jLo; j <= jHi; ++j) {
+            ++out.cellUpdates;
+            u8 flags = 0;
+
+            // E: gap consuming target (deletion from the read's view).
+            i32 e1Open = hCur[j - 1] - oe1;
+            i32 e1Ext = e1 - sc.gapExtend1;
+            if (e1Ext > e1Open) {
+                e1 = e1Ext;
+                flags |= kExtE1;
+            } else {
+                e1 = e1Open;
+            }
+            i32 e2Open = hCur[j - 1] - oe2;
+            i32 e2Ext = e2 - sc.gapExtend2;
+            if (e2Ext > e2Open) {
+                e2 = e2Ext;
+                flags |= kExtE2;
+            } else {
+                e2 = e2Open;
+            }
+
+            // F: gap consuming query (insertion).
+            i32 f1Open = hPrev[j] - oe1;
+            i32 f1Ext = f1[j] - sc.gapExtend1;
+            if (f1Ext > f1Open) {
+                f1[j] = f1Ext;
+                flags |= kExtF1;
+            } else {
+                f1[j] = f1Open;
+            }
+            i32 f2Open = hPrev[j] - oe2;
+            i32 f2Ext = f2[j] - sc.gapExtend2;
+            if (f2Ext > f2Open) {
+                f2[j] = f2Ext;
+                flags |= kExtF2;
+            } else {
+                f2[j] = f2Open;
+            }
+
+            i32 sub = query.at(i - 1) == target.at(j - 1) ? sc.match
+                                                          : -sc.mismatch;
+            i32 diag = hPrev[j - 1] == kNegInf ? kNegInf : hPrev[j - 1] + sub;
+
+            i32 h = diag;
+            u8 src = kSrcDiag;
+            if (e1 > h) { h = e1; src = kSrcE1; }
+            if (e2 > h) { h = e2; src = kSrcE2; }
+            if (f1[j] > h) { h = f1[j]; src = kSrcF1; }
+            if (f2[j] > h) { h = f2[j]; src = kSrcF2; }
+            if (mode == Mode::Local && h < 0) {
+                h = 0;
+                src = kSrcStart;
+            }
+            hCur[j] = h;
+            tbAt(i, j) = static_cast<u8>(flags | src);
+
+            if (mode == Mode::Local && h > best) {
+                best = h;
+                bestI = i;
+                bestJ = j;
+            }
+        }
+        std::swap(hPrev, hCur);
+    }
+
+    // Pick the end cell.
+    if (mode == Mode::Global) {
+        best = hPrev[n];
+        bestI = m;
+        bestJ = n;
+    } else if (mode == Mode::Fit) {
+        best = kNegInf;
+        bestI = m;
+        for (std::size_t j = 0; j <= n; ++j) {
+            if (hPrev[j] > best) {
+                best = hPrev[j];
+                bestJ = j;
+            }
+        }
+    }
+    if (best <= kNegInf / 2)
+        return out; // band excluded every complete path
+
+    // Traceback.
+    Cigar rev;
+    std::size_t i = bestI, j = bestJ;
+    u8 state = 0; // 0 = H, 1 = E1, 2 = E2, 3 = F1, 4 = F2
+    bool hitStart = false;
+    while (!hitStart) {
+        if (state == 0) {
+            u8 cell = tbAt(i, j);
+            switch (cell & kSrcMask) {
+              case kSrcStart:
+                hitStart = true;
+                break;
+              case kSrcDiag:
+                rev.push(CigarOp::Match, 1);
+                --i;
+                --j;
+                if (i == 0 && j == 0 && mode != Mode::Fit)
+                    hitStart = true;
+                if (mode == Mode::Fit && i == 0)
+                    hitStart = true;
+                if (mode == Mode::Local && (tbAt(i, j) & kSrcMask) ==
+                        kSrcStart && i == 0)
+                    hitStart = true;
+                break;
+              case kSrcE1: state = 1; break;
+              case kSrcE2: state = 2; break;
+              case kSrcF1: state = 3; break;
+              case kSrcF2: state = 4; break;
+            }
+            if (mode == Mode::Fit && state == 0 && !hitStart && i == 0)
+                hitStart = true;
+        } else if (state == 1 || state == 2) {
+            u8 cell = tbAt(i, j);
+            rev.push(CigarOp::Deletion, 1);
+            bool ext = cell & (state == 1 ? kExtE1 : kExtE2);
+            --j;
+            if (!ext)
+                state = 0;
+            if (j == 0 && state != 0)
+                gpx_panic("affine traceback escaped matrix (E)");
+        } else {
+            u8 cell = tbAt(i, j);
+            rev.push(CigarOp::Insertion, 1);
+            bool ext = cell & (state == 3 ? kExtF1 : kExtF2);
+            --i;
+            if (!ext)
+                state = 0;
+            if (i == 0 && state != 0)
+                gpx_panic("affine traceback escaped matrix (F)");
+            if (mode == Mode::Fit && state == 0 && i == 0)
+                hitStart = true;
+        }
+        if (mode == Mode::Global && i == 0 && j == 0)
+            hitStart = true;
+    }
+
+    // Reverse the CIGAR.
+    Cigar cigar;
+    const auto &elems = rev.elems();
+    for (auto it = elems.rbegin(); it != elems.rend(); ++it)
+        cigar.push(it->op, it->len);
+
+    out.valid = true;
+    out.score = best;
+    out.cigar = std::move(cigar);
+    out.queryStart = i;
+    out.targetStart = j;
+    out.targetEnd = bestJ;
+    return out;
+}
+
+} // namespace
+
+AlignResult
+fitAlign(const DnaSequence &query, const DnaSequence &target,
+         const ScoringScheme &scheme, i32 band)
+{
+    EngineResult r = run(query, target, scheme, Mode::Fit, band);
+    AlignResult out;
+    out.valid = r.valid;
+    out.score = r.score;
+    out.cigar = std::move(r.cigar);
+    out.targetStart = r.targetStart;
+    out.targetEnd = r.targetEnd;
+    out.cellUpdates = r.cellUpdates;
+    return out;
+}
+
+AlignResult
+globalAlign(const DnaSequence &query, const DnaSequence &target,
+            const ScoringScheme &scheme, i32 band)
+{
+    EngineResult r = run(query, target, scheme, Mode::Global, band);
+    AlignResult out;
+    out.valid = r.valid;
+    out.score = r.score;
+    out.cigar = std::move(r.cigar);
+    out.targetStart = r.targetStart;
+    out.targetEnd = r.targetEnd;
+    out.cellUpdates = r.cellUpdates;
+    return out;
+}
+
+LocalResult
+localAlign(const DnaSequence &query, const DnaSequence &target,
+           const ScoringScheme &scheme)
+{
+    EngineResult r = run(query, target, scheme, Mode::Local, -1);
+    LocalResult out;
+    out.valid = r.valid;
+    out.score = r.score;
+    out.cigar = std::move(r.cigar);
+    out.queryStart = r.queryStart;
+    out.targetStart = r.targetStart;
+    out.cellUpdates = r.cellUpdates;
+    return out;
+}
+
+} // namespace align
+} // namespace gpx

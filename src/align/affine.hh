@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Two-piece affine-gap dynamic-programming alignment with full traceback.
+ *
+ * This is the repository's "expensive DP" substrate: it plays the role of
+ * Minimap2's ksw2 aligner in the software baseline and of the GenDP
+ * accelerator's Banded Smith-Waterman in the fallback path (paper §7.4).
+ * Gap cost follows the two-piece model min(q1 + k*e1, q2 + k*e2) so DP
+ * scores are directly comparable with the Light Alignment scores.
+ */
+
+#ifndef GPX_ALIGN_AFFINE_HH
+#define GPX_ALIGN_AFFINE_HH
+
+#include "genomics/cigar.hh"
+#include "genomics/scoring.hh"
+#include "genomics/sequence.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace align {
+
+/** Result of a DP alignment. */
+struct AlignResult
+{
+    bool valid = false;
+    i32 score = 0;
+    genomics::Cigar cigar;
+    /** First target base consumed by the alignment. */
+    u64 targetStart = 0;
+    /** One past the last target base consumed. */
+    u64 targetEnd = 0;
+    /** Number of DP matrix cells evaluated (MCUPS bookkeeping, §7.4). */
+    u64 cellUpdates = 0;
+};
+
+/**
+ * Fitting alignment: the whole query must align, the target start and end
+ * are free. This is the shape of the DP-fallback alignment of a 150 bp
+ * read inside a candidate reference window.
+ *
+ * @param query Read sequence (aligned end-to-end).
+ * @param target Reference window.
+ * @param scheme Scoring parameters.
+ * @param band Optional band half-width around the main diagonal;
+ *             negative disables banding.
+ */
+AlignResult fitAlign(const genomics::DnaSequence &query,
+                     const genomics::DnaSequence &target,
+                     const genomics::ScoringScheme &scheme,
+                     i32 band = -1);
+
+/**
+ * Global alignment: both sequences consumed end to end. Used by unit tests
+ * and by the chain-gap stitching of the long-read path.
+ */
+AlignResult globalAlign(const genomics::DnaSequence &query,
+                        const genomics::DnaSequence &target,
+                        const genomics::ScoringScheme &scheme,
+                        i32 band = -1);
+
+/**
+ * Local (Smith-Waterman) alignment: best-scoring subsequence pair. The
+ * CIGAR covers only the aligned core; queryStart reports where it begins.
+ */
+struct LocalResult
+{
+    bool valid = false;
+    i32 score = 0;
+    genomics::Cigar cigar;
+    u64 queryStart = 0;
+    u64 targetStart = 0;
+    u64 cellUpdates = 0;
+};
+
+LocalResult localAlign(const genomics::DnaSequence &query,
+                       const genomics::DnaSequence &target,
+                       const genomics::ScoringScheme &scheme);
+
+} // namespace align
+} // namespace gpx
+
+#endif // GPX_ALIGN_AFFINE_HH

@@ -1,0 +1,113 @@
+#include "align/chain.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpx {
+namespace align {
+
+std::vector<Chain>
+chainAnchors(const std::vector<Anchor> &anchors, const ChainParams &params,
+             u32 lookback)
+{
+    std::vector<Chain> out;
+    if (anchors.empty())
+        return out;
+
+    // Sort anchors by reference, then query position.
+    std::vector<u32> order(anchors.size());
+    for (u32 i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+        if (anchors[a].refPos != anchors[b].refPos)
+            return anchors[a].refPos < anchors[b].refPos;
+        return anchors[a].queryPos < anchors[b].queryPos;
+    });
+
+    const std::size_t n = order.size();
+    std::vector<double> f(n);
+    std::vector<i32> pred(n, -1);
+    u64 cells = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Anchor &ai = anchors[order[i]];
+        f[i] = ai.length;
+        std::size_t lo = i > lookback ? i - lookback : 0;
+        for (std::size_t j = lo; j < i; ++j) {
+            ++cells;
+            const Anchor &aj = anchors[order[j]];
+            if (aj.refPos + aj.length > ai.refPos)
+                continue; // overlapping on the reference
+            if (aj.queryPos + aj.length > ai.queryPos)
+                continue; // overlapping / out of order on the query
+            u64 dr = ai.refPos - (aj.refPos + aj.length);
+            u64 dq = ai.queryPos - (aj.queryPos + aj.length);
+            if (dr > params.maxGap || dq > params.maxGap)
+                continue;
+            u64 skew = dr > dq ? dr - dq : dq - dr;
+            if (skew > params.maxSkew)
+                continue;
+            double gain = ai.length - params.gapScale * skew -
+                          params.distScale * static_cast<double>(dq + dr) / 2;
+            if (f[j] + gain > f[i]) {
+                f[i] = f[j] + gain;
+                pred[i] = static_cast<i32>(j);
+            }
+        }
+    }
+
+    // Extract chains greedily from the best unused tail anchors.
+    std::vector<bool> used(n, false);
+    std::vector<std::size_t> tails(n);
+    for (std::size_t i = 0; i < n; ++i)
+        tails[i] = i;
+    std::sort(tails.begin(), tails.end(),
+              [&](std::size_t a, std::size_t b) { return f[a] > f[b]; });
+
+    for (std::size_t t : tails) {
+        if (out.size() >= params.maxChains)
+            break;
+        if (used[t] || f[t] < params.minScore)
+            continue;
+        Chain chain;
+        chain.score = f[t];
+        i64 cur = static_cast<i64>(t);
+        bool overlap = false;
+        std::vector<u32> rev_idx;
+        while (cur >= 0) {
+            if (used[static_cast<std::size_t>(cur)]) {
+                overlap = true;
+                break;
+            }
+            rev_idx.push_back(order[static_cast<std::size_t>(cur)]);
+            cur = pred[static_cast<std::size_t>(cur)];
+        }
+        if (overlap || rev_idx.empty())
+            continue;
+        // Mark members used only for complete, kept chains.
+        std::size_t walk = t;
+        while (true) {
+            used[walk] = true;
+            if (pred[walk] < 0)
+                break;
+            walk = static_cast<std::size_t>(pred[walk]);
+        }
+        std::reverse(rev_idx.begin(), rev_idx.end());
+        const Anchor &head = anchors[rev_idx.front()];
+        const Anchor &tail = anchors[rev_idx.back()];
+        chain.anchorIdx = std::move(rev_idx);
+        chain.refStart = head.refPos;
+        chain.refEnd = tail.refPos + tail.length;
+        chain.queryStart = head.queryPos;
+        chain.queryEnd = tail.queryPos + tail.length;
+        chain.reverse = head.reverse;
+        out.push_back(std::move(chain));
+    }
+
+    if (!out.empty())
+        out.front().cellUpdates = cells;
+    return out;
+}
+
+} // namespace align
+} // namespace gpx

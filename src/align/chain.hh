@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Anchor chaining by dynamic programming.
+ *
+ * The seeding stage of the baseline mapper produces anchors (query
+ * position, reference position, length); chaining merges colinear anchors
+ * into candidate alignment regions. This is the DP stage that dominates
+ * paired-end Minimap2 runtime (paper §3.1: >65% of execution time), and
+ * the stage GenPair's Paired-Adjacency Filtering replaces.
+ */
+
+#ifndef GPX_ALIGN_CHAIN_HH
+#define GPX_ALIGN_CHAIN_HH
+
+#include <vector>
+
+#include "util/types.hh"
+
+namespace gpx {
+namespace align {
+
+/** An exact seed match between read and reference. */
+struct Anchor
+{
+    u64 queryPos = 0;
+    GlobalPos refPos = 0;
+    u32 length = 0;
+    bool reverse = false; ///< anchor found on the reverse-complement read
+};
+
+/** Chaining parameters (simplified Minimap2 model). */
+struct ChainParams
+{
+    u32 maxGap = 500;       ///< maximum query/ref gap between anchors
+    u32 maxSkew = 100;      ///< maximum |query gap - ref gap|
+    double gapScale = 0.3;  ///< per-base penalty on the diagonal skew
+    double distScale = 0.01;///< per-base penalty on the gap length
+    i32 minScore = 40;      ///< discard chains below this score
+    u32 maxChains = 8;      ///< keep at most this many chains per read
+};
+
+/** One chained candidate region. */
+struct Chain
+{
+    std::vector<u32> anchorIdx; ///< indices into the input anchor vector
+    double score = 0;
+    GlobalPos refStart = 0;
+    GlobalPos refEnd = 0;
+    u64 queryStart = 0;
+    u64 queryEnd = 0;
+    bool reverse = false;
+    /** DP cell updates consumed by the chaining pass (MCUPS accounting). */
+    u64 cellUpdates = 0;
+};
+
+/**
+ * Chain anchors of one strand with O(n^2)-bounded DP (bounded lookback,
+ * as in Minimap2).
+ *
+ * @param anchors Anchors, all with the same `reverse` flag.
+ * @param params Chaining parameters.
+ * @param lookback Maximum number of predecessors examined per anchor.
+ */
+std::vector<Chain> chainAnchors(const std::vector<Anchor> &anchors,
+                                const ChainParams &params,
+                                u32 lookback = 32);
+
+} // namespace align
+} // namespace gpx
+
+#endif // GPX_ALIGN_CHAIN_HH

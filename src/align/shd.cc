@@ -1,0 +1,135 @@
+#include "align/shd.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace align {
+
+u32
+HammingMask::popcount() const
+{
+    u32 n = 0;
+    for (u64 w : words)
+        n += static_cast<u32>(std::popcount(w));
+    return n;
+}
+
+u32
+HammingMask::onesPrefix() const
+{
+    u32 run = 0;
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        u32 remaining = bits - static_cast<u32>(w * 64);
+        u32 in_word = remaining < 64 ? remaining : 64;
+        u64 v = words[w];
+        if (in_word < 64)
+            v |= ~u64{0} << in_word; // pad the tail with 1s, bounded below
+        u32 ones = static_cast<u32>(std::countr_one(v));
+        if (ones >= in_word) {
+            run += in_word;
+            continue;
+        }
+        run += ones;
+        break;
+    }
+    return run < bits ? run : bits;
+}
+
+u32
+HammingMask::onesSuffix() const
+{
+    u32 run = 0;
+    for (std::size_t idx = words.size(); idx > 0; --idx) {
+        std::size_t w = idx - 1;
+        u32 base = static_cast<u32>(w * 64);
+        u32 in_word = bits - base < 64 ? bits - base : 64;
+        u64 v = words[w];
+        // Shift the valid bits to the top of the word.
+        v <<= (64 - in_word);
+        u32 ones = static_cast<u32>(std::countl_one(v));
+        if (ones >= in_word) {
+            run += in_word;
+            continue;
+        }
+        run += ones;
+        break;
+    }
+    return run < bits ? run : bits;
+}
+
+bool
+HammingMask::test(u32 i) const
+{
+    gpx_assert(i < bits, "mask bit out of range");
+    return (words[i >> 6] >> (i & 63u)) & 1u;
+}
+
+BitPlanes::BitPlanes(const genomics::DnaSequence &seq)
+    : bits_(static_cast<u32>(seq.size()))
+{
+    seq.bitPlanes(lo_, hi_);
+}
+
+HammingMask
+BitPlanes::equalityMask(const BitPlanes &ref, u32 ref_offset) const
+{
+    HammingMask mask;
+    mask.bits = bits_;
+    std::size_t words = (bits_ + 63) / 64;
+    mask.words.assign(words, 0);
+
+    const u32 shift = ref_offset & 63u;
+    const std::size_t word_off = ref_offset >> 6;
+
+    for (std::size_t w = 0; w < words; ++w) {
+        auto fetch = [&](const std::vector<u64> &planes) -> u64 {
+            std::size_t i = w + word_off;
+            u64 v = i < planes.size() ? planes[i] >> shift : 0;
+            if (shift && i + 1 < planes.size())
+                v |= planes[i + 1] << (64 - shift);
+            return v;
+        };
+        u64 rlo = lo_[w];
+        u64 rhi = hi_[w];
+        u64 glo = fetch(ref.lo_);
+        u64 ghi = fetch(ref.hi_);
+        mask.words[w] = ~((rlo ^ glo) | (rhi ^ ghi));
+    }
+
+    // Clear bits beyond the read length and beyond the ref window.
+    u32 valid = bits_;
+    if (ref_offset > ref.bits_)
+        valid = 0;
+    else if (ref.bits_ - ref_offset < bits_)
+        valid = ref.bits_ - ref_offset;
+    for (std::size_t w = 0; w < words; ++w) {
+        u32 base = static_cast<u32>(w * 64);
+        if (base >= valid) {
+            mask.words[w] = 0;
+        } else if (valid - base < 64) {
+            mask.words[w] &= (u64{1} << (valid - base)) - 1;
+        }
+    }
+    return mask;
+}
+
+std::vector<HammingMask>
+shiftedMasks(const genomics::DnaSequence &read,
+             const genomics::DnaSequence &window, u32 center, u32 e)
+{
+    gpx_assert(center >= e, "window must extend e bases left of center");
+    BitPlanes readPlanes(read);
+    BitPlanes winPlanes(window);
+    std::vector<HammingMask> masks;
+    masks.reserve(2 * e + 1);
+    for (i32 s = -static_cast<i32>(e); s <= static_cast<i32>(e); ++s) {
+        u32 off = static_cast<u32>(static_cast<i32>(center) + s);
+        masks.push_back(readPlanes.equalityMask(winPlanes, off));
+    }
+    return masks;
+}
+
+} // namespace align
+} // namespace gpx

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bit-parallel Shifted Hamming Distance (SHD) primitives.
+ *
+ * The Light Alignment step (paper §4.6) compares a read against 2e+1
+ * shifted copies of the reference window and reasons about the longest
+ * all-ones prefix/suffix of each Hamming mask. The hardware computes all
+ * masks in one cycle with vectorized XOR (§5.4); in software each mask is
+ * three 64-bit words for a 150 bp read.
+ */
+
+#ifndef GPX_ALIGN_SHD_HH
+#define GPX_ALIGN_SHD_HH
+
+#include <vector>
+
+#include "genomics/sequence.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace align {
+
+/** One Hamming mask: bit i set iff read base i equals the shifted ref. */
+struct HammingMask
+{
+    std::vector<u64> words;
+    u32 bits = 0;
+
+    /** Number of 1-bits (matching positions). */
+    u32 popcount() const;
+
+    /** Length of the run of 1s starting at bit 0. */
+    u32 onesPrefix() const;
+
+    /** Length of the run of 1s ending at bit bits-1. */
+    u32 onesSuffix() const;
+
+    /** Value of bit i. */
+    bool test(u32 i) const;
+};
+
+/**
+ * Precomputed bit-planes of a sequence, enabling O(words) equality-mask
+ * construction against another plane set at an arbitrary offset.
+ */
+class BitPlanes
+{
+  public:
+    BitPlanes() = default;
+    explicit BitPlanes(const genomics::DnaSequence &seq);
+
+    u32 bits() const { return bits_; }
+
+    /**
+     * Equality mask of this sequence (read) against @p ref starting at
+     * @p ref_offset: mask bit i = (this[i] == ref[ref_offset + i]).
+     * Positions where the ref window runs out are 0 (mismatch).
+     */
+    HammingMask equalityMask(const BitPlanes &ref, u32 ref_offset) const;
+
+  private:
+    std::vector<u64> lo_;
+    std::vector<u64> hi_;
+    u32 bits_ = 0;
+};
+
+/**
+ * Compute the 2e+1 Hamming masks of @p read against @p window, where the
+ * read's nominal start is at @p center within the window. masks[e + s]
+ * compares read[i] with window[center + i + s] for shifts s in [-e, +e].
+ */
+std::vector<HammingMask> shiftedMasks(const genomics::DnaSequence &read,
+                                      const genomics::DnaSequence &window,
+                                      u32 center, u32 e);
+
+} // namespace align
+} // namespace gpx
+
+#endif // GPX_ALIGN_SHD_HH

@@ -1,0 +1,307 @@
+#include "align/wfa.hh"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace align {
+
+namespace {
+
+using genomics::CigarOp;
+
+/** Unreachable-offset sentinel (any arithmetic keeps it far negative). */
+constexpr i64 kNone = std::numeric_limits<i64>::min() / 4;
+
+/** One score level: the three component wavefronts over [lo, hi]. */
+struct Wavefront
+{
+    i64 lo = 0;
+    i64 hi = -1; ///< empty when hi < lo
+    std::vector<i64> m, i, d;
+
+    bool
+    inRange(i64 k) const
+    {
+        return k >= lo && k <= hi;
+    }
+
+    i64
+    get(const std::vector<i64> &comp, i64 k) const
+    {
+        return inRange(k) ? comp[static_cast<std::size_t>(k - lo)] : kNone;
+    }
+
+    i64 mAt(i64 k) const { return get(m, k); }
+    i64 iAt(i64 k) const { return get(i, k); }
+    i64 dAt(i64 k) const { return get(d, k); }
+
+    void
+    set(std::vector<i64> &comp, i64 k, i64 value)
+    {
+        comp[static_cast<std::size_t>(k - lo)] = value;
+    }
+};
+
+/** The full score-indexed wavefront history (kept for traceback). */
+class WavefrontTable
+{
+  public:
+    WavefrontTable(const genomics::DnaSequence &q,
+                   const genomics::DnaSequence &t, const WfaPenalties &p)
+        : q_(q), t_(t), p_(p), n_(static_cast<i64>(t.size())),
+          m_(static_cast<i64>(q.size()))
+    {
+    }
+
+    /** Offset validity: h within text, v = h - k within query. */
+    bool
+    cellValid(i64 h, i64 k) const
+    {
+        const i64 v = h - k;
+        return h >= 0 && h <= n_ && v >= 0 && v <= m_;
+    }
+
+    /** Greedy match extension of an M offset along diagonal k. */
+    i64
+    extend(i64 h, i64 k) const
+    {
+        if (h == kNone)
+            return kNone;
+        i64 v = h - k;
+        while (h < n_ && v < m_ &&
+               q_.at(static_cast<std::size_t>(v)) ==
+                   t_.at(static_cast<std::size_t>(h))) {
+            ++h;
+            ++v;
+        }
+        return h;
+    }
+
+    const Wavefront &
+    at(u32 s) const
+    {
+        return fronts_[s];
+    }
+
+    /** Compute wavefront s (0 = seed). Returns wavefront ops spent. */
+    u64
+    compute(u32 s)
+    {
+        fronts_.resize(s + 1);
+        Wavefront &wf = fronts_[s];
+        if (s == 0) {
+            wf.lo = 0;
+            wf.hi = 0;
+            wf.m = { extend(0, 0) };
+            wf.i = { kNone };
+            wf.d = { kNone };
+            return 1;
+        }
+
+        const Wavefront *mm = prev(s, p_.mismatch);
+        const Wavefront *open = prev(s, p_.gapOpen + p_.gapExtend);
+        const Wavefront *ext = prev(s, p_.gapExtend);
+
+        i64 lo = 1, hi = -1; // empty unless a predecessor exists
+        auto widen = [&](const Wavefront *w, i64 dlo, i64 dhi) {
+            if (!w || w->hi < w->lo)
+                return;
+            if (hi < lo) {
+                lo = w->lo + dlo;
+                hi = w->hi + dhi;
+            } else {
+                lo = std::min(lo, w->lo + dlo);
+                hi = std::max(hi, w->hi + dhi);
+            }
+        };
+        widen(mm, 0, 0);
+        widen(open, -1, +1);
+        widen(ext, -1, +1);
+        if (hi < lo)
+            return 0; // no predecessor contributes at this score
+        lo = std::max(lo, -m_);
+        hi = std::min(hi, n_);
+        if (hi < lo)
+            return 0;
+
+        wf.lo = lo;
+        wf.hi = hi;
+        const std::size_t width = static_cast<std::size_t>(hi - lo + 1);
+        wf.m.assign(width, kNone);
+        wf.i.assign(width, kNone);
+        wf.d.assign(width, kNone);
+
+        for (i64 k = lo; k <= hi; ++k) {
+            // Insertion in the text direction (SAM deletion): h advances.
+            i64 ins = std::max(open ? open->mAt(k - 1) : kNone,
+                               ext ? ext->iAt(k - 1) : kNone);
+            if (ins != kNone) {
+                ins += 1;
+                if (cellValid(ins, k))
+                    wf.set(wf.i, k, ins);
+            }
+            // Query-consuming gap (SAM insertion): v advances, h stays.
+            i64 del = std::max(open ? open->mAt(k + 1) : kNone,
+                               ext ? ext->dAt(k + 1) : kNone);
+            if (del != kNone && cellValid(del, k))
+                wf.set(wf.d, k, del);
+            // Mismatch or gap end, then greedy extension.
+            i64 sub = mm ? mm->mAt(k) : kNone;
+            if (sub != kNone) {
+                sub += 1;
+                if (!cellValid(sub, k))
+                    sub = kNone;
+            }
+            i64 best =
+                std::max({ sub, wf.get(wf.i, k), wf.get(wf.d, k) });
+            if (best != kNone)
+                wf.set(wf.m, k, extend(best, k));
+        }
+        return 3 * width;
+    }
+
+    /** Wavefront at score s - cost, or nullptr when underflowed. */
+    const Wavefront *
+    prev(u32 s, u32 cost) const
+    {
+        if (cost > s)
+            return nullptr;
+        return &fronts_[s - cost];
+    }
+
+  private:
+    const genomics::DnaSequence &q_;
+    const genomics::DnaSequence &t_;
+    WfaPenalties p_;
+    i64 n_, m_;
+    std::vector<Wavefront> fronts_;
+};
+
+/** Trace the optimal path back through the wavefront history. */
+genomics::Cigar
+traceback(const WavefrontTable &table, const WfaPenalties &p, u32 s_final,
+          i64 n, i64 m)
+{
+    // Ops are collected end-to-start then reversed.
+    std::vector<genomics::CigarElem> rev;
+    auto emit = [&](CigarOp op, u32 len) {
+        if (len == 0)
+            return;
+        if (!rev.empty() && rev.back().op == op)
+            rev.back().len += len;
+        else
+            rev.push_back({ op, len });
+    };
+
+    enum class Comp { M, I, D };
+    Comp comp = Comp::M;
+    u32 s = s_final;
+    i64 k = n - m;
+    i64 h = n;
+
+    while (true) {
+        const Wavefront &wf = table.at(s);
+        if (comp == Comp::M) {
+            // Matches gained by extension from the pre-extension offset.
+            const Wavefront *mm = table.prev(s, p.mismatch);
+            i64 sub = mm ? mm->mAt(k) : kNone;
+            if (sub != kNone) {
+                sub += 1;
+                if (!table.cellValid(sub, k))
+                    sub = kNone;
+            }
+            i64 preExt = std::max({ sub, wf.iAt(k), wf.dAt(k) });
+            if (s == 0) {
+                // Seed wavefront: everything left is matches down to 0.
+                gpx_assert(k == 0,
+                           "WFA traceback ended off the seed diagonal");
+                emit(CigarOp::Match, static_cast<u32>(h));
+                break;
+            }
+            gpx_assert(preExt != kNone, "WFA traceback lost the M path");
+            emit(CigarOp::Match, static_cast<u32>(h - preExt));
+            h = preExt;
+            if (wf.iAt(k) == h) {
+                comp = Comp::I;
+            } else if (wf.dAt(k) == h) {
+                comp = Comp::D;
+            } else {
+                // Mismatch step (reported as M, matching SamWriter).
+                emit(CigarOp::Match, 1);
+                s -= p.mismatch;
+                h -= 1;
+            }
+        } else if (comp == Comp::I) {
+            // Text-consuming gap: SAM deletion, h steps back by one.
+            const Wavefront *open = table.prev(s, p.gapOpen + p.gapExtend);
+            const Wavefront *ext = table.prev(s, p.gapExtend);
+            emit(CigarOp::Deletion, 1);
+            if (ext && ext->iAt(k - 1) == h - 1) {
+                s -= p.gapExtend;
+                comp = Comp::I;
+            } else {
+                gpx_assert(open && open->mAt(k - 1) == h - 1,
+                           "WFA traceback lost the I path");
+                s -= p.gapOpen + p.gapExtend;
+                comp = Comp::M;
+            }
+            h -= 1;
+            k -= 1;
+        } else {
+            // Query-consuming gap: SAM insertion, offset unchanged.
+            const Wavefront *open = table.prev(s, p.gapOpen + p.gapExtend);
+            const Wavefront *ext = table.prev(s, p.gapExtend);
+            emit(CigarOp::Insertion, 1);
+            if (ext && ext->dAt(k + 1) == h) {
+                s -= p.gapExtend;
+                comp = Comp::D;
+            } else {
+                gpx_assert(open && open->mAt(k + 1) == h,
+                           "WFA traceback lost the D path");
+                s -= p.gapOpen + p.gapExtend;
+                comp = Comp::M;
+            }
+            k += 1;
+        }
+    }
+
+    std::reverse(rev.begin(), rev.end());
+    genomics::Cigar cigar;
+    for (const auto &e : rev)
+        cigar.push(e.op, e.len);
+    return cigar;
+}
+
+} // namespace
+
+WfaResult
+wfaGlobalAlign(const genomics::DnaSequence &query,
+               const genomics::DnaSequence &text,
+               const WfaPenalties &penalties, u32 max_penalty)
+{
+    WfaResult result;
+    const i64 n = static_cast<i64>(text.size());
+    const i64 m = static_cast<i64>(query.size());
+    const i64 kFinal = n - m;
+
+    WavefrontTable table(query, text, penalties);
+    for (u32 s = 0;; ++s) {
+        if (s > max_penalty)
+            return result; // cap hit; result.valid stays false
+        result.wavefrontOps += table.compute(s);
+        const Wavefront &wf = table.at(s);
+        if (wf.inRange(kFinal) && wf.mAt(kFinal) >= n) {
+            result.valid = true;
+            result.penalty = s;
+            result.cigar = traceback(table, penalties, s, n, m);
+            return result;
+        }
+    }
+}
+
+} // namespace align
+} // namespace gpx

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Gap-affine Wavefront Alignment (WFA) [Marco-Sola+ 2021], cited by the
+ * paper's related work as a GPU/vector-friendly DP alternative.
+ *
+ * WFA computes a min-penalty global alignment in O(ns) time, where s is
+ * the optimal penalty — for the near-identical sequences that dominate
+ * read mapping it touches a tiny fraction of the O(nm) DP matrix. The
+ * repository uses it as an ablation substrate: `bench/ablation_wfa`
+ * compares its work against the banded Smith-Waterman engine GenDP
+ * models, quantifying when a WFA-based fallback would beat a DP-matrix
+ * one (a design alternative for the §7.4 fallback engine).
+ *
+ * Penalties: match 0, mismatch x, gap open o, gap extend e (a k-gap
+ * costs o + k*e). With x=1, o=0, e=1 the penalty equals unit edit
+ * distance, which the tests exploit as an oracle.
+ */
+
+#ifndef GPX_ALIGN_WFA_HH
+#define GPX_ALIGN_WFA_HH
+
+#include "genomics/cigar.hh"
+#include "genomics/sequence.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace align {
+
+/** WFA penalty configuration (all costs non-negative; match is free). */
+struct WfaPenalties
+{
+    u32 mismatch = 4;
+    u32 gapOpen = 6;
+    u32 gapExtend = 2;
+
+    /** Unit-cost configuration: penalty == Levenshtein distance. */
+    static WfaPenalties
+    unit()
+    {
+        return { 1, 0, 1 };
+    }
+};
+
+/** Result of a WFA alignment. */
+struct WfaResult
+{
+    /** False when the penalty cap was hit before alignment completed. */
+    bool valid = false;
+    u32 penalty = 0;
+    genomics::Cigar cigar;
+    /**
+     * Wavefront offsets computed (the WFA work metric, comparable to DP
+     * cell updates).
+     */
+    u64 wavefrontOps = 0;
+};
+
+/**
+ * Global gap-affine alignment of @p query against @p text.
+ *
+ * @param max_penalty Abandon the alignment when the penalty would
+ *        exceed this cap (the adaptive-band role); ~u32{0} = unbounded.
+ */
+WfaResult wfaGlobalAlign(const genomics::DnaSequence &query,
+                         const genomics::DnaSequence &text,
+                         const WfaPenalties &penalties = {},
+                         u32 max_penalty = ~u32{0});
+
+} // namespace align
+} // namespace gpx
+
+#endif // GPX_ALIGN_WFA_HH

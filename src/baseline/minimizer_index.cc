@@ -1,0 +1,137 @@
+#include "baseline/minimizer_index.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.hh"
+#include "util/xxhash.hh"
+
+namespace gpx {
+namespace baseline {
+
+using genomics::DnaSequence;
+
+namespace {
+
+/** Invertible 64-bit mix (Minimap2's hash64) applied to packed k-mers. */
+u64
+mixHash(u64 key, u64 mask)
+{
+    key = (~key + (key << 21)) & mask;
+    key = key ^ (key >> 24);
+    key = ((key + (key << 3)) + (key << 8)) & mask;
+    key = key ^ (key >> 14);
+    key = ((key + (key << 2)) + (key << 4)) & mask;
+    key = key ^ (key >> 28);
+    key = (key + (key << 31)) & mask;
+    return key;
+}
+
+} // namespace
+
+std::vector<Minimizer>
+extractMinimizers(const DnaSequence &seq, const MinimizerParams &params)
+{
+    std::vector<Minimizer> out;
+    const u32 k = params.k;
+    const u32 w = params.w;
+    if (seq.size() < k)
+        return out;
+    gpx_assert(k >= 4 && k <= 31, "k must be in [4,31]");
+
+    const u64 mask = (u64{1} << (2 * k)) - 1;
+    u64 fwd = 0, rev = 0;
+
+    struct Cand
+    {
+        u64 hash;
+        u64 pos;
+        bool reverse;
+    };
+    std::deque<Cand> window;
+    u64 lastEmittedPos = ~u64{0};
+
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        u8 b = seq.at(i);
+        fwd = ((fwd << 2) | b) & mask;
+        rev = (rev >> 2) | (static_cast<u64>(genomics::complementBase(b))
+                            << (2 * (k - 1)));
+        if (i + 1 < k)
+            continue;
+        u64 pos = i + 1 - k;
+        // Canonical k-mer; skip palindromic ties to stay strand-neutral.
+        if (fwd == rev)
+            continue;
+        bool reverse = rev < fwd;
+        u64 canon = reverse ? rev : fwd;
+        Cand c{ mixHash(canon, mask), pos, reverse };
+
+        while (!window.empty() && window.back().hash >= c.hash)
+            window.pop_back();
+        window.push_back(c);
+        while (window.front().pos + w <= pos)
+            window.pop_front();
+
+        if (pos + 1 >= w || i + 1 == seq.size()) {
+            const Cand &m = window.front();
+            if (m.pos != lastEmittedPos) {
+                out.push_back({ m.hash, m.pos, m.reverse });
+                lastEmittedPos = m.pos;
+            }
+        }
+    }
+    return out;
+}
+
+MinimizerIndex::MinimizerIndex(const genomics::Reference &ref,
+                               const MinimizerParams &params)
+    : params_(params)
+{
+    struct Rec
+    {
+        u64 hash;
+        GlobalPos pos;
+        bool reverse;
+    };
+    std::vector<Rec> recs;
+    for (u32 c = 0; c < ref.numChromosomes(); ++c) {
+        auto mins = extractMinimizers(ref.chromosome(c), params_);
+        GlobalPos base = ref.chromosomeStart(c);
+        for (const auto &m : mins)
+            recs.push_back({ m.hash, base + m.pos, m.reverse });
+    }
+    std::sort(recs.begin(), recs.end(), [](const Rec &a, const Rec &b) {
+        if (a.hash != b.hash)
+            return a.hash < b.hash;
+        return a.pos < b.pos;
+    });
+
+    std::size_t i = 0;
+    while (i < recs.size()) {
+        std::size_t j = i;
+        while (j < recs.size() && recs[j].hash == recs[i].hash)
+            ++j;
+        if (j - i <= params_.maxOccurrences) {
+            hashes_.push_back(recs[i].hash);
+            offsets_.push_back(entries_.size());
+            for (std::size_t t = i; t < j; ++t)
+                entries_.push_back({ recs[t].pos, recs[t].reverse });
+        }
+        i = j;
+    }
+    offsets_.push_back(entries_.size());
+}
+
+std::span<const MinimizerIndex::Entry>
+MinimizerIndex::lookup(u64 hash) const
+{
+    auto it = std::lower_bound(hashes_.begin(), hashes_.end(), hash);
+    if (it == hashes_.end() || *it != hash)
+        return {};
+    std::size_t idx = static_cast<std::size_t>(it - hashes_.begin());
+    return { entries_.data() + offsets_[idx],
+             entries_.data() + offsets_[idx + 1] };
+}
+
+} // namespace baseline
+} // namespace gpx

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimizer index over the reference genome.
+ *
+ * This is the seeding substrate of the Minimap2-like baseline mapper
+ * ("MM2" in the paper's evaluation). Canonical k-mers are selected by a
+ * (w,k) minimizer scheme and stored in a sorted (hash, location) table.
+ */
+
+#ifndef GPX_BASELINE_MINIMIZER_INDEX_HH
+#define GPX_BASELINE_MINIMIZER_INDEX_HH
+
+#include <span>
+#include <vector>
+
+#include "genomics/reference.hh"
+#include "genomics/sequence.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace baseline {
+
+/** Minimizer scheme parameters (Minimap2 sr preset uses k=21, w=11). */
+struct MinimizerParams
+{
+    u32 k = 21;
+    u32 w = 11;
+    /** Drop minimizers occurring more often than this (like mm2 -f). */
+    u32 maxOccurrences = 500;
+};
+
+/** One minimizer: canonical k-mer hash plus its position and strand. */
+struct Minimizer
+{
+    u64 hash = 0;
+    u64 pos = 0;       ///< position of the k-mer's first base
+    bool reverse = false; ///< canonical k-mer is the reverse complement
+};
+
+/** Extract the minimizers of a sequence (used for both index and reads). */
+std::vector<Minimizer> extractMinimizers(const genomics::DnaSequence &seq,
+                                         const MinimizerParams &params);
+
+/** Sorted minimizer table over a reference genome. */
+class MinimizerIndex
+{
+  public:
+    /** Index entry: reference position and strand of one occurrence. */
+    struct Entry
+    {
+        GlobalPos pos;
+        bool reverse;
+    };
+
+    MinimizerIndex(const genomics::Reference &ref,
+                   const MinimizerParams &params);
+
+    const MinimizerParams &params() const { return params_; }
+
+    /** All occurrences of a minimizer hash (empty if filtered/absent). */
+    std::span<const Entry> lookup(u64 hash) const;
+
+    u64 numEntries() const { return entries_.size(); }
+
+  private:
+    MinimizerParams params_;
+    std::vector<u64> hashes_;   ///< sorted unique hashes
+    std::vector<u64> offsets_;  ///< CSR offsets into entries_
+    std::vector<Entry> entries_;
+};
+
+} // namespace baseline
+} // namespace gpx
+
+#endif // GPX_BASELINE_MINIMIZER_INDEX_HH

@@ -1,0 +1,233 @@
+#include "baseline/mm2lite.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace baseline {
+
+using align::Anchor;
+using align::Chain;
+using genomics::DnaSequence;
+using genomics::Mapping;
+using genomics::MappingPath;
+using genomics::PairMapping;
+using genomics::Read;
+using genomics::ReadPair;
+
+namespace {
+
+/**
+ * Clamp a window [pos-slack, pos+len+slack) to the chromosome that
+ * contains pos; returns the global start and the usable length.
+ */
+std::pair<GlobalPos, u64>
+clampWindow(const genomics::Reference &ref, GlobalPos pos, u64 len,
+            u64 slack)
+{
+    genomics::ChromPos cp = ref.toChromPos(pos);
+    u64 chromLen = ref.chromosomeLength(cp.chrom);
+    u64 lo = cp.offset > slack ? cp.offset - slack : 0;
+    u64 hi = std::min<u64>(chromLen, cp.offset + len + slack);
+    GlobalPos start = ref.chromosomeStart(cp.chrom) + lo;
+    return { start, hi > lo ? hi - lo : 0 };
+}
+
+} // namespace
+
+Mm2Lite::Mm2Lite(const genomics::Reference &ref, const Mm2LiteParams &params)
+    : ref_(ref), params_(params),
+      index_(std::make_shared<MinimizerIndex>(ref, params.minimizers))
+{
+}
+
+Mm2Lite::Mm2Lite(const genomics::Reference &ref, const Mm2LiteParams &params,
+                 std::shared_ptr<const MinimizerIndex> index)
+    : ref_(ref), params_(params), index_(std::move(index))
+{
+    gpx_assert(index_, "shared index must not be null");
+}
+
+std::vector<Anchor>
+Mm2Lite::collectAnchors(const Read &read)
+{
+    std::vector<Anchor> anchors;
+    const u32 k = params_.minimizers.k;
+    auto mins = extractMinimizers(read.seq, params_.minimizers);
+    for (const auto &m : mins) {
+        for (const auto &e : index_->lookup(m.hash)) {
+            bool reverse = m.reverse != e.reverse;
+            Anchor a;
+            a.length = k;
+            a.reverse = reverse;
+            if (!reverse) {
+                a.queryPos = m.pos;
+            } else {
+                // Coordinates of the reverse-complemented read.
+                a.queryPos = read.seq.size() - k - m.pos;
+            }
+            a.refPos = e.pos;
+            anchors.push_back(a);
+        }
+    }
+    return anchors;
+}
+
+std::vector<Mapping>
+Mm2Lite::mapRead(const Read &read)
+{
+    std::vector<Anchor> anchors;
+    {
+        util::StageTimers::Scope scope(timers_, stages::kSeeding);
+        anchors = collectAnchors(read);
+    }
+
+    std::vector<Chain> chains;
+    {
+        util::StageTimers::Scope scope(timers_, stages::kChaining);
+        std::vector<Anchor> fwd, rev;
+        for (const auto &a : anchors)
+            (a.reverse ? rev : fwd).push_back(a);
+        for (auto *side : { &fwd, &rev }) {
+            auto part = align::chainAnchors(*side, params_.chain);
+            for (auto &c : part) {
+                dpWork_.chainCells += c.cellUpdates;
+                chains.push_back(std::move(c));
+            }
+        }
+        std::sort(chains.begin(), chains.end(),
+                  [](const Chain &a, const Chain &b) {
+                      return a.score > b.score;
+                  });
+        if (chains.size() > params_.maxCandidates)
+            chains.resize(params_.maxCandidates);
+    }
+
+    std::vector<Mapping> mappings;
+    {
+        util::StageTimers::Scope scope(timers_, stages::kAlignment);
+        DnaSequence rc;
+        bool haveRc = false;
+        for (const auto &chain : chains) {
+            const DnaSequence *query = &read.seq;
+            if (chain.reverse) {
+                if (!haveRc) {
+                    rc = read.seq.revComp();
+                    haveRc = true;
+                }
+                query = &rc;
+            }
+            // Expected read start on the reference.
+            GlobalPos expect = chain.refStart > chain.queryStart
+                                   ? chain.refStart - chain.queryStart
+                                   : 0;
+            auto [wstart, wlen] = clampWindow(ref_, expect, query->size(),
+                                              params_.alignSlack);
+            if (wlen < query->size())
+                continue;
+            DnaSequence window = ref_.window(wstart, wlen);
+            // Band: the window only extends alignSlack around the chain
+            // diagonal, so a band of slack + indel headroom is lossless
+            // for any alignment the window can contain.
+            auto res = align::fitAlign(*query, window, params_.scoring,
+                                       static_cast<i32>(
+                                           2 * params_.alignSlack + 32));
+            dpWork_.alignCells += res.cellUpdates;
+            if (!res.valid || res.score < params_.minAlignScore)
+                continue;
+            Mapping m;
+            m.mapped = true;
+            m.pos = wstart + res.targetStart;
+            m.reverse = chain.reverse;
+            m.score = res.score;
+            m.cigar = std::move(res.cigar);
+            mappings.push_back(std::move(m));
+        }
+    }
+
+    std::sort(mappings.begin(), mappings.end(),
+              [](const Mapping &a, const Mapping &b) {
+                  return a.score > b.score;
+              });
+    // Deduplicate identical positions (multiple chains, same alignment).
+    std::vector<Mapping> unique;
+    for (auto &m : mappings) {
+        bool dup = false;
+        for (const auto &u : unique) {
+            if (u.pos == m.pos && u.reverse == m.reverse)
+                dup = true;
+        }
+        if (!dup)
+            unique.push_back(std::move(m));
+    }
+    return unique;
+}
+
+Mapping
+Mm2Lite::alignAt(const DnaSequence &read, GlobalPos pos, u32 slack)
+{
+    util::StageTimers::Scope scope(timers_, stages::kAlignment);
+    Mapping m;
+    auto [wstart, wlen] = clampWindow(ref_, pos, read.size(), slack);
+    if (wlen < read.size())
+        return m;
+    DnaSequence window = ref_.window(wstart, wlen);
+    auto res = align::fitAlign(read, window, params_.scoring,
+                               static_cast<i32>(2 * slack + 32));
+    dpWork_.alignCells += res.cellUpdates;
+    if (!res.valid || res.score < params_.minAlignScore)
+        return m;
+    m.mapped = true;
+    m.pos = wstart + res.targetStart;
+    m.score = res.score;
+    m.cigar = std::move(res.cigar);
+    return m;
+}
+
+PairMapping
+Mm2Lite::mapPair(const ReadPair &pair)
+{
+    auto cands1 = mapRead(pair.first);
+    auto cands2 = mapRead(pair.second);
+
+    util::StageTimers::Scope scope(timers_, stages::kPairing);
+    PairMapping best;
+    best.path = MappingPath::FullDpFallback;
+    i64 bestScore = -1;
+
+    // Proper FR pair: opposite strands, ordered, bounded insert.
+    for (const auto &m1 : cands1) {
+        for (const auto &m2 : cands2) {
+            if (m1.reverse == m2.reverse)
+                continue;
+            const Mapping &left = m1.reverse ? m2 : m1;
+            const Mapping &right = m1.reverse ? m1 : m2;
+            if (right.pos < left.pos)
+                continue;
+            u64 span = right.pos + right.cigar.refSpan() - left.pos;
+            if (span > params_.maxInsert)
+                continue;
+            i64 score = static_cast<i64>(m1.score) + m2.score;
+            if (score > bestScore) {
+                bestScore = score;
+                best.first = m1;
+                best.second = m2;
+            }
+        }
+    }
+    if (bestScore >= 0)
+        return best;
+
+    // No proper pair: report the best independent mappings.
+    if (!cands1.empty())
+        best.first = cands1.front();
+    if (!cands2.empty())
+        best.second = cands2.front();
+    if (!best.first.mapped && !best.second.mapped)
+        best.path = MappingPath::Unmapped;
+    return best;
+}
+
+} // namespace baseline
+} // namespace gpx

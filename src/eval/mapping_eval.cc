@@ -1,0 +1,33 @@
+#include "eval/mapping_eval.hh"
+
+namespace gpx {
+namespace eval {
+
+void
+MappingEvaluator::addRead(const genomics::Read &read,
+                          const genomics::Mapping &m)
+{
+    ++acc_.readsTotal;
+    if (!m.mapped)
+        return;
+    ++acc_.mapped;
+    if (read.truthPos == kInvalidPos)
+        return;
+    if (m.reverse != read.truthReverse)
+        return;
+    u64 diff = m.pos > read.truthPos ? m.pos - read.truthPos
+                                     : read.truthPos - m.pos;
+    if (diff <= tolerance_)
+        ++acc_.correct;
+}
+
+void
+MappingEvaluator::addPair(const genomics::ReadPair &pair,
+                          const genomics::PairMapping &pm)
+{
+    addRead(pair.first, pm.first);
+    addRead(pair.second, pm.second);
+}
+
+} // namespace eval
+} // namespace gpx

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Mapping-location accuracy evaluation (the paftools mapeval role,
+ * paper §7.8): a simulated read is correctly mapped when the reported
+ * position and strand match its ground-truth origin within a tolerance.
+ */
+
+#ifndef GPX_EVAL_MAPPING_EVAL_HH
+#define GPX_EVAL_MAPPING_EVAL_HH
+
+#include "genomics/readpair.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace eval {
+
+/** Aggregate mapping accuracy. */
+struct MappingAccuracy
+{
+    u64 readsTotal = 0;
+    u64 mapped = 0;
+    u64 correct = 0;
+
+    /** Fraction of mapped reads that are correct. */
+    double
+    precision() const
+    {
+        return mapped ? static_cast<double>(correct) / mapped : 0.0;
+    }
+
+    /** Fraction of all reads that are correctly mapped. */
+    double
+    recall() const
+    {
+        return readsTotal ? static_cast<double>(correct) / readsTotal : 0.0;
+    }
+
+    double
+    f1() const
+    {
+        double p = precision(), r = recall();
+        return p + r > 0 ? 2 * p * r / (p + r) : 0.0;
+    }
+};
+
+/** Accumulates per-read correctness against simulator ground truth. */
+class MappingEvaluator
+{
+  public:
+    explicit MappingEvaluator(u64 tolerance = 50) : tolerance_(tolerance) {}
+
+    /** Score one read's mapping against its truth origin. */
+    void addRead(const genomics::Read &read, const genomics::Mapping &m);
+
+    /** Score both reads of a pair. */
+    void addPair(const genomics::ReadPair &pair,
+                 const genomics::PairMapping &pm);
+
+    const MappingAccuracy &result() const { return acc_; }
+
+  private:
+    u64 tolerance_;
+    MappingAccuracy acc_;
+};
+
+} // namespace eval
+} // namespace gpx
+
+#endif // GPX_EVAL_MAPPING_EVAL_HH

@@ -1,0 +1,166 @@
+#include "eval/pileup.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace eval {
+
+using genomics::CigarOp;
+using genomics::DnaSequence;
+using genomics::Mapping;
+
+PileupCaller::PileupCaller(const genomics::Reference &ref,
+                           const CallerParams &params)
+    : ref_(ref), params_(params)
+{
+    baseCounts_.assign(ref.totalLength(), { 0, 0, 0, 0 });
+}
+
+void
+PileupCaller::addAlignment(const DnaSequence &query, const Mapping &mapping)
+{
+    if (!mapping.mapped)
+        return;
+    u64 q = 0;
+    u64 r = mapping.pos;
+    for (const auto &e : mapping.cigar.elems()) {
+        switch (e.op) {
+          case CigarOp::Match:
+          case CigarOp::Equal:
+          case CigarOp::Diff:
+            for (u32 k = 0; k < e.len; ++k) {
+                if (r < baseCounts_.size() && q < query.size()) {
+                    auto &counts = baseCounts_[r];
+                    u8 base = query.at(q);
+                    if (counts[base] != 0xFFFFu)
+                        ++counts[base];
+                }
+                ++q;
+                ++r;
+            }
+            break;
+          case CigarOp::Insertion: {
+            // VCF convention: anchored at the preceding reference base.
+            std::string ins;
+            for (u32 k = 0; k < e.len && q + k < query.size(); ++k)
+                ins.push_back(genomics::baseToChar(query.at(q + k)));
+            if (r > 0)
+                ++insCounts_[{ r - 1, ins }];
+            q += e.len;
+            break;
+          }
+          case CigarOp::Deletion:
+            if (r > 0)
+                ++delCounts_[{ r - 1, e.len }];
+            r += e.len;
+            break;
+          case CigarOp::SoftClip:
+            q += e.len;
+            break;
+        }
+    }
+}
+
+std::vector<CalledVariant>
+PileupCaller::call() const
+{
+    std::vector<CalledVariant> calls;
+
+    for (u64 pos = 0; pos < baseCounts_.size(); ++pos) {
+        const auto &counts = baseCounts_[pos];
+        u32 depth = 0;
+        for (u16 c : counts)
+            depth += c;
+        if (depth < params_.minDepth)
+            continue;
+        u8 refBase = ref_.baseAt(pos);
+        u8 alt = 0;
+        u32 altCount = 0;
+        for (u8 b = 0; b < 4; ++b) {
+            if (b != refBase && counts[b] > altCount) {
+                altCount = counts[b];
+                alt = b;
+            }
+        }
+        double frac = static_cast<double>(altCount) / depth;
+        if (frac >= params_.minAltFraction) {
+            genomics::ChromPos cp = ref_.toChromPos(pos);
+            CalledVariant v;
+            v.chrom = cp.chrom;
+            v.pos = cp.offset;
+            v.type = simdata::VariantType::Snp;
+            v.altBase = alt;
+            v.altFraction = frac;
+            v.depth = depth;
+            calls.push_back(std::move(v));
+        }
+    }
+
+    auto depthAt = [&](u64 pos) -> u32 {
+        if (pos >= baseCounts_.size())
+            return 0;
+        u32 d = 0;
+        for (u16 c : baseCounts_[pos])
+            d += c;
+        return d;
+    };
+
+    for (const auto &[key, count] : insCounts_) {
+        u32 depth = depthAt(key.first);
+        if (depth < params_.minDepth)
+            continue;
+        double frac = static_cast<double>(count) / depth;
+        if (frac < params_.minAltFraction)
+            continue;
+        genomics::ChromPos cp = ref_.toChromPos(key.first);
+        CalledVariant v;
+        v.chrom = cp.chrom;
+        v.pos = cp.offset;
+        v.type = simdata::VariantType::Insertion;
+        v.len = static_cast<u32>(key.second.size());
+        v.insSeq = key.second;
+        v.altFraction = frac;
+        v.depth = depth;
+        calls.push_back(std::move(v));
+    }
+
+    for (const auto &[key, count] : delCounts_) {
+        u32 depth = depthAt(key.first);
+        if (depth < params_.minDepth)
+            continue;
+        double frac = static_cast<double>(count) / depth;
+        if (frac < params_.minAltFraction)
+            continue;
+        genomics::ChromPos cp = ref_.toChromPos(key.first);
+        CalledVariant v;
+        v.chrom = cp.chrom;
+        v.pos = cp.offset;
+        v.type = simdata::VariantType::Deletion;
+        v.len = key.second;
+        v.altFraction = frac;
+        v.depth = depth;
+        calls.push_back(std::move(v));
+    }
+
+    return calls;
+}
+
+double
+PileupCaller::meanDepth() const
+{
+    u64 covered = 0;
+    u64 total = 0;
+    for (const auto &counts : baseCounts_) {
+        u32 d = counts[0] + counts[1] + counts[2] + counts[3];
+        if (d > 0) {
+            ++covered;
+            total += d;
+        }
+    }
+    return covered ? static_cast<double>(total) / covered : 0.0;
+}
+
+} // namespace eval
+} // namespace gpx

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Pileup-based small-variant caller (the freebayes role, paper §6).
+ *
+ * Consumes read-to-reference alignments (position + CIGAR), builds
+ * per-position base/INDEL pileups, and calls SNPs and INDELs with simple
+ * allele-fraction thresholds appropriate for a diploid donor. The calls
+ * feed the Table 7 variant-calling benchmark.
+ */
+
+#ifndef GPX_EVAL_PILEUP_HH
+#define GPX_EVAL_PILEUP_HH
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "genomics/readpair.hh"
+#include "genomics/reference.hh"
+#include "simdata/variants.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace eval {
+
+/** A called variant in reference coordinates. */
+struct CalledVariant
+{
+    u32 chrom = 0;
+    u64 pos = 0;
+    simdata::VariantType type = simdata::VariantType::Snp;
+    u8 altBase = 0;      ///< SNPs
+    u32 len = 0;         ///< INDEL length
+    std::string insSeq;  ///< inserted bases
+    double altFraction = 0;
+    u32 depth = 0;
+};
+
+/** Caller thresholds. */
+struct CallerParams
+{
+    u32 minDepth = 8;
+    double minAltFraction = 0.25;
+};
+
+/** Accumulates alignments and emits variant calls. */
+class PileupCaller
+{
+  public:
+    PileupCaller(const genomics::Reference &ref,
+                 const CallerParams &params);
+
+    /**
+     * Add one aligned read.
+     *
+     * @param query The read as it aligns forward to the reference (i.e.
+     *              already reverse-complemented for reverse mappings).
+     * @param mapping Its mapping (position + CIGAR).
+     */
+    void addAlignment(const genomics::DnaSequence &query,
+                      const genomics::Mapping &mapping);
+
+    /** Emit calls over the accumulated pileup. */
+    std::vector<CalledVariant> call() const;
+
+    /** Mean depth over positions with any coverage. */
+    double meanDepth() const;
+
+  private:
+    const genomics::Reference &ref_;
+    CallerParams params_;
+    /** Per-genome-position counts of observed bases (A,C,G,T). */
+    std::vector<std::array<u16, 4>> baseCounts_;
+    /** Insertion observations: (pos, inserted seq) -> count. */
+    std::map<std::pair<u64, std::string>, u32> insCounts_;
+    /** Deletion observations: (pos, length) -> count. */
+    std::map<std::pair<u64, u32>, u32> delCounts_;
+};
+
+} // namespace eval
+} // namespace gpx
+
+#endif // GPX_EVAL_PILEUP_HH

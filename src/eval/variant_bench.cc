@@ -1,0 +1,86 @@
+#include "eval/variant_bench.hh"
+
+#include <algorithm>
+
+namespace gpx {
+namespace eval {
+
+using simdata::Variant;
+using simdata::VariantType;
+
+namespace {
+
+bool
+inClass(VariantType type, VariantClass cls)
+{
+    if (cls == VariantClass::Snp)
+        return type == VariantType::Snp;
+    return type == VariantType::Insertion || type == VariantType::Deletion;
+}
+
+/** True if a call matches a truth variant within the tolerance. */
+bool
+matches(const Variant &t, const CalledVariant &c, u64 tolerance)
+{
+    if (t.chrom != c.chrom || t.type != c.type)
+        return false;
+    u64 diff = t.pos > c.pos ? t.pos - c.pos : c.pos - t.pos;
+    if (diff > tolerance)
+        return false;
+    switch (t.type) {
+      case VariantType::Snp:
+        return t.pos == c.pos && t.altBase == c.altBase;
+      case VariantType::Insertion:
+        return t.insSeq.size() == c.len;
+      case VariantType::Deletion:
+        return t.delLen == c.len;
+    }
+    return false;
+}
+
+} // namespace
+
+VariantBenchResult
+benchmarkVariants(const std::vector<Variant> &truth,
+                  const std::vector<CalledVariant> &calls, VariantClass cls,
+                  u64 pos_tolerance)
+{
+    VariantBenchResult res;
+
+    std::vector<const Variant *> classTruth;
+    for (const auto &t : truth) {
+        if (inClass(t.type, cls))
+            classTruth.push_back(&t);
+    }
+    std::vector<const CalledVariant *> classCalls;
+    for (const auto &c : calls) {
+        if (inClass(c.type, cls))
+            classCalls.push_back(&c);
+    }
+
+    std::vector<bool> truthHit(classTruth.size(), false);
+    for (const auto *call : classCalls) {
+        bool hit = false;
+        for (std::size_t i = 0; i < classTruth.size(); ++i) {
+            if (truthHit[i])
+                continue;
+            if (matches(*classTruth[i], *call, pos_tolerance)) {
+                truthHit[i] = true;
+                hit = true;
+                break;
+            }
+        }
+        if (hit)
+            ++res.tp;
+        else
+            ++res.fp;
+    }
+    for (bool hit : truthHit) {
+        if (!hit)
+            ++res.fn;
+    }
+    return res;
+}
+
+} // namespace eval
+} // namespace gpx

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Variant-call benchmarking against the simulator truth set (the vcfdist
+ * role, paper §6/Table 7): counts true/false positives and negatives per
+ * variant class and reports precision/recall/F1.
+ */
+
+#ifndef GPX_EVAL_VARIANT_BENCH_HH
+#define GPX_EVAL_VARIANT_BENCH_HH
+
+#include <vector>
+
+#include "eval/pileup.hh"
+#include "simdata/variants.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace eval {
+
+/** Variant classes benchmarked separately (paper Table 7). */
+enum class VariantClass { Snp, Indel };
+
+/** One Table 7 row. */
+struct VariantBenchResult
+{
+    u64 tp = 0;
+    u64 fp = 0;
+    u64 fn = 0;
+
+    double
+    precision() const
+    {
+        return tp + fp ? static_cast<double>(tp) / (tp + fp) : 0.0;
+    }
+
+    double
+    recall() const
+    {
+        return tp + fn ? static_cast<double>(tp) / (tp + fn) : 0.0;
+    }
+
+    double
+    f1() const
+    {
+        double p = precision(), r = recall();
+        return p + r > 0 ? 2 * p * r / (p + r) : 0.0;
+    }
+};
+
+/**
+ * Compare calls against the truth set for one variant class.
+ *
+ * @param truth Planted variants (all classes; filtered internally).
+ * @param calls Caller output.
+ * @param cls Which class to score.
+ * @param pos_tolerance Positional slack for INDEL representation
+ *                      ambiguity (bases).
+ */
+VariantBenchResult benchmarkVariants(
+    const std::vector<simdata::Variant> &truth,
+    const std::vector<CalledVariant> &calls, VariantClass cls,
+    u64 pos_tolerance = 2);
+
+} // namespace eval
+} // namespace gpx
+
+#endif // GPX_EVAL_VARIANT_BENCH_HH

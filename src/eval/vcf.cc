@@ -1,0 +1,114 @@
+#include "eval/vcf.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace eval {
+
+using genomics::Reference;
+using simdata::VariantType;
+
+void
+writeVcf(std::ostream &os, const Reference &ref,
+         const std::vector<CalledVariant> &calls)
+{
+    os << "##fileformat=VCFv4.2\n"
+       << "##source=genpairx\n";
+    for (u32 c = 0; c < ref.numChromosomes(); ++c) {
+        os << "##contig=<ID=" << ref.name(c)
+           << ",length=" << ref.chromosomeLength(c) << ">\n";
+    }
+    os << "##INFO=<ID=AF,Number=1,Type=Float,Description=\"Allele "
+          "fraction\">\n"
+       << "##INFO=<ID=DP,Number=1,Type=Integer,Description=\"Depth\">\n"
+       << "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n";
+
+    for (const auto &v : calls) {
+        std::string refAllele, altAllele;
+        u64 pos1; // VCF position, 1-based
+        GlobalPos global = ref.toGlobal(v.chrom, v.pos);
+        switch (v.type) {
+          case VariantType::Snp:
+            pos1 = v.pos + 1;
+            refAllele = std::string(1, genomics::baseToChar(
+                                           ref.baseAt(global)));
+            altAllele = std::string(1, genomics::baseToChar(v.altBase));
+            break;
+          case VariantType::Insertion:
+            // Anchored at the POS base, alt = anchor + inserted bases.
+            pos1 = v.pos + 1;
+            refAllele = std::string(1, genomics::baseToChar(
+                                           ref.baseAt(global)));
+            altAllele = refAllele + v.insSeq;
+            break;
+          case VariantType::Deletion: {
+            pos1 = v.pos + 1;
+            refAllele = std::string(1, genomics::baseToChar(
+                                           ref.baseAt(global)));
+            for (u32 k = 1; k <= v.len; ++k) {
+                refAllele.push_back(genomics::baseToChar(
+                    ref.baseAt(global + k)));
+            }
+            altAllele = refAllele.substr(0, 1);
+            break;
+          }
+          default:
+            continue;
+        }
+        os << ref.name(v.chrom) << '\t' << pos1 << "\t.\t" << refAllele
+           << '\t' << altAllele << "\t.\tPASS\tAF="
+           << static_cast<float>(v.altFraction) << ";DP=" << v.depth
+           << '\n';
+    }
+}
+
+std::vector<CalledVariant>
+readVcf(std::istream &is, const Reference &ref)
+{
+    std::vector<CalledVariant> out;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::string chromName, id, refAllele, altAllele, qual, filter;
+        u64 pos1;
+        ss >> chromName >> pos1 >> id >> refAllele >> altAllele >> qual
+           >> filter;
+        u32 chrom = ~u32{0};
+        for (u32 c = 0; c < ref.numChromosomes(); ++c) {
+            if (ref.name(c) == chromName) {
+                chrom = c;
+                break;
+            }
+        }
+        if (chrom == ~u32{0})
+            continue;
+        CalledVariant v;
+        v.chrom = chrom;
+        if (refAllele.size() == 1 && altAllele.size() == 1) {
+            v.type = VariantType::Snp;
+            v.pos = pos1 - 1;
+            v.altBase = genomics::charToBase(altAllele[0]);
+        } else if (altAllele.size() > refAllele.size()) {
+            v.type = VariantType::Insertion;
+            v.pos = pos1 - 1;
+            v.insSeq = altAllele.substr(refAllele.size());
+            v.len = static_cast<u32>(v.insSeq.size());
+        } else {
+            v.type = VariantType::Deletion;
+            v.pos = pos1 - 1;
+            v.len = static_cast<u32>(refAllele.size() -
+                                     altAllele.size());
+        }
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+} // namespace eval
+} // namespace gpx

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * VCF serialization of pileup variant calls, so GenPairX's calling
+ * pipeline interoperates with standard comparison tooling (the role
+ * vcfdist's VCF input plays in the paper's Table 7 flow).
+ */
+
+#ifndef GPX_EVAL_VCF_HH
+#define GPX_EVAL_VCF_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "eval/pileup.hh"
+#include "genomics/reference.hh"
+
+namespace gpx {
+namespace eval {
+
+/** Write a minimal VCF 4.2 file for a set of calls. */
+void writeVcf(std::ostream &os, const genomics::Reference &ref,
+              const std::vector<CalledVariant> &calls);
+
+/** Parse the variants back (positions/alleles only; used by tests). */
+std::vector<CalledVariant> readVcf(std::istream &is,
+                                   const genomics::Reference &ref);
+
+} // namespace eval
+} // namespace gpx
+
+#endif // GPX_EVAL_VCF_HH

@@ -1,0 +1,40 @@
+#include "filters/base_count.hh"
+
+#include <algorithm>
+#include <array>
+
+namespace gpx {
+namespace filters {
+
+FilterDecision
+BaseCountFilter::evaluate(const genomics::DnaSequence &read,
+                          const genomics::DnaSequence &window, u32 center,
+                          u32 maxEdits) const
+{
+    // The read may legally consume any substring of the window region
+    // [center - maxEdits, center + read.size() + maxEdits); count the
+    // bases available there.
+    const u32 from = center >= maxEdits ? center - maxEdits : 0;
+    const u64 to = std::min<u64>(
+        window.size(), center + read.size() + static_cast<u64>(maxEdits));
+
+    std::array<i64, 4> need{};
+    for (std::size_t i = 0; i < read.size(); ++i)
+        ++need[read.at(i)];
+    for (u64 i = from; i < to; ++i)
+        --need[window.at(i)];
+
+    // Each edit supplies at most one missing base, so the total deficit
+    // lower-bounds the edit distance.
+    i64 deficit = 0;
+    for (i64 n : need)
+        deficit += std::max<i64>(0, n);
+
+    FilterDecision d;
+    d.estimatedEdits = static_cast<u32>(deficit);
+    d.accept = d.estimatedEdits <= maxEdits;
+    return d;
+}
+
+} // namespace filters
+} // namespace gpx

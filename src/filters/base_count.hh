@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Base-counting (1-gram) pre-alignment filter.
+ *
+ * The cheapest member of the q-gram counting family the paper's related
+ * work builds on: bases the read needs that the candidate window cannot
+ * supply each cost at least one edit, so the deficit is a true lower
+ * bound on edit distance. Costs one pass over read and window and no
+ * per-candidate memory; its weakness is blindness to order (shuffled
+ * windows pass), which the ablation bench quantifies as a high false
+ * accept rate relative to SneakySnake.
+ */
+
+#ifndef GPX_FILTERS_BASE_COUNT_HH
+#define GPX_FILTERS_BASE_COUNT_HH
+
+#include "filters/filter.hh"
+
+namespace gpx {
+namespace filters {
+
+/** 1-gram counting filter (order-blind edit lower bound). */
+class BaseCountFilter final : public PreAlignmentFilter
+{
+  public:
+    std::string name() const override { return "BaseCount"; }
+
+    FilterDecision evaluate(const genomics::DnaSequence &read,
+                            const genomics::DnaSequence &window,
+                            u32 center, u32 maxEdits) const override;
+};
+
+} // namespace filters
+} // namespace gpx
+
+#endif // GPX_FILTERS_BASE_COUNT_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Unit-cost edit distance (Levenshtein), full and banded.
+ *
+ * This is the ground-truth oracle the filter tests validate against:
+ * lower-bounding filters must never report an edit estimate above the
+ * true distance, and no filter may reject a candidate whose distance is
+ * within the edit budget (a false reject loses a mapping; a false accept
+ * merely wastes verification work). The banded variant (Ukkonen cutoff)
+ * is also what a production pre-filter would call when it needs an exact
+ * small-distance verdict.
+ */
+
+#ifndef GPX_FILTERS_EDIT_DISTANCE_HH
+#define GPX_FILTERS_EDIT_DISTANCE_HH
+
+#include "genomics/sequence.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace filters {
+
+/** Full O(n*m) unit-cost edit distance between two sequences. */
+u32 editDistance(const genomics::DnaSequence &a,
+                 const genomics::DnaSequence &b);
+
+/**
+ * Banded edit distance with cutoff @p k: returns the exact distance when
+ * it is <= k, otherwise k+1 ("more than k"). O(n*k) time.
+ */
+u32 editDistanceBounded(const genomics::DnaSequence &a,
+                        const genomics::DnaSequence &b, u32 k);
+
+/**
+ * Minimum edit distance between @p read and any prefix-anchored
+ * placement inside @p window at offsets within +/- @p slack of
+ * @p center; this is the exact quantity pre-alignment filters
+ * lower-bound (the read must align somewhere near the candidate, the
+ * window edges are free).
+ */
+u32 candidateEditDistance(const genomics::DnaSequence &read,
+                          const genomics::DnaSequence &window, u32 center,
+                          u32 slack);
+
+} // namespace filters
+} // namespace gpx
+
+#endif // GPX_FILTERS_EDIT_DISTANCE_HH

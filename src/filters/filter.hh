@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Common interface for pre-alignment filters.
+ *
+ * The paper's related work (§8) surveys a family of cheap filters —
+ * Shifted Hamming Distance [52], GateKeeper [50], SneakySnake [49],
+ * base-counting q-gram filters — that reject candidate (read, location)
+ * pairs before expensive verification. GenPair's Light Alignment goes
+ * further (it *aligns* rather than filters), and §8 names combining it
+ * with SneakySnake as promising future work. This library implements the
+ * classic filters behind one interface so that combination (and the
+ * filter-vs-filter ablation in `bench/ablation_filters`) can be built
+ * and tested.
+ *
+ * Candidate model: the read's nominal first base sits at offset
+ * @p center inside a reference @p window that extends at least
+ * `center + read.size() + maxEdits` bases, mirroring the shifted-mask
+ * convention of align/shd.hh. A filter returns an *edit lower-bound
+ * estimate*; the candidate is accepted when the estimate does not exceed
+ * the caller's edit budget.
+ */
+
+#ifndef GPX_FILTERS_FILTER_HH
+#define GPX_FILTERS_FILTER_HH
+
+#include <string>
+
+#include "genomics/sequence.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace filters {
+
+/** Outcome of one filter evaluation. */
+struct FilterDecision
+{
+    /** True when the candidate survives (edit estimate <= budget). */
+    bool accept = false;
+    /**
+     * The filter's estimate of the number of edits. For lower-bounding
+     * filters (SneakySnake, base counting) this never exceeds the true
+     * edit distance; heuristic filters (GateKeeper, SHD) may
+     * overestimate on adversarial inputs.
+     */
+    u32 estimatedEdits = 0;
+};
+
+/** A pre-alignment filter: cheap accept/reject ahead of verification. */
+class PreAlignmentFilter
+{
+  public:
+    virtual ~PreAlignmentFilter() = default;
+
+    /** Human-readable name used by benches and reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Evaluate the candidate placement of @p read at offset @p center
+     * within @p window, with an edit budget of @p maxEdits.
+     */
+    virtual FilterDecision evaluate(const genomics::DnaSequence &read,
+                                    const genomics::DnaSequence &window,
+                                    u32 center, u32 maxEdits) const = 0;
+};
+
+} // namespace filters
+} // namespace gpx
+
+#endif // GPX_FILTERS_FILTER_HH

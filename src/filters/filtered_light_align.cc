@@ -1,0 +1,50 @@
+#include "filters/filtered_light_align.hh"
+
+namespace gpx {
+namespace filters {
+
+bool
+FilterGate::admit(const genomics::DnaSequence &read, GlobalPos candidate)
+{
+    ++evaluations_;
+    const GlobalPos from = candidate >= budget_ ? candidate - budget_ : 0;
+    const u32 center = static_cast<u32>(candidate - from);
+    genomics::DnaSequence window =
+        ref_.window(from, read.size() + 2 * static_cast<u64>(budget_));
+    const bool ok =
+        filter_.evaluate(read, window, center, budget_).accept;
+    if (!ok)
+        ++rejections_;
+    return ok;
+}
+
+genpair::LightResult
+FilteredLightAligner::align(const genomics::DnaSequence &read,
+                            GlobalPos candidate)
+{
+    ++stats_.candidates;
+
+    // Build the same shifted window Light Alignment would inspect.
+    const u32 e = budget_;
+    const GlobalPos from = candidate >= e ? candidate - e : 0;
+    const u32 center = static_cast<u32>(candidate - from);
+    genomics::DnaSequence window =
+        ref_.window(from, read.size() + 2 * static_cast<u64>(e));
+
+    FilterDecision gate = gate_.evaluate(read, window, center, e);
+    stats_.gateEstimateSum += gate.estimatedEdits;
+    if (!gate.accept) {
+        ++stats_.gateRejected;
+        return {};
+    }
+
+    ++stats_.lightAttempted;
+    genpair::LightResult r = aligner_.align(read, candidate);
+    stats_.hypothesesTried += r.hypothesesTried;
+    if (r.aligned)
+        ++stats_.lightAligned;
+    return r;
+}
+
+} // namespace filters
+} // namespace gpx

@@ -1,0 +1,35 @@
+#include "filters/gatekeeper.hh"
+
+#include "filters/mask_ops.hh"
+
+namespace gpx {
+namespace filters {
+
+FilterDecision
+GateKeeperFilter::evaluate(const genomics::DnaSequence &read,
+                           const genomics::DnaSequence &window, u32 center,
+                           u32 maxEdits) const
+{
+    FilterDecision d;
+    if (read.empty()) {
+        d.accept = true;
+        return d;
+    }
+    auto masks = align::shiftedMasks(read, window, center, maxEdits);
+
+    align::HammingMask combined = masks[maxEdits]; // zero shift, unamended
+    for (u32 m = 0; m < masks.size(); ++m) {
+        if (m == maxEdits)
+            continue;
+        combined =
+            orMasks(combined, amendShortRuns(masks[m], params_.minMatchRun));
+    }
+
+    // Hardware-style verdict: popcount of unexplained positions.
+    d.estimatedEdits = zeroCount(combined);
+    d.accept = d.estimatedEdits <= maxEdits;
+    return d;
+}
+
+} // namespace filters
+} // namespace gpx

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * GateKeeper pre-alignment filter [Alser+ 2017].
+ *
+ * The FPGA-friendly simplification of SHD the paper's related work
+ * discusses: the same 2e+1 shifted masks, but the verdict counts
+ * individual unexplained *positions* rather than error clusters, which
+ * removes the run bookkeeping from the hardware's critical path (a
+ * popcount suffices). The trade-off — counting positions overestimates
+ * the cost of indels, whose single edit leaves a diagonal of mismatches
+ * in the zero-shift mask — is exactly what the shifted copies repair,
+ * and the ablation bench measures what remains.
+ */
+
+#ifndef GPX_FILTERS_GATEKEEPER_HH
+#define GPX_FILTERS_GATEKEEPER_HH
+
+#include "filters/filter.hh"
+
+namespace gpx {
+namespace filters {
+
+/** GateKeeper configuration. */
+struct GateKeeperParams
+{
+    /** Amendment threshold (the paper amends runs of 1-2 matches). */
+    u32 minMatchRun = 3;
+};
+
+/** The GateKeeper filter. */
+class GateKeeperFilter final : public PreAlignmentFilter
+{
+  public:
+    explicit GateKeeperFilter(const GateKeeperParams &params = {})
+        : params_(params)
+    {
+    }
+
+    std::string name() const override { return "GateKeeper"; }
+
+    FilterDecision evaluate(const genomics::DnaSequence &read,
+                            const genomics::DnaSequence &window,
+                            u32 center, u32 maxEdits) const override;
+
+  private:
+    GateKeeperParams params_;
+};
+
+} // namespace filters
+} // namespace gpx
+
+#endif // GPX_FILTERS_GATEKEEPER_HH

@@ -1,0 +1,113 @@
+#include "filters/grim_filter.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace filters {
+
+GrimFilter::GrimFilter(const genomics::Reference &ref,
+                       const GrimParams &params)
+    : ref_(ref), params_(params)
+{
+    gpx_assert(params_.q >= 2 && params_.q <= 12, "GRIM q out of range");
+    tokenSpace_ = u32{1} << (2 * params_.q);
+    wordsPerBin_ = std::max<u64>(1, tokenSpace_ / 64);
+    const u64 binSize = u64{1} << params_.binBits;
+    numBins_ = (ref.totalLength() + binSize - 1) >> params_.binBits;
+    bits_.assign(numBins_ * wordsPerBin_, 0);
+
+    // Populate each bin with the q-grams that *start* inside it. Tokens
+    // near the bin end straddle into the next bin; the query side
+    // compensates by OR-ing the bins the read touches.
+    for (u32 c = 0; c < ref.numChromosomes(); ++c) {
+        const auto &chrom = ref.chromosome(c);
+        if (chrom.size() < params_.q)
+            continue;
+        const GlobalPos base = ref.chromosomeStart(c);
+        u32 tok = 0;
+        const u32 mask = tokenSpace_ - 1;
+        for (std::size_t i = 0; i < chrom.size(); ++i) {
+            tok = ((tok << 2) | chrom.at(i)) & mask;
+            if (i + 1 < params_.q)
+                continue;
+            const GlobalPos start = base + i + 1 - params_.q;
+            const u64 bin = start >> params_.binBits;
+            bits_[bin * wordsPerBin_ + (tok >> 6)] |= u64{1}
+                                                      << (tok & 63u);
+        }
+    }
+}
+
+u64
+GrimFilter::bitvectorBytes() const
+{
+    return bits_.size() * sizeof(u64);
+}
+
+u32
+GrimFilter::token(const genomics::DnaSequence &seq, std::size_t i) const
+{
+    u32 tok = 0;
+    for (u32 k = 0; k < params_.q; ++k)
+        tok = (tok << 2) | seq.at(i + k);
+    return tok;
+}
+
+bool
+GrimFilter::tokenInBin(u64 bin, u32 tok) const
+{
+    if (bin >= numBins_)
+        return false;
+    return (bits_[bin * wordsPerBin_ + (tok >> 6)] >> (tok & 63u)) & 1u;
+}
+
+u32
+GrimFilter::presentTokens(const genomics::DnaSequence &read,
+                          GlobalPos candidate) const
+{
+    if (read.size() < params_.q)
+        return 0;
+    // Bins the read's span can touch (one extra on each side so edits
+    // that shift the true position across a boundary stay covered).
+    const u64 firstBin =
+        (candidate >> params_.binBits) == 0
+            ? 0
+            : (candidate >> params_.binBits) - 1;
+    const u64 lastBin = (candidate + read.size()) >> params_.binBits;
+
+    u32 present = 0;
+    const u32 tokens = static_cast<u32>(read.size() - params_.q + 1);
+    for (u32 i = 0; i < tokens; ++i) {
+        const u32 tok = token(read, i);
+        for (u64 bin = firstBin; bin <= lastBin + 1; ++bin) {
+            if (tokenInBin(bin, tok)) {
+                ++present;
+                break;
+            }
+        }
+    }
+    return present;
+}
+
+FilterDecision
+GrimFilter::evaluate(const genomics::DnaSequence &read, GlobalPos candidate,
+                     u32 maxEdits) const
+{
+    FilterDecision d;
+    if (read.size() < params_.q) {
+        d.accept = true;
+        return d;
+    }
+    const u32 tokens = static_cast<u32>(read.size() - params_.q + 1);
+    const u32 present = presentTokens(read, candidate);
+    const u32 missing = tokens - present;
+    // Each edit destroys at most q overlapping tokens.
+    d.estimatedEdits = (missing + params_.q - 1) / params_.q;
+    d.accept = d.estimatedEdits <= maxEdits;
+    return d;
+}
+
+} // namespace filters
+} // namespace gpx

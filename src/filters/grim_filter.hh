@@ -1,0 +1,76 @@
+/**
+ * @file
+ * GRIM-Filter-style binned q-gram existence filter [Kim+ 2018].
+ *
+ * The processing-in-memory filter the paper's related work (§8)
+ * contrasts with: the reference is partitioned into bins, each bin
+ * stores a 4^q-bit existence bitvector of the q-grams it contains, and
+ * a candidate location is accepted when enough of the read's q-grams
+ * exist in the bins the read would occupy. Each edit can destroy at
+ * most q overlapping q-grams, so requiring
+ *   present >= tokens - q * maxEdits
+ * never rejects a true location within the edit budget (the GRIM
+ * no-false-negative argument). Unlike the window filters it needs no
+ * reference bases at query time — only the precomputed bitvectors,
+ * which is what makes it PIM-friendly.
+ */
+
+#ifndef GPX_FILTERS_GRIM_FILTER_HH
+#define GPX_FILTERS_GRIM_FILTER_HH
+
+#include <vector>
+
+#include "filters/filter.hh"
+#include "genomics/reference.hh"
+
+namespace gpx {
+namespace filters {
+
+/** GRIM-Filter configuration. */
+struct GrimParams
+{
+    u32 q = 5;        ///< token length (GRIM uses 5 bp)
+    u32 binBits = 8;  ///< log2 bin size; 8 -> 256 bp bins
+};
+
+/** Binned q-gram existence filter over a reference genome. */
+class GrimFilter
+{
+  public:
+    GrimFilter(const genomics::Reference &ref, const GrimParams &params);
+
+    const GrimParams &params() const { return params_; }
+
+    /** Total bitvector storage (the PIM capacity footprint). */
+    u64 bitvectorBytes() const;
+
+    /**
+     * Evaluate @p read placed at global position @p candidate with an
+     * edit budget of @p maxEdits. estimatedEdits reports the implied
+     * lower bound ceil(missing / q).
+     */
+    FilterDecision evaluate(const genomics::DnaSequence &read,
+                            GlobalPos candidate, u32 maxEdits) const;
+
+    /** Number of read q-grams present in the bins at @p candidate. */
+    u32 presentTokens(const genomics::DnaSequence &read,
+                      GlobalPos candidate) const;
+
+  private:
+    /** Token id of the q-gram starting at @p i in @p seq. */
+    u32 token(const genomics::DnaSequence &seq, std::size_t i) const;
+
+    bool tokenInBin(u64 bin, u32 token) const;
+
+    const genomics::Reference &ref_;
+    GrimParams params_;
+    u64 numBins_ = 0;
+    u32 tokenSpace_ = 0;      ///< 4^q
+    u64 wordsPerBin_ = 0;     ///< tokenSpace_ / 64
+    std::vector<u64> bits_;   ///< numBins_ x wordsPerBin_
+};
+
+} // namespace filters
+} // namespace gpx
+
+#endif // GPX_FILTERS_GRIM_FILTER_HH

@@ -1,0 +1,39 @@
+#include "filters/shd_filter.hh"
+
+#include "filters/mask_ops.hh"
+
+namespace gpx {
+namespace filters {
+
+FilterDecision
+ShdFilter::evaluate(const genomics::DnaSequence &read,
+                    const genomics::DnaSequence &window, u32 center,
+                    u32 maxEdits) const
+{
+    FilterDecision d;
+    if (read.empty()) {
+        d.accept = true;
+        return d;
+    }
+    auto masks = align::shiftedMasks(read, window, center, maxEdits);
+
+    // OR of amended masks: a position is "explained" if it matches under
+    // any shift via a non-accidental run. The zero-shift mask is kept
+    // unamended so a perfectly matching read is never penalized at its
+    // flanks.
+    align::HammingMask combined = masks[maxEdits];
+    for (u32 m = 0; m < masks.size(); ++m) {
+        if (m == maxEdits)
+            continue;
+        combined =
+            orMasks(combined, amendShortRuns(masks[m], params_.minMatchRun));
+    }
+
+    // Each residual error cluster needs at least one edit.
+    d.estimatedEdits = zeroRunCount(combined);
+    d.accept = d.estimatedEdits <= maxEdits;
+    return d;
+}
+
+} // namespace filters
+} // namespace gpx

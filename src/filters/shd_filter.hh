@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shifted Hamming Distance (SHD) pre-alignment filter [Xin+ 2015].
+ *
+ * The direct ancestor of GenPair's Light Alignment (paper §4.6 cites it
+ * explicitly): compute 2e+1 Hamming masks between the read and shifted
+ * copies of the reference, amend away short random match runs, OR the
+ * masks together, and count the residual error clusters. A true
+ * alignment with <= e edits decomposes the read into match segments each
+ * visible under some shift, so few clusters survive; dissimilar
+ * sequences leave many. SHD filters only — GenPair's contribution on
+ * top of it is producing the score and CIGAR as well.
+ */
+
+#ifndef GPX_FILTERS_SHD_FILTER_HH
+#define GPX_FILTERS_SHD_FILTER_HH
+
+#include "filters/filter.hh"
+
+namespace gpx {
+namespace filters {
+
+/** SHD configuration. */
+struct ShdParams
+{
+    /**
+     * Amendment threshold: match runs shorter than this are treated as
+     * accidental and removed before masks are combined (the SHD paper's
+     * speculative removal uses 2-3).
+     */
+    u32 minMatchRun = 3;
+};
+
+/** The SHD filter. */
+class ShdFilter final : public PreAlignmentFilter
+{
+  public:
+    explicit ShdFilter(const ShdParams &params = {}) : params_(params) {}
+
+    std::string name() const override { return "SHD"; }
+
+    FilterDecision evaluate(const genomics::DnaSequence &read,
+                            const genomics::DnaSequence &window,
+                            u32 center, u32 maxEdits) const override;
+
+  private:
+    ShdParams params_;
+};
+
+} // namespace filters
+} // namespace gpx
+
+#endif // GPX_FILTERS_SHD_FILTER_HH

@@ -1,0 +1,50 @@
+#include "filters/sneakysnake.hh"
+
+#include <algorithm>
+
+#include "filters/mask_ops.hh"
+
+namespace gpx {
+namespace filters {
+
+FilterDecision
+SneakySnakeFilter::evaluate(const genomics::DnaSequence &read,
+                            const genomics::DnaSequence &window, u32 center,
+                            u32 maxEdits) const
+{
+    FilterDecision d;
+    if (read.empty()) {
+        d.accept = true;
+        return d;
+    }
+    auto masks = align::shiftedMasks(read, window, center, maxEdits);
+    const u32 bits = masks[0].bits;
+
+    // Greedy snake: at each column take the longest horizontal match run
+    // across all diagonals, then pay one obstacle crossing to move past
+    // the blocking column. Early-exit once the budget is exceeded.
+    u32 col = 0;
+    u32 obstacles = 0;
+    while (col < bits) {
+        u32 best = 0;
+        for (const auto &mask : masks) {
+            best = std::max(best, onesRunAt(mask, col));
+            if (col + best >= bits)
+                break;
+        }
+        col += best;
+        if (col >= bits)
+            break;
+        ++obstacles;
+        ++col; // cross the obstacle column
+        if (obstacles > maxEdits)
+            break;
+    }
+
+    d.estimatedEdits = obstacles;
+    d.accept = obstacles <= maxEdits;
+    return d;
+}
+
+} // namespace filters
+} // namespace gpx

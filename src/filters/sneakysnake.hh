@@ -1,0 +1,40 @@
+/**
+ * @file
+ * SneakySnake pre-alignment filter [Alser+ 2020].
+ *
+ * Reframes approximate matching as Single Net Routing: the 2e+1 shifted
+ * Hamming masks form a grid whose match runs are horizontal wires, and
+ * the minimum number of obstacles a "snake" must cross to traverse the
+ * read left to right lower-bounds the edit distance. The greedy
+ * longest-segment-first traversal is optimal for this subproblem (proved
+ * in the SneakySnake paper), so the filter never rejects a candidate
+ * whose true distance is within the budget.
+ *
+ * Paper §8: "A combination of the two methods [SneakySnake and Light
+ * Alignment] is a promising future work" — filters/filtered_light_align
+ * builds that combination on top of this class.
+ */
+
+#ifndef GPX_FILTERS_SNEAKYSNAKE_HH
+#define GPX_FILTERS_SNEAKYSNAKE_HH
+
+#include "filters/filter.hh"
+
+namespace gpx {
+namespace filters {
+
+/** The SneakySnake filter. */
+class SneakySnakeFilter final : public PreAlignmentFilter
+{
+  public:
+    std::string name() const override { return "SneakySnake"; }
+
+    FilterDecision evaluate(const genomics::DnaSequence &read,
+                            const genomics::DnaSequence &window,
+                            u32 center, u32 maxEdits) const override;
+};
+
+} // namespace filters
+} // namespace gpx
+
+#endif // GPX_FILTERS_SNEAKYSNAKE_HH

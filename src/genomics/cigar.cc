@@ -1,0 +1,145 @@
+#include "genomics/cigar.hh"
+
+#include <cctype>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace genomics {
+
+char
+cigarOpChar(CigarOp op)
+{
+    switch (op) {
+      case CigarOp::Match: return 'M';
+      case CigarOp::Insertion: return 'I';
+      case CigarOp::Deletion: return 'D';
+      case CigarOp::SoftClip: return 'S';
+      case CigarOp::Equal: return '=';
+      case CigarOp::Diff: return 'X';
+    }
+    return '?';
+}
+
+namespace {
+
+CigarOp
+opFromChar(char c)
+{
+    switch (c) {
+      case 'M': return CigarOp::Match;
+      case 'I': return CigarOp::Insertion;
+      case 'D': return CigarOp::Deletion;
+      case 'S': return CigarOp::SoftClip;
+      case '=': return CigarOp::Equal;
+      case 'X': return CigarOp::Diff;
+      default: gpx_panic("bad CIGAR op '", c, "'");
+    }
+}
+
+} // namespace
+
+Cigar
+Cigar::parse(const std::string &text)
+{
+    Cigar out;
+    u64 len = 0;
+    for (char c : text) {
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            len = len * 10 + static_cast<u64>(c - '0');
+        } else {
+            gpx_assert(len > 0 && len <= ~u32{0}, "bad CIGAR length");
+            out.push(opFromChar(c), static_cast<u32>(len));
+            len = 0;
+        }
+    }
+    gpx_assert(len == 0, "trailing CIGAR length without op");
+    return out;
+}
+
+void
+Cigar::push(CigarOp op, u32 len)
+{
+    if (len == 0)
+        return;
+    if (!elems_.empty() && elems_.back().op == op)
+        elems_.back().len += len;
+    else
+        elems_.push_back({ op, len });
+}
+
+u64
+Cigar::querySpan() const
+{
+    u64 n = 0;
+    for (const auto &e : elems_) {
+        switch (e.op) {
+          case CigarOp::Match:
+          case CigarOp::Insertion:
+          case CigarOp::SoftClip:
+          case CigarOp::Equal:
+          case CigarOp::Diff:
+            n += e.len;
+            break;
+          case CigarOp::Deletion:
+            break;
+        }
+    }
+    return n;
+}
+
+u64
+Cigar::refSpan() const
+{
+    u64 n = 0;
+    for (const auto &e : elems_) {
+        switch (e.op) {
+          case CigarOp::Match:
+          case CigarOp::Deletion:
+          case CigarOp::Equal:
+          case CigarOp::Diff:
+            n += e.len;
+            break;
+          case CigarOp::Insertion:
+          case CigarOp::SoftClip:
+            break;
+        }
+    }
+    return n;
+}
+
+u64
+Cigar::insertedBases() const
+{
+    u64 n = 0;
+    for (const auto &e : elems_) {
+        if (e.op == CigarOp::Insertion)
+            n += e.len;
+    }
+    return n;
+}
+
+u64
+Cigar::deletedBases() const
+{
+    u64 n = 0;
+    for (const auto &e : elems_) {
+        if (e.op == CigarOp::Deletion)
+            n += e.len;
+    }
+    return n;
+}
+
+std::string
+Cigar::toString() const
+{
+    std::string s;
+    for (const auto &e : elems_) {
+        s += std::to_string(e.len);
+        s.push_back(cigarOpChar(e.op));
+    }
+    return s;
+}
+
+} // namespace genomics
+} // namespace gpx

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * CIGAR (Compact Idiosyncratic Gapped Alignment Report) strings.
+ *
+ * Both the Light Alignment fast path and the DP fallback emit alignments as
+ * CIGARs (paper §2, §4.6); the variant caller consumes them to build
+ * pileups.
+ */
+
+#ifndef GPX_GENOMICS_CIGAR_HH
+#define GPX_GENOMICS_CIGAR_HH
+
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace gpx {
+namespace genomics {
+
+/** CIGAR operation codes (SAM semantics). */
+enum class CigarOp : u8
+{
+    Match,     ///< 'M': alignment match (base match or mismatch)
+    Insertion, ///< 'I': insertion to the reference (extra read bases)
+    Deletion,  ///< 'D': deletion from the reference (missing read bases)
+    SoftClip,  ///< 'S': clipped read bases
+    Equal,     ///< '=': exact base match
+    Diff,      ///< 'X': base mismatch
+};
+
+/** ASCII letter of an operation. */
+char cigarOpChar(CigarOp op);
+
+/** One run-length encoded CIGAR element. */
+struct CigarElem
+{
+    CigarOp op;
+    u32 len;
+
+    bool
+    operator==(const CigarElem &other) const
+    {
+        return op == other.op && len == other.len;
+    }
+};
+
+/** A full CIGAR: run-length encoded alignment description. */
+class Cigar
+{
+  public:
+    Cigar() = default;
+    explicit Cigar(std::vector<CigarElem> elems) : elems_(std::move(elems)) {}
+
+    /** Parse a textual CIGAR such as "42M2I106M". */
+    static Cigar parse(const std::string &text);
+
+    /** Append an operation, merging with the tail when ops match. */
+    void push(CigarOp op, u32 len);
+
+    const std::vector<CigarElem> &elems() const { return elems_; }
+    bool empty() const { return elems_.empty(); }
+
+    /** Number of read bases consumed (M/I/S/=/X). */
+    u64 querySpan() const;
+    /** Number of reference bases consumed (M/D/=/X). */
+    u64 refSpan() const;
+
+    /** Total inserted bases. */
+    u64 insertedBases() const;
+    /** Total deleted bases. */
+    u64 deletedBases() const;
+
+    /** Render as text. */
+    std::string toString() const;
+
+    bool operator==(const Cigar &other) const { return elems_ == other.elems_; }
+
+  private:
+    std::vector<CigarElem> elems_;
+};
+
+} // namespace genomics
+} // namespace gpx
+
+#endif // GPX_GENOMICS_CIGAR_HH

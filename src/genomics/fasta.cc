@@ -1,0 +1,113 @@
+#include "genomics/fasta.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace genomics {
+
+void
+writeFasta(std::ostream &os, const Reference &ref, std::size_t line_width)
+{
+    for (u32 c = 0; c < ref.numChromosomes(); ++c) {
+        os << '>' << ref.name(c) << '\n';
+        std::string seq = ref.chromosome(c).toString();
+        for (std::size_t i = 0; i < seq.size(); i += line_width)
+            os << seq.substr(i, line_width) << '\n';
+    }
+}
+
+namespace {
+
+/** Strip a trailing carriage return (CRLF-formatted input files). */
+void
+chompCr(std::string &line)
+{
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+}
+
+} // namespace
+
+Reference
+readFasta(std::istream &is)
+{
+    Reference ref;
+    std::string line;
+    std::string name;
+    std::string seq;
+    auto flush = [&]() {
+        if (!name.empty())
+            ref.addChromosome(name, DnaSequence(seq));
+        name.clear();
+        seq.clear();
+    };
+    while (std::getline(is, line)) {
+        chompCr(line);
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            flush();
+            std::size_t end = line.find_first_of(" \t", 1);
+            name = line.substr(1, end == std::string::npos ? end : end - 1);
+        } else {
+            seq += line;
+        }
+    }
+    flush();
+    return ref;
+}
+
+void
+writeFastq(std::ostream &os, const std::vector<Read> &reads, char quality)
+{
+    for (const auto &r : reads) {
+        std::string seq = r.seq.toString();
+        os << '@' << r.name << '\n'
+           << seq << '\n'
+           << "+\n"
+           << std::string(seq.size(), quality) << '\n';
+    }
+}
+
+bool
+FastqReader::next(Read &read)
+{
+    std::string header, seq, plus, qual;
+    while (std::getline(is_, header)) {
+        chompCr(header);
+        if (header.empty())
+            continue;
+        gpx_assert(header[0] == '@', "malformed FASTQ header");
+        if (!std::getline(is_, seq) || !std::getline(is_, plus) ||
+            !std::getline(is_, qual)) {
+            gpx_fatal("truncated FASTQ record");
+        }
+        chompCr(seq);
+        std::size_t end = header.find_first_of(" \t", 1);
+        read.name = header.substr(
+            1, end == std::string::npos ? end : end - 1);
+        read.seq = DnaSequence(seq);
+        read.truthPos = kInvalidPos;
+        read.truthReverse = false;
+        ++records_;
+        return true;
+    }
+    return false;
+}
+
+std::vector<Read>
+readFastq(std::istream &is)
+{
+    std::vector<Read> reads;
+    FastqReader reader(is);
+    Read r;
+    while (reader.next(r))
+        reads.push_back(r);
+    return reads;
+}
+
+} // namespace genomics
+} // namespace gpx

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal FASTA/FASTQ serialization. The repository generates its own
+ * datasets, but examples demonstrate interoperability with the standard
+ * formats a downstream user would bring.
+ */
+
+#ifndef GPX_GENOMICS_FASTA_HH
+#define GPX_GENOMICS_FASTA_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "genomics/readpair.hh"
+#include "genomics/reference.hh"
+
+namespace gpx {
+namespace genomics {
+
+/** Write a reference genome as multi-record FASTA. */
+void writeFasta(std::ostream &os, const Reference &ref,
+                std::size_t line_width = 70);
+
+/** Read a FASTA stream into a Reference. */
+Reference readFasta(std::istream &is);
+
+/** Write reads as FASTQ (constant quality, as simulated reads carry none). */
+void writeFastq(std::ostream &os, const std::vector<Read> &reads,
+                char quality = 'I');
+
+/** Read a FASTQ stream. */
+std::vector<Read> readFastq(std::istream &is);
+
+/**
+ * Incremental FASTQ reader for streaming pipelines: yields one record
+ * at a time so arbitrarily large read sets map in bounded memory
+ * (genpair::StreamingMapper drives a pair of these).
+ */
+class FastqReader
+{
+  public:
+    explicit FastqReader(std::istream &is) : is_(is) {}
+
+    /** Parse the next record into @p read; false at end of stream. */
+    bool next(Read &read);
+
+    /** Records yielded so far. */
+    u64 recordsRead() const { return records_; }
+
+  private:
+    std::istream &is_;
+    u64 records_ = 0;
+};
+
+} // namespace genomics
+} // namespace gpx
+
+#endif // GPX_GENOMICS_FASTA_HH

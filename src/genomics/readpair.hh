@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Read, read-pair and mapping-result value types shared by the baseline
+ * mapper, GenPair and the evaluation stack.
+ */
+
+#ifndef GPX_GENOMICS_READPAIR_HH
+#define GPX_GENOMICS_READPAIR_HH
+
+#include <string>
+
+#include "genomics/cigar.hh"
+#include "genomics/sequence.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace genomics {
+
+/** A single sequenced read. */
+struct Read
+{
+    std::string name;
+    DnaSequence seq;
+
+    /**
+     * Ground-truth origin for simulated reads: global position of the
+     * read's first base on the forward strand, and its strand.
+     * kInvalidPos when unknown (real data).
+     */
+    GlobalPos truthPos = kInvalidPos;
+    bool truthReverse = false;
+};
+
+/** A paired-end read: two reads from opposite ends of one fragment. */
+struct ReadPair
+{
+    Read first;  ///< read 1 (sequenced 5'->3' from one fragment end)
+    Read second; ///< read 2 (sequenced from the opposite end)
+};
+
+/** Mapping of one read to the reference. */
+struct Mapping
+{
+    bool mapped = false;
+    GlobalPos pos = kInvalidPos; ///< leftmost reference base of alignment
+    bool reverse = false;        ///< read aligned as its reverse complement
+    i32 score = 0;
+    Cigar cigar;
+};
+
+/** Which engine produced a pair's final alignment (paper Fig. 10). */
+enum class MappingPath : u8
+{
+    LightAligned,     ///< GenPair fast path end-to-end
+    DpAlignFallback,  ///< candidates from GenPair, alignment by DP
+    FullDpFallback,   ///< seeding/chaining/alignment all by the DP pipeline
+    Unmapped,
+};
+
+/** Mapping of a full read pair. */
+struct PairMapping
+{
+    Mapping first;
+    Mapping second;
+    MappingPath path = MappingPath::Unmapped;
+
+    bool bothMapped() const { return first.mapped && second.mapped; }
+};
+
+} // namespace genomics
+} // namespace gpx
+
+#endif // GPX_GENOMICS_READPAIR_HH

@@ -1,0 +1,127 @@
+#include "genomics/sam.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace genomics {
+
+SamWriter::SamWriter(std::ostream &os, const Reference &ref,
+                     u32 max_proper_insert)
+    : os_(os), ref_(ref), maxProperInsert_(max_proper_insert)
+{
+}
+
+void
+SamWriter::writeHeader()
+{
+    os_ << "@HD\tVN:1.6\tSO:unknown\n";
+    for (u32 c = 0; c < ref_.numChromosomes(); ++c) {
+        os_ << "@SQ\tSN:" << ref_.name(c)
+            << "\tLN:" << ref_.chromosomeLength(c) << '\n';
+    }
+    os_ << "@PG\tID:genpairx\tPN:genpairx\tVN:1.0\n";
+}
+
+void
+SamWriter::writeRecord(const Read &read, const Mapping &mapping, u32 flags,
+                       const Mapping *mate, i64 tlen)
+{
+    std::string rname = "*";
+    u64 pos1 = 0;
+    std::string cigar = "*";
+    if (mapping.mapped) {
+        ChromPos cp = ref_.toChromPos(mapping.pos);
+        rname = ref_.name(cp.chrom);
+        pos1 = cp.offset + 1; // SAM is 1-based
+        cigar = mapping.cigar.empty() ? "*" : mapping.cigar.toString();
+        if (mapping.reverse)
+            flags |= kSamReverse;
+    } else {
+        flags |= kSamUnmapped;
+    }
+
+    std::string rnext = "*";
+    u64 pnext = 0;
+    if (mate) {
+        if (mate->mapped) {
+            ChromPos mcp = ref_.toChromPos(mate->pos);
+            rnext = ref_.name(mcp.chrom) == rname ? "="
+                                                  : ref_.name(mcp.chrom);
+            pnext = mcp.offset + 1;
+            if (mate->reverse)
+                flags |= kSamMateReverse;
+        } else {
+            flags |= kSamMateUnmapped;
+        }
+    }
+
+    // Sequence is stored in original orientation; SAM wants the
+    // reference-forward orientation for reverse-mapped reads.
+    std::string seq = mapping.mapped && mapping.reverse
+                          ? read.seq.revComp().toString()
+                          : read.seq.toString();
+    u8 mapq = mapping.mapped ? 60 : 0;
+
+    os_ << read.name << '\t' << flags << '\t' << rname << '\t' << pos1
+        << '\t' << static_cast<u32>(mapq) << '\t' << cigar << '\t'
+        << rnext << '\t' << pnext << '\t' << tlen << '\t' << seq << '\t'
+        << '*' << "\tAS:i:" << mapping.score << '\n';
+    ++records_;
+}
+
+void
+SamWriter::writePair(const ReadPair &pair, const PairMapping &mapping)
+{
+    u32 f1 = kSamPaired | kSamFirstInPair;
+    u32 f2 = kSamPaired | kSamSecondInPair;
+
+    i64 tlen = 0;
+    bool proper = false;
+    if (mapping.bothMapped() &&
+        mapping.first.reverse != mapping.second.reverse) {
+        const Mapping &left = mapping.first.reverse ? mapping.second
+                                                    : mapping.first;
+        const Mapping &right = mapping.first.reverse ? mapping.first
+                                                     : mapping.second;
+        if (right.pos >= left.pos) {
+            u64 span = right.pos + right.cigar.refSpan() - left.pos;
+            if (span <= maxProperInsert_) {
+                proper = true;
+                tlen = static_cast<i64>(span);
+            }
+        }
+    }
+    if (proper) {
+        f1 |= kSamProperPair;
+        f2 |= kSamProperPair;
+    }
+    i64 tlen1 = mapping.first.reverse ? -tlen : tlen;
+    i64 tlen2 = mapping.second.reverse ? -tlen : tlen;
+
+    writeRecord(pair.first, mapping.first, f1, &mapping.second, tlen1);
+    writeRecord(pair.second, mapping.second, f2, &mapping.first, tlen2);
+}
+
+void
+SamWriter::writeRead(const Read &read, const Mapping &mapping)
+{
+    writeRecord(read, mapping, 0, nullptr, 0);
+}
+
+u8
+mapqFromScores(i32 best, i32 second_best, i32 perfect)
+{
+    if (best <= 0 || perfect <= 0)
+        return 0;
+    if (second_best <= 0)
+        return 60;
+    double gap = static_cast<double>(best - second_best) / perfect;
+    double q = 60.0 * std::min(1.0, gap * 4.0);
+    return static_cast<u8>(std::max(0.0, q));
+}
+
+} // namespace genomics
+} // namespace gpx

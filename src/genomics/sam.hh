@@ -1,0 +1,78 @@
+/**
+ * @file
+ * SAM (Sequence Alignment/Map) serialization.
+ *
+ * The paper's pipelines emit BAM for the variant-calling study (§6);
+ * this writer produces the equivalent SAM text so GenPairX mappings can
+ * flow into standard downstream tooling. Flags follow the SAM v1
+ * specification for paired-end FR data.
+ */
+
+#ifndef GPX_GENOMICS_SAM_HH
+#define GPX_GENOMICS_SAM_HH
+
+#include <iosfwd>
+
+#include "genomics/readpair.hh"
+#include "genomics/reference.hh"
+
+namespace gpx {
+namespace genomics {
+
+/** SAM FLAG bits (SAM v1 §1.4.2). */
+enum SamFlag : u32
+{
+    kSamPaired = 0x1,
+    kSamProperPair = 0x2,
+    kSamUnmapped = 0x4,
+    kSamMateUnmapped = 0x8,
+    kSamReverse = 0x10,
+    kSamMateReverse = 0x20,
+    kSamFirstInPair = 0x40,
+    kSamSecondInPair = 0x80,
+};
+
+/** Writes SAM records for mapped read pairs. */
+class SamWriter
+{
+  public:
+    /**
+     * @param os Output stream.
+     * @param ref Reference (for @SQ headers and coordinate conversion).
+     * @param max_proper_insert TLEN bound for the proper-pair flag.
+     */
+    SamWriter(std::ostream &os, const Reference &ref,
+              u32 max_proper_insert = 1200);
+
+    /** Emit the @HD/@SQ/@PG header block. */
+    void writeHeader();
+
+    /** Emit the two records of a mapped pair. */
+    void writePair(const ReadPair &pair, const PairMapping &mapping);
+
+    /** Emit one single-end record (long reads). */
+    void writeRead(const Read &read, const Mapping &mapping);
+
+    /** Records written so far. */
+    u64 recordsWritten() const { return records_; }
+
+  private:
+    void writeRecord(const Read &read, const Mapping &mapping, u32 flags,
+                     const Mapping *mate, i64 tlen);
+
+    std::ostream &os_;
+    const Reference &ref_;
+    u32 maxProperInsert_;
+    u64 records_ = 0;
+};
+
+/**
+ * Mapping quality estimate from the score gap between the best and
+ * second-best alignment (Li-Durbin-style, capped at 60).
+ */
+u8 mapqFromScores(i32 best, i32 second_best, i32 perfect);
+
+} // namespace genomics
+} // namespace gpx
+
+#endif // GPX_GENOMICS_SAM_HH

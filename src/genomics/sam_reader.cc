@@ -1,0 +1,158 @@
+#include "genomics/sam_reader.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+
+namespace gpx {
+namespace genomics {
+
+namespace {
+
+/** Split a tab-separated line. */
+std::vector<std::string>
+splitTabs(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t tab = line.find('\t', start);
+        if (tab == std::string::npos) {
+            fields.push_back(line.substr(start));
+            return fields;
+        }
+        fields.push_back(line.substr(start, tab - start));
+        start = tab + 1;
+    }
+}
+
+bool
+parseU64(const std::string &s, u64 &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+bool
+parseI64(const std::string &s, i64 &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoll(s.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+/** Pre-validate CIGAR text so Cigar::parse never sees garbage. */
+bool
+validCigarText(const std::string &text)
+{
+    if (text.empty())
+        return false;
+    bool pendingLen = false;
+    for (char c : text) {
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            pendingLen = true;
+            continue;
+        }
+        static const std::string ops = "MIDNSHP=X";
+        if (!pendingLen || ops.find(c) == std::string::npos)
+            return false;
+        pendingLen = false;
+    }
+    return !pendingLen;
+}
+
+/** Parse one alignment line; false = malformed. */
+bool
+parseRecord(const std::string &line, SamRecord &rec)
+{
+    auto fields = splitTabs(line);
+    if (fields.size() < 11)
+        return false;
+
+    rec.qname = fields[0];
+    u64 flags = 0, pos = 0, pnext = 0, mapq = 0;
+    if (!parseU64(fields[1], flags) || !parseU64(fields[3], pos) ||
+        !parseU64(fields[4], mapq) || mapq > 255 ||
+        !parseU64(fields[7], pnext) || !parseI64(fields[8], rec.tlen))
+        return false;
+    rec.flags = static_cast<u32>(flags);
+    rec.rname = fields[2];
+    rec.pos1 = pos;
+    rec.mapq = static_cast<u8>(mapq);
+    if (fields[5] != "*") {
+        if (!validCigarText(fields[5]))
+            return false;
+        rec.cigar = Cigar::parse(fields[5]);
+    }
+    rec.rnext = fields[6];
+    rec.pnext1 = pnext;
+    rec.seq = fields[9] == "*" ? std::string{} : fields[9];
+
+    // Optional tags: only AS:i is interpreted.
+    for (std::size_t i = 11; i < fields.size(); ++i) {
+        const std::string &tag = fields[i];
+        if (tag.rfind("AS:i:", 0) == 0) {
+            i64 score = 0;
+            if (!parseI64(tag.substr(5), score))
+                return false;
+            rec.alignScore = static_cast<i32>(score);
+        }
+    }
+
+    // Consistency: a mapped record needs a target name and position.
+    if (rec.isMapped() && (rec.rname == "*" || rec.pos1 == 0))
+        return false;
+    return true;
+}
+
+} // namespace
+
+SamFile
+readSam(std::istream &is)
+{
+    SamFile file;
+    std::string line;
+    u64 lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        if (line[0] == '@') {
+            file.headerLines.push_back(line);
+            continue;
+        }
+        SamRecord rec;
+        if (parseRecord(line, rec))
+            file.records.push_back(std::move(rec));
+        else
+            file.badLines.emplace_back(lineNo, line);
+    }
+    return file;
+}
+
+std::optional<GlobalPos>
+recordGlobalPos(const SamRecord &record, const Reference &ref)
+{
+    if (!record.isMapped() || record.pos1 == 0)
+        return std::nullopt;
+    for (u32 c = 0; c < ref.numChromosomes(); ++c) {
+        if (ref.name(c) == record.rname) {
+            const u64 offset = record.pos1 - 1;
+            if (offset >= ref.chromosomeLength(c))
+                return std::nullopt;
+            return ref.toGlobal(c, offset);
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace genomics
+} // namespace gpx

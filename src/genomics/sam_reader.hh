@@ -1,0 +1,68 @@
+/**
+ * @file
+ * SAM text reader: the inverse of SamWriter, covering the mandatory
+ * columns plus the AS score tag the pipelines emit. Downstream users
+ * bring SAM produced by other mappers too, so the parser validates
+ * rather than assumes: malformed mandatory columns are reported per
+ * record, never silently skipped.
+ */
+
+#ifndef GPX_GENOMICS_SAM_READER_HH
+#define GPX_GENOMICS_SAM_READER_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "genomics/cigar.hh"
+#include "genomics/reference.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace genomics {
+
+/** One alignment line of a SAM file. */
+struct SamRecord
+{
+    std::string qname;
+    u32 flags = 0;
+    std::string rname = "*";
+    u64 pos1 = 0; ///< 1-based leftmost position, 0 if unmapped
+    u8 mapq = 0;
+    Cigar cigar;
+    std::string rnext = "*";
+    u64 pnext1 = 0;
+    i64 tlen = 0;
+    std::string seq;
+    std::optional<i32> alignScore; ///< AS:i tag when present
+
+    bool isMapped() const { return (flags & 0x4u) == 0; }
+    bool isReverse() const { return (flags & 0x10u) != 0; }
+    bool isFirstInPair() const { return (flags & 0x40u) != 0; }
+    bool isSecondInPair() const { return (flags & 0x80u) != 0; }
+};
+
+/** Result of parsing a SAM stream. */
+struct SamFile
+{
+    std::vector<std::string> headerLines;
+    std::vector<SamRecord> records;
+    /** Lines that failed to parse, with their 1-based line numbers. */
+    std::vector<std::pair<u64, std::string>> badLines;
+};
+
+/** Parse a SAM stream; never throws, bad lines land in badLines. */
+SamFile readSam(std::istream &is);
+
+/**
+ * Global position of a record on @p ref (0-based), or std::nullopt if
+ * the record is unmapped or names an unknown chromosome.
+ */
+std::optional<GlobalPos> recordGlobalPos(const SamRecord &record,
+                                         const Reference &ref);
+
+} // namespace genomics
+} // namespace gpx
+
+#endif // GPX_GENOMICS_SAM_READER_HH

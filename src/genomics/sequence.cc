@@ -1,0 +1,139 @@
+#include "genomics/sequence.hh"
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace genomics {
+
+char
+baseToChar(u8 code)
+{
+    static const char table[4] = { 'A', 'C', 'G', 'T' };
+    return table[code & 0x3u];
+}
+
+u8
+charToBase(char c)
+{
+    switch (c) {
+      case 'A': case 'a': return BaseA;
+      case 'C': case 'c': return BaseC;
+      case 'G': case 'g': return BaseG;
+      case 'T': case 't': return BaseT;
+      default: return BaseA;
+    }
+}
+
+DnaSequence::DnaSequence(std::string_view ascii)
+{
+    packed_.reserve((ascii.size() + 3) / 4);
+    for (char c : ascii)
+        push(charToBase(c));
+}
+
+DnaSequence
+DnaSequence::fromCodes(const std::vector<u8> &codes)
+{
+    DnaSequence s;
+    s.packed_.reserve((codes.size() + 3) / 4);
+    for (u8 c : codes)
+        s.push(c);
+    return s;
+}
+
+void
+DnaSequence::push(u8 code)
+{
+    if ((size_ & 3u) == 0)
+        packed_.push_back(0);
+    packed_.back() |= static_cast<u8>((code & 0x3u) << ((size_ & 3u) << 1));
+    ++size_;
+}
+
+void
+DnaSequence::append(const DnaSequence &other)
+{
+    for (std::size_t i = 0; i < other.size(); ++i)
+        push(other.at(i));
+}
+
+void
+DnaSequence::set(std::size_t i, u8 code)
+{
+    gpx_assert(i < size_, "set out of range");
+    u8 shift = static_cast<u8>((i & 3u) << 1);
+    packed_[i >> 2] = static_cast<u8>(
+        (packed_[i >> 2] & ~(0x3u << shift)) | ((code & 0x3u) << shift));
+}
+
+DnaSequence
+DnaSequence::sub(std::size_t start, std::size_t len) const
+{
+    gpx_assert(start + len <= size_, "sub out of range: start=", start,
+               " len=", len, " size=", size_);
+    DnaSequence out;
+    out.packed_.reserve((len + 3) / 4);
+    for (std::size_t i = 0; i < len; ++i)
+        out.push(at(start + i));
+    return out;
+}
+
+DnaSequence
+DnaSequence::revComp() const
+{
+    DnaSequence out;
+    out.packed_.reserve(packed_.size());
+    for (std::size_t i = size_; i > 0; --i)
+        out.push(complementBase(at(i - 1)));
+    return out;
+}
+
+std::string
+DnaSequence::toString() const
+{
+    std::string s;
+    s.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i)
+        s.push_back(baseToChar(at(i)));
+    return s;
+}
+
+void
+DnaSequence::bitPlanes(std::vector<u64> &lo, std::vector<u64> &hi) const
+{
+    std::size_t words = (size_ + 63) / 64;
+    lo.assign(words, 0);
+    hi.assign(words, 0);
+    for (std::size_t i = 0; i < size_; ++i) {
+        u8 code = at(i);
+        if (code & 1u)
+            lo[i >> 6] |= u64{1} << (i & 63u);
+        if (code & 2u)
+            hi[i >> 6] |= u64{1} << (i & 63u);
+    }
+}
+
+bool
+DnaSequence::operator==(const DnaSequence &other) const
+{
+    if (size_ != other.size_)
+        return false;
+    for (std::size_t i = 0; i < size_; ++i) {
+        if (at(i) != other.at(i))
+            return false;
+    }
+    return true;
+}
+
+u64
+hammingDistance(const DnaSequence &a, const DnaSequence &b)
+{
+    gpx_assert(a.size() == b.size(), "hammingDistance: length mismatch");
+    u64 d = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        d += a.at(i) != b.at(i);
+    return d;
+}
+
+} // namespace genomics
+} // namespace gpx

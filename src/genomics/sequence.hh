@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Two-bit packed DNA sequences.
+ *
+ * Every sequence in the pipeline (reference chromosomes, reads, seeds) is a
+ * DnaSequence: A=0, C=1, G=2, T=3, packed 4 bases per byte. The class also
+ * exposes the two *bit-plane* views (low bit and high bit of each base code)
+ * that the Light Alignment module's XOR datapath operates on (paper §5.4).
+ */
+
+#ifndef GPX_GENOMICS_SEQUENCE_HH
+#define GPX_GENOMICS_SEQUENCE_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace gpx {
+namespace genomics {
+
+/** Base codes. */
+enum Base : u8 { BaseA = 0, BaseC = 1, BaseG = 2, BaseT = 3 };
+
+/** Decode a 2-bit base code to its ASCII character. */
+char baseToChar(u8 code);
+
+/**
+ * Encode an ASCII base to its 2-bit code. Lower-case accepted; any
+ * non-ACGT character (including N) maps to A, mirroring the common
+ * mapper convention of arbitrarily resolving ambiguity codes.
+ */
+u8 charToBase(char c);
+
+/** Complement of a 2-bit base code (A<->T, C<->G). */
+inline u8 complementBase(u8 code) { return code ^ 0x3u; }
+
+/**
+ * Packed 2-bit DNA sequence with random access, slicing and
+ * reverse-complement support.
+ */
+class DnaSequence
+{
+  public:
+    DnaSequence() = default;
+
+    /** Build from an ASCII string such as "ACGTT". */
+    explicit DnaSequence(std::string_view ascii);
+
+    /** Build from raw 2-bit codes. */
+    static DnaSequence fromCodes(const std::vector<u8> &codes);
+
+    /** Number of bases. */
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** 2-bit code of the base at index i. */
+    u8
+    at(std::size_t i) const
+    {
+        return (packed_[i >> 2] >> ((i & 3u) << 1)) & 0x3u;
+    }
+
+    /** Append one 2-bit base code. */
+    void push(u8 code);
+
+    /** Append another sequence. */
+    void append(const DnaSequence &other);
+
+    /** Overwrite the base at index i. */
+    void set(std::size_t i, u8 code);
+
+    /** Extract the subsequence [start, start+len). */
+    DnaSequence sub(std::size_t start, std::size_t len) const;
+
+    /** Reverse complement. */
+    DnaSequence revComp() const;
+
+    /** Decode to ASCII. */
+    std::string toString() const;
+
+    /** Packed bytes (4 bases per byte, LSB-first); used for hashing. */
+    const std::vector<u8> &packed() const { return packed_; }
+
+    /**
+     * Bit-plane extraction for the SHD/XOR datapath: writes one u64 word
+     * stream per plane where bit i of word w corresponds to base
+     * (64*w + i). lo holds bit0 of each base code, hi holds bit1.
+     */
+    void bitPlanes(std::vector<u64> &lo, std::vector<u64> &hi) const;
+
+    bool operator==(const DnaSequence &other) const;
+
+  private:
+    std::vector<u8> packed_;
+    std::size_t size_ = 0;
+};
+
+/** Hamming distance between equal-length sequences. */
+u64 hammingDistance(const DnaSequence &a, const DnaSequence &b);
+
+} // namespace genomics
+} // namespace gpx
+
+#endif // GPX_GENOMICS_SEQUENCE_HH

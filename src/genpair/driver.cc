@@ -1,0 +1,83 @@
+#include "genpair/driver.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace gpx {
+namespace genpair {
+
+ParallelMapper::ParallelMapper(const genomics::Reference &ref,
+                               const SeedMap &map,
+                               const DriverConfig &config)
+    : ref_(ref), map_(map), config_(config)
+{
+    threads_ = config.threads ? config.threads
+                              : std::max(1u,
+                                         std::thread::hardware_concurrency());
+    sharedIndex_ = std::make_shared<const baseline::MinimizerIndex>(
+        ref, config_.fallback.minimizers);
+}
+
+DriverResult
+ParallelMapper::mapAll(const std::vector<genomics::ReadPair> &pairs)
+{
+    DriverResult result;
+    result.mappings.resize(pairs.size());
+    std::vector<PipelineStats> perThread(threads_);
+
+    util::Stopwatch watch;
+    std::vector<std::thread> workers;
+    workers.reserve(threads_);
+    for (u32 t = 0; t < threads_; ++t) {
+        workers.emplace_back([&, t]() {
+            baseline::Mm2Lite fallback(ref_, config_.fallback,
+                                       sharedIndex_);
+            GenPairPipeline pipeline(ref_, map_, config_.pipeline,
+                                     &fallback);
+            // Contiguous block partitioning keeps the output stable and
+            // the per-thread caches warm.
+            u64 chunk = (pairs.size() + threads_ - 1) / threads_;
+            u64 begin = t * chunk;
+            u64 end = std::min<u64>(pairs.size(), begin + chunk);
+            for (u64 i = begin; i < end; ++i) {
+                if (config_.useGenPair) {
+                    result.mappings[i] = pipeline.mapPair(pairs[i]);
+                } else {
+                    result.mappings[i] = fallback.mapPair(pairs[i]);
+                }
+            }
+            perThread[t] = pipeline.stats();
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    result.seconds = watch.seconds();
+    result.pairsPerSec =
+        result.seconds > 0 ? pairs.size() / result.seconds : 0;
+
+    // Aggregate worker statistics.
+    PipelineStats &agg = result.stats;
+    for (const auto &st : perThread) {
+        agg.pairsTotal += st.pairsTotal;
+        agg.seedMissFallback += st.seedMissFallback;
+        agg.paFilterFallback += st.paFilterFallback;
+        agg.lightAlignFallback += st.lightAlignFallback;
+        agg.lightAligned += st.lightAligned;
+        agg.dpAligned += st.dpAligned;
+        agg.fullDpMapped += st.fullDpMapped;
+        agg.unmapped += st.unmapped;
+        agg.query.seedLookups += st.query.seedLookups;
+        agg.query.locationsFetched += st.query.locationsFetched;
+        agg.query.filterIterations += st.query.filterIterations;
+        agg.candidatePairs += st.candidatePairs;
+        agg.lightAlignsAttempted += st.lightAlignsAttempted;
+        agg.lightHypotheses += st.lightHypotheses;
+    }
+    return result;
+}
+
+} // namespace genpair
+} // namespace gpx

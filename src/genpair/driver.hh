@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Multi-threaded mapping driver: the "GenPair + MM2 (CPU)" software
+ * configuration of the paper's evaluation (§6), which runs the GenPair
+ * pipeline on general-purpose cores with Minimap2-style DP fallback.
+ * The SeedMap and minimizer index are shared read-only; each worker
+ * owns its own pipeline/fallback engines (all mutable state is
+ * thread-local), so results are bit-identical to a serial run.
+ */
+
+#ifndef GPX_GENPAIR_DRIVER_HH
+#define GPX_GENPAIR_DRIVER_HH
+
+#include <vector>
+
+#include "baseline/mm2lite.hh"
+#include "genpair/pipeline.hh"
+#include "genpair/seedmap.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace genpair {
+
+/** Driver configuration. */
+struct DriverConfig
+{
+    u32 threads = 0; ///< 0 = hardware concurrency
+    GenPairParams pipeline;
+    baseline::Mm2LiteParams fallback;
+    bool useGenPair = true; ///< false = pure MM2-lite baseline runs
+};
+
+/** Batch mapping results. */
+struct DriverResult
+{
+    std::vector<genomics::PairMapping> mappings; ///< 1:1 with input
+    PipelineStats stats;   ///< aggregated across workers
+    double seconds = 0;
+    double pairsPerSec = 0;
+
+    /** Throughput in Mbp/s for the given read length. */
+    double
+    mbpsFor(u32 read_len) const
+    {
+        return pairsPerSec * 2.0 * read_len / 1e6;
+    }
+};
+
+/** Parallel paired-end mapping over a shared index. */
+class ParallelMapper
+{
+  public:
+    ParallelMapper(const genomics::Reference &ref, const SeedMap &map,
+                   const DriverConfig &config);
+
+    /** Map all pairs; mappings[i] corresponds to pairs[i]. */
+    DriverResult mapAll(const std::vector<genomics::ReadPair> &pairs);
+
+    u32 threads() const { return threads_; }
+
+  private:
+    const genomics::Reference &ref_;
+    const SeedMap &map_;
+    DriverConfig config_;
+    u32 threads_;
+    std::shared_ptr<const baseline::MinimizerIndex> sharedIndex_;
+};
+
+} // namespace genpair
+} // namespace gpx
+
+#endif // GPX_GENPAIR_DRIVER_HH

@@ -1,0 +1,149 @@
+#include "genpair/light_align.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace genpair {
+
+using align::HammingMask;
+using genomics::Cigar;
+using genomics::CigarOp;
+using genomics::DnaSequence;
+
+LightResult
+LightAligner::alignWindow(const DnaSequence &read, const DnaSequence &window,
+                          u32 center) const
+{
+    const u32 n = static_cast<u32>(read.size());
+    const u32 e = params_.maxShift;
+    const i32 minScore = params_.minScoreFor(n);
+    LightResult best;
+
+    auto masks = align::shiftedMasks(read, window, center, e);
+
+    // Per-mask prefix/suffix lengths (the hardware computes these for all
+    // masks in parallel while streaming the read, §5.4).
+    std::vector<u32> prefix(masks.size()), suffix(masks.size());
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+        prefix[i] = masks[i].onesPrefix();
+        suffix[i] = masks[i].onesSuffix();
+    }
+
+    auto consider = [&](i32 score, GlobalPos rel_start, Cigar cigar) {
+        if (score > best.score || !best.aligned) {
+            best.aligned = true;
+            best.score = score;
+            best.pos = rel_start;
+            best.cigar = std::move(cigar);
+        }
+    };
+    best.aligned = false;
+
+    // Hypothesis class 1: scattered mismatches only, at each shift.
+    for (i32 s = -static_cast<i32>(e); s <= static_cast<i32>(e); ++s) {
+        ++best.hypothesesTried;
+        const HammingMask &mask = masks[static_cast<std::size_t>(
+            s + static_cast<i32>(e))];
+        u32 mm = n - mask.popcount();
+        if (mm > params_.maxMismatches)
+            continue;
+        i32 score = params_.scoring.scoreFromCounts(n - mm, mm, {});
+        if (score < minScore)
+            continue;
+        Cigar cigar;
+        cigar.push(CigarOp::Match, n);
+        consider(score, static_cast<GlobalPos>(
+                            static_cast<i64>(center) + s),
+                 std::move(cigar));
+    }
+
+    // Hypothesis class 2: one run of k consecutive insertions/deletions.
+    // A (s1 -> prefix mask, s2 -> suffix mask) pair with s2 > s1 models a
+    // deletion of k = s2 - s1 reference bases; s2 < s1 models an
+    // insertion. Seeds sit at different read offsets, so the prefix mask
+    // is not always shift 0 (candidate positions can be displaced by the
+    // gap itself).
+    for (i32 s1 = -static_cast<i32>(e); s1 <= static_cast<i32>(e); ++s1) {
+        for (i32 s2 = -static_cast<i32>(e); s2 <= static_cast<i32>(e);
+             ++s2) {
+            if (s1 == s2)
+                continue;
+            ++best.hypothesesTried;
+            u32 pre = prefix[static_cast<std::size_t>(
+                s1 + static_cast<i32>(e))];
+            u32 suf = suffix[static_cast<std::size_t>(
+                s2 + static_cast<i32>(e))];
+            if (s2 > s1) {
+                // Deletion of k reference bases after read position p.
+                u32 k = static_cast<u32>(s2 - s1);
+                if (pre + suf < n)
+                    continue;
+                i32 score = params_.scoring.scoreFromCounts(
+                    n, 0, { k });
+                if (score < minScore)
+                    continue;
+                u32 p = n - suf;
+                Cigar cigar;
+                cigar.push(CigarOp::Match, p);
+                cigar.push(CigarOp::Deletion, k);
+                cigar.push(CigarOp::Match, n - p);
+                consider(score,
+                         static_cast<GlobalPos>(
+                             static_cast<i64>(center) + s1),
+                         std::move(cigar));
+            } else {
+                // Insertion of k read bases after read position p.
+                u32 k = static_cast<u32>(s1 - s2);
+                if (k >= n)
+                    continue;
+                if (pre + suf < n - k)
+                    continue;
+                i32 score = params_.scoring.scoreFromCounts(
+                    n - k, 0, { k });
+                if (score < minScore)
+                    continue;
+                u32 p = suf <= n - k ? n - k - suf : 0;
+                if (p > pre)
+                    p = pre; // keep the prefix claim honest
+                Cigar cigar;
+                cigar.push(CigarOp::Match, p);
+                cigar.push(CigarOp::Insertion, k);
+                cigar.push(CigarOp::Match, n - k - p);
+                consider(score,
+                         static_cast<GlobalPos>(
+                             static_cast<i64>(center) + s1),
+                         std::move(cigar));
+            }
+        }
+    }
+
+    return best;
+}
+
+LightResult
+LightAligner::align(const DnaSequence &read, GlobalPos candidate) const
+{
+    const u32 n = static_cast<u32>(read.size());
+    const u32 e = params_.maxShift;
+    LightResult fail;
+
+    // The window must cover [candidate-e, candidate+n+e) inside one
+    // chromosome; otherwise the pair falls back to DP.
+    if (candidate < e)
+        return fail;
+    GlobalPos wstart = candidate - e;
+    u64 wlen = static_cast<u64>(n) + 2 * e;
+    if (!ref_.windowValid(wstart, wlen))
+        return fail;
+
+    DnaSequence window = ref_.window(wstart, wlen);
+    LightResult res = alignWindow(read, window, e);
+    if (res.aligned)
+        res.pos = wstart + res.pos; // window-relative -> global
+    return res;
+}
+
+} // namespace genpair
+} // namespace gpx

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Light Alignment (paper §4.6, Fig. 5; hardware module §5.4).
+ *
+ * Aligns a read at a known candidate position without dynamic
+ * programming, covering exactly the single-edit-type cases of paper
+ * Table 1: k scattered mismatches, one run of k consecutive insertions,
+ * or one run of k consecutive deletions. The algorithm computes 2e+1
+ * Hamming masks between the read and shifted copies of the reference
+ * window and reasons about the longest all-ones prefix/suffix of each
+ * mask. All hypotheses within the edit bound are evaluated and the
+ * best-scoring valid one is returned, so within its bound the result is
+ * optimal (paper §8). Anything else falls back to DP.
+ */
+
+#ifndef GPX_GENPAIR_LIGHT_ALIGN_HH
+#define GPX_GENPAIR_LIGHT_ALIGN_HH
+
+#include "align/shd.hh"
+#include "genomics/cigar.hh"
+#include "genomics/reference.hh"
+#include "genomics/scoring.hh"
+#include "genomics/sequence.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace genpair {
+
+/** Light Alignment configuration. */
+struct LightAlignParams
+{
+    /**
+     * Maximum consecutive insertions/deletions detectable: e. Requires
+     * 2e+1 Hamming masks (the hardware computes 8 masks per cycle with
+     * e=5 per Table 1's "5 consecutive deletions" bound plus shift 0 and
+     * the insertion shifts).
+     */
+    u32 maxShift = 5;
+    /** Maximum scattered mismatches accepted on the fast path. */
+    u32 maxMismatches = 3;
+    /**
+     * Acceptance threshold on the alignment score; 276 reproduces paper
+     * Table 1 for 150 bp reads (relative threshold for other lengths is
+     * handled by minScoreFor()).
+     */
+    i32 minScore = 276;
+    genomics::ScoringScheme scoring = genomics::ScoringScheme::shortRead();
+
+    /** Threshold scaled to a read length (276/300 of the perfect score). */
+    i32
+    minScoreFor(u32 read_len) const
+    {
+        if (read_len == 150)
+            return minScore;
+        double frac = static_cast<double>(minScore) / 300.0;
+        return static_cast<i32>(frac * scoring.perfectScore(read_len));
+    }
+};
+
+/** Result of one light alignment attempt. */
+struct LightResult
+{
+    bool aligned = false;
+    i32 score = 0;
+    genomics::Cigar cigar;
+    /** Final alignment start (candidate start shifts for deletions). */
+    GlobalPos pos = kInvalidPos;
+    /** Hypotheses evaluated (hardware cycles model input). */
+    u32 hypothesesTried = 0;
+};
+
+/**
+ * Admission gate consulted before each light-alignment attempt (the
+ * paper SS8 combination point: a cheap pre-alignment filter such as
+ * SneakySnake drops hopeless candidates before any hypothesis is
+ * evaluated). Implementations live outside genpair (see
+ * filters::SneakyGate); the pipeline only sees this interface.
+ */
+class LightAlignGate
+{
+  public:
+    virtual ~LightAlignGate() = default;
+
+    /** True when the candidate is worth light-aligning. */
+    virtual bool admit(const genomics::DnaSequence &read,
+                       GlobalPos candidate) = 0;
+};
+
+/** The Light Alignment engine. */
+class LightAligner
+{
+  public:
+    LightAligner(const genomics::Reference &ref,
+                 const LightAlignParams &params)
+        : ref_(ref), params_(params)
+    {
+    }
+
+    const LightAlignParams &params() const { return params_; }
+
+    /**
+     * Attempt to light-align @p read with its first base at reference
+     * position @p candidate.
+     */
+    LightResult align(const genomics::DnaSequence &read,
+                      GlobalPos candidate) const;
+
+    /**
+     * Core mask-based alignment of @p read against @p window whose
+     * position @p center corresponds to the candidate start (the window
+     * must extend maxShift bases on each side). Exposed for unit tests
+     * and for the hardware-model cycle accounting.
+     */
+    LightResult alignWindow(const genomics::DnaSequence &read,
+                            const genomics::DnaSequence &window,
+                            u32 center) const;
+
+  private:
+    const genomics::Reference &ref_;
+    LightAlignParams params_;
+};
+
+} // namespace genpair
+} // namespace gpx
+
+#endif // GPX_GENPAIR_LIGHT_ALIGN_HH

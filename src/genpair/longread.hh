@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Long-read support (paper §4.7).
+ *
+ * A long read is reformulated as a sequence of interleaved pseudo
+ * read-pairs of adjacent 150 bp segments (distance < delta by
+ * construction). Each pseudo-pair runs Partitioned Seeding, SeedMap Query
+ * and Paired-Adjacency Filtering; candidate read-start locations are then
+ * combined with Location Voting across all pairs of the read, and the
+ * winning region is aligned with DP (light alignment is insufficient for
+ * noisy long reads).
+ */
+
+#ifndef GPX_GENPAIR_LONGREAD_HH
+#define GPX_GENPAIR_LONGREAD_HH
+
+#include "baseline/mm2lite.hh"
+#include "genomics/readpair.hh"
+#include "genpair/pafilter.hh"
+#include "genpair/seeder.hh"
+#include "genpair/seedmap.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace genpair {
+
+/** Long-read mapping parameters. */
+struct LongReadParams
+{
+    u32 segmentLen = 150; ///< pseudo-read length
+    u32 delta = 500;      ///< adjacency threshold within a pseudo-pair
+    u32 minVotes = 3;     ///< Location Voting acceptance threshold
+    u32 voteBucket = 128; ///< vote clustering granularity (bases)
+    u32 chunkLen = 600;   ///< DP alignment chunk size
+    u32 chunkSlack = 100; ///< window slack per chunk
+    i32 minChunkScoreFrac = 40; ///< % of perfect score a chunk must reach
+};
+
+/** Long-read pipeline counters. */
+struct LongReadStats
+{
+    u64 readsTotal = 0;
+    u64 mapped = 0;
+    u64 unmapped = 0;
+    u64 pseudoPairs = 0;
+    u64 votes = 0;
+    u64 dpCells = 0;
+    QueryWork query;
+};
+
+/** Long-read mapper built from GenPair stages plus DP alignment. */
+class LongReadMapper
+{
+  public:
+    LongReadMapper(const genomics::Reference &ref, const SeedMap &map,
+                   const LongReadParams &params, baseline::Mm2Lite *dp);
+
+    /** Map one long read; Mapping.cigar is stitched from DP chunks. */
+    genomics::Mapping mapRead(const genomics::Read &read);
+
+    const LongReadStats &stats() const { return stats_; }
+
+  private:
+    /** Candidate read starts (bucketed votes) for one orientation. */
+    std::vector<std::pair<GlobalPos, u32>> voteCandidates(
+        const genomics::DnaSequence &seq);
+
+    /** Chunked DP alignment at a voted start position. */
+    genomics::Mapping alignAtStart(const genomics::DnaSequence &seq,
+                                   GlobalPos start);
+
+    const genomics::Reference &ref_;
+    const SeedMap &map_;
+    LongReadParams params_;
+    PartitionedSeeder seeder_;
+    baseline::Mm2Lite *dp_;
+    LongReadStats stats_;
+};
+
+} // namespace genpair
+} // namespace gpx
+
+#endif // GPX_GENPAIR_LONGREAD_HH

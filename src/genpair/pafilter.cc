@@ -1,0 +1,54 @@
+#include "genpair/pafilter.hh"
+
+#include <algorithm>
+
+namespace gpx {
+namespace genpair {
+
+std::vector<GlobalPos>
+queryCandidates(const SeedMap &map, const ReadSeeds &seeds, QueryWork &work)
+{
+    std::vector<GlobalPos> candidates;
+    for (const Seed &seed : seeds) {
+        ++work.seedLookups;
+        auto span = map.lookup(seed.hash);
+        work.locationsFetched += span.size();
+        for (u32 loc : span) {
+            if (loc >= seed.offsetInRead)
+                candidates.push_back(loc - seed.offsetInRead);
+        }
+    }
+    // Three sorted lists concatenated; sort + dedupe. The hardware merges
+    // the pre-sorted lists on the fly (§4.4); the result is identical.
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    return candidates;
+}
+
+std::vector<CandidatePair>
+pairedAdjacencyFilter(const std::vector<GlobalPos> &left,
+                      const std::vector<GlobalPos> &right, u32 delta,
+                      QueryWork &work)
+{
+    std::vector<CandidatePair> out;
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < left.size(); ++i) {
+        // Advance the right cursor to the first candidate >= left[i].
+        while (j < right.size() && right[j] < left[i]) {
+            ++j;
+            ++work.filterIterations;
+        }
+        // Emit every right candidate within the delta window.
+        for (std::size_t t = j; t < right.size(); ++t) {
+            ++work.filterIterations;
+            if (right[t] - left[i] > delta)
+                break;
+            out.push_back({ left[i], right[t] });
+        }
+    }
+    return out;
+}
+
+} // namespace genpair
+} // namespace gpx

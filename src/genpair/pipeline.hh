@@ -1,0 +1,137 @@
+/**
+ * @file
+ * GenPairPipeline: the end-to-end online GenPair read-mapping pipeline
+ * (paper Fig. 3) with the traditional-DP fallback structure of Fig. 10.
+ *
+ * Per pair: Partitioned Seeding -> SeedMap Query -> Paired-Adjacency
+ * Filtering -> Light Alignment, with three fallback exits:
+ *  1. no SeedMap hit at all            -> full DP pipeline (paper: 2.09%)
+ *  2. no candidate within delta        -> full DP pipeline (paper: 8.79%)
+ *  3. Light Alignment rejects          -> DP alignment at the known
+ *                                         candidate positions (13.06%)
+ *
+ * Orientation: a proper FR pair maps read 1 forward + read 2 as its
+ * reverse complement, or the mirror image; the pipeline evaluates both
+ * orientations (the paper leaves this implicit; see DESIGN.md).
+ */
+
+#ifndef GPX_GENPAIR_PIPELINE_HH
+#define GPX_GENPAIR_PIPELINE_HH
+
+#include <vector>
+
+#include "baseline/mm2lite.hh"
+#include "genomics/readpair.hh"
+#include "genpair/light_align.hh"
+#include "genpair/pafilter.hh"
+#include "genpair/seeder.hh"
+#include "genpair/seedmap.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace genpair {
+
+/** Online pipeline parameters. */
+struct GenPairParams
+{
+    /** Paired-adjacency distance threshold delta (paper: 200-500 bp). */
+    u32 delta = 500;
+    LightAlignParams light;
+    /** Candidate pairs light-aligned before giving up, per orientation. */
+    u32 maxCandidatePairs = 32;
+    /** Minimum acceptable DP fallback score. */
+    i32 minDpScore = 100;
+    /** Window slack for the DP alignment fallback. */
+    u32 dpSlack = 24;
+};
+
+/** Pipeline counters; drives Fig. 10, Fig. 12 and the hardware sizing. */
+struct PipelineStats
+{
+    u64 pairsTotal = 0;
+    u64 seedMissFallback = 0;   ///< SeedMap returned nothing (full DP)
+    u64 paFilterFallback = 0;   ///< adjacency filter emptied (full DP)
+    u64 lightAlignFallback = 0; ///< light alignment rejected (DP align)
+    u64 lightAligned = 0;       ///< fast path end to end
+    u64 dpAligned = 0;          ///< DP-aligned at GenPair candidates
+    u64 fullDpMapped = 0;       ///< mapped by the fallback pipeline
+    u64 unmapped = 0;
+
+    QueryWork query;
+    u64 candidatePairs = 0;       ///< pairs surviving the PA filter
+    u64 lightAlignsAttempted = 0; ///< single-read light alignments run
+    u64 lightHypotheses = 0;
+    u64 gateRejected = 0; ///< candidates dropped by the SS8 gate
+
+    double
+    fraction(u64 value) const
+    {
+        return pairsTotal ? static_cast<double>(value) / pairsTotal : 0.0;
+    }
+
+    /** Average light alignments per pair (paper §7.2: 11.6). */
+    double
+    avgAlignmentsPerPair() const
+    {
+        return pairsTotal
+                   ? static_cast<double>(lightAlignsAttempted) / pairsTotal
+                   : 0.0;
+    }
+};
+
+/** The online GenPair pipeline with DP fallback. */
+class GenPairPipeline
+{
+  public:
+    /**
+     * @param ref Reference genome.
+     * @param map Prebuilt SeedMap over @p ref.
+     * @param params Online parameters.
+     * @param fallback DP pipeline for residual pairs; may be null, in
+     *                 which case residual pairs count as unmapped (used
+     *                 by the filter-threshold sweep of §7.8).
+     */
+    GenPairPipeline(const genomics::Reference &ref, const SeedMap &map,
+                    const GenPairParams &params,
+                    baseline::Mm2Lite *fallback);
+
+    /** Map one pair through the full Fig. 3 pipeline. */
+    genomics::PairMapping mapPair(const genomics::ReadPair &pair);
+
+    /**
+     * Install an admission gate ahead of Light Alignment (paper SS8;
+     * nullptr = no gate). Non-owning; the gate must outlive the
+     * pipeline. A sound (never-overestimating) gate leaves mappings
+     * bit-identical and only removes wasted hypothesis work.
+     */
+    void setLightAlignGate(LightAlignGate *gate) { gate_ = gate; }
+
+    const PipelineStats &stats() const { return stats_; }
+    void resetStats() { stats_ = {}; }
+
+    const GenPairParams &params() const { return params_; }
+
+  private:
+    struct Oriented
+    {
+        /** Left/right queries in forward-reference orientation. */
+        const genomics::DnaSequence *left;
+        const genomics::DnaSequence *right;
+        bool read1IsLeft;
+        std::vector<CandidatePair> cands;
+    };
+
+    const genomics::Reference &ref_;
+    const SeedMap &map_;
+    GenPairParams params_;
+    PartitionedSeeder seeder_;
+    LightAligner light_;
+    LightAlignGate *gate_ = nullptr;
+    baseline::Mm2Lite *fallback_;
+    PipelineStats stats_;
+};
+
+} // namespace genpair
+} // namespace gpx
+
+#endif // GPX_GENPAIR_PIPELINE_HH

@@ -1,0 +1,26 @@
+#include "genpair/seeder.hh"
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace genpair {
+
+ReadSeeds
+PartitionedSeeder::extract(const genomics::DnaSequence &read) const
+{
+    const u32 s = map_.params().seedLen;
+    gpx_assert(read.size() >= s, "read shorter than the seed length");
+    u64 last = read.size() - s;
+    u64 mid = last / 2;
+
+    ReadSeeds seeds;
+    const u64 offsets[3] = { 0, mid, last };
+    for (int i = 0; i < 3; ++i) {
+        seeds[i].offsetInRead = static_cast<u32>(offsets[i]);
+        seeds[i].hash = map_.hashSeedAt(read, offsets[i]);
+    }
+    return seeds;
+}
+
+} // namespace genpair
+} // namespace gpx

@@ -1,0 +1,181 @@
+#include "genpair/seedmap.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.hh"
+#include "util/xxhash.hh"
+
+namespace gpx {
+namespace genpair {
+
+using genomics::DnaSequence;
+
+SeedMap::SeedMap(const genomics::Reference &ref, const SeedMapParams &params)
+    : params_(params)
+{
+    gpx_assert(ref.totalLength() < (u64{1} << 32),
+               "SeedMap stores 32-bit locations; genome too large");
+    gpx_assert(params_.seedLen >= 8 && params_.seedLen <= 256,
+               "unsupported seed length");
+
+    if (params_.tableBits == 0) {
+        // Auto-size: ~2 entries per genome base, clamped to sane bounds.
+        u64 want = ref.totalLength() * 2;
+        u32 bits = static_cast<u32>(std::bit_width(want));
+        tableBits_ = std::clamp<u32>(bits, 16, 30);
+    } else {
+        tableBits_ = params_.tableBits;
+    }
+
+    // Pass 1: temporary Seed Locations Table of (masked hash, location).
+    struct Rec
+    {
+        u32 hash;
+        u32 loc;
+    };
+    std::vector<Rec> recs;
+    for (u32 c = 0; c < ref.numChromosomes(); ++c) {
+        const DnaSequence &chrom = ref.chromosome(c);
+        if (chrom.size() < params_.seedLen)
+            continue;
+        GlobalPos base = ref.chromosomeStart(c);
+        for (u64 p = 0; p + params_.seedLen <= chrom.size(); ++p) {
+            DnaSequence seed = chrom.sub(p, params_.seedLen);
+            u32 h = maskHash(hashSeed(seed));
+            recs.push_back({ h, static_cast<u32>(base + p) });
+            ++stats_.totalSeeds;
+        }
+    }
+
+    // Pass 2: sort by (hash, location) so each seed's locations land
+    // contiguously and pre-sorted in the Location Table.
+    std::sort(recs.begin(), recs.end(), [](const Rec &a, const Rec &b) {
+        if (a.hash != b.hash)
+            return a.hash < b.hash;
+        return a.loc < b.loc;
+    });
+
+    // Pass 3: build the Location Table and CSR Seed Table, applying the
+    // index filtering threshold.
+    seedTable_.assign((u64{1} << tableBits_) + 1, 0);
+    std::vector<u32> counts(u64{1} << tableBits_, 0);
+
+    std::size_t i = 0;
+    while (i < recs.size()) {
+        std::size_t j = i;
+        while (j < recs.size() && recs[j].hash == recs[i].hash)
+            ++j;
+        u64 n = j - i;
+        ++stats_.distinctHashes;
+        if (params_.filterThreshold > 0 && n > params_.filterThreshold) {
+            ++stats_.filteredSeeds;
+            stats_.filteredLocations += n;
+        } else {
+            counts[recs[i].hash] = static_cast<u32>(n);
+            stats_.storedLocations += n;
+        }
+        i = j;
+    }
+
+    locationTable_.reserve(stats_.storedLocations);
+    u32 offset = 0;
+    for (u64 h = 0; h < counts.size(); ++h) {
+        seedTable_[h] = offset;
+        offset += counts[h];
+    }
+    seedTable_.back() = offset;
+
+    // Fill the Location Table using the CSR offsets.
+    locationTable_.resize(stats_.storedLocations);
+    std::vector<u32> cursor(counts.size(), 0);
+    i = 0;
+    while (i < recs.size()) {
+        std::size_t j = i;
+        while (j < recs.size() && recs[j].hash == recs[i].hash)
+            ++j;
+        u32 h = recs[i].hash;
+        if (counts[h] > 0) {
+            for (std::size_t t = i; t < j; ++t)
+                locationTable_[seedTable_[h] + (t - i)] = recs[t].loc;
+        }
+        i = j;
+    }
+
+    u64 kept = stats_.distinctHashes - stats_.filteredSeeds;
+    stats_.avgLocationsPerSeed =
+        kept ? static_cast<double>(stats_.storedLocations) /
+                   static_cast<double>(kept)
+             : 0.0;
+    // Query-weighted mean: sum(n^2) / sum(n) over kept buckets.
+    double sumSq = 0;
+    for (u64 h = 0; h < counts.size(); ++h)
+        sumSq += static_cast<double>(counts[h]) * counts[h];
+    stats_.queryWeightedLocations =
+        stats_.storedLocations
+            ? sumSq / static_cast<double>(stats_.storedLocations)
+            : 0.0;
+}
+
+SeedMap
+SeedMap::fromTables(const SeedMapParams &params, u32 table_bits,
+                    std::vector<u32> seed_table,
+                    std::vector<u32> location_table)
+{
+    gpx_assert(seed_table.size() == (u64{1} << table_bits) + 1,
+               "seed table size does not match table bits");
+    gpx_assert(seed_table.back() == location_table.size(),
+               "seed table does not cover the location table");
+    SeedMap map;
+    map.params_ = params;
+    map.tableBits_ = table_bits;
+    map.seedTable_ = std::move(seed_table);
+    map.locationTable_ = std::move(location_table);
+
+    // Recompute occupancy statistics from the tables.
+    map.stats_.storedLocations = map.locationTable_.size();
+    double sumSq = 0;
+    for (std::size_t h = 0; h + 1 < map.seedTable_.size(); ++h) {
+        u64 n = map.seedTable_[h + 1] - map.seedTable_[h];
+        if (n > 0) {
+            ++map.stats_.distinctHashes;
+            sumSq += static_cast<double>(n) * n;
+        }
+    }
+    map.stats_.totalSeeds = map.stats_.storedLocations;
+    map.stats_.avgLocationsPerSeed =
+        map.stats_.distinctHashes
+            ? static_cast<double>(map.stats_.storedLocations) /
+                  map.stats_.distinctHashes
+            : 0.0;
+    map.stats_.queryWeightedLocations =
+        map.stats_.storedLocations
+            ? sumSq / static_cast<double>(map.stats_.storedLocations)
+            : 0.0;
+    return map;
+}
+
+u32
+SeedMap::hashSeed(const DnaSequence &seed) const
+{
+    gpx_assert(seed.size() == params_.seedLen, "seed length mismatch");
+    return util::xxh32(seed.packed().data(), seed.packed().size());
+}
+
+u32
+SeedMap::hashSeedAt(const DnaSequence &read, u64 offset) const
+{
+    return hashSeed(read.sub(offset, params_.seedLen));
+}
+
+std::span<const u32>
+SeedMap::lookup(u32 hash) const
+{
+    u32 h = maskHash(hash);
+    u32 lo = seedTable_[h];
+    u32 hi = seedTable_[h + 1];
+    return { locationTable_.data() + lo, locationTable_.data() + hi };
+}
+
+} // namespace genpair
+} // namespace gpx

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * SeedMap: the offline hash-table index of the reference genome
+ * (paper §4.2, Fig. 4).
+ *
+ * Two tables, exactly as in the paper:
+ *  - the Location Table linearly concatenates, per seed, the sorted
+ *    reference-genome locations of that seed;
+ *  - the Seed Table is a direct-indexed array over (masked) seed hash
+ *    values whose entry i holds the Location Table offset of the first
+ *    location of seed-hash i; the half-open range
+ *    [seedTable[i], seedTable[i+1]) is seed i's location list.
+ *
+ * Locations are stored as 32-bit flat positions (4-byte entries, the
+ * granularity the NMSL memory-traffic model assumes). Seeds occurring
+ * more than the index-filtering threshold are dropped at construction
+ * time (§5.2), bounding the hardware FIFO depth.
+ */
+
+#ifndef GPX_GENPAIR_SEEDMAP_HH
+#define GPX_GENPAIR_SEEDMAP_HH
+
+#include <span>
+#include <vector>
+
+#include "genomics/reference.hh"
+#include "genomics/sequence.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace genpair {
+
+/** SeedMap construction parameters. */
+struct SeedMapParams
+{
+    u32 seedLen = 50;         ///< paper's 50 bp partitioned seeds
+    u32 tableBits = 0;        ///< log2(Seed Table entries); 0 = auto-size
+    u32 filterThreshold = 500;///< index filtering threshold (0 = disabled)
+};
+
+/** Construction/occupancy statistics (drive the hardware model). */
+struct SeedMapStats
+{
+    u64 totalSeeds = 0;          ///< seed positions scanned
+    u64 storedLocations = 0;     ///< locations kept in the Location Table
+    u64 filteredSeeds = 0;       ///< distinct seeds dropped by the filter
+    u64 filteredLocations = 0;   ///< locations dropped with them
+    u64 distinctHashes = 0;      ///< occupied Seed Table entries
+    double avgLocationsPerSeed = 0.0; ///< mean list length per kept hash
+    /**
+     * Query-weighted mean locations per seed: the expected list length
+     * when the queried seed comes from a random genome position (the
+     * paper's Obs. 2 metric, ~9.5 on GRCh38 — repeat seeds are queried
+     * proportionally to their multiplicity).
+     */
+    double queryWeightedLocations = 0.0;
+};
+
+/** The SeedMap index. */
+class SeedMap
+{
+  public:
+    /** Build the index over @p ref (the offline stage). */
+    SeedMap(const genomics::Reference &ref, const SeedMapParams &params);
+
+    const SeedMapParams &params() const { return params_; }
+    const SeedMapStats &stats() const { return stats_; }
+
+    /** Hash a seed sequence to its (unmasked) 32-bit xxHash value. */
+    u32 hashSeed(const genomics::DnaSequence &seed) const;
+
+    /** Hash of the seed starting at @p offset in @p read. */
+    u32 hashSeedAt(const genomics::DnaSequence &read, u64 offset) const;
+
+    /**
+     * Query: the sorted location list of a seed hash (the online
+     * SeedMap Query of Fig. 4b). Two memory accesses in hardware: one
+     * Seed Table entry pair, then a contiguous Location Table burst.
+     */
+    std::span<const u32> lookup(u32 hash) const;
+
+    /** Seed Table size in bytes (4-byte offsets). */
+    u64 seedTableBytes() const { return seedTable_.size() * sizeof(u32); }
+    /** Location Table size in bytes (4-byte locations). */
+    u64
+    locationTableBytes() const
+    {
+        return locationTable_.size() * sizeof(u32);
+    }
+
+    u32 tableBits() const { return tableBits_; }
+
+    /** Raw CSR Seed Table (serialization / NMSL address layout). */
+    const std::vector<u32> &rawSeedTable() const { return seedTable_; }
+    /** Raw Location Table. */
+    const std::vector<u32> &rawLocationTable() const
+    {
+        return locationTable_;
+    }
+
+    /**
+     * Reconstruct a SeedMap from previously built tables (the
+     * deserialization path; occupancy statistics are recomputed).
+     */
+    static SeedMap fromTables(const SeedMapParams &params, u32 table_bits,
+                              std::vector<u32> seed_table,
+                              std::vector<u32> location_table);
+
+  private:
+    SeedMap() = default;
+
+    u32 maskHash(u32 hash) const { return hash & ((1u << tableBits_) - 1); }
+
+    SeedMapParams params_;
+    SeedMapStats stats_;
+    u32 tableBits_ = 0;
+    /** CSR offsets, size 2^tableBits + 1. */
+    std::vector<u32> seedTable_;
+    /** Flat sorted locations per seed hash. */
+    std::vector<u32> locationTable_;
+};
+
+} // namespace genpair
+} // namespace gpx
+
+#endif // GPX_GENPAIR_SEEDMAP_HH

@@ -1,0 +1,76 @@
+#include "genpair/seedmap_io.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hh"
+#include "util/xxhash.hh"
+
+namespace gpx {
+namespace genpair {
+
+void
+saveSeedMap(std::ostream &os, const SeedMap &map)
+{
+    SeedMapImageHeader hdr;
+    hdr.seedLen = map.params().seedLen;
+    hdr.tableBits = map.tableBits();
+    hdr.filterThreshold = map.params().filterThreshold;
+    hdr.seedTableEntries = map.rawSeedTable().size();
+    hdr.locationEntries = map.rawLocationTable().size();
+    hdr.payloadChecksum = util::xxh64(
+        map.rawLocationTable().data(),
+        map.rawLocationTable().size() * sizeof(u32));
+
+    os.write(reinterpret_cast<const char *>(&hdr), sizeof(hdr));
+    os.write(reinterpret_cast<const char *>(map.rawSeedTable().data()),
+             static_cast<std::streamsize>(hdr.seedTableEntries *
+                                          sizeof(u32)));
+    os.write(
+        reinterpret_cast<const char *>(map.rawLocationTable().data()),
+        static_cast<std::streamsize>(hdr.locationEntries * sizeof(u32)));
+}
+
+std::optional<SeedMap>
+loadSeedMap(std::istream &is)
+{
+    SeedMapImageHeader hdr;
+    is.read(reinterpret_cast<char *>(&hdr), sizeof(hdr));
+    if (!is || hdr.magic != SeedMapImageHeader::kMagic ||
+        hdr.version != SeedMapImageHeader::kVersion) {
+        return std::nullopt;
+    }
+    if (hdr.tableBits > 30 ||
+        hdr.seedTableEntries != (u64{1} << hdr.tableBits) + 1) {
+        return std::nullopt;
+    }
+
+    std::vector<u32> seedTable(hdr.seedTableEntries);
+    is.read(reinterpret_cast<char *>(seedTable.data()),
+            static_cast<std::streamsize>(hdr.seedTableEntries *
+                                         sizeof(u32)));
+    std::vector<u32> locationTable(hdr.locationEntries);
+    is.read(reinterpret_cast<char *>(locationTable.data()),
+            static_cast<std::streamsize>(hdr.locationEntries *
+                                         sizeof(u32)));
+    if (!is)
+        return std::nullopt;
+
+    u64 checksum = util::xxh64(locationTable.data(),
+                               locationTable.size() * sizeof(u32));
+    if (checksum != hdr.payloadChecksum)
+        return std::nullopt;
+    if (seedTable.back() != locationTable.size())
+        return std::nullopt;
+
+    SeedMapParams params;
+    params.seedLen = hdr.seedLen;
+    params.tableBits = hdr.tableBits;
+    params.filterThreshold = hdr.filterThreshold;
+    return SeedMap::fromTables(params, hdr.tableBits,
+                               std::move(seedTable),
+                               std::move(locationTable));
+}
+
+} // namespace genpair
+} // namespace gpx

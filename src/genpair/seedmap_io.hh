@@ -1,0 +1,53 @@
+/**
+ * @file
+ * SeedMap serialization.
+ *
+ * The paper's offline stage builds SeedMap "only once for a given
+ * reference genome" and reuses it across read sets (§4.2). These
+ * routines persist the index to a compact binary image so production
+ * deployments pay construction once; the format stores the Seed and
+ * Location tables verbatim (the same layout the NMSL's memory channels
+ * consume).
+ */
+
+#ifndef GPX_GENPAIR_SEEDMAP_IO_HH
+#define GPX_GENPAIR_SEEDMAP_IO_HH
+
+#include <iosfwd>
+#include <optional>
+
+#include "genpair/seedmap.hh"
+
+namespace gpx {
+namespace genpair {
+
+/** Binary image header. */
+struct SeedMapImageHeader
+{
+    static constexpr u32 kMagic = 0x53504758; // "GPXS"
+    static constexpr u32 kVersion = 1;
+
+    u32 magic = kMagic;
+    u32 version = kVersion;
+    u32 seedLen = 0;
+    u32 tableBits = 0;
+    u32 filterThreshold = 0;
+    u64 seedTableEntries = 0;
+    u64 locationEntries = 0;
+    /** xxh64 of the location table payload, for corruption detection. */
+    u64 payloadChecksum = 0;
+};
+
+/** Serialize a SeedMap to a binary stream. */
+void saveSeedMap(std::ostream &os, const SeedMap &map);
+
+/**
+ * Deserialize; returns std::nullopt on magic/version/checksum mismatch
+ * (a truncated or corrupt image must never be silently accepted).
+ */
+std::optional<SeedMap> loadSeedMap(std::istream &is);
+
+} // namespace genpair
+} // namespace gpx
+
+#endif // GPX_GENPAIR_SEEDMAP_IO_HH

@@ -1,0 +1,88 @@
+#include "genpair/streaming.hh"
+
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace gpx {
+namespace genpair {
+
+namespace {
+
+void
+accumulate(PipelineStats &into, const PipelineStats &chunk)
+{
+    into.pairsTotal += chunk.pairsTotal;
+    into.seedMissFallback += chunk.seedMissFallback;
+    into.paFilterFallback += chunk.paFilterFallback;
+    into.lightAlignFallback += chunk.lightAlignFallback;
+    into.lightAligned += chunk.lightAligned;
+    into.dpAligned += chunk.dpAligned;
+    into.fullDpMapped += chunk.fullDpMapped;
+    into.unmapped += chunk.unmapped;
+    into.query.seedLookups += chunk.query.seedLookups;
+    into.query.locationsFetched += chunk.query.locationsFetched;
+    into.query.filterIterations += chunk.query.filterIterations;
+    into.candidatePairs += chunk.candidatePairs;
+    into.lightAlignsAttempted += chunk.lightAlignsAttempted;
+    into.lightHypotheses += chunk.lightHypotheses;
+    into.gateRejected += chunk.gateRejected;
+}
+
+} // namespace
+
+StreamingMapper::StreamingMapper(const genomics::Reference &ref,
+                                 const SeedMap &map,
+                                 const DriverConfig &config,
+                                 u64 chunk_pairs)
+    : ref_(ref), mapper_(ref, map, config),
+      chunkPairs_(chunk_pairs == 0 ? 1 : chunk_pairs)
+{
+}
+
+StreamingResult
+StreamingMapper::run(std::istream &r1, std::istream &r2,
+                     genomics::SamWriter &sam)
+{
+    StreamingResult result;
+    genomics::FastqReader reader1(r1);
+    genomics::FastqReader reader2(r2);
+    util::Stopwatch watch;
+
+    std::vector<genomics::ReadPair> chunk;
+    chunk.reserve(chunkPairs_);
+    bool done = false;
+    while (!done) {
+        chunk.clear();
+        while (chunk.size() < chunkPairs_) {
+            genomics::ReadPair pair;
+            const bool got1 = reader1.next(pair.first);
+            const bool got2 = reader2.next(pair.second);
+            if (got1 != got2)
+                gpx_fatal("FASTQ streams disagree: ",
+                          reader1.recordsRead(), " vs ",
+                          reader2.recordsRead(), " records");
+            if (!got1) {
+                done = true;
+                break;
+            }
+            chunk.push_back(std::move(pair));
+        }
+        if (chunk.empty())
+            break;
+
+        DriverResult mapped = mapper_.mapAll(chunk);
+        accumulate(result.stats, mapped.stats);
+        for (std::size_t i = 0; i < chunk.size(); ++i)
+            sam.writePair(chunk[i], mapped.mappings[i]);
+        result.pairs += chunk.size();
+        ++result.chunks;
+    }
+
+    result.seconds = watch.seconds();
+    result.pairsPerSec =
+        result.seconds > 0 ? result.pairs / result.seconds : 0;
+    return result;
+}
+
+} // namespace genpair
+} // namespace gpx

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Streaming mapping driver: FASTQ pair in, SAM out, bounded memory.
+ *
+ * The batch ParallelMapper needs every read pair resident; real read
+ * sets (the paper maps 100 M pairs, §6) do not fit the host budget
+ * that way. StreamingMapper pulls fixed-size chunks from two
+ * FastqReaders, maps each chunk with the shared-index parallel driver,
+ * and emits SAM records in input order before pulling the next chunk —
+ * peak memory is one chunk regardless of input size, and results are
+ * bit-identical to a whole-file batch run (mapping is per-pair pure).
+ */
+
+#ifndef GPX_GENPAIR_STREAMING_HH
+#define GPX_GENPAIR_STREAMING_HH
+
+#include <iosfwd>
+
+#include "genomics/fasta.hh"
+#include "genomics/sam.hh"
+#include "genpair/driver.hh"
+
+namespace gpx {
+namespace genpair {
+
+/** Streaming run summary. */
+struct StreamingResult
+{
+    u64 pairs = 0;
+    u64 chunks = 0;
+    PipelineStats stats; ///< aggregated over all chunks
+    double seconds = 0;
+    double pairsPerSec = 0;
+};
+
+/** Chunked mapping driver over the shared SeedMap. */
+class StreamingMapper
+{
+  public:
+    /**
+     * @param chunk_pairs Read pairs mapped per chunk (the memory bound).
+     */
+    StreamingMapper(const genomics::Reference &ref, const SeedMap &map,
+                    const DriverConfig &config, u64 chunk_pairs = 65536);
+
+    /**
+     * Map all pairs from @p r1/@p r2 (same-order FASTQ streams) and
+     * write records through @p sam. Fatal error if the streams yield
+     * different record counts.
+     */
+    StreamingResult run(std::istream &r1, std::istream &r2,
+                        genomics::SamWriter &sam);
+
+  private:
+    const genomics::Reference &ref_;
+    ParallelMapper mapper_;
+    u64 chunkPairs_;
+};
+
+} // namespace genpair
+} // namespace gpx
+
+#endif // GPX_GENPAIR_STREAMING_HH

@@ -1,0 +1,79 @@
+#include "hwsim/baseline_models.hh"
+
+namespace gpx {
+namespace hwsim {
+
+// Derivation of the CPU/GPU points (see EXPERIMENTS.md): the paper gives
+// GenPairX+GenDP = 57,810 Mbp/s, 381.1 mm^2, 209.0 W (Table 5), and the
+// ratios 958x / 1575x vs MM2, 557x / 911x vs GenPair+MM2 and 3053x /
+// 1685x vs BWA-MEM-GPU (Fig. 11 text). Fixing plausible CPU RAPL power
+// (110 W) and A100 die area (826 mm^2) pins the remaining values.
+
+SystemPoint
+BaselineModels::mm2Cpu()
+{
+    return { "MM2 (CPU)", 19.3, 122.0, 110.0 };
+}
+
+SystemPoint
+BaselineModels::genPairMm2Cpu()
+{
+    return { "GenPair+MM2 (CPU)", 33.2, 122.0, 109.3 };
+}
+
+SystemPoint
+BaselineModels::bwaMemGpu()
+{
+    return { "BWA-MEM (GPU)", 41.0, 826.0, 250.0 };
+}
+
+SystemPoint
+BaselineModels::genCache()
+{
+    return { "GenCache", 2172.0, 33.7, 11.2 };
+}
+
+SystemPoint
+BaselineModels::genDp()
+{
+    return { "GenDP", 24300.0, 315.8, 209.1 };
+}
+
+SystemPoint
+BaselineModels::genPairXReported()
+{
+    return { "GenPairX+GenDP (paper)", 57810.0, 381.1, 209.0 };
+}
+
+std::vector<SystemPoint>
+BaselineModels::all()
+{
+    return { mm2Cpu(), genPairMm2Cpu(), genCache(), genDp(), bwaMemGpu() };
+}
+
+SystemPoint
+NmslComparisonPoints::nmslReported()
+{
+    // 192.7 MPair/s; NMSL area/power are the HBM-side slice of Table 4.
+    return { "NMSL (paper)", 192.7, 66.8, 1.2 };
+}
+
+SystemPoint
+NmslComparisonPoints::gpuQuery()
+{
+    // NMSL = 2.12x GPU throughput; GV100: 815 mm^2 (Table 2).
+    // Per-area 16.1x and per-power 26.8x fix the effective power.
+    double tput = 192.7 / 2.12;
+    return { "GPU (GV100)", tput, 815.0, 250.0 };
+}
+
+SystemPoint
+NmslComparisonPoints::cpuQuery()
+{
+    // NMSL = 4.58x CPU throughput (multi-threaded, DDR4 6 channels).
+    double tput = 192.7 / 4.58;
+    return { "CPU (Xeon)", tput, 300.0, 110.0 };
+}
+
+} // namespace hwsim
+} // namespace gpx

@@ -1,0 +1,110 @@
+#include "hwsim/dram.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace hwsim {
+
+DramChannel::DramChannel(const MemoryConfig &cfg, u32 queue_depth)
+    : cfg_(cfg), queueDepth_(queue_depth), banks_(cfg.banksPerChannel)
+{
+}
+
+void
+DramChannel::push(const MemRequest &req)
+{
+    gpx_assert(canAccept(), "channel queue overflow");
+    QueuedReq q;
+    q.req = req;
+    q.burstsLeft = std::max<u32>(
+        1, (req.bytes + cfg_.burstBytes - 1) / cfg_.burstBytes);
+    queue_.push_back(q);
+    maxQueue_ = std::max(maxQueue_, queue_.size());
+}
+
+void
+DramChannel::tick(u64 cycle)
+{
+    if (queue_.empty())
+        return;
+
+    // FR-FCFS-lite: look a short window ahead for a row hit; otherwise
+    // serve the oldest request.
+    constexpr std::size_t kScanWindow = 4;
+    std::size_t pick = 0;
+    bool havePick = false;
+    for (std::size_t i = 0; i < std::min(queue_.size(), kScanWindow); ++i) {
+        const auto &q = queue_[i];
+        u64 rowGlobal = q.req.addr / cfg_.rowBytes;
+        u32 bank = static_cast<u32>(rowGlobal % banks_.size());
+        i64 row = static_cast<i64>(rowGlobal / banks_.size());
+        if (banks_[bank].openRow == row && banks_[bank].readyCycle <= cycle) {
+            pick = i;
+            havePick = true;
+            break;
+        }
+    }
+    if (!havePick)
+        pick = 0;
+
+    auto &q = queue_[pick];
+    u64 rowGlobal = q.req.addr / cfg_.rowBytes;
+    u32 bankIdx = static_cast<u32>(rowGlobal % banks_.size());
+    i64 row = static_cast<i64>(rowGlobal / banks_.size());
+    Bank &bank = banks_[bankIdx];
+
+    if (bank.readyCycle > cycle)
+        return; // bank busy
+
+    u64 dataStart;
+    if (bank.openRow == row) {
+        // Row hit: column access only.
+        dataStart = std::max(cycle + cfg_.tCL, busFree_);
+        ++stats_.rowHits;
+    } else {
+        // Row miss: precharge + activate + column access.
+        if (bank.nextActivate > cycle)
+            return; // tRC not yet satisfied
+        u64 actDone = cycle + cfg_.tRP + cfg_.tRCD;
+        dataStart = std::max(actDone + cfg_.tCL, busFree_);
+        bank.openRow = row;
+        bank.nextActivate = cycle + cfg_.tRC;
+        ++stats_.activations;
+    }
+
+    u64 dataEnd = dataStart + cfg_.tBL;
+    busFree_ = dataStart + std::max(cfg_.tBL, cfg_.tCCD);
+    bank.readyCycle = cycle + std::max(cfg_.tCCD, 1u);
+    stats_.busBusyCycles += cfg_.tBL;
+    ++stats_.bursts;
+    stats_.bytesRead += cfg_.burstBytes;
+
+    // Advance within the request: the next burst hits the same row.
+    q.req.addr += cfg_.burstBytes;
+    if (--q.burstsLeft == 0) {
+        ++stats_.requests;
+        pending_.push_back({ q.req.tag, dataEnd });
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+}
+
+std::vector<MemResponse>
+DramChannel::drain(u64 cycle)
+{
+    std::vector<MemResponse> done;
+    auto it = pending_.begin();
+    while (it != pending_.end()) {
+        if (it->finishCycle <= cycle) {
+            done.push_back(*it);
+            it = pending_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return done;
+}
+
+} // namespace hwsim
+} // namespace gpx

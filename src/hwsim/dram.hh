@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Cycle-level DRAM channel model (the Ramulator-2.0 substitute).
+ *
+ * Each channel owns a request queue, per-bank row-buffer state and a
+ * shared data bus. Scheduling is FR-FCFS-lite: the controller scans a
+ * short window of the queue for a row hit before falling back to the
+ * oldest request. Timing honours tRCD/tRP/tCL/tBL/tRC/tCCD; energy
+ * counters follow the DRAMsim3 accounting (activate + read burst +
+ * background).
+ */
+
+#ifndef GPX_HWSIM_DRAM_HH
+#define GPX_HWSIM_DRAM_HH
+
+#include <deque>
+#include <vector>
+
+#include "hwsim/mem_config.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace hwsim {
+
+/** One memory read request (writes are irrelevant to SeedMap queries). */
+struct MemRequest
+{
+    u64 addr = 0;
+    u32 bytes = 0;
+    u64 tag = 0; ///< opaque caller cookie
+};
+
+/** A completed request. */
+struct MemResponse
+{
+    u64 tag = 0;
+    u64 finishCycle = 0;
+};
+
+/** Aggregated channel statistics. */
+struct DramStats
+{
+    u64 requests = 0;
+    u64 bursts = 0;
+    u64 activations = 0;
+    u64 rowHits = 0;
+    u64 bytesRead = 0;
+    u64 busBusyCycles = 0;
+
+    /** Dynamic DRAM energy in nanojoules. */
+    double
+    dynamicEnergyNj(const MemoryConfig &cfg) const
+    {
+        return activations * cfg.actEnergyNj +
+               bursts * cfg.readEnergyNjPerBurst;
+    }
+};
+
+/** One DRAM channel. */
+class DramChannel
+{
+  public:
+    DramChannel(const MemoryConfig &cfg, u32 queue_depth = 16);
+
+    /** True if the request queue has room this cycle. */
+    bool canAccept() const { return queue_.size() < queueDepth_; }
+
+    /** Enqueue a read; the request is split into bursts internally. */
+    void push(const MemRequest &req);
+
+    /** Advance one memory clock cycle. */
+    void tick(u64 cycle);
+
+    /** Responses completed at or before @p cycle (drained on return). */
+    std::vector<MemResponse> drain(u64 cycle);
+
+    const DramStats &stats() const { return stats_; }
+
+    /** Outstanding requests (queued or in flight). */
+    std::size_t inFlight() const { return queue_.size() + pending_.size(); }
+
+    /** High-water mark of the request queue (per-channel FIFO sizing). */
+    std::size_t maxQueueDepth() const { return maxQueue_; }
+
+  private:
+    struct Bank
+    {
+        i64 openRow = -1;
+        u64 readyCycle = 0;      ///< bank free for a new column command
+        u64 nextActivate = 0;    ///< tRC constraint
+    };
+
+    struct QueuedReq
+    {
+        MemRequest req;
+        u32 burstsLeft;
+        u64 firstBurstIssued = 0;
+    };
+
+    const MemoryConfig cfg_;
+    u32 queueDepth_;
+    std::deque<QueuedReq> queue_;
+    std::vector<Bank> banks_;
+    u64 busFree_ = 0;
+    std::vector<MemResponse> pending_;
+    DramStats stats_;
+    std::size_t maxQueue_ = 0;
+};
+
+} // namespace hwsim
+} // namespace gpx
+
+#endif // GPX_HWSIM_DRAM_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bounded hardware FIFO used by the cycle-level pipeline simulator.
+ * Tracks its own high-water mark so buffer-sizing studies (paper §7.2
+ * "Optimization for Balancing") read directly off the simulation.
+ */
+
+#ifndef GPX_HWSIM_FIFO_HH
+#define GPX_HWSIM_FIFO_HH
+
+#include <deque>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace hwsim {
+
+/** A bounded FIFO with occupancy statistics. */
+template <typename T>
+class Fifo
+{
+  public:
+    explicit Fifo(std::size_t capacity) : capacity_(capacity) {}
+
+    bool full() const { return items_.size() >= capacity_; }
+    bool empty() const { return items_.empty(); }
+    std::size_t size() const { return items_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Highest occupancy ever observed. */
+    std::size_t maxOccupancy() const { return maxOccupancy_; }
+
+    /** Cycles during which a push was refused (upstream stall). */
+    u64 rejections() const { return rejections_; }
+
+    /** Try to enqueue; returns false (and counts a stall) when full. */
+    bool
+    tryPush(const T &item)
+    {
+        if (full()) {
+            ++rejections_;
+            return false;
+        }
+        items_.push_back(item);
+        if (items_.size() > maxOccupancy_)
+            maxOccupancy_ = items_.size();
+        return true;
+    }
+
+    const T &
+    front() const
+    {
+        gpx_assert(!items_.empty(), "front() on empty FIFO");
+        return items_.front();
+    }
+
+    T
+    pop()
+    {
+        gpx_assert(!items_.empty(), "pop() on empty FIFO");
+        T item = items_.front();
+        items_.pop_front();
+        return item;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> items_;
+    std::size_t maxOccupancy_ = 0;
+    u64 rejections_ = 0;
+};
+
+} // namespace hwsim
+} // namespace gpx
+
+#endif // GPX_HWSIM_FIFO_HH

@@ -1,0 +1,7 @@
+#include "hwsim/gendp.hh"
+
+namespace gpx {
+namespace hwsim {
+// Header-only model; translation unit anchors the target.
+} // namespace hwsim
+} // namespace gpx

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * GenDP accelerator cost/capacity model (paper §7.4).
+ *
+ * GenDP [ISCA'23] is the DP fallback engine: residual chaining and
+ * alignment demand is expressed in Million Cell Updates Per Second
+ * (MCUPS) and converted to area/power through GenDP's efficiency
+ * constants. The constants below are derived from paper Table 4: the
+ * chain engine delivers 331,772 MCUPS in 174.9 mm^2 / 115.8 W and the
+ * align engine 3,469,180 MCUPS in 139.4 mm^2 / 92.3 W (7 nm).
+ */
+
+#ifndef GPX_HWSIM_GENDP_HH
+#define GPX_HWSIM_GENDP_HH
+
+#include "hwsim/tech.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace hwsim {
+
+/** MCUPS-based GenDP sizing. */
+class GenDpModel
+{
+  public:
+    /** Chain-engine efficiency (MCUPS per mm^2 / per mW). */
+    static constexpr double kChainMcupsPerMm2 = 331772.0 / 174.9;
+    static constexpr double kChainMcupsPerMw = 331772.0 / 115800.0;
+
+    /** Align-engine efficiency. */
+    static constexpr double kAlignMcupsPerMm2 = 3469180.0 / 139.4;
+    static constexpr double kAlignMcupsPerMw = 3469180.0 / 92300.0;
+
+    /** Cost of a chain engine sized for @p mcups. */
+    static BlockCost
+    chainCost(double mcups)
+    {
+        return { mcups / kChainMcupsPerMm2, mcups / kChainMcupsPerMw };
+    }
+
+    /** Cost of an align engine sized for @p mcups. */
+    static BlockCost
+    alignCost(double mcups)
+    {
+        return { mcups / kAlignMcupsPerMm2, mcups / kAlignMcupsPerMw };
+    }
+
+    /**
+     * Throughput capacity check: cell updates available per second from
+     * an engine sized for @p mcups (1 MCUPS = 1e6 cells/s).
+     */
+    static double
+    cellsPerSec(double mcups)
+    {
+        return mcups * 1e6;
+    }
+};
+
+} // namespace hwsim
+} // namespace gpx
+
+#endif // GPX_HWSIM_GENDP_HH

@@ -1,0 +1,40 @@
+#include "hwsim/host_interface.hh"
+
+#include <algorithm>
+
+namespace gpx {
+namespace hwsim {
+
+HostDemand
+hostDemand(double mpairs, const HostTrafficConfig &cfg)
+{
+    HostDemand d;
+    d.inputGBs = mpairs * 1e6 * cfg.inputBytesPerPair() / 1e9;
+    d.outputGBs = mpairs * 1e6 * cfg.outputBytesPerPair() / 1e9;
+    return d;
+}
+
+std::vector<HostLink>
+pcieGenerations()
+{
+    // x16 usable data rates: Gen3 8 GT/s * 16 lanes * 128b/130b minus
+    // protocol overhead ~= 15.75 GB/s; each later generation doubles.
+    return {
+        { "PCIe Gen3 x16", 15.75 },
+        { "PCIe Gen4 x16", 31.5 },
+        { "PCIe Gen5 x16", 63.0 },
+    };
+}
+
+double
+maxMpairsOn(const HostLink &link, const HostTrafficConfig &cfg)
+{
+    const double inCap =
+        link.gbPerSecPerDirection * 1e9 / cfg.inputBytesPerPair();
+    const double outCap =
+        link.gbPerSecPerDirection * 1e9 / cfg.outputBytesPerPair();
+    return std::min(inCap, outCap) / 1e6;
+}
+
+} // namespace hwsim
+} // namespace gpx

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Host-integration bandwidth model (paper §7.4, "Host integration").
+ *
+ * GenPairX is a PCIe-attached accelerator: the host streams 2-bit
+ * encoded read pairs in and receives locations + CIGAR strings back.
+ * The paper sizes this at 14.5 GB/s in and 5.4 GB/s out for the
+ * saturated 192.7 MPair/s design and notes both PCIe Gen3 x16 and
+ * Gen4 x16 suffice (links are full duplex, so the directions do not
+ * share budget). This model reproduces that arithmetic for any design
+ * point and read length, which the sizing bench and tests exercise.
+ */
+
+#ifndef GPX_HWSIM_HOST_INTERFACE_HH
+#define GPX_HWSIM_HOST_INTERFACE_HH
+
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace gpx {
+namespace hwsim {
+
+/** Host link demand of a design point. */
+struct HostDemand
+{
+    double inputGBs = 0;  ///< read-pair stream to the accelerator
+    double outputGBs = 0; ///< locations + CIGARs back to the host
+};
+
+/** Per-pair host traffic parameters. */
+struct HostTrafficConfig
+{
+    u32 readLen = 150;
+    double bitsPerBase = 2.0;      ///< 2-bit encoding (§7.4)
+    double locationBytesPerPair = 8.0;
+    double cigarBytesPerPair = 20.0; ///< ~20 B per pair (§7.4)
+
+    /** Input bytes for one read pair. */
+    double
+    inputBytesPerPair() const
+    {
+        return 2.0 * readLen * bitsPerBase / 8.0;
+    }
+
+    double
+    outputBytesPerPair() const
+    {
+        return locationBytesPerPair + cigarBytesPerPair;
+    }
+};
+
+/** A host link generation (unidirectional usable bandwidth). */
+struct HostLink
+{
+    std::string name;
+    double gbPerSecPerDirection = 0;
+
+    /** Full-duplex check: each direction has the full link budget. */
+    bool
+    sustains(const HostDemand &demand) const
+    {
+        return demand.inputGBs <= gbPerSecPerDirection &&
+               demand.outputGBs <= gbPerSecPerDirection;
+    }
+};
+
+/** Demand of a design running at @p mpairs million pairs per second. */
+HostDemand hostDemand(double mpairs, const HostTrafficConfig &cfg = {});
+
+/**
+ * The PCIe generations the paper considers (x16 links, usable data
+ * bandwidth after encoding overhead): Gen3 ~15.75 GB/s, Gen4 ~31.5 GB/s.
+ */
+std::vector<HostLink> pcieGenerations();
+
+/**
+ * Highest sustainable pair rate (MPair/s) on @p link given per-pair
+ * traffic @p cfg — the inverse question a designer asks when the link,
+ * not the memory, is the binding constraint.
+ */
+double maxMpairsOn(const HostLink &link, const HostTrafficConfig &cfg = {});
+
+} // namespace hwsim
+} // namespace gpx
+
+#endif // GPX_HWSIM_HOST_INTERFACE_HH

@@ -1,0 +1,76 @@
+#include "hwsim/mem_config.hh"
+
+namespace gpx {
+namespace hwsim {
+
+MemoryConfig
+MemoryConfig::hbm2()
+{
+    MemoryConfig c;
+    c.name = "HBM2 (32 Channels)";
+    c.channels = 32;
+    c.banksPerChannel = 16;
+    c.clockGhz = 1.0;       // 1 GHz DDR command clock
+    c.busBytesPerCycle = 32; // 128-bit @ DDR = 32 B per command cycle
+    c.burstBytes = 32;
+    c.rowBytes = 1024;
+    c.tRCD = 14;
+    c.tRP = 14;
+    c.tCL = 14;
+    c.tBL = 1;
+    c.tRC = 45;
+    c.tCCD = 1;
+    c.actEnergyNj = 0.91;
+    c.readEnergyNjPerBurst = 0.34;
+    c.backgroundMwPerChannel = 48.0;
+    return c;
+}
+
+MemoryConfig
+MemoryConfig::ddr5()
+{
+    MemoryConfig c;
+    c.name = "DDR5 (4 channels)";
+    c.channels = 4;
+    c.banksPerChannel = 32;
+    c.clockGhz = 2.4;       // DDR5-4800
+    c.busBytesPerCycle = 16; // 64-bit @ DDR
+    c.burstBytes = 64;      // BL16
+    c.rowBytes = 8192;
+    c.tRCD = 34;
+    c.tRP = 34;
+    c.tCL = 40;
+    c.tBL = 4;
+    c.tRC = 112;
+    c.tCCD = 8;
+    c.actEnergyNj = 2.1;
+    c.readEnergyNjPerBurst = 1.1;
+    c.backgroundMwPerChannel = 140.0;
+    return c;
+}
+
+MemoryConfig
+MemoryConfig::gddr6()
+{
+    MemoryConfig c;
+    c.name = "GDDR6 (8 Channels)";
+    c.channels = 8;
+    c.banksPerChannel = 16;
+    c.clockGhz = 1.75;      // 14 Gb/s pins / 8 (DDR quad pumped folded)
+    c.busBytesPerCycle = 8;  // 32-bit channel, effective per command clock
+    c.burstBytes = 32;
+    c.rowBytes = 2048;
+    c.tRCD = 24;
+    c.tRP = 24;
+    c.tCL = 24;
+    c.tBL = 4;
+    c.tRC = 78;
+    c.tCCD = 4;
+    c.actEnergyNj = 1.3;
+    c.readEnergyNjPerBurst = 0.6;
+    c.backgroundMwPerChannel = 85.0;
+    return c;
+}
+
+} // namespace hwsim
+} // namespace gpx

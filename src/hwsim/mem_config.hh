@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Memory technology configurations for the DRAM channel model.
+ *
+ * Plays the role of Ramulator 2.0's config files (paper §6): HBM2 with 32
+ * pseudo-channels (four 8 GB stacks, eight 128-bit channels each, 1 GHz
+ * DDR), plus the DDR5 and GDDR6 points of the §7.5 scalability study
+ * (Table 6). Energy constants approximate the DRAMsim3 HBM2e/DDR5/GDDR6
+ * models.
+ */
+
+#ifndef GPX_HWSIM_MEM_CONFIG_HH
+#define GPX_HWSIM_MEM_CONFIG_HH
+
+#include <string>
+
+#include "util/types.hh"
+
+namespace gpx {
+namespace hwsim {
+
+/** Per-channel DRAM parameters (timings in memory-clock cycles). */
+struct MemoryConfig
+{
+    std::string name;
+    u32 channels = 32;      ///< independent channels in the system
+    u32 banksPerChannel = 16;
+    double clockGhz = 1.0;  ///< command clock
+    u32 busBytesPerCycle = 32; ///< data per clock (DDR already folded in)
+    u32 burstBytes = 32;    ///< minimum access granularity
+    u32 rowBytes = 1024;    ///< row-buffer size per bank
+
+    u32 tRCD = 14; ///< activate -> read
+    u32 tRP = 14;  ///< precharge
+    u32 tCL = 14;  ///< read -> first data
+    u32 tBL = 1;   ///< data-bus cycles per burst
+    u32 tRC = 48;  ///< activate -> activate, same bank
+    u32 tCCD = 1;  ///< read -> read, same bank group
+
+    double actEnergyNj = 0.9;   ///< energy per activation (nJ)
+    double readEnergyNjPerBurst = 0.35; ///< per-burst read energy (nJ)
+    double backgroundMwPerChannel = 45.0;
+
+    /** Peak channel bandwidth in GB/s. */
+    double
+    peakChannelGBps() const
+    {
+        return busBytesPerCycle * clockGhz;
+    }
+
+    /** Peak system bandwidth in GB/s. */
+    double peakGBps() const { return peakChannelGBps() * channels; }
+
+    /** HBM2, 4 stacks x 8 channels (the paper's primary configuration). */
+    static MemoryConfig hbm2();
+    /** DDR5, 4 channels (Table 6). */
+    static MemoryConfig ddr5();
+    /** GDDR6, 8 channels (Table 6). */
+    static MemoryConfig gddr6();
+};
+
+} // namespace hwsim
+} // namespace gpx
+
+#endif // GPX_HWSIM_MEM_CONFIG_HH

@@ -1,0 +1,74 @@
+#include "hwsim/module_models.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace hwsim {
+
+WorkloadProfile
+WorkloadProfile::fromStats(const genpair::PipelineStats &stats, u32 read_len,
+                           double chain_cells_per_fallback,
+                           double align_cells_per_dp_pair,
+                           double avg_locations_per_seed)
+{
+    gpx_assert(stats.pairsTotal > 0, "empty pipeline statistics");
+    WorkloadProfile w;
+    w.readLen = read_len;
+    double pairs = static_cast<double>(stats.pairsTotal);
+    w.avgFilterIterationsPerPair = stats.query.filterIterations / pairs;
+    w.avgLightAlignsPerPair = stats.lightAlignsAttempted / pairs;
+    w.avgLocationsPerSeed = avg_locations_per_seed;
+    w.seedMissFrac = stats.fraction(stats.seedMissFallback);
+    w.paFallbackFrac = stats.fraction(stats.paFilterFallback);
+    w.lightFallbackFrac = stats.fraction(stats.lightAlignFallback);
+    w.chainCellsPerFullDpPair = chain_cells_per_fallback;
+    w.alignCellsPerDpPair = align_cells_per_dp_pair;
+    return w;
+}
+
+ModuleSpec
+ModuleModels::partitionedSeeding(double target_mpairs) const
+{
+    ModuleSpec m;
+    m.name = "Partitioned Seeding";
+    m.cyclesPerPair = 6; // one hash issue slot per seed, fully pipelined
+    m.latencyCycles = 10;
+    m.throughputMpairs = clockGhz_ * 1e3 / m.cyclesPerPair;
+    m.instances = static_cast<u32>(
+        std::max(1.0, std::ceil(target_mpairs / m.throughputMpairs)));
+    return m;
+}
+
+ModuleSpec
+ModuleModels::pairedAdjacencyFilter(const WorkloadProfile &w,
+                                    double target_mpairs) const
+{
+    ModuleSpec m;
+    m.name = "Paired-Adjacency Filtering";
+    m.cyclesPerPair = std::max(1.0, w.avgFilterIterationsPerPair);
+    m.latencyCycles = m.cyclesPerPair;
+    m.throughputMpairs = clockGhz_ * 1e3 / m.cyclesPerPair;
+    m.instances = static_cast<u32>(
+        std::max(1.0, std::ceil(target_mpairs / m.throughputMpairs)));
+    return m;
+}
+
+ModuleSpec
+ModuleModels::lightAlignment(const WorkloadProfile &w,
+                             double target_mpairs) const
+{
+    ModuleSpec m;
+    m.name = "Light Alignment";
+    double perAlign = lightAlignCycles(w.readLen);
+    m.cyclesPerPair = perAlign * std::max(1.0, w.avgLightAlignsPerPair);
+    m.latencyCycles = perAlign;
+    m.throughputMpairs = clockGhz_ * 1e3 / m.cyclesPerPair;
+    m.instances = static_cast<u32>(
+        std::max(1.0, std::ceil(target_mpairs / m.throughputMpairs)));
+    return m;
+}
+
+} // namespace hwsim
+} // namespace gpx

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Performance models of the GenPairX compute modules (paper §7.2,
+ * Table 3) and the workload profile that drives them.
+ *
+ * The paper's methodology: measure the data-dependent work per read-pair
+ * by profiling the software GenPair implementation, convert to cycles at
+ * 2 GHz, and replicate each module until it sustains the NMSL rate. The
+ * WorkloadProfile carries exactly those measured quantities, so Table 3
+ * regenerates from a software profiling run.
+ */
+
+#ifndef GPX_HWSIM_MODULE_MODELS_HH
+#define GPX_HWSIM_MODULE_MODELS_HH
+
+#include <cmath>
+#include <string>
+
+#include "genpair/pipeline.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace hwsim {
+
+/** Measured per-pair workload characteristics. */
+struct WorkloadProfile
+{
+    u32 readLen = 150;
+    /** PA-filter comparator iterations per pair (paper: 24.1). */
+    double avgFilterIterationsPerPair = 24.1;
+    /** Light alignments per pair (paper: 11.6). */
+    double avgLightAlignsPerPair = 11.6;
+    /** Average SeedMap locations per seed (paper Obs. 2: ~9.5). */
+    double avgLocationsPerSeed = 9.5;
+
+    /** Fallback fractions (paper Fig. 10). */
+    double seedMissFrac = 0.0209;
+    double paFallbackFrac = 0.0879;
+    double lightFallbackFrac = 0.1306;
+
+    /** DP cells per full-DP fallback pair (chaining stage). */
+    double chainCellsPerFullDpPair = 15824.0;
+    /** DP cells per DP-aligned pair (alignment stage). */
+    double alignCellsPerDpPair = 75195.0;
+
+    /** Fraction of pairs needing the full DP pipeline. */
+    double
+    fullDpFrac() const
+    {
+        return seedMissFrac + paFallbackFrac;
+    }
+
+    /** Fraction of pairs needing DP alignment (either fallback class). */
+    double
+    dpAlignFrac() const
+    {
+        return fullDpFrac() + lightFallbackFrac;
+    }
+
+    /** The paper's reported operating point (reference). */
+    static WorkloadProfile paperDefault() { return {}; }
+
+    /**
+     * Build a profile from software pipeline statistics (the §7.2
+     * methodology: profile GenPair in software, size hardware from it).
+     */
+    static WorkloadProfile fromStats(const genpair::PipelineStats &stats,
+                                     u32 read_len,
+                                     double chain_cells_per_fallback,
+                                     double align_cells_per_dp_pair,
+                                     double avg_locations_per_seed);
+};
+
+/** One sized hardware module (a Table 3 row). */
+struct ModuleSpec
+{
+    std::string name;
+    double cyclesPerPair = 0;     ///< average service cycles per pair
+    double latencyCycles = 0;     ///< latency of one item
+    double throughputMpairs = 0;  ///< sustained MPair/s of ONE instance
+    u32 instances = 1;            ///< replicas to sustain the target rate
+
+    double
+    aggregateMpairs() const
+    {
+        return throughputMpairs * instances;
+    }
+};
+
+/** Sizing calculator for the fixed-function modules. */
+class ModuleModels
+{
+  public:
+    explicit ModuleModels(double clock_ghz = 2.0) : clockGhz_(clock_ghz) {}
+
+    double clockGhz() const { return clockGhz_; }
+
+    /**
+     * Partitioned Seeding: six pipelined xxHash units; input-data
+     * independent. Paper: 333 MPair/s, 10-cycle latency, 1 instance.
+     */
+    ModuleSpec partitionedSeeding(double target_mpairs) const;
+
+    /**
+     * Paired-Adjacency Filtering: one comparator iteration per cycle;
+     * cycles per pair = measured filter iterations.
+     */
+    ModuleSpec pairedAdjacencyFilter(const WorkloadProfile &w,
+                                     double target_mpairs) const;
+
+    /**
+     * Light Alignment: all 2e+1 masks XOR-computed in one cycle, then
+     * the masks are traversed from both ends over ~read_len cycles
+     * (paper: 156 cycles for 150 bp).
+     */
+    ModuleSpec lightAlignment(const WorkloadProfile &w,
+                              double target_mpairs) const;
+
+    /** Cycles for one light alignment of a read of @p read_len. */
+    static double
+    lightAlignCycles(u32 read_len)
+    {
+        return read_len + 6; // mask setup + segment-compare epilogue
+    }
+
+  private:
+    double clockGhz_;
+};
+
+} // namespace hwsim
+} // namespace gpx
+
+#endif // GPX_HWSIM_MODULE_MODELS_HH

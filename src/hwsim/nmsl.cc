@@ -1,0 +1,200 @@
+#include "hwsim/nmsl.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace hwsim {
+
+std::vector<PairTrace>
+buildWorkload(const genpair::SeedMap &map,
+              const std::vector<genomics::ReadPair> &pairs)
+{
+    genpair::PartitionedSeeder seeder(map);
+    std::vector<PairTrace> out;
+    out.reserve(pairs.size());
+    const u32 maskBits = map.tableBits();
+    const u32 mask = (1u << maskBits) - 1;
+    for (const auto &pair : pairs) {
+        PairTrace trace{};
+        genomics::DnaSequence r2 = pair.second.seq.revComp();
+        auto s1 = seeder.extract(pair.first.seq);
+        auto s2 = seeder.extract(r2);
+        for (int i = 0; i < 3; ++i) {
+            const genpair::Seed &a = s1[static_cast<std::size_t>(i)];
+            const genpair::Seed &b = s2[static_cast<std::size_t>(i)];
+            trace[static_cast<std::size_t>(i)] = {
+                a.hash & mask, static_cast<u32>(map.lookup(a.hash).size()),
+                0
+            };
+            trace[static_cast<std::size_t>(i + 3)] = {
+                b.hash & mask, static_cast<u32>(map.lookup(b.hash).size()),
+                0
+            };
+        }
+        out.push_back(trace);
+    }
+    return out;
+}
+
+NmslResult
+NmslSim::run(const std::vector<PairTrace> &workload)
+{
+    const MemoryConfig &mem = cfg_.mem;
+    const u32 nch = mem.channels;
+    const u64 window =
+        cfg_.windowSize == 0 ? workload.size() : cfg_.windowSize;
+
+    std::vector<DramChannel> channels(nch, DramChannel(mem, 16));
+    // Per-channel software-side input FIFO (in front of the controller).
+    std::vector<std::deque<MemRequest>> fifos(nch);
+    u64 maxFifoDepth = 0;
+
+    // In-flight pair bookkeeping.
+    struct PairState
+    {
+        u32 seedsLeft = 6;
+    };
+    std::vector<PairState> inFlight(workload.size());
+    u64 nextAdmit = 0;  ///< next pair index to enter the window
+    u64 retired = 0;
+    u64 admitted = 0;
+
+    // Tag encoding: pair * 16 + seed * 2 + phase (0 = seed table,
+    // 1 = location list).
+    auto makeTag = [](u64 pair, u32 seed, u32 phase) {
+        return pair * 16 + seed * 2 + phase;
+    };
+
+    // Address layout inside a channel: Seed Table first, then the
+    // Location Table. Interleaving by hash spreads load uniformly;
+    // Block mapping is the load-imbalance ablation.
+    const u64 blockSize =
+        std::max<u64>(1, cfg_.tableEntries / std::max(1u, nch));
+    auto seedChannel = [&](u32 hash) -> u32 {
+        if (cfg_.mapping == ChannelMapping::Block)
+            return static_cast<u32>(
+                std::min<u64>(nch - 1, hash / blockSize));
+        return hash % nch;
+    };
+    auto seedAddr = [&](u32 hash) {
+        return static_cast<u64>(hash / nch) * cfg_.seedEntryBytes;
+    };
+    const u64 locBase = u64{1} << 33; // distinct row region per channel
+    auto locAddr = [&](u32 hash, u32 offset) {
+        return locBase + static_cast<u64>(hash / nch) * 64 +
+               static_cast<u64>(offset) * cfg_.locEntryBytes;
+    };
+
+    u64 cycle = 0;
+    const u64 cycleLimit = u64{4} * 1000 * 1000 * 1000;
+
+    auto pushFifo = [&](u32 ch, const MemRequest &req) {
+        fifos[ch].push_back(req);
+        maxFifoDepth = std::max<u64>(maxFifoDepth, fifos[ch].size());
+    };
+
+    while (retired < workload.size()) {
+        gpx_assert(cycle < cycleLimit, "NMSL simulation did not converge");
+
+        // Admit new pairs while the sliding window has room.
+        while (nextAdmit < workload.size() && admitted < window) {
+            const PairTrace &trace = workload[nextAdmit];
+            for (u32 s = 0; s < 6; ++s) {
+                const SeedTrace &st = trace[s];
+                u32 ch = seedChannel(st.hash);
+                MemRequest req;
+                req.addr = seedAddr(st.hash);
+                req.bytes = cfg_.seedEntryBytes;
+                req.tag = makeTag(nextAdmit, s, 0);
+                pushFifo(ch, req);
+            }
+            ++nextAdmit;
+            ++admitted;
+        }
+
+        // Move FIFO heads into the memory controllers and tick them.
+        for (u32 ch = 0; ch < nch; ++ch) {
+            while (!fifos[ch].empty() && channels[ch].canAccept()) {
+                channels[ch].push(fifos[ch].front());
+                fifos[ch].pop_front();
+            }
+            channels[ch].tick(cycle);
+        }
+
+        // Handle completions.
+        for (u32 ch = 0; ch < nch; ++ch) {
+            for (const auto &resp : channels[ch].drain(cycle)) {
+                u64 pairIdx = resp.tag / 16;
+                u32 seedIdx = static_cast<u32>((resp.tag % 16) / 2);
+                u32 phase = static_cast<u32>(resp.tag % 2);
+                const SeedTrace &st = workload[pairIdx][seedIdx];
+                if (phase == 0) {
+                    // Seed Table entry arrived; fetch the location list.
+                    u32 count = std::min(st.locCount, cfg_.maxLocsPerSeed);
+                    if (count == 0) {
+                        if (--inFlight[pairIdx].seedsLeft == 0) {
+                            ++retired;
+                            --admitted;
+                        }
+                        continue;
+                    }
+                    MemRequest req;
+                    req.addr = locAddr(st.hash, st.locOffset);
+                    req.bytes = count * cfg_.locEntryBytes;
+                    req.tag = makeTag(pairIdx, seedIdx, 1);
+                    pushFifo(ch, req);
+                } else {
+                    // Location list complete; the centralized buffer now
+                    // holds this seed's locations.
+                    if (--inFlight[pairIdx].seedsLeft == 0) {
+                        ++retired;
+                        --admitted;
+                    }
+                }
+            }
+        }
+        ++cycle;
+    }
+
+    NmslResult res;
+    res.pairs = workload.size();
+    res.cycles = cycle;
+    res.timeNs = static_cast<double>(cycle) / mem.clockGhz;
+    res.mpairsPerSec =
+        static_cast<double>(res.pairs) / res.timeNs * 1e3; // MPairs/s
+
+    DramStats total;
+    double dynNj = 0;
+    for (const auto &ch : channels) {
+        const DramStats &s = ch.stats();
+        total.bytesRead += s.bytesRead;
+        total.activations += s.activations;
+        total.rowHits += s.rowHits;
+        total.bursts += s.bursts;
+        dynNj += s.dynamicEnergyNj(mem);
+    }
+    res.bytesRead = total.bytesRead;
+    res.gbPerSec = static_cast<double>(total.bytesRead) / res.timeNs;
+    res.activations = total.activations;
+    res.rowHits = total.rowHits;
+    res.bursts = total.bursts;
+
+    res.maxChannelFifoDepth = maxFifoDepth;
+    res.centralBufferBytes = window * 6 * cfg_.maxLocsPerSeed *
+                             cfg_.locEntryBytes;
+    res.channelFifoBytes =
+        static_cast<u64>(nch) * std::max<u64>(maxFifoDepth, 4) * 8;
+    res.totalSramBytes = res.centralBufferBytes + res.channelFifoBytes;
+
+    res.dramDynamicPowerW = dynNj / res.timeNs; // nJ / ns = W
+    res.dramBackgroundPowerW =
+        mem.backgroundMwPerChannel * nch / 1000.0;
+    res.dramTotalPowerW = res.dramDynamicPowerW + res.dramBackgroundPowerW;
+    return res;
+}
+
+} // namespace hwsim
+} // namespace gpx

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Near-Memory Seed Locator (NMSL) simulator (paper §5.2, Fig. 7).
+ *
+ * Models the SeedMap Query engine placed at the HBM: the Seed and
+ * Location tables are partitioned into per-channel subtables, requests
+ * flow through per-channel input FIFOs into the DRAM channel model, and a
+ * read-pair-granularity sliding window plus a centralized location buffer
+ * bound the number of in-flight pairs (preventing the reordering
+ * deadlock described in the paper). Regenerates Fig. 8 (throughput, FIFO
+ * depth and SRAM versus window size) and feeds the end-to-end pipeline
+ * model (Table 6, Fig. 9, Fig. 11).
+ */
+
+#ifndef GPX_HWSIM_NMSL_HH
+#define GPX_HWSIM_NMSL_HH
+
+#include <array>
+#include <vector>
+
+#include "genomics/readpair.hh"
+#include "genpair/seedmap.hh"
+#include "genpair/seeder.hh"
+#include "hwsim/dram.hh"
+#include "hwsim/mem_config.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace hwsim {
+
+/** Memory trace of one seed lookup. */
+struct SeedTrace
+{
+    u32 hash = 0;      ///< masked seed hash (selects channel + address)
+    u32 locCount = 0;  ///< Location Table entries for this seed
+    u32 locOffset = 0; ///< Location Table offset (address locality)
+};
+
+/** Memory trace of one read-pair (six seeds). */
+using PairTrace = std::array<SeedTrace, 6>;
+
+/**
+ * Seed/Location subtable-to-channel assignment policy. The paper
+ * partitions by hash, relying on the uniform access distribution to
+ * balance channels (§5.2); block mapping is the ablation showing why:
+ * contiguous hash blocks concentrate hot seeds on few channels.
+ */
+enum class ChannelMapping
+{
+    HashInterleave, ///< channel = hash % channels (the paper's design)
+    Block,          ///< channel = hash / (table_size / channels)
+};
+
+/** NMSL configuration. */
+struct NmslConfig
+{
+    MemoryConfig mem = MemoryConfig::hbm2();
+    /** Sliding-window size in read-pairs; 0 = no window (unbounded). */
+    u32 windowSize = 1024;
+    ChannelMapping mapping = ChannelMapping::HashInterleave;
+    /** Seed-table size (for Block mapping); 0 = derive from hashes. */
+    u64 tableEntries = u64{1} << 26;
+    u32 seedEntryBytes = 8; ///< Seed Table read: [start,end) offset pair
+    u32 locEntryBytes = 4;  ///< one Location Table entry
+    u32 channelFifoDepth = 64; ///< per-channel input FIFO capacity
+    /** Centralized-buffer FIFO depth = the index filtering threshold. */
+    u32 maxLocsPerSeed = 500;
+};
+
+/** Simulation results. */
+struct NmslResult
+{
+    u64 pairs = 0;
+    u64 cycles = 0;
+    double timeNs = 0;
+    double mpairsPerSec = 0;
+    double gbPerSec = 0;
+    u64 bytesRead = 0;
+
+    u64 maxChannelFifoDepth = 0; ///< Fig. 8b
+    u64 centralBufferBytes = 0;  ///< window x 6 x threshold x 4B
+    u64 channelFifoBytes = 0;
+    u64 totalSramBytes = 0;      ///< Fig. 8c
+
+    double dramDynamicPowerW = 0;
+    double dramBackgroundPowerW = 0;
+    double dramTotalPowerW = 0;
+
+    u64 activations = 0;
+    u64 rowHits = 0;
+    u64 bursts = 0;
+};
+
+/**
+ * Build an NMSL workload from a SeedMap and simulated read pairs: the
+ * six partitioned seeds per pair in the forward-fragment orientation,
+ * exactly the stream the Partitioned Seeding module emits.
+ */
+std::vector<PairTrace> buildWorkload(const genpair::SeedMap &map,
+                                     const std::vector<genomics::ReadPair>
+                                         &pairs);
+
+/** The NMSL cycle-level simulator. */
+class NmslSim
+{
+  public:
+    explicit NmslSim(const NmslConfig &config) : cfg_(config) {}
+
+    /** Run the workload to completion and report metrics. */
+    NmslResult run(const std::vector<PairTrace> &workload);
+
+  private:
+    NmslConfig cfg_;
+};
+
+} // namespace hwsim
+} // namespace gpx
+
+#endif // GPX_HWSIM_NMSL_HH

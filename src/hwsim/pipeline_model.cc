@@ -1,0 +1,112 @@
+#include "hwsim/pipeline_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace hwsim {
+
+PipelineDesign
+PipelineModel::design(const NmslResult &nmsl, const NmslConfig &cfg,
+                      const WorkloadProfile &w) const
+{
+    PipelineDesign d;
+    d.nmslMpairs = nmsl.mpairsPerSec;
+    d.readLen = w.readLen;
+
+    // Table 3: size each module to the NMSL rate.
+    d.modules.push_back(modules_.partitionedSeeding(d.nmslMpairs));
+    d.modules.push_back(modules_.pairedAdjacencyFilter(w, d.nmslMpairs));
+    d.modules.push_back(modules_.lightAlignment(w, d.nmslMpairs));
+
+    // GenDP sizing from residual MCUPS demand at the NMSL rate.
+    double pairRate = d.nmslMpairs * 1e6;
+    d.chainMcups = pairRate * w.fullDpFrac() * w.chainCellsPerFullDpPair /
+                   1e6;
+    d.alignMcups = pairRate * w.dpAlignFrac() * w.alignCellsPerDpPair / 1e6;
+
+    // Table 4 roll-up (7 nm).
+    auto add = [&](const std::string &name, const BlockCost &c28,
+                   bool scale) {
+        BlockCost c = scale ? TechModel::to7nm(c28) : c28;
+        d.breakdown.push_back({ name, c });
+        d.genPairXCost = d.genPairXCost + c;
+    };
+    const auto &ps = d.modules[0];
+    const auto &pa = d.modules[1];
+    const auto &la = d.modules[2];
+    add("Partitioned Seeding",
+        SynthesizedBlocks::partitionedSeeding() * ps.instances, true);
+    add("Paired-Adjacency Filtering",
+        SynthesizedBlocks::pairedAdjacencyFilter() * pa.instances, true);
+    add("Light Alignment",
+        SynthesizedBlocks::lightAlignment() * la.instances, true);
+    add("HBM PHY", SynthesizedBlocks::hbmPhy(), false);
+    add("Centralized Buffer",
+        SramModel::cost(nmsl.centralBufferBytes, SramModel::Profile::Buffer),
+        false);
+    add("FIFOs",
+        SramModel::cost(nmsl.channelFifoBytes, SramModel::Profile::Fifo),
+        false);
+    add("Interconnect (AXI-Stream)", SynthesizedBlocks::interconnect(),
+        false);
+    add("Batch FIFOs", SynthesizedBlocks::batchFifos(), false);
+
+    d.genDpCost = GenDpModel::chainCost(d.chainMcups) +
+                  GenDpModel::alignCost(d.alignMcups);
+    d.totalCost = d.genPairXCost + d.genDpCost;
+
+    // Balanced design: every stage matches the NMSL rate.
+    d.endToEndMpairs = d.nmslMpairs;
+    for (const auto &m : d.modules)
+        d.endToEndMpairs = std::min(d.endToEndMpairs, m.aggregateMpairs());
+
+    (void)cfg;
+    return d;
+}
+
+double
+PipelineModel::throughputUnder(const PipelineDesign &design,
+                               const WorkloadProfile &w) const
+{
+    // The NMSL and the fixed-function modules cap the front end; GenDP
+    // capacity caps the residual DP demand.
+    double rate = design.nmslMpairs;
+
+    ModuleSpec pa = modules_.pairedAdjacencyFilter(w, 1.0);
+    ModuleSpec la = modules_.lightAlignment(w, 1.0);
+    rate = std::min(rate,
+                    pa.throughputMpairs * design.modules[1].instances);
+    rate = std::min(rate,
+                    la.throughputMpairs * design.modules[2].instances);
+
+    if (w.fullDpFrac() > 0 && w.chainCellsPerFullDpPair > 0) {
+        double cap = design.chainMcups /
+                     (w.fullDpFrac() * w.chainCellsPerFullDpPair);
+        rate = std::min(rate, cap);
+    }
+    if (w.dpAlignFrac() > 0 && w.alignCellsPerDpPair > 0) {
+        double cap = design.alignMcups /
+                     (w.dpAlignFrac() * w.alignCellsPerDpPair);
+        rate = std::min(rate, cap);
+    }
+    return rate;
+}
+
+double
+PipelineModel::longReadMbps(const PipelineDesign &design,
+                            const LongReadWorkload &w) const
+{
+    // Front end: the NMSL sees pseudo-pairs, not reads.
+    double readsFrontEnd =
+        design.nmslMpairs * 1e6 / std::max(1.0, w.pseudoPairsPerRead);
+    // Back end: every long read is DP-aligned on GenDP's align engine.
+    double readsDp = GenDpModel::cellsPerSec(design.alignMcups) /
+                     std::max(1.0, w.dpCellsPerRead);
+    double reads = std::min(readsFrontEnd, readsDp);
+    return reads * w.meanReadLen / 1e6;
+}
+
+} // namespace hwsim
+} // namespace gpx

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * End-to-end GenPairX + GenDP design roll-up (paper §7.2-§7.4).
+ *
+ * Consumes the NMSL simulation result and the measured workload profile,
+ * sizes every compute module to the NMSL-sustained rate, sizes GenDP to
+ * the residual MCUPS demand, and rolls up area/power (Table 3 + Table 4)
+ * and end-to-end throughput (Table 5, Table 6, Fig. 11, Fig. 12b).
+ */
+
+#ifndef GPX_HWSIM_PIPELINE_MODEL_HH
+#define GPX_HWSIM_PIPELINE_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "hwsim/baseline_models.hh"
+#include "hwsim/gendp.hh"
+#include "hwsim/module_models.hh"
+#include "hwsim/nmsl.hh"
+#include "hwsim/sram.hh"
+#include "hwsim/tech.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace hwsim {
+
+/** One Table 4 row. */
+struct CostRow
+{
+    std::string name;
+    BlockCost cost;
+};
+
+/** A fully sized GenPairX + GenDP design. */
+struct PipelineDesign
+{
+    double nmslMpairs = 0;        ///< sustained SeedMap Query rate
+    std::vector<ModuleSpec> modules; ///< Table 3
+    std::vector<CostRow> breakdown;  ///< Table 4 rows (GenPairX side)
+    double chainMcups = 0;        ///< GenDP chain sizing
+    double alignMcups = 0;        ///< GenDP align sizing
+    u32 readLen = 150;
+
+    BlockCost genPairXCost;       ///< sum of GenPairX rows
+    BlockCost genDpCost;          ///< chain + align engines
+    BlockCost totalCost;
+
+    /** End-to-end pair rate of the balanced design (MPair/s). */
+    double endToEndMpairs = 0;
+
+    /** Mapping throughput in Mbp/s (pairs x 2 x readLen). */
+    double
+    throughputMbps() const
+    {
+        return endToEndMpairs * 2.0 * readLen;
+    }
+
+    /** As a Fig. 11 operating point. */
+    SystemPoint
+    asSystemPoint(const std::string &name) const
+    {
+        return { name, throughputMbps(), totalCost.areaMm2,
+                 totalCost.powerMw / 1000.0 };
+    }
+};
+
+/** Long-read operating characteristics (paper §4.7 / Fig. 11). */
+struct LongReadWorkload
+{
+    double meanReadLen = 9569.0;
+    double pseudoPairsPerRead = 62.0; ///< meanReadLen / 150 - 1
+    double dpCellsPerRead = 3.0e6;    ///< banded DP over the read
+};
+
+/** The design calculator. */
+class PipelineModel
+{
+  public:
+    explicit PipelineModel(double clock_ghz = 2.0) : modules_(clock_ghz) {}
+
+    /**
+     * Size a balanced design: every module and the GenDP fallback are
+     * provisioned for the NMSL-sustained rate under workload @p w.
+     */
+    PipelineDesign design(const NmslResult &nmsl, const NmslConfig &cfg,
+                          const WorkloadProfile &w) const;
+
+    /**
+     * Throughput of a FIXED design under a different workload (the
+     * Fig. 12b sweep): the bottleneck moves to GenDP once fallback
+     * demand exceeds its provisioned MCUPS.
+     */
+    double throughputUnder(const PipelineDesign &design,
+                           const WorkloadProfile &w) const;
+
+    /**
+     * Long-read throughput of a fixed design in Mbp/s (paper: roughly an
+     * order of magnitude below short reads; DP alignment becomes the
+     * bottleneck).
+     */
+    double longReadMbps(const PipelineDesign &design,
+                        const LongReadWorkload &w) const;
+
+    const ModuleModels &modules() const { return modules_; }
+
+  private:
+    ModuleModels modules_;
+};
+
+} // namespace hwsim
+} // namespace gpx
+
+#endif // GPX_HWSIM_PIPELINE_MODEL_HH

@@ -1,0 +1,156 @@
+#include "hwsim/pipeline_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace gpx {
+namespace hwsim {
+
+namespace {
+
+/** One busy/idle server (a PA or LA instance). */
+struct Server
+{
+    u64 freeAt = 0;    ///< first cycle the server is idle again
+    u64 busyCycles = 0;
+    PairWork work;
+    bool hasWork = false;
+};
+
+} // namespace
+
+PipelineSimResult
+GenPairXPipelineSim::run(const std::vector<PairWork> &workload) const
+{
+    PipelineSimResult res;
+    res.pairs = workload.size();
+    if (workload.empty())
+        return res;
+    gpx_assert(cfg_.paInstances > 0 && cfg_.laInstances > 0,
+               "pipeline needs at least one instance per stage");
+
+    // Source emission interval in cycles (fractional accumulator).
+    const double cyclesPerPair =
+        cfg_.clockGhz * 1e3 / std::max(1e-9, cfg_.nmslMpairs);
+    const double laCyclesPerAlign =
+        ModuleModels::lightAlignCycles(cfg_.readLen);
+
+    Fifo<PairWork> buf1(cfg_.bufferDepth);
+    Fifo<PairWork> buf2(cfg_.bufferDepth);
+    std::vector<Server> pa(cfg_.paInstances);
+    std::vector<Server> la(cfg_.laInstances);
+
+    std::size_t nextEmit = 0;
+    double emitCredit = 0;
+    u64 completed = 0;
+    u64 cycle = 0;
+    const u64 limit = 400ull * 1000 * 1000;
+
+    while (completed < workload.size()) {
+        gpx_assert(cycle < limit, "pipeline simulation did not converge");
+
+        // Source: the NMSL delivers pairs at its sustained rate unless
+        // the first circular buffer backpressures it.
+        emitCredit += 1.0;
+        while (emitCredit >= cyclesPerPair && nextEmit < workload.size()) {
+            if (!buf1.tryPush(workload[nextEmit])) {
+                ++res.sourceStallCycles;
+                break;
+            }
+            ++nextEmit;
+            emitCredit -= cyclesPerPair;
+        }
+        if (emitCredit > cyclesPerPair * 4)
+            emitCredit = cyclesPerPair * 4; // bounded credit accumulation
+
+        // Paired-Adjacency Filtering instances.
+        for (auto &srv : pa) {
+            if (srv.hasWork && srv.freeAt <= cycle) {
+                // Service complete: hand the pair to the LA buffer (or
+                // to the sink for full-DP pairs that bypass the LA).
+                if (srv.work.bypassLight || srv.work.lightAligns == 0) {
+                    ++completed;
+                    srv.hasWork = false;
+                } else if (buf2.tryPush(srv.work)) {
+                    srv.hasWork = false;
+                }
+                // else: blocked on buf2, retry next cycle.
+            }
+            if (!srv.hasWork && !buf1.empty()) {
+                srv.work = buf1.pop();
+                srv.hasWork = true;
+                u64 service = std::max<u32>(1, srv.work.paIterations);
+                srv.freeAt = cycle + service;
+                srv.busyCycles += service;
+            }
+        }
+
+        // Light Alignment instances.
+        for (auto &srv : la) {
+            if (srv.hasWork && srv.freeAt <= cycle) {
+                ++completed;
+                srv.hasWork = false;
+            }
+            if (!srv.hasWork && !buf2.empty()) {
+                srv.work = buf2.pop();
+                srv.hasWork = true;
+                u64 service = static_cast<u64>(
+                    std::max<u32>(1, srv.work.lightAligns) *
+                    laCyclesPerAlign);
+                srv.freeAt = cycle + service;
+                srv.busyCycles += service;
+            }
+        }
+
+        ++cycle;
+    }
+
+    res.cycles = cycle;
+    double seconds = static_cast<double>(cycle) /
+                     (cfg_.clockGhz * 1e9);
+    res.mpairsPerSec = static_cast<double>(res.pairs) / seconds / 1e6;
+
+    u64 paBusy = 0, laBusy = 0;
+    for (const auto &srv : pa)
+        paBusy += srv.busyCycles;
+    for (const auto &srv : la)
+        laBusy += srv.busyCycles;
+    res.paUtilization = static_cast<double>(paBusy) /
+                        (static_cast<double>(cycle) * cfg_.paInstances);
+    res.laUtilization = static_cast<double>(laBusy) /
+                        (static_cast<double>(cycle) * cfg_.laInstances);
+    res.buf1MaxOccupancy = buf1.maxOccupancy();
+    res.buf2MaxOccupancy = buf2.maxOccupancy();
+    return res;
+}
+
+std::vector<PairWork>
+GenPairXPipelineSim::synthesizeWorkload(const WorkloadProfile &profile,
+                                        u64 pairs, u64 seed)
+{
+    util::Pcg32 rng(seed, 0x9A1B);
+    std::vector<PairWork> out;
+    out.reserve(pairs);
+    double meanIter = std::max(1.0, profile.avgFilterIterationsPerPair);
+    double meanAligns = std::max(0.1, profile.avgLightAlignsPerPair);
+    double bypassFrac = profile.fullDpFrac();
+    for (u64 i = 0; i < pairs; ++i) {
+        PairWork w;
+        // Exponential dispersion around the measured means.
+        double u1 = std::max(1e-9, rng.uniform());
+        double u2 = std::max(1e-9, rng.uniform());
+        w.paIterations = static_cast<u32>(
+            std::max(1.0, -meanIter * std::log(u1)));
+        w.lightAligns = static_cast<u32>(
+            std::max(1.0, std::round(-meanAligns * std::log(u2))));
+        w.bypassLight = rng.chance(bypassFrac);
+        out.push_back(w);
+    }
+    return out;
+}
+
+} // namespace hwsim
+} // namespace gpx

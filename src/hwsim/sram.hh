@@ -1,0 +1,72 @@
+/**
+ * @file
+ * CACTI-lite SRAM cost model.
+ *
+ * The paper models SRAM with CACTI 7.0 at 22 nm and scales to 7 nm
+ * (Table 4 footnote b). Two activity profiles matter: the centralized
+ * location buffer (large, mostly idle banks -> leakage dominated) and
+ * the small per-channel FIFOs (accessed nearly every cycle -> dynamic
+ * dominated). The constants are calibrated against the paper's two data
+ * points: 11.74 MB buffer = 6.13 mm^2 / 6.09 mW and 190 KB of FIFOs =
+ * 0.091 mm^2 / 3.36 mW (both at 7 nm).
+ */
+
+#ifndef GPX_HWSIM_SRAM_HH
+#define GPX_HWSIM_SRAM_HH
+
+#include "hwsim/tech.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace hwsim {
+
+/** SRAM macro cost estimation. */
+class SramModel
+{
+  public:
+    /** Activity profile of a macro. */
+    enum class Profile
+    {
+        Buffer, ///< large, low switching activity
+        Fifo,   ///< small, near-per-cycle activity
+    };
+
+    /** Area at 7 nm for a macro of @p bytes. */
+    static double
+    areaMm2(u64 bytes, Profile)
+    {
+        // ~0.522 mm^2/MB at 7 nm (11.74 MB -> 6.13 mm^2).
+        return kAreaPerMb * static_cast<double>(bytes) / kMb;
+    }
+
+    /** Power at 7 nm in mW. */
+    static double
+    powerMw(u64 bytes, Profile profile)
+    {
+        double mb = static_cast<double>(bytes) / kMb;
+        switch (profile) {
+          case Profile::Buffer:
+            return kBufferMwPerMb * mb; // leakage dominated
+          case Profile::Fifo:
+            return kFifoMwPerMb * mb; // toggling every cycle
+        }
+        return 0;
+    }
+
+    static BlockCost
+    cost(u64 bytes, Profile profile)
+    {
+        return { areaMm2(bytes, profile), powerMw(bytes, profile) };
+    }
+
+  private:
+    static constexpr double kMb = 1024.0 * 1024.0;
+    static constexpr double kAreaPerMb = 6.13 / 11.74;
+    static constexpr double kBufferMwPerMb = 6.09 / 11.74;
+    static constexpr double kFifoMwPerMb = 3.36 / (190.0 / 1024.0);
+};
+
+} // namespace hwsim
+} // namespace gpx
+
+#endif // GPX_HWSIM_SRAM_HH

@@ -1,0 +1,8 @@
+#include "hwsim/tech.hh"
+
+// Constants are defined inline in the header; this translation unit
+// anchors the library target.
+namespace gpx {
+namespace hwsim {
+} // namespace hwsim
+} // namespace gpx

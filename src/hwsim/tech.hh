@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Technology scaling and synthesized-module cost constants.
+ *
+ * The paper synthesizes the GenPairX blocks in a commercial 28 nm flow,
+ * models SRAM with CACTI 7.0 at 22 nm, and scales everything to 7 nm for
+ * a fair comparison with GenDP, using the area factor 1.91x and power
+ * factor 3.5x from Stiller et al. (Table 4, footnotes a/b). This module
+ * encodes those per-instance 28 nm costs and the scaling so that the
+ * Table 4 roll-up can be regenerated (and re-targeted to other nodes).
+ */
+
+#ifndef GPX_HWSIM_TECH_HH
+#define GPX_HWSIM_TECH_HH
+
+#include <string>
+
+#include "util/types.hh"
+
+namespace gpx {
+namespace hwsim {
+
+/** Area/power cost of one hardware block instance. */
+struct BlockCost
+{
+    double areaMm2 = 0;
+    double powerMw = 0;
+
+    BlockCost
+    operator*(double n) const
+    {
+        return { areaMm2 * n, powerMw * n };
+    }
+
+    BlockCost
+    operator+(const BlockCost &o) const
+    {
+        return { areaMm2 + o.areaMm2, powerMw + o.powerMw };
+    }
+};
+
+/** Process scaling model (paper: Stiller et al. factors). */
+class TechModel
+{
+  public:
+    /** Scaling from the synthesis node to the reporting node (7 nm). */
+    static constexpr double kAreaScale = 1.91; ///< divide area by this
+    static constexpr double kPowerScale = 3.5; ///< divide power by this
+
+    /** Scale a 28/22 nm cost down to 7 nm. */
+    static BlockCost
+    to7nm(const BlockCost &c)
+    {
+        return { c.areaMm2 / kAreaScale, c.powerMw / kPowerScale };
+    }
+};
+
+/**
+ * Per-instance synthesized costs of the GenPairX compute blocks at the
+ * 28 nm synthesis corner (2.0 GHz), calibrated so the 7 nm-scaled totals
+ * reproduce paper Table 4 at the Table 3 instance counts.
+ */
+struct SynthesizedBlocks
+{
+    /** Partitioned Seeding module (six pipelined xxHash units). */
+    static BlockCost
+    partitionedSeeding()
+    {
+        return { 0.016 * TechModel::kAreaScale,
+                 82.4 * TechModel::kPowerScale };
+    }
+
+    /** One Paired-Adjacency Filtering instance (Table 4 lists 3). */
+    static BlockCost
+    pairedAdjacencyFilter()
+    {
+        return { 0.027 / 3.0 * TechModel::kAreaScale,
+                 15.6 / 3.0 * TechModel::kPowerScale };
+    }
+
+    /** One Light Alignment instance (Table 4 lists 174). */
+    static BlockCost
+    lightAlignment()
+    {
+        return { 0.53 / 174.0 * TechModel::kAreaScale,
+                 453.6 / 174.0 * TechModel::kPowerScale };
+    }
+
+    /** HBM PHY (from existing chips; already at the reporting node). */
+    static BlockCost hbmPhy() { return { 60.0, 320.0 }; }
+
+    /** AXI-Stream interconnect to GenDP (paper §7.4). */
+    static BlockCost interconnect() { return { 1.0, 50.0 }; }
+
+    /** Inter-accelerator batching FIFOs (paper §7.4, 10K-read batch). */
+    static BlockCost batchFifos() { return { 1.3, 500.0 }; }
+};
+
+} // namespace hwsim
+} // namespace gpx
+
+#endif // GPX_HWSIM_TECH_HH

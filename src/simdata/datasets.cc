@@ -1,0 +1,65 @@
+#include "simdata/datasets.hh"
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace simdata {
+
+DatasetConfig
+datasetConfig(u32 index, u64 genome_len, u64 num_pairs)
+{
+    gpx_assert(index >= 1 && index <= 3, "dataset index must be 1..3");
+    DatasetConfig cfg;
+    cfg.name = "Dataset " + std::to_string(index);
+    cfg.genome.length = genome_len;
+    cfg.genome.chromosomes = genome_len > (4u << 20) ? 4 : 2;
+    cfg.genome.seed = 7; // shared genome across the three datasets
+    cfg.variants.seed = 11;
+    cfg.numPairs = num_pairs;
+
+    cfg.reads.seed = 1000 + index;
+    switch (index) {
+      case 1:
+        cfg.reads.errors.subRate = 0.0011;
+        cfg.reads.insertMean = 400;
+        cfg.reads.insertSd = 40;
+        break;
+      case 2:
+        cfg.reads.errors.subRate = 0.0012;
+        cfg.reads.insertMean = 380;
+        cfg.reads.insertSd = 45;
+        break;
+      case 3:
+        cfg.reads.errors.subRate = 0.0014;
+        cfg.reads.insertMean = 420;
+        cfg.reads.insertSd = 50;
+        break;
+    }
+    return cfg;
+}
+
+Dataset
+buildDataset(const DatasetConfig &config)
+{
+    Dataset ds;
+    ds.name = config.name;
+    ds.reference = std::make_unique<genomics::Reference>(
+        generateGenome(config.genome));
+    ds.diploid = std::make_unique<DiploidGenome>(*ds.reference,
+                                                 config.variants);
+    ReadSimulator sim(*ds.diploid, config.reads);
+    ds.pairs = sim.simulate(config.numPairs);
+    return ds;
+}
+
+std::vector<Dataset>
+buildPaperDatasets(u64 genome_len, u64 num_pairs)
+{
+    std::vector<Dataset> out;
+    for (u32 i = 1; i <= 3; ++i)
+        out.push_back(buildDataset(datasetConfig(i, genome_len, num_pairs)));
+    return out;
+}
+
+} // namespace simdata
+} // namespace gpx

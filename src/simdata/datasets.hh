@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Canonical dataset profiles D1/D2/D3.
+ *
+ * The paper evaluates on three GIAB HG002 2x150 bp read sets; these
+ * profiles are their synthetic stand-ins, differing in RNG seed, error
+ * rate and insert-size distribution (see DESIGN.md substitution table).
+ */
+
+#ifndef GPX_SIMDATA_DATASETS_HH
+#define GPX_SIMDATA_DATASETS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "genomics/readpair.hh"
+#include "genomics/reference.hh"
+#include "simdata/genome_generator.hh"
+#include "simdata/read_simulator.hh"
+#include "simdata/variants.hh"
+
+namespace gpx {
+namespace simdata {
+
+/** Everything needed to build one dataset. */
+struct DatasetConfig
+{
+    std::string name;
+    GenomeParams genome;
+    VariantParams variants;
+    ReadSimParams reads;
+    u64 numPairs = 10000;
+};
+
+/** Profile of GIAB dataset i (i in {1,2,3}); shared synthetic genome. */
+DatasetConfig datasetConfig(u32 index, u64 genome_len, u64 num_pairs);
+
+/** A fully materialized dataset. */
+struct Dataset
+{
+    std::string name;
+    std::unique_ptr<genomics::Reference> reference;
+    std::unique_ptr<DiploidGenome> diploid;
+    std::vector<genomics::ReadPair> pairs;
+};
+
+/** Build a dataset from its config. */
+Dataset buildDataset(const DatasetConfig &config);
+
+/**
+ * Build the three paper datasets over one shared genome (cheaper than
+ * three genome constructions; the paper also maps all three sets against
+ * the same GRCh38).
+ */
+std::vector<Dataset> buildPaperDatasets(u64 genome_len, u64 num_pairs);
+
+} // namespace simdata
+} // namespace gpx
+
+#endif // GPX_SIMDATA_DATASETS_HH

@@ -1,0 +1,152 @@
+#include "simdata/genome_generator.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace gpx {
+namespace simdata {
+
+using genomics::DnaSequence;
+using genomics::Reference;
+using util::Pcg32;
+
+namespace {
+
+/** Draw one base honouring the GC fraction. */
+u8
+randomBase(Pcg32 &rng, double gc)
+{
+    if (rng.uniform() < gc)
+        return rng.chance(0.5) ? genomics::BaseC : genomics::BaseG;
+    return rng.chance(0.5) ? genomics::BaseA : genomics::BaseT;
+}
+
+/** Random sequence of the given length. */
+std::vector<u8>
+randomCodes(Pcg32 &rng, u64 len, double gc)
+{
+    std::vector<u8> codes(len);
+    for (auto &c : codes)
+        c = randomBase(rng, gc);
+    return codes;
+}
+
+/** A repeat family: consensus plus target copy count. */
+struct RepeatFamily
+{
+    std::vector<u8> consensus;
+    u64 copies;
+    double divergence;
+};
+
+} // namespace
+
+Reference
+generateGenome(const GenomeParams &params)
+{
+    gpx_assert(params.length >= 10000, "genome too small");
+    gpx_assert(params.chromosomes >= 1, "need at least one chromosome");
+    Pcg32 rng(params.seed, 0xC0FFEE);
+
+    // Background random genome, chromosome sizes roughly equal with a
+    // human-like size skew.
+    std::vector<u64> sizes(params.chromosomes);
+    u64 remaining = params.length;
+    for (u32 c = 0; c < params.chromosomes; ++c) {
+        u32 left = params.chromosomes - c;
+        u64 base = remaining / left;
+        u64 jitter = left > 1 ? rng.below64(base / 4 + 1) : 0;
+        sizes[c] = std::min(remaining, base + jitter);
+        remaining -= sizes[c];
+    }
+
+    std::vector<std::vector<u8>> chroms;
+    chroms.reserve(params.chromosomes);
+    for (u32 c = 0; c < params.chromosomes; ++c)
+        chroms.push_back(randomCodes(rng, sizes[c], params.gcContent));
+
+    // Build the repeat library. Length/copy-number mixture loosely follows
+    // the human repeat landscape: many short SINE-like elements, fewer long
+    // LINE-like elements, a couple of segmental duplications, and satellite
+    // arrays that create the >500-location heavy tail (paper §5.2).
+    u64 repeat_budget =
+        static_cast<u64>(params.repeatFraction * params.length);
+    std::vector<RepeatFamily> families;
+
+    u64 planned = 0;
+    // Satellite families: short unit, very high copy count.
+    for (u32 s = 0; s < params.satelliteFamilies && planned < repeat_budget;
+         ++s) {
+        RepeatFamily fam;
+        fam.consensus = randomCodes(rng, 120 + rng.below(80),
+                                    params.gcContent);
+        u64 budget = repeat_budget / 8;
+        fam.copies = std::max<u64>(50, budget / fam.consensus.size());
+        fam.divergence = params.repeatDivergence * 0.3;
+        planned += fam.copies * fam.consensus.size();
+        families.push_back(std::move(fam));
+    }
+    // Interspersed families until the budget is filled.
+    while (planned < repeat_budget) {
+        RepeatFamily fam;
+        u32 pick = rng.below(100);
+        if (pick < 70)
+            fam.consensus = randomCodes(rng, 200 + rng.below(200),
+                                        params.gcContent); // SINE-like
+        else if (pick < 95)
+            fam.consensus = randomCodes(rng, 1000 + rng.below(2000),
+                                        params.gcContent); // LINE-like
+        else
+            fam.consensus = randomCodes(rng, 5000 + rng.below(5000),
+                                        params.gcContent); // segdup-like
+        // Copy counts follow a rough power law.
+        double u = rng.uniform();
+        fam.copies = static_cast<u64>(3 + 60.0 * u * u * u * u);
+        fam.divergence = params.repeatDivergence *
+                         (0.5 + 1.5 * rng.uniform());
+        planned += fam.copies * fam.consensus.size();
+        families.push_back(std::move(fam));
+    }
+
+    // Stamp copies into the background. Iterate in reverse so the
+    // satellite families (built first) are stamped last and keep their
+    // near-identical high-copy structure — mirroring the homogeneity of
+    // real centromeric satellite arrays that drives the paper's
+    // index-filtering threshold.
+    for (auto it = families.rbegin(); it != families.rend(); ++it) {
+        const auto &fam = *it;
+        for (u64 copy = 0; copy < fam.copies; ++copy) {
+            u32 chrom = rng.below(params.chromosomes);
+            auto &target = chroms[chrom];
+            if (target.size() <= fam.consensus.size() + 2)
+                continue;
+            u64 pos = rng.below64(target.size() - fam.consensus.size() - 1);
+            bool rc = rng.chance(0.5);
+            for (std::size_t i = 0; i < fam.consensus.size(); ++i) {
+                u8 base;
+                if (rc) {
+                    base = genomics::complementBase(
+                        fam.consensus[fam.consensus.size() - 1 - i]);
+                } else {
+                    base = fam.consensus[i];
+                }
+                if (rng.chance(fam.divergence))
+                    base = static_cast<u8>((base + 1 + rng.below(3)) & 3u);
+                target[pos + i] = base;
+            }
+        }
+    }
+
+    Reference ref;
+    for (u32 c = 0; c < params.chromosomes; ++c) {
+        ref.addChromosome("chr" + std::to_string(c + 1),
+                          DnaSequence::fromCodes(chroms[c]));
+    }
+    return ref;
+}
+
+} // namespace simdata
+} // namespace gpx

@@ -1,0 +1,184 @@
+#include "simdata/read_simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace simdata {
+
+using genomics::DnaSequence;
+using genomics::Read;
+using genomics::ReadPair;
+
+ReadSimulator::ReadSimulator(const DiploidGenome &genome,
+                             const ReadSimParams &params)
+    : genome_(genome), params_(params), rng_(params.seed, 0x5EED)
+{
+    const auto &ref = genome_.reference();
+    double total = static_cast<double>(ref.totalLength());
+    for (u32 c = 0; c < ref.numChromosomes(); ++c)
+        chromWeights_.push_back(ref.chromosomeLength(c) / total);
+}
+
+DnaSequence
+ReadSimulator::applyErrors(const DnaSequence &truth, bool degraded)
+{
+    double mult = degraded ? params_.errors.badMultiplier : 1.0;
+    double sub = std::min(0.5, params_.errors.subRate * mult);
+    double ins = std::min(0.25, params_.errors.insRate * mult);
+    double del = std::min(0.25, params_.errors.delRate * mult);
+
+    DnaSequence out;
+    std::size_t i = 0;
+    while (out.size() < params_.readLen) {
+        if (i >= truth.size()) {
+            out.push(static_cast<u8>(rng_.below(4))); // ran past template
+            continue;
+        }
+        if (rng_.chance(del)) {
+            ++i;
+            continue;
+        }
+        if (rng_.chance(ins)) {
+            out.push(static_cast<u8>(rng_.below(4)));
+            continue;
+        }
+        u8 base = truth.at(i);
+        if (rng_.chance(sub))
+            base = static_cast<u8>((base + 1 + rng_.below(3)) & 3u);
+        out.push(base);
+        ++i;
+    }
+    return out;
+}
+
+ReadPair
+ReadSimulator::simulatePair()
+{
+    const auto &ref = genome_.reference();
+
+    // Choose a chromosome proportional to its length, then a haplotype.
+    double r = rng_.uniform();
+    u32 chrom = 0;
+    for (; chrom + 1 < chromWeights_.size(); ++chrom) {
+        if (r < chromWeights_[chrom])
+            break;
+        r -= chromWeights_[chrom];
+    }
+    u32 hap = rng_.below(2);
+    const Haplotype &h = genome_.haplotype(chrom, hap);
+
+    u32 min_insert = params_.readLen + 20;
+    u64 insert = static_cast<u64>(std::max<double>(
+        min_insert, rng_.normal(params_.insertMean, params_.insertSd)));
+    insert = std::min<u64>(insert, h.seq.size() > min_insert
+                                       ? h.seq.size() - 1
+                                       : min_insert);
+    gpx_assert(h.seq.size() > insert + 2, "chromosome shorter than insert");
+    u64 start = rng_.below64(h.seq.size() - insert - 1);
+
+    bool degraded = rng_.chance(params_.errors.badFragmentFrac);
+
+    // Template slices with slack for deletions.
+    u64 slack = 24;
+    DnaSequence t1 = h.seq.sub(
+        start, std::min<u64>(params_.readLen + slack, h.seq.size() - start));
+    u64 r2_start = start + insert - params_.readLen;
+    u64 r2_tmpl_start = r2_start > slack ? r2_start - slack : 0;
+    DnaSequence t2fwd = h.seq.sub(r2_tmpl_start,
+                                  start + insert - r2_tmpl_start);
+    DnaSequence t2 = t2fwd.revComp(); // read 2 is sequenced on the - strand
+
+    ReadPair pair;
+    u64 id = nextId_++;
+    pair.first.name = "sim" + std::to_string(id) + "/1";
+    pair.first.seq = applyErrors(t1, degraded);
+    pair.first.truthPos =
+        ref.chromosomeStart(chrom) + h.toRefOffset(start);
+    pair.first.truthReverse = false;
+
+    pair.second.name = "sim" + std::to_string(id) + "/2";
+    pair.second.seq = applyErrors(t2, degraded);
+    pair.second.truthPos =
+        ref.chromosomeStart(chrom) + h.toRefOffset(r2_start);
+    pair.second.truthReverse = true;
+    return pair;
+}
+
+std::vector<ReadPair>
+ReadSimulator::simulate(u64 n)
+{
+    std::vector<ReadPair> pairs;
+    pairs.reserve(n);
+    for (u64 i = 0; i < n; ++i)
+        pairs.push_back(simulatePair());
+    return pairs;
+}
+
+LongReadSimulator::LongReadSimulator(const DiploidGenome &genome,
+                                     const LongReadSimParams &params)
+    : genome_(genome), params_(params), rng_(params.seed, 0x10A6)
+{
+}
+
+Read
+LongReadSimulator::simulateRead()
+{
+    const auto &ref = genome_.reference();
+    // Longest chromosome keeps long reads inside one sequence.
+    u32 chrom = 0;
+    for (u32 c = 1; c < ref.numChromosomes(); ++c) {
+        if (ref.chromosomeLength(c) > ref.chromosomeLength(chrom))
+            chrom = c;
+    }
+    u32 hap = rng_.below(2);
+    const Haplotype &h = genome_.haplotype(chrom, hap);
+
+    u64 len = static_cast<u64>(std::max<double>(
+        params_.minLen, rng_.normal(params_.meanLen, params_.sdLen)));
+    len = std::min<u64>(len, h.seq.size() / 2);
+    u64 start = rng_.below64(h.seq.size() - len - 1);
+
+    DnaSequence truth = h.seq.sub(start, len);
+    bool reverse = rng_.chance(0.5);
+
+    // Apply errors base by base (no fixed output length for long reads).
+    double sub = params_.errors.subRate;
+    double ins = params_.errors.insRate;
+    double del = params_.errors.delRate;
+    DnaSequence seq;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        if (rng_.chance(del))
+            continue;
+        if (rng_.chance(ins))
+            seq.push(static_cast<u8>(rng_.below(4)));
+        u8 base = truth.at(i);
+        if (rng_.chance(sub))
+            base = static_cast<u8>((base + 1 + rng_.below(3)) & 3u);
+        seq.push(base);
+    }
+    if (reverse)
+        seq = seq.revComp();
+
+    Read read;
+    read.name = "long" + std::to_string(nextId_++);
+    read.seq = std::move(seq);
+    read.truthPos = ref.chromosomeStart(chrom) + h.toRefOffset(start);
+    read.truthReverse = reverse;
+    return read;
+}
+
+std::vector<Read>
+LongReadSimulator::simulate(u64 n)
+{
+    std::vector<Read> reads;
+    reads.reserve(n);
+    for (u64 i = 0; i < n; ++i)
+        reads.push_back(simulateRead());
+    return reads;
+}
+
+} // namespace simdata
+} // namespace gpx

@@ -1,0 +1,153 @@
+#include "simdata/variants.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace gpx {
+namespace simdata {
+
+using genomics::DnaSequence;
+using util::Pcg32;
+
+u64
+Haplotype::toRefOffset(u64 hap_pos) const
+{
+    gpx_assert(!hapAnchor.empty(), "haplotype has no anchors");
+    auto it = std::upper_bound(hapAnchor.begin(), hapAnchor.end(), hap_pos);
+    std::size_t idx = static_cast<std::size_t>(it - hapAnchor.begin()) - 1;
+    return refAnchor[idx] + (hap_pos - hapAnchor[idx]);
+}
+
+DiploidGenome::DiploidGenome(const genomics::Reference &ref,
+                             const VariantParams &params)
+    : ref_(&ref)
+{
+    generateVariants(params);
+    materialize();
+}
+
+void
+DiploidGenome::generateVariants(const VariantParams &params)
+{
+    Pcg32 rng(params.seed, 0xBEEF);
+    for (u32 c = 0; c < ref_->numChromosomes(); ++c) {
+        const DnaSequence &chrom = ref_->chromosome(c);
+        u64 guard = 0; // next position allowed to carry a variant
+        for (u64 p = 50; p + 50 < chrom.size(); ++p) {
+            if (p < guard)
+                continue;
+            double r = rng.uniform();
+            if (r < params.snpRate) {
+                Variant v;
+                v.chrom = c;
+                v.pos = p;
+                v.type = VariantType::Snp;
+                v.refBase = chrom.at(p);
+                v.altBase = static_cast<u8>(
+                    (v.refBase + 1 + rng.below(3)) & 3u);
+                v.genotype = rng.chance(params.hetFraction)
+                                 ? (rng.chance(0.5) ? Genotype::Het1
+                                                    : Genotype::Het2)
+                                 : Genotype::Hom;
+                variants_.push_back(std::move(v));
+                guard = p + params.minSpacing;
+            } else if (r < params.snpRate + params.indelRate) {
+                Variant v;
+                v.chrom = c;
+                v.pos = p;
+                u32 len = rng.extendLength(params.indelExtendProb,
+                                           params.maxIndelLen);
+                if (rng.chance(0.5)) {
+                    v.type = VariantType::Insertion;
+                    std::string ins;
+                    for (u32 k = 0; k < len; ++k)
+                        ins.push_back(genomics::baseToChar(rng.below(4)));
+                    v.insSeq = DnaSequence(ins);
+                } else {
+                    v.type = VariantType::Deletion;
+                    v.delLen = len;
+                }
+                v.genotype = rng.chance(params.hetFraction)
+                                 ? (rng.chance(0.5) ? Genotype::Het1
+                                                    : Genotype::Het2)
+                                 : Genotype::Hom;
+                variants_.push_back(std::move(v));
+                guard = p + params.minSpacing + len;
+            }
+        }
+    }
+}
+
+void
+DiploidGenome::materialize()
+{
+    haplotypes_.assign(ref_->numChromosomes(), {});
+    for (u32 c = 0; c < ref_->numChromosomes(); ++c) {
+        haplotypes_[c].resize(2);
+        const DnaSequence &chrom = ref_->chromosome(c);
+        for (u32 hap = 0; hap < 2; ++hap) {
+            Haplotype &h = haplotypes_[c][hap];
+            h.hapAnchor.push_back(0);
+            h.refAnchor.push_back(0);
+            u64 ref_pos = 0;
+            for (const Variant &v : variants_) {
+                if (v.chrom != c || !v.onHaplotype(hap))
+                    continue;
+                // Copy reference bases up to the variant.
+                while (ref_pos < v.pos) {
+                    h.seq.push(chrom.at(ref_pos));
+                    ++ref_pos;
+                }
+                switch (v.type) {
+                  case VariantType::Snp:
+                    h.seq.push(v.altBase);
+                    ++ref_pos;
+                    break;
+                  case VariantType::Insertion:
+                    // Consume the anchor base first (VCF-style POS base).
+                    h.seq.push(chrom.at(ref_pos));
+                    ++ref_pos;
+                    h.seq.append(v.insSeq);
+                    h.hapAnchor.push_back(h.seq.size());
+                    h.refAnchor.push_back(ref_pos);
+                    break;
+                  case VariantType::Deletion:
+                    h.seq.push(chrom.at(ref_pos));
+                    ++ref_pos;
+                    ref_pos += v.delLen;
+                    h.hapAnchor.push_back(h.seq.size());
+                    h.refAnchor.push_back(ref_pos);
+                    break;
+                }
+            }
+            while (ref_pos < chrom.size()) {
+                h.seq.push(chrom.at(ref_pos));
+                ++ref_pos;
+            }
+        }
+    }
+}
+
+const Haplotype &
+DiploidGenome::haplotype(u32 chrom, u32 hap) const
+{
+    gpx_assert(chrom < haplotypes_.size() && hap < 2,
+               "haplotype index out of range");
+    return haplotypes_[chrom][hap];
+}
+
+u64
+DiploidGenome::totalHaplotypeLength() const
+{
+    u64 total = 0;
+    for (const auto &chrom : haplotypes_) {
+        for (const auto &h : chrom)
+            total += h.seq.size();
+    }
+    return total;
+}
+
+} // namespace simdata
+} // namespace gpx

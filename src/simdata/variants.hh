@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Diploid variant injection and haplotype materialization.
+ *
+ * Plays the role of the Genome-in-a-Bottle truth set: the simulator plants
+ * SNPs and INDELs into two haplotypes, remembers them as a ground-truth
+ * list, and the variant-calling benchmark (paper Table 7) compares calls
+ * against that list exactly as vcfdist compares against the GIAB VCF.
+ */
+
+#ifndef GPX_SIMDATA_VARIANTS_HH
+#define GPX_SIMDATA_VARIANTS_HH
+
+#include <vector>
+
+#include "genomics/reference.hh"
+#include "genomics/sequence.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace simdata {
+
+/** Variant types in the truth set. */
+enum class VariantType : u8 { Snp, Insertion, Deletion };
+
+/** Genotypes: which haplotypes carry the variant. */
+enum class Genotype : u8 { Het1, Het2, Hom };
+
+/** One planted variant, in reference coordinates. */
+struct Variant
+{
+    u32 chrom = 0;
+    u64 pos = 0; ///< reference offset within the chromosome
+    VariantType type = VariantType::Snp;
+    Genotype genotype = Genotype::Hom;
+    u8 refBase = 0;              ///< for SNPs
+    u8 altBase = 0;              ///< for SNPs
+    genomics::DnaSequence insSeq; ///< for insertions
+    u32 delLen = 0;              ///< for deletions
+
+    /** True if the given haplotype (0/1) carries this variant. */
+    bool
+    onHaplotype(u32 hap) const
+    {
+        switch (genotype) {
+          case Genotype::Het1: return hap == 0;
+          case Genotype::Het2: return hap == 1;
+          case Genotype::Hom: return true;
+        }
+        return false;
+    }
+};
+
+/** Variant-generation parameters (paper §7.8 rates by default). */
+struct VariantParams
+{
+    double snpRate = 1e-3;
+    double indelRate = 2e-4;
+    double hetFraction = 0.6;    ///< fraction of variants heterozygous
+    u32 maxIndelLen = 8;
+    double indelExtendProb = 0.4;///< geometric INDEL length tail
+    u32 minSpacing = 12;         ///< minimum bases between variants
+    u64 seed = 11;
+};
+
+/**
+ * One materialized haplotype chromosome plus its coordinate map back to
+ * the reference.
+ */
+struct Haplotype
+{
+    genomics::DnaSequence seq;
+    /** Anchor arrays: refAnchor[i] corresponds to hapAnchor[i]. */
+    std::vector<u64> hapAnchor;
+    std::vector<u64> refAnchor;
+
+    /** Project a haplotype offset onto a reference offset. */
+    u64 toRefOffset(u64 hap_pos) const;
+};
+
+/**
+ * A diploid donor genome: the reference plus two haplotypes per
+ * chromosome and the truth variant list.
+ */
+class DiploidGenome
+{
+  public:
+    /** Plant variants into @p ref and materialize both haplotypes. */
+    DiploidGenome(const genomics::Reference &ref,
+                  const VariantParams &params);
+
+    const genomics::Reference &reference() const { return *ref_; }
+    const std::vector<Variant> &truthVariants() const { return variants_; }
+
+    /** Haplotype @p hap (0/1) of chromosome @p chrom. */
+    const Haplotype &haplotype(u32 chrom, u32 hap) const;
+
+    /** Sum of both haplotype lengths (for coverage computations). */
+    u64 totalHaplotypeLength() const;
+
+  private:
+    void generateVariants(const VariantParams &params);
+    void materialize();
+
+    const genomics::Reference *ref_;
+    std::vector<Variant> variants_;
+    /** haplotypes_[chrom][hap] */
+    std::vector<std::vector<Haplotype>> haplotypes_;
+};
+
+} // namespace simdata
+} // namespace gpx
+
+#endif // GPX_SIMDATA_VARIANTS_HH

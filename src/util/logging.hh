@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal gem5-flavoured status/error reporting: panic() for internal
+ * invariant violations, fatal() for user/configuration errors, warn() and
+ * inform() for status messages.
+ */
+
+#ifndef GPX_UTIL_LOGGING_HH
+#define GPX_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace gpx {
+namespace util {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+namespace detail {
+
+inline void
+format(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+format(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    format(os, rest...);
+}
+
+template <typename... Args>
+std::string
+cat(const Args &...args)
+{
+    std::ostringstream os;
+    format(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+} // namespace util
+} // namespace gpx
+
+/** Abort: an internal invariant was violated (a bug in this library). */
+#define gpx_panic(...)                                                      \
+    ::gpx::util::panicImpl(__FILE__, __LINE__,                              \
+                           ::gpx::util::detail::cat(__VA_ARGS__))
+
+/** Exit with an error: the condition is the caller's fault (bad config). */
+#define gpx_fatal(...)                                                      \
+    ::gpx::util::fatalImpl(::gpx::util::detail::cat(__VA_ARGS__))
+
+/** Non-fatal warning to stderr. */
+#define gpx_warn(...)                                                       \
+    ::gpx::util::warnImpl(::gpx::util::detail::cat(__VA_ARGS__))
+
+/** Informational message to stderr. */
+#define gpx_inform(...)                                                     \
+    ::gpx::util::informImpl(::gpx::util::detail::cat(__VA_ARGS__))
+
+/** Assertion that survives release builds; panics with a message. */
+#define gpx_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::gpx::util::panicImpl(                                         \
+                __FILE__, __LINE__,                                         \
+                ::gpx::util::detail::cat("assertion failed: " #cond " ",   \
+                                         ##__VA_ARGS__));                   \
+        }                                                                   \
+    } while (0)
+
+#endif // GPX_UTIL_LOGGING_HH

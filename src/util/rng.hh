@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All data generators (genome, variants, reads, errors) draw from Pcg32 so
+ * that every experiment in the repository is reproducible from a single
+ * integer seed, which the benches print alongside their results.
+ */
+
+#ifndef GPX_UTIL_RNG_HH
+#define GPX_UTIL_RNG_HH
+
+#include <cmath>
+#include <numbers>
+
+#include "util/types.hh"
+
+namespace gpx {
+namespace util {
+
+/**
+ * PCG-XSH-RR 64/32 generator (O'Neill, 2014). Small state, excellent
+ * statistical quality, and cheap enough to sit inside per-base loops of the
+ * read simulator.
+ */
+class Pcg32
+{
+  public:
+    /** Construct from a seed and an optional stream selector. */
+    explicit Pcg32(u64 seed = 0x853c49e6748fea9bull, u64 stream = 1)
+    {
+        state_ = 0;
+        inc_ = (stream << 1) | 1u;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    /** Next raw 32-bit output. */
+    u32
+    next()
+    {
+        u64 old = state_;
+        state_ = old * 6364136223846793005ull + inc_;
+        u32 xorshifted = static_cast<u32>(((old >> 18) ^ old) >> 27);
+        u32 rot = static_cast<u32>(old >> 59);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+    }
+
+    /** Uniform integer in [0, bound) using Lemire rejection. */
+    u32
+    below(u32 bound)
+    {
+        if (bound == 0)
+            return 0;
+        u64 m = static_cast<u64>(next()) * bound;
+        u32 l = static_cast<u32>(m);
+        if (l < bound) {
+            u32 t = -bound % bound;
+            while (l < t) {
+                m = static_cast<u64>(next()) * bound;
+                l = static_cast<u32>(m);
+            }
+        }
+        return static_cast<u32>(m >> 32);
+    }
+
+    /** Uniform 64-bit integer in [0, bound). */
+    u64
+    below64(u64 bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Two 32-bit draws; rejection keeps the distribution uniform.
+        u64 threshold = (~bound + 1) % bound; // (2^64 - bound) mod bound
+        while (true) {
+            u64 r = (static_cast<u64>(next()) << 32) | next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Standard normal via Box-Muller. */
+    double
+    normal()
+    {
+        if (haveSpare_) {
+            haveSpare_ = false;
+            return spare_;
+        }
+        double u1 = 0;
+        while (u1 <= 1e-12)
+            u1 = uniform();
+        double u2 = uniform();
+        double mag = std::sqrt(-2.0 * std::log(u1));
+        spare_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+        haveSpare_ = true;
+        return mag * std::cos(2.0 * std::numbers::pi * u2);
+    }
+
+    /** Normal with explicit mean and standard deviation. */
+    double normal(double mean, double sd) { return mean + sd * normal(); }
+
+    /**
+     * Geometric-ish edit length: returns k >= 1 with P(k) proportional to
+     * ext^(k-1). Used for INDEL length sampling.
+     */
+    u32
+    extendLength(double ext, u32 max_len)
+    {
+        u32 k = 1;
+        while (k < max_len && chance(ext))
+            ++k;
+        return k;
+    }
+
+  private:
+    u64 state_ = 0;
+    u64 inc_ = 0;
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace util
+} // namespace gpx
+
+#endif // GPX_UTIL_RNG_HH

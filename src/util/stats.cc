@@ -1,0 +1,104 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace util {
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    if (n_ == 1) {
+        mean_ = x;
+        m2_ = 0.0;
+        min_ = max_ = x;
+        return;
+    }
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, u32 bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    gpx_assert(hi > lo && bins > 0, "bad histogram bounds");
+}
+
+void
+Histogram::add(double x, u64 weight)
+{
+    double frac = (x - lo_) / (hi_ - lo_);
+    i64 bin = static_cast<i64>(frac * counts_.size());
+    bin = std::clamp<i64>(bin, 0, static_cast<i64>(counts_.size()) - 1);
+    counts_[static_cast<std::size_t>(bin)] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::binLo(u32 bin) const
+{
+    return lo_ + (hi_ - lo_) * bin / static_cast<double>(counts_.size());
+}
+
+std::vector<double>
+Histogram::cdf() const
+{
+    std::vector<double> out(counts_.size(), 0.0);
+    u64 acc = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        acc += counts_[i];
+        out[i] = total_ ? static_cast<double>(acc) / total_ : 0.0;
+    }
+    return out;
+}
+
+double
+Histogram::percentile(double frac) const
+{
+    u64 target = static_cast<u64>(frac * total_);
+    u64 acc = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        acc += counts_[i];
+        if (acc >= target)
+            return binLo(static_cast<u32>(i));
+    }
+    return hi_;
+}
+
+double
+exactPercentile(std::vector<double> samples, double frac)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    double idx = frac * (samples.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(idx);
+    std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    double t = idx - lo;
+    return samples[lo] * (1.0 - t) + samples[hi] * t;
+}
+
+} // namespace util
+} // namespace gpx

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Lightweight statistics containers used by the profiling benches:
+ * running mean/variance, fixed-bin histograms and percentile extraction.
+ */
+
+#ifndef GPX_UTIL_STATS_HH
+#define GPX_UTIL_STATS_HH
+
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace gpx {
+namespace util {
+
+/** Incremental mean/variance/min/max accumulator (Welford). */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    u64 count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Sample variance (n-1 denominator). */
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    u64 n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Histogram with uniform bins over [lo, hi); out-of-range samples are
+ * clamped into the edge bins so nothing is silently dropped.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, u32 bins);
+
+    void add(double x, u64 weight = 1);
+
+    u64 totalCount() const { return total_; }
+    u32 numBins() const { return static_cast<u32>(counts_.size()); }
+    u64 binCount(u32 bin) const { return counts_.at(bin); }
+    /** Left edge of a bin. */
+    double binLo(u32 bin) const;
+
+    /**
+     * Cumulative fraction of samples with value <= the right edge of
+     * each bin; used to print CDFs (paper Fig. 2).
+     */
+    std::vector<double> cdf() const;
+
+    /** Value at the given cumulative fraction (bin-resolution). */
+    double percentile(double frac) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<u64> counts_;
+    u64 total_ = 0;
+};
+
+/** Exact percentile over a stored sample vector (for small N). */
+double exactPercentile(std::vector<double> samples, double frac);
+
+} // namespace util
+} // namespace gpx
+
+#endif // GPX_UTIL_STATS_HH

@@ -1,0 +1,129 @@
+#include "util/table.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace gpx {
+namespace util {
+
+Table::Table(std::initializer_list<std::string> headers)
+    : headers_(headers)
+{
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    if (rows_.empty())
+        rows_.emplace_back();
+    rows_.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(unsigned long long value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(int value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(unsigned value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(std::size_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return cell(os.str());
+}
+
+std::string
+Table::toString(const std::string &title) const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    os << "=== " << title << " ===\n";
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            std::string v = c < cells.size() ? cells[c] : "";
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << v;
+        }
+        os << "\n";
+    };
+    emitRow(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += std::string(widths[c], '-') + "  ";
+    os << rule << "\n";
+    for (const auto &row : rows_)
+        emitRow(row);
+    return os.str();
+}
+
+void
+Table::print(const std::string &title) const
+{
+    std::fputs(toString(title).c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+std::string
+siFormat(double value, int precision)
+{
+    const char *suffix = "";
+    double v = value;
+    if (std::fabs(v) >= 1e9) {
+        v /= 1e9;
+        suffix = "G";
+    } else if (std::fabs(v) >= 1e6) {
+        v /= 1e6;
+        suffix = "M";
+    } else if (std::fabs(v) >= 1e3) {
+        v /= 1e3;
+        suffix = "K";
+    }
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v << suffix;
+    return os.str();
+}
+
+} // namespace util
+} // namespace gpx

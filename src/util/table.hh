@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Console table printer used by the bench harnesses so that every
+ * regenerated paper table/figure prints in one consistent, diffable format.
+ */
+
+#ifndef GPX_UTIL_TABLE_HH
+#define GPX_UTIL_TABLE_HH
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace gpx {
+namespace util {
+
+/**
+ * Accumulates rows of strings and prints them with per-column alignment.
+ * Numeric helpers format with a fixed precision so outputs are stable
+ * across runs with identical seeds.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::initializer_list<std::string> headers);
+
+    /** Begin a new row. Subsequent cell() calls fill it left to right. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &value);
+    /** Append an integer cell. */
+    Table &cell(long long value);
+    Table &cell(unsigned long long value);
+    Table &cell(int value);
+    Table &cell(unsigned value);
+    Table &cell(std::size_t value);
+    /** Append a floating-point cell with the given precision. */
+    Table &cell(double value, int precision = 3);
+
+    /** Render to stdout with a title banner. */
+    void print(const std::string &title) const;
+
+    /** Render to a string (used by tests). */
+    std::string toString(const std::string &title) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double as "12.3K" / "4.56M" / "7.89G" style scaled string. */
+std::string siFormat(double value, int precision = 2);
+
+} // namespace util
+} // namespace gpx
+
+#endif // GPX_UTIL_TABLE_HH

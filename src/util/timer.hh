@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Wall-clock stage timers. The baseline mapper uses StageTimers to produce
+ * the Minimap2-style execution-time breakdown of paper Fig. 1.
+ */
+
+#ifndef GPX_UTIL_TIMER_HH
+#define GPX_UTIL_TIMER_HH
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace gpx {
+namespace util {
+
+/** Monotonic wall-clock stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/** Accumulates wall time per named stage. */
+class StageTimers
+{
+  public:
+    /** RAII guard that charges its lifetime to one stage. */
+    class Scope
+    {
+      public:
+        Scope(StageTimers &timers, const std::string &stage)
+            : timers_(timers), stage_(stage)
+        {
+        }
+        ~Scope() { timers_.add(stage_, watch_.seconds()); }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        StageTimers &timers_;
+        std::string stage_;
+        Stopwatch watch_;
+    };
+
+    void add(const std::string &stage, double secs) { times_[stage] += secs; }
+
+    double
+    total() const
+    {
+        double t = 0;
+        for (const auto &[k, v] : times_)
+            t += v;
+        return t;
+    }
+
+    double
+    seconds(const std::string &stage) const
+    {
+        auto it = times_.find(stage);
+        return it == times_.end() ? 0.0 : it->second;
+    }
+
+    /** Fraction of total time spent in a stage (0 when nothing ran). */
+    double
+    fraction(const std::string &stage) const
+    {
+        double t = total();
+        return t > 0 ? seconds(stage) / t : 0.0;
+    }
+
+    const std::map<std::string, double> &all() const { return times_; }
+
+    void clear() { times_.clear(); }
+
+  private:
+    std::map<std::string, double> times_;
+};
+
+} // namespace util
+} // namespace gpx
+
+#endif // GPX_UTIL_TIMER_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Common fixed-width integer aliases and core genomic coordinate types
+ * shared by every GenPairX module.
+ */
+
+#ifndef GPX_UTIL_TYPES_HH
+#define GPX_UTIL_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gpx
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/**
+ * Global position on the concatenated reference genome. Chromosome
+ * boundaries are resolved through genomics::Reference; all seed/location
+ * machinery works in this flat coordinate space, mirroring the paper's
+ * Location Table entries.
+ */
+using GlobalPos = u64;
+
+/** Sentinel for "no position". */
+constexpr GlobalPos kInvalidPos = ~GlobalPos{0};
+
+} // namespace gpx
+
+#endif // GPX_UTIL_TYPES_HH

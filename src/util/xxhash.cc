@@ -1,0 +1,186 @@
+#include "util/xxhash.hh"
+
+#include <cstring>
+
+namespace gpx {
+namespace util {
+
+namespace {
+
+constexpr u32 kPrime32_1 = 0x9E3779B1u;
+constexpr u32 kPrime32_2 = 0x85EBCA77u;
+constexpr u32 kPrime32_3 = 0xC2B2AE3Du;
+constexpr u32 kPrime32_4 = 0x27D4EB2Fu;
+constexpr u32 kPrime32_5 = 0x165667B1u;
+
+constexpr u64 kPrime64_1 = 0x9E3779B185EBCA87ull;
+constexpr u64 kPrime64_2 = 0xC2B2AE3D27D4EB4Full;
+constexpr u64 kPrime64_3 = 0x165667B19E3779F9ull;
+constexpr u64 kPrime64_4 = 0x85EBCA77C2B2AE63ull;
+constexpr u64 kPrime64_5 = 0x27D4EB2F165667C5ull;
+
+inline u32
+rotl32(u32 x, int r)
+{
+    return (x << r) | (x >> (32 - r));
+}
+
+inline u64
+rotl64(u64 x, int r)
+{
+    return (x << r) | (x >> (64 - r));
+}
+
+inline u32
+read32(const u8 *p)
+{
+    u32 v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline u64
+read64(const u8 *p)
+{
+    u64 v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline u32
+round32(u32 acc, u32 input)
+{
+    acc += input * kPrime32_2;
+    acc = rotl32(acc, 13);
+    acc *= kPrime32_1;
+    return acc;
+}
+
+inline u64
+round64(u64 acc, u64 input)
+{
+    acc += input * kPrime64_2;
+    acc = rotl64(acc, 31);
+    acc *= kPrime64_1;
+    return acc;
+}
+
+inline u64
+mergeRound64(u64 acc, u64 val)
+{
+    val = round64(0, val);
+    acc ^= val;
+    acc = acc * kPrime64_1 + kPrime64_4;
+    return acc;
+}
+
+} // namespace
+
+u32
+xxh32(const void *data, std::size_t len, u32 seed)
+{
+    const u8 *p = static_cast<const u8 *>(data);
+    const u8 *end = p + len;
+    u32 h;
+
+    if (len >= 16) {
+        const u8 *limit = end - 16;
+        u32 v1 = seed + kPrime32_1 + kPrime32_2;
+        u32 v2 = seed + kPrime32_2;
+        u32 v3 = seed + 0;
+        u32 v4 = seed - kPrime32_1;
+        do {
+            v1 = round32(v1, read32(p)); p += 4;
+            v2 = round32(v2, read32(p)); p += 4;
+            v3 = round32(v3, read32(p)); p += 4;
+            v4 = round32(v4, read32(p)); p += 4;
+        } while (p <= limit);
+        h = rotl32(v1, 1) + rotl32(v2, 7) + rotl32(v3, 12) + rotl32(v4, 18);
+    } else {
+        h = seed + kPrime32_5;
+    }
+
+    h += static_cast<u32>(len);
+
+    while (p + 4 <= end) {
+        h += read32(p) * kPrime32_3;
+        h = rotl32(h, 17) * kPrime32_4;
+        p += 4;
+    }
+    while (p < end) {
+        h += (*p) * kPrime32_5;
+        h = rotl32(h, 11) * kPrime32_1;
+        ++p;
+    }
+
+    h ^= h >> 15;
+    h *= kPrime32_2;
+    h ^= h >> 13;
+    h *= kPrime32_3;
+    h ^= h >> 16;
+    return h;
+}
+
+u64
+xxh64(const void *data, std::size_t len, u64 seed)
+{
+    const u8 *p = static_cast<const u8 *>(data);
+    const u8 *end = p + len;
+    u64 h;
+
+    if (len >= 32) {
+        const u8 *limit = end - 32;
+        u64 v1 = seed + kPrime64_1 + kPrime64_2;
+        u64 v2 = seed + kPrime64_2;
+        u64 v3 = seed + 0;
+        u64 v4 = seed - kPrime64_1;
+        do {
+            v1 = round64(v1, read64(p)); p += 8;
+            v2 = round64(v2, read64(p)); p += 8;
+            v3 = round64(v3, read64(p)); p += 8;
+            v4 = round64(v4, read64(p)); p += 8;
+        } while (p <= limit);
+        h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) +
+            rotl64(v4, 18);
+        h = mergeRound64(h, v1);
+        h = mergeRound64(h, v2);
+        h = mergeRound64(h, v3);
+        h = mergeRound64(h, v4);
+    } else {
+        h = seed + kPrime64_5;
+    }
+
+    h += static_cast<u64>(len);
+
+    while (p + 8 <= end) {
+        h ^= round64(0, read64(p));
+        h = rotl64(h, 27) * kPrime64_1 + kPrime64_4;
+        p += 8;
+    }
+    if (p + 4 <= end) {
+        h ^= static_cast<u64>(read32(p)) * kPrime64_1;
+        h = rotl64(h, 23) * kPrime64_2 + kPrime64_3;
+        p += 4;
+    }
+    while (p < end) {
+        h ^= (*p) * kPrime64_5;
+        h = rotl64(h, 11) * kPrime64_1;
+        ++p;
+    }
+
+    h ^= h >> 33;
+    h *= kPrime64_2;
+    h ^= h >> 29;
+    h *= kPrime64_3;
+    h ^= h >> 32;
+    return h;
+}
+
+u64
+xxh64Word(u64 word, u64 seed)
+{
+    return xxh64(&word, sizeof(word), seed);
+}
+
+} // namespace util
+} // namespace gpx

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Self-contained implementation of the xxHash non-cryptographic hash
+ * family (XXH32 and XXH64). GenPair encodes every 50 bp seed into a 32-bit
+ * value with xxHash (paper §4.3); the hardware Partitioned Seeding module
+ * pipelines exactly this function (§5.1).
+ *
+ * The implementation follows the canonical specification by Yann Collet
+ * (https://github.com/Cyan4973/xxHash) and is bit-exact with the reference
+ * vectors, which the unit tests verify.
+ */
+
+#ifndef GPX_UTIL_XXHASH_HH
+#define GPX_UTIL_XXHASH_HH
+
+#include <cstddef>
+
+#include "util/types.hh"
+
+namespace gpx {
+namespace util {
+
+/**
+ * Compute the 32-bit xxHash of a byte buffer.
+ *
+ * @param data Pointer to the input bytes.
+ * @param len Number of input bytes.
+ * @param seed Hash seed (0 for the GenPair SeedMap).
+ * @return The XXH32 digest.
+ */
+u32 xxh32(const void *data, std::size_t len, u32 seed = 0);
+
+/**
+ * Compute the 64-bit xxHash of a byte buffer.
+ *
+ * @param data Pointer to the input bytes.
+ * @param len Number of input bytes.
+ * @param seed Hash seed.
+ * @return The XXH64 digest.
+ */
+u64 xxh64(const void *data, std::size_t len, u64 seed = 0);
+
+/** Hash a single 64-bit word (convenience wrapper over xxh64). */
+u64 xxh64Word(u64 word, u64 seed = 0);
+
+} // namespace util
+} // namespace gpx
+
+#endif // GPX_UTIL_XXHASH_HH

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit and property tests for the two-piece affine DP aligner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/affine.hh"
+#include "genomics/scoring.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace gpx;
+using align::fitAlign;
+using align::globalAlign;
+using align::localAlign;
+using genomics::DnaSequence;
+using genomics::ScoringScheme;
+
+const ScoringScheme kSr = ScoringScheme::shortRead();
+
+TEST(GlobalAlign, ExactMatch)
+{
+    DnaSequence s("ACGTACGTACGT");
+    auto r = globalAlign(s, s, kSr);
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.score, 24);
+    EXPECT_EQ(r.cigar.toString(), "12M");
+}
+
+TEST(GlobalAlign, SingleMismatch)
+{
+    DnaSequence q("ACGTACGTACGT");
+    DnaSequence t("ACGTACTTACGT");
+    auto r = globalAlign(q, t, kSr);
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.score, 11 * 2 - 8);
+    EXPECT_EQ(r.cigar.toString(), "12M");
+}
+
+TEST(GlobalAlign, SingleDeletion)
+{
+    DnaSequence q("ACGTACGT");
+    DnaSequence t("ACGTTACGT"); // one extra ref base
+    auto r = globalAlign(q, t, kSr);
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.score, 8 * 2 - 14);
+    EXPECT_EQ(r.cigar.refSpan(), 9u);
+    EXPECT_EQ(r.cigar.querySpan(), 8u);
+    EXPECT_EQ(r.cigar.deletedBases(), 1u);
+}
+
+TEST(GlobalAlign, SingleInsertion)
+{
+    DnaSequence q("ACGTTACGT");
+    DnaSequence t("ACGTACGT");
+    auto r = globalAlign(q, t, kSr);
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.score, 8 * 2 - 14);
+    EXPECT_EQ(r.cigar.insertedBases(), 1u);
+}
+
+TEST(GlobalAlign, LongGapUsesSecondPiece)
+{
+    // 40-base deletion: two-piece cost is 32 + 40 = 72, not 12 + 80.
+    std::string prefix(30, 'A');
+    std::string suffix(30, 'C');
+    std::string gap(40, 'G');
+    DnaSequence q(prefix + suffix);
+    DnaSequence t(prefix + gap + suffix);
+    auto r = globalAlign(q, t, kSr);
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.score, 60 * 2 - 72);
+    EXPECT_EQ(r.cigar.deletedBases(), 40u);
+}
+
+TEST(GlobalAlign, CellUpdatesCounted)
+{
+    DnaSequence q("ACGTACGT");
+    auto r = globalAlign(q, q, kSr);
+    EXPECT_EQ(r.cellUpdates, 64u);
+}
+
+TEST(GlobalAlign, BandedMatchesUnbandedForSmallEdits)
+{
+    util::Pcg32 rng(17);
+    std::string s;
+    for (int i = 0; i < 120; ++i)
+        s.push_back(genomics::baseToChar(rng.below(4)));
+    DnaSequence q(s);
+    std::string t = s;
+    t[60] = t[60] == 'A' ? 'C' : 'A';
+    DnaSequence target(t);
+    auto full = globalAlign(q, target, kSr);
+    auto banded = globalAlign(q, target, kSr, 8);
+    ASSERT_TRUE(full.valid);
+    ASSERT_TRUE(banded.valid);
+    EXPECT_EQ(full.score, banded.score);
+}
+
+TEST(FitAlign, FindsReadInsideWindow)
+{
+    DnaSequence read("ACGTACGTAC");
+    DnaSequence window("TTTTTACGTACGTACTTTTT");
+    auto r = fitAlign(read, window, kSr);
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.score, 20);
+    EXPECT_EQ(r.targetStart, 5u);
+    EXPECT_EQ(r.targetEnd, 15u);
+    EXPECT_EQ(r.cigar.toString(), "10M");
+}
+
+TEST(FitAlign, WholeQueryConsumed)
+{
+    DnaSequence read("ACGTACGTAC");
+    DnaSequence window("GGGGACGTACGTACGGGG");
+    auto r = fitAlign(read, window, kSr);
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.cigar.querySpan(), read.size());
+}
+
+TEST(FitAlign, MismatchTolerated)
+{
+    DnaSequence read("ACGTACGTACGTACG");
+    DnaSequence window("CCCCCACGTACGAACGTACGCCCC");
+    auto r = fitAlign(read, window, kSr);
+    ASSERT_TRUE(r.valid);
+    EXPECT_GT(r.score, 0);
+}
+
+TEST(LocalAlign, FindsCommonCore)
+{
+    DnaSequence q("TTTTACGTACGTTTTT");
+    DnaSequence t("GGGGACGTACGGGGG");
+    auto r = localAlign(q, t, kSr);
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.score, 2 * 7); // "ACGTACG"
+}
+
+TEST(LocalAlign, EmptyOnAllMismatch)
+{
+    DnaSequence q("AAAA");
+    DnaSequence t("CCCC");
+    auto r = localAlign(q, t, kSr);
+    // Best local score of all-mismatch sequences is a single... no
+    // positive-scoring cell exists, score 0.
+    EXPECT_LE(r.score, 2);
+}
+
+/** Property sweep: DP score must equal the analytic score of its CIGAR. */
+class AffineSelfConsistency : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AffineSelfConsistency, ScoreMatchesCigarRescore)
+{
+    util::Pcg32 rng(GetParam());
+    std::string s;
+    int len = 60 + static_cast<int>(rng.below(80));
+    for (int i = 0; i < len; ++i)
+        s.push_back(genomics::baseToChar(rng.below(4)));
+    // Mutate a copy with a few random edits.
+    std::string t = s;
+    for (int e = 0; e < 3; ++e) {
+        u32 pos = rng.below(static_cast<u32>(t.size() - 1));
+        switch (rng.below(3)) {
+          case 0:
+            t[pos] = genomics::baseToChar(rng.below(4));
+            break;
+          case 1:
+            t.insert(t.begin() + pos, genomics::baseToChar(rng.below(4)));
+            break;
+          default:
+            t.erase(t.begin() + pos);
+            break;
+        }
+    }
+    DnaSequence q(s), target(t);
+    auto r = globalAlign(q, target, kSr);
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.cigar.querySpan(), q.size());
+    EXPECT_EQ(r.cigar.refSpan(), target.size());
+    EXPECT_EQ(kSr.scoreAlignment(q, target, r.cigar), r.score);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomEdits, AffineSelfConsistency,
+                         ::testing::Range(1, 25));
+
+} // namespace

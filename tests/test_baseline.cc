@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the minimizer index and the Mm2Lite baseline mapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/mm2lite.hh"
+#include "simdata/datasets.hh"
+#include "simdata/genome_generator.hh"
+#include "simdata/read_simulator.hh"
+
+namespace {
+
+using namespace gpx;
+using baseline::extractMinimizers;
+using baseline::MinimizerIndex;
+using baseline::MinimizerParams;
+using baseline::Mm2Lite;
+using baseline::Mm2LiteParams;
+using genomics::DnaSequence;
+using genomics::Reference;
+
+Reference
+testRef(u64 len = 200000)
+{
+    simdata::GenomeParams p;
+    p.length = len;
+    p.chromosomes = 1;
+    p.seed = 21;
+    return simdata::generateGenome(p);
+}
+
+TEST(Minimizers, DensityApproximatelyTwoOverW)
+{
+    Reference ref = testRef(100000);
+    MinimizerParams mp;
+    auto mins = extractMinimizers(ref.chromosome(0), mp);
+    double density = static_cast<double>(mins.size()) /
+                     ref.chromosome(0).size();
+    EXPECT_GT(density, 0.5 / mp.w);
+    EXPECT_LT(density, 4.0 / mp.w);
+}
+
+TEST(Minimizers, PositionsWithinRange)
+{
+    Reference ref = testRef(50000);
+    MinimizerParams mp;
+    auto mins = extractMinimizers(ref.chromosome(0), mp);
+    for (const auto &m : mins)
+        EXPECT_LE(m.pos + mp.k, ref.chromosome(0).size());
+}
+
+TEST(Minimizers, CanonicalUnderRevComp)
+{
+    // The canonical minimizer hashes of a sequence and its reverse
+    // complement must be equal as sets.
+    Reference ref = testRef(20000);
+    DnaSequence fwd = ref.chromosome(0).sub(100, 400);
+    DnaSequence rev = fwd.revComp();
+    MinimizerParams mp;
+    auto a = extractMinimizers(fwd, mp);
+    auto b = extractMinimizers(rev, mp);
+    std::vector<u64> ha, hb;
+    for (const auto &m : a)
+        ha.push_back(m.hash);
+    for (const auto &m : b)
+        hb.push_back(m.hash);
+    std::sort(ha.begin(), ha.end());
+    std::sort(hb.begin(), hb.end());
+    ha.erase(std::unique(ha.begin(), ha.end()), ha.end());
+    hb.erase(std::unique(hb.begin(), hb.end()), hb.end());
+    EXPECT_EQ(ha, hb);
+}
+
+TEST(MinimizerIndex, LookupFindsIndexedPositions)
+{
+    Reference ref = testRef(50000);
+    MinimizerParams mp;
+    MinimizerIndex index(ref, mp);
+    auto mins = extractMinimizers(ref.chromosome(0), mp);
+    ASSERT_FALSE(mins.empty());
+    u32 checked = 0;
+    for (std::size_t i = 0; i < mins.size(); i += 37) {
+        auto span = index.lookup(mins[i].hash);
+        bool found = false;
+        for (const auto &e : span)
+            found |= e.pos == mins[i].pos;
+        EXPECT_TRUE(found);
+        ++checked;
+    }
+    EXPECT_GT(checked, 10u);
+}
+
+TEST(MinimizerIndex, UnknownHashEmpty)
+{
+    Reference ref = testRef(30000);
+    MinimizerIndex index(ref, MinimizerParams{});
+    EXPECT_TRUE(index.lookup(0xDEADBEEFDEADBEEFull).empty());
+}
+
+class Mm2LiteTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ref_ = testRef(200000);
+        mapper_ = std::make_unique<Mm2Lite>(ref_, Mm2LiteParams{});
+    }
+
+    Reference ref_;
+    std::unique_ptr<Mm2Lite> mapper_;
+};
+
+TEST_F(Mm2LiteTest, MapsExactForwardRead)
+{
+    genomics::Read read;
+    read.seq = ref_.chromosome(0).sub(12345, 150);
+    auto mappings = mapper_->mapRead(read);
+    ASSERT_FALSE(mappings.empty());
+    EXPECT_EQ(mappings[0].pos, 12345u);
+    EXPECT_FALSE(mappings[0].reverse);
+    EXPECT_EQ(mappings[0].score, 300);
+}
+
+TEST_F(Mm2LiteTest, MapsExactReverseRead)
+{
+    genomics::Read read;
+    read.seq = ref_.chromosome(0).sub(54321, 150).revComp();
+    auto mappings = mapper_->mapRead(read);
+    ASSERT_FALSE(mappings.empty());
+    EXPECT_EQ(mappings[0].pos, 54321u);
+    EXPECT_TRUE(mappings[0].reverse);
+}
+
+TEST_F(Mm2LiteTest, MapsReadWithEdits)
+{
+    genomics::Read read;
+    DnaSequence seq = ref_.chromosome(0).sub(33000, 150);
+    seq.set(30, (seq.at(30) + 1) & 3u);
+    seq.set(90, (seq.at(90) + 1) & 3u);
+    read.seq = seq;
+    auto mappings = mapper_->mapRead(read);
+    ASSERT_FALSE(mappings.empty());
+    EXPECT_EQ(mappings[0].pos, 33000u);
+    EXPECT_EQ(mappings[0].score, 280);
+}
+
+TEST_F(Mm2LiteTest, AlignAtRecoversPosition)
+{
+    DnaSequence seq = ref_.chromosome(0).sub(44000, 150);
+    auto m = mapper_->alignAt(seq, 44010, 24);
+    ASSERT_TRUE(m.mapped);
+    EXPECT_EQ(m.pos, 44000u);
+    EXPECT_EQ(m.score, 300);
+}
+
+TEST_F(Mm2LiteTest, PairsProperFrOrientation)
+{
+    genomics::ReadPair pair;
+    pair.first.seq = ref_.chromosome(0).sub(60000, 150);
+    pair.second.seq = ref_.chromosome(0).sub(60250, 150).revComp();
+    auto pm = mapper_->mapPair(pair);
+    ASSERT_TRUE(pm.bothMapped());
+    EXPECT_EQ(pm.first.pos, 60000u);
+    EXPECT_EQ(pm.second.pos, 60250u);
+    EXPECT_FALSE(pm.first.reverse);
+    EXPECT_TRUE(pm.second.reverse);
+}
+
+TEST_F(Mm2LiteTest, StageTimersPopulated)
+{
+    genomics::Read read;
+    read.seq = ref_.chromosome(0).sub(12345, 150);
+    mapper_->mapRead(read);
+    EXPECT_GT(mapper_->timers().total(), 0.0);
+    EXPECT_GT(mapper_->timers().seconds(baseline::stages::kSeeding), 0.0);
+}
+
+TEST_F(Mm2LiteTest, DpWorkCounted)
+{
+    genomics::Read read;
+    read.seq = ref_.chromosome(0).sub(12345, 150);
+    mapper_->mapRead(read);
+    EXPECT_GT(mapper_->dpWork().alignCells, 0u);
+}
+
+TEST(Mm2LiteSimulated, HighAccuracyOnSimulatedPairs)
+{
+    simdata::GenomeParams gp;
+    gp.length = 300000;
+    gp.chromosomes = 1;
+    gp.seed = 42;
+    Reference ref = simdata::generateGenome(gp);
+    simdata::DiploidGenome dg(ref, simdata::VariantParams{});
+    simdata::ReadSimParams rp;
+    simdata::ReadSimulator sim(dg, rp);
+    Mm2Lite mapper(ref, Mm2LiteParams{});
+
+    u32 correct = 0;
+    const u32 n = 60;
+    for (u32 i = 0; i < n; ++i) {
+        auto pair = sim.simulatePair();
+        auto pm = mapper.mapPair(pair);
+        if (pm.first.mapped) {
+            u64 diff = pm.first.pos > pair.first.truthPos
+                           ? pm.first.pos - pair.first.truthPos
+                           : pair.first.truthPos - pm.first.pos;
+            correct += diff <= 20 && !pm.first.reverse;
+        }
+    }
+    EXPECT_GT(correct, n * 8 / 10);
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for anchor chaining.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/chain.hh"
+
+namespace {
+
+using namespace gpx;
+using align::Anchor;
+using align::ChainParams;
+using align::chainAnchors;
+
+ChainParams
+lenientParams()
+{
+    ChainParams p;
+    p.minScore = 10;
+    return p;
+}
+
+TEST(Chain, EmptyInput)
+{
+    EXPECT_TRUE(chainAnchors({}, lenientParams()).empty());
+}
+
+TEST(Chain, SingleAnchorFormsChain)
+{
+    std::vector<Anchor> anchors = { { 10, 1000, 21, false } };
+    auto chains = chainAnchors(anchors, lenientParams());
+    ASSERT_EQ(chains.size(), 1u);
+    EXPECT_EQ(chains[0].refStart, 1000u);
+    EXPECT_EQ(chains[0].refEnd, 1021u);
+}
+
+TEST(Chain, ColinearAnchorsMerge)
+{
+    std::vector<Anchor> anchors = {
+        { 0, 1000, 21, false },
+        { 30, 1030, 21, false },
+        { 60, 1060, 21, false },
+    };
+    auto chains = chainAnchors(anchors, lenientParams());
+    ASSERT_GE(chains.size(), 1u);
+    EXPECT_EQ(chains[0].anchorIdx.size(), 3u);
+    EXPECT_EQ(chains[0].queryStart, 0u);
+    EXPECT_EQ(chains[0].queryEnd, 81u);
+}
+
+TEST(Chain, DistantAnchorsSeparate)
+{
+    std::vector<Anchor> anchors = {
+        { 0, 1000, 21, false },
+        { 30, 900000, 21, false }, // far beyond maxGap
+    };
+    auto chains = chainAnchors(anchors, lenientParams());
+    // Each anchor can only stand alone (score 21 each).
+    for (const auto &c : chains)
+        EXPECT_EQ(c.anchorIdx.size(), 1u);
+}
+
+TEST(Chain, SkewPenaltyBreaksDiagonalJumps)
+{
+    ChainParams p = lenientParams();
+    p.maxSkew = 10;
+    std::vector<Anchor> anchors = {
+        { 0, 1000, 21, false },
+        { 30, 1230, 21, false }, // query gap 9, ref gap 209 -> skew 200
+    };
+    auto chains = chainAnchors(anchors, p);
+    for (const auto &c : chains)
+        EXPECT_EQ(c.anchorIdx.size(), 1u);
+}
+
+TEST(Chain, BestChainFirst)
+{
+    std::vector<Anchor> anchors = {
+        { 0, 1000, 21, false },
+        { 30, 1030, 21, false },
+        { 0, 50000, 21, false }, // lone decoy
+    };
+    auto chains = chainAnchors(anchors, lenientParams());
+    ASSERT_GE(chains.size(), 1u);
+    EXPECT_GE(chains[0].score, 40.0);
+    EXPECT_EQ(chains[0].refStart, 1000u);
+}
+
+TEST(Chain, MinScoreFiltersWeakChains)
+{
+    ChainParams p;
+    p.minScore = 100;
+    std::vector<Anchor> anchors = { { 0, 1000, 21, false } };
+    EXPECT_TRUE(chainAnchors(anchors, p).empty());
+}
+
+TEST(Chain, RespectsMaxChains)
+{
+    ChainParams p = lenientParams();
+    p.maxChains = 2;
+    std::vector<Anchor> anchors;
+    for (int i = 0; i < 10; ++i)
+        anchors.push_back({ 0, static_cast<GlobalPos>(i) * 100000, 21,
+                            false });
+    auto chains = chainAnchors(anchors, p);
+    EXPECT_LE(chains.size(), 2u);
+}
+
+TEST(Chain, OverlappingAnchorsNotChained)
+{
+    // Second anchor overlaps the first on the reference.
+    std::vector<Anchor> anchors = {
+        { 0, 1000, 21, false },
+        { 30, 1010, 21, false },
+    };
+    auto chains = chainAnchors(anchors, lenientParams());
+    for (const auto &c : chains)
+        EXPECT_LE(c.anchorIdx.size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Tests for the evaluation stack: mapping accuracy scoring, the pileup
+ * variant caller and the truth-set benchmark comparator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eval/mapping_eval.hh"
+#include "eval/pileup.hh"
+#include "eval/variant_bench.hh"
+#include "genomics/reference.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace gpx;
+using eval::CalledVariant;
+using eval::CallerParams;
+using eval::MappingEvaluator;
+using eval::PileupCaller;
+using eval::VariantClass;
+using genomics::Cigar;
+using genomics::DnaSequence;
+using genomics::Mapping;
+using genomics::Read;
+using genomics::Reference;
+using simdata::Variant;
+using simdata::VariantType;
+
+Reference
+randomRef(u64 len, u64 seed)
+{
+    util::Pcg32 rng(seed);
+    std::string s;
+    for (u64 i = 0; i < len; ++i)
+        s.push_back(genomics::baseToChar(rng.below(4)));
+    Reference ref;
+    ref.addChromosome("chr1", DnaSequence(s));
+    return ref;
+}
+
+TEST(MappingEval, CorrectWithinTolerance)
+{
+    MappingEvaluator ev(50);
+    Read read;
+    read.truthPos = 1000;
+    Mapping m;
+    m.mapped = true;
+    m.pos = 1030;
+    ev.addRead(read, m);
+    EXPECT_EQ(ev.result().correct, 1u);
+    EXPECT_EQ(ev.result().mapped, 1u);
+}
+
+TEST(MappingEval, WrongStrandIncorrect)
+{
+    MappingEvaluator ev(50);
+    Read read;
+    read.truthPos = 1000;
+    Mapping m;
+    m.mapped = true;
+    m.pos = 1000;
+    m.reverse = true; // truth is forward
+    ev.addRead(read, m);
+    EXPECT_EQ(ev.result().correct, 0u);
+}
+
+TEST(MappingEval, FarPositionIncorrect)
+{
+    MappingEvaluator ev(50);
+    Read read;
+    read.truthPos = 1000;
+    Mapping m;
+    m.mapped = true;
+    m.pos = 5000;
+    ev.addRead(read, m);
+    EXPECT_EQ(ev.result().correct, 0u);
+    EXPECT_NEAR(ev.result().precision(), 0.0, 1e-12);
+}
+
+TEST(MappingEval, UnmappedCountsTowardRecallOnly)
+{
+    MappingEvaluator ev(50);
+    Read read;
+    read.truthPos = 1000;
+    ev.addRead(read, Mapping{});
+    EXPECT_EQ(ev.result().mapped, 0u);
+    EXPECT_EQ(ev.result().readsTotal, 1u);
+}
+
+class PileupTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ref_ = randomRef(2000, 17);
+    }
+
+    /** Add @p n exact-copy reads over [pos, pos+len). */
+    void
+    addCoverage(PileupCaller &caller, u64 pos, u64 len, u32 n,
+                DnaSequence (*mutate)(DnaSequence) = nullptr)
+    {
+        for (u32 i = 0; i < n; ++i) {
+            DnaSequence seq = ref_.window(pos, len);
+            if (mutate)
+                seq = mutate(std::move(seq));
+            Mapping m;
+            m.mapped = true;
+            m.pos = pos;
+            genomics::Cigar c;
+            c.push(genomics::CigarOp::Match,
+                   static_cast<u32>(seq.size()));
+            m.cigar = c;
+            caller.addAlignment(seq, m);
+        }
+    }
+
+    Reference ref_;
+};
+
+TEST_F(PileupTest, NoVariantsOnCleanCoverage)
+{
+    PileupCaller caller(ref_, CallerParams{});
+    addCoverage(caller, 100, 200, 30);
+    EXPECT_TRUE(caller.call().empty());
+    EXPECT_NEAR(caller.meanDepth(), 30.0, 0.01);
+}
+
+TEST_F(PileupTest, HomozygousSnpCalled)
+{
+    PileupCaller caller(ref_, CallerParams{});
+    u8 refBase = ref_.baseAt(150);
+    u8 alt = (refBase + 1) & 3u;
+    for (u32 i = 0; i < 30; ++i) {
+        DnaSequence seq = ref_.window(100, 200);
+        seq.set(50, alt); // genome position 150
+        Mapping m;
+        m.mapped = true;
+        m.pos = 100;
+        m.cigar = Cigar::parse("200M");
+        caller.addAlignment(seq, m);
+    }
+    auto calls = caller.call();
+    ASSERT_EQ(calls.size(), 1u);
+    EXPECT_EQ(calls[0].pos, 150u);
+    EXPECT_EQ(calls[0].altBase, alt);
+    EXPECT_EQ(calls[0].type, VariantType::Snp);
+    EXPECT_NEAR(calls[0].altFraction, 1.0, 1e-12);
+}
+
+TEST_F(PileupTest, HeterozygousSnpCalledAtHalfFraction)
+{
+    PileupCaller caller(ref_, CallerParams{});
+    u8 refBase = ref_.baseAt(150);
+    u8 alt = (refBase + 1) & 3u;
+    for (u32 i = 0; i < 30; ++i) {
+        DnaSequence seq = ref_.window(100, 200);
+        if (i % 2 == 0)
+            seq.set(50, alt);
+        Mapping m;
+        m.mapped = true;
+        m.pos = 100;
+        m.cigar = Cigar::parse("200M");
+        caller.addAlignment(seq, m);
+    }
+    auto calls = caller.call();
+    ASSERT_EQ(calls.size(), 1u);
+    EXPECT_NEAR(calls[0].altFraction, 0.5, 0.05);
+}
+
+TEST_F(PileupTest, DeletionCalledFromCigar)
+{
+    PileupCaller caller(ref_, CallerParams{});
+    for (u32 i = 0; i < 30; ++i) {
+        // Read skips ref bases 200..202 (3-base deletion).
+        DnaSequence seq = ref_.window(100, 100);
+        seq.append(ref_.window(203, 97));
+        Mapping m;
+        m.mapped = true;
+        m.pos = 100;
+        m.cigar = Cigar::parse("100M3D97M");
+        caller.addAlignment(seq, m);
+    }
+    auto calls = caller.call();
+    ASSERT_EQ(calls.size(), 1u);
+    EXPECT_EQ(calls[0].type, VariantType::Deletion);
+    EXPECT_EQ(calls[0].len, 3u);
+    EXPECT_EQ(calls[0].pos, 199u); // anchored at the preceding base
+}
+
+TEST_F(PileupTest, InsertionCalledFromCigar)
+{
+    PileupCaller caller(ref_, CallerParams{});
+    for (u32 i = 0; i < 30; ++i) {
+        DnaSequence seq = ref_.window(100, 100);
+        seq.push(genomics::BaseT);
+        seq.push(genomics::BaseT);
+        seq.append(ref_.window(200, 98));
+        Mapping m;
+        m.mapped = true;
+        m.pos = 100;
+        m.cigar = Cigar::parse("100M2I98M");
+        caller.addAlignment(seq, m);
+    }
+    auto calls = caller.call();
+    ASSERT_EQ(calls.size(), 1u);
+    EXPECT_EQ(calls[0].type, VariantType::Insertion);
+    EXPECT_EQ(calls[0].len, 2u);
+    EXPECT_EQ(calls[0].insSeq, "TT");
+}
+
+TEST_F(PileupTest, LowDepthSuppressed)
+{
+    CallerParams params;
+    params.minDepth = 8;
+    PileupCaller caller(ref_, params);
+    u8 alt = (ref_.baseAt(150) + 1) & 3u;
+    for (u32 i = 0; i < 4; ++i) { // below minDepth
+        DnaSequence seq = ref_.window(100, 200);
+        seq.set(50, alt);
+        Mapping m;
+        m.mapped = true;
+        m.pos = 100;
+        m.cigar = Cigar::parse("200M");
+        caller.addAlignment(seq, m);
+    }
+    EXPECT_TRUE(caller.call().empty());
+}
+
+TEST(VariantBench, ExactSnpMatch)
+{
+    Variant t;
+    t.chrom = 0;
+    t.pos = 100;
+    t.type = VariantType::Snp;
+    t.altBase = genomics::BaseG;
+    CalledVariant c;
+    c.chrom = 0;
+    c.pos = 100;
+    c.type = VariantType::Snp;
+    c.altBase = genomics::BaseG;
+    auto r = eval::benchmarkVariants({ t }, { c }, VariantClass::Snp);
+    EXPECT_EQ(r.tp, 1u);
+    EXPECT_EQ(r.fp, 0u);
+    EXPECT_EQ(r.fn, 0u);
+    EXPECT_DOUBLE_EQ(r.f1(), 1.0);
+}
+
+TEST(VariantBench, WrongAltIsFalsePositive)
+{
+    Variant t;
+    t.pos = 100;
+    t.type = VariantType::Snp;
+    t.altBase = genomics::BaseG;
+    CalledVariant c;
+    c.pos = 100;
+    c.type = VariantType::Snp;
+    c.altBase = genomics::BaseT;
+    auto r = eval::benchmarkVariants({ t }, { c }, VariantClass::Snp);
+    EXPECT_EQ(r.tp, 0u);
+    EXPECT_EQ(r.fp, 1u);
+    EXPECT_EQ(r.fn, 1u);
+}
+
+TEST(VariantBench, IndelPositionTolerance)
+{
+    Variant t;
+    t.pos = 100;
+    t.type = VariantType::Deletion;
+    t.delLen = 2;
+    CalledVariant c;
+    c.pos = 101; // off by one (representation ambiguity)
+    c.type = VariantType::Deletion;
+    c.len = 2;
+    auto r = eval::benchmarkVariants({ t }, { c }, VariantClass::Indel, 2);
+    EXPECT_EQ(r.tp, 1u);
+}
+
+TEST(VariantBench, MissedTruthIsFalseNegative)
+{
+    Variant t;
+    t.pos = 100;
+    t.type = VariantType::Snp;
+    t.altBase = genomics::BaseG;
+    auto r = eval::benchmarkVariants({ t }, {}, VariantClass::Snp);
+    EXPECT_EQ(r.fn, 1u);
+    EXPECT_DOUBLE_EQ(r.recall(), 0.0);
+}
+
+TEST(VariantBench, ClassesSeparated)
+{
+    Variant snp;
+    snp.pos = 100;
+    snp.type = VariantType::Snp;
+    snp.altBase = genomics::BaseG;
+    Variant del;
+    del.pos = 200;
+    del.type = VariantType::Deletion;
+    del.delLen = 1;
+    CalledVariant c;
+    c.pos = 200;
+    c.type = VariantType::Deletion;
+    c.len = 1;
+    auto snpRes = eval::benchmarkVariants({ snp, del }, { c },
+                                          VariantClass::Snp);
+    EXPECT_EQ(snpRes.fn, 1u);
+    EXPECT_EQ(snpRes.fp, 0u); // the deletion call is not in SNP class
+    auto indelRes = eval::benchmarkVariants({ snp, del }, { c },
+                                            VariantClass::Indel);
+    EXPECT_EQ(indelRes.tp, 1u);
+}
+
+TEST(VariantBench, DuplicateCallsBecomeFalsePositives)
+{
+    Variant t;
+    t.pos = 100;
+    t.type = VariantType::Snp;
+    t.altBase = genomics::BaseG;
+    CalledVariant c;
+    c.pos = 100;
+    c.type = VariantType::Snp;
+    c.altBase = genomics::BaseG;
+    auto r = eval::benchmarkVariants({ t }, { c, c }, VariantClass::Snp);
+    EXPECT_EQ(r.tp, 1u);
+    EXPECT_EQ(r.fp, 1u); // the second call has no remaining truth match
+}
+
+} // namespace

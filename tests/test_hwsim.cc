@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Tests for the hardware simulation substrate: DRAM channel timing, the
+ * NMSL simulator, the module performance models and the area/power
+ * roll-up.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hwsim/baseline_models.hh"
+#include "hwsim/dram.hh"
+#include "hwsim/gendp.hh"
+#include "hwsim/host_interface.hh"
+#include "hwsim/module_models.hh"
+#include "hwsim/nmsl.hh"
+#include "hwsim/pipeline_model.hh"
+#include "hwsim/sram.hh"
+#include "hwsim/tech.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace gpx;
+using namespace gpx::hwsim;
+
+TEST(MemConfig, PeakBandwidths)
+{
+    // HBM2: 32 channels x 32 GB/s = 1 TB/s aggregate.
+    EXPECT_NEAR(MemoryConfig::hbm2().peakGBps(), 1024.0, 1.0);
+    EXPECT_GT(MemoryConfig::ddr5().peakGBps(), 100.0);
+    EXPECT_LT(MemoryConfig::ddr5().peakGBps(),
+              MemoryConfig::hbm2().peakGBps());
+}
+
+TEST(DramChannel, SingleRequestLatency)
+{
+    MemoryConfig cfg = MemoryConfig::hbm2();
+    DramChannel ch(cfg);
+    ch.push({ 0x1000, 32, 1 });
+    u64 cycle = 0;
+    std::vector<MemResponse> done;
+    while (done.empty() && cycle < 1000) {
+        ch.tick(cycle);
+        for (auto &r : ch.drain(cycle))
+            done.push_back(r);
+        ++cycle;
+    }
+    ASSERT_EQ(done.size(), 1u);
+    // Row miss: tRP + tRCD + tCL + tBL.
+    u64 expect = cfg.tRP + cfg.tRCD + cfg.tCL + cfg.tBL;
+    EXPECT_GE(done[0].finishCycle, expect);
+    EXPECT_LE(done[0].finishCycle, expect + 2);
+    EXPECT_EQ(ch.stats().activations, 1u);
+}
+
+TEST(DramChannel, RowHitFasterThanMiss)
+{
+    MemoryConfig cfg = MemoryConfig::hbm2();
+    DramChannel ch(cfg);
+    // Two requests to the same row.
+    ch.push({ 0x1000, 32, 1 });
+    ch.push({ 0x1040, 32, 2 });
+    u64 cycle = 0;
+    std::vector<MemResponse> done;
+    while (done.size() < 2 && cycle < 1000) {
+        ch.tick(cycle);
+        for (auto &r : ch.drain(cycle))
+            done.push_back(r);
+        ++cycle;
+    }
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(ch.stats().activations, 1u);
+    EXPECT_EQ(ch.stats().rowHits, 1u);
+}
+
+TEST(DramChannel, MultiBurstRequestSplit)
+{
+    MemoryConfig cfg = MemoryConfig::hbm2();
+    DramChannel ch(cfg);
+    ch.push({ 0x2000, 128, 7 }); // four 32-byte bursts
+    u64 cycle = 0;
+    std::vector<MemResponse> done;
+    while (done.empty() && cycle < 1000) {
+        ch.tick(cycle);
+        for (auto &r : ch.drain(cycle))
+            done.push_back(r);
+        ++cycle;
+    }
+    EXPECT_EQ(ch.stats().bursts, 4u);
+    EXPECT_EQ(ch.stats().bytesRead, 128u);
+}
+
+TEST(DramChannel, EnergyAccounting)
+{
+    MemoryConfig cfg = MemoryConfig::hbm2();
+    DramChannel ch(cfg);
+    ch.push({ 0x1000, 32, 1 });
+    for (u64 c = 0; c < 200; ++c) {
+        ch.tick(c);
+        ch.drain(c);
+    }
+    double e = ch.stats().dynamicEnergyNj(cfg);
+    EXPECT_NEAR(e, cfg.actEnergyNj + cfg.readEnergyNjPerBurst, 1e-9);
+}
+
+/** Synthetic workload with a fixed locations-per-seed profile. */
+std::vector<PairTrace>
+syntheticWorkload(u64 pairs, u32 avgLocs, u64 seed)
+{
+    util::Pcg32 rng(seed);
+    std::vector<PairTrace> w(pairs);
+    for (auto &trace : w) {
+        for (auto &st : trace) {
+            st.hash = rng.next();
+            st.locCount = rng.below(2 * avgLocs + 1); // mean ~avgLocs
+            st.locOffset = rng.next() & 0xFFFF;
+        }
+    }
+    return w;
+}
+
+TEST(Nmsl, ThroughputIncreasesWithWindow)
+{
+    auto workload = syntheticWorkload(4000, 10, 3);
+    double prev = 0;
+    for (u32 win : { 1u, 16u, 256u }) {
+        NmslConfig cfg;
+        cfg.windowSize = win;
+        NmslSim sim(cfg);
+        auto res = sim.run(workload);
+        EXPECT_GT(res.mpairsPerSec, prev) << "window " << win;
+        prev = res.mpairsPerSec;
+    }
+}
+
+TEST(Nmsl, SramGrowsWithWindow)
+{
+    auto workload = syntheticWorkload(2000, 10, 4);
+    NmslConfig small;
+    small.windowSize = 16;
+    NmslConfig large;
+    large.windowSize = 1024;
+    auto a = NmslSim(small).run(workload);
+    auto b = NmslSim(large).run(workload);
+    EXPECT_LT(a.centralBufferBytes, b.centralBufferBytes);
+    EXPECT_EQ(b.centralBufferBytes, 1024ull * 6 * 500 * 4);
+}
+
+TEST(Nmsl, HbmOutperformsDdr5)
+{
+    auto workload = syntheticWorkload(4000, 10, 5);
+    NmslConfig hbm;
+    hbm.mem = MemoryConfig::hbm2();
+    hbm.windowSize = 1024;
+    NmslConfig ddr;
+    ddr.mem = MemoryConfig::ddr5();
+    ddr.windowSize = 1024;
+    auto h = NmslSim(hbm).run(workload);
+    auto d = NmslSim(ddr).run(workload);
+    EXPECT_GT(h.mpairsPerSec, 3.0 * d.mpairsPerSec);
+}
+
+TEST(Nmsl, AllPairsRetired)
+{
+    auto workload = syntheticWorkload(1000, 10, 6);
+    NmslConfig cfg;
+    cfg.windowSize = 64;
+    auto res = NmslSim(cfg).run(workload);
+    EXPECT_EQ(res.pairs, 1000u);
+    EXPECT_GT(res.bytesRead, 0u);
+    EXPECT_GT(res.dramTotalPowerW, 0.0);
+}
+
+TEST(Nmsl, FilterThresholdCapsTraffic)
+{
+    // Seeds with huge location lists are clamped to maxLocsPerSeed.
+    std::vector<PairTrace> w(200);
+    for (auto &trace : w) {
+        for (auto &st : trace) {
+            st.hash = 12345;
+            st.locCount = 100000;
+        }
+    }
+    NmslConfig cfg;
+    cfg.maxLocsPerSeed = 500;
+    auto res = NmslSim(cfg).run(w);
+    // <= pairs x 6 seeds x (500 x 4B + seed entry), with burst rounding.
+    EXPECT_LE(res.bytesRead, 200ull * 6 * (500 * 4 + 64));
+}
+
+TEST(ModuleModels, PartitionedSeedingMatchesPaper)
+{
+    ModuleModels mm(2.0);
+    auto m = mm.partitionedSeeding(192.7);
+    EXPECT_NEAR(m.throughputMpairs, 333.0, 1.0);
+    EXPECT_EQ(m.instances, 1u);
+    EXPECT_EQ(m.latencyCycles, 10.0);
+}
+
+TEST(ModuleModels, PaFilterMatchesPaper)
+{
+    ModuleModels mm(2.0);
+    WorkloadProfile w = WorkloadProfile::paperDefault();
+    auto m = mm.pairedAdjacencyFilter(w, 192.7);
+    EXPECT_NEAR(m.throughputMpairs, 83.0, 1.0);
+    EXPECT_EQ(m.instances, 3u);
+}
+
+TEST(ModuleModels, LightAlignMatchesPaper)
+{
+    ModuleModels mm(2.0);
+    WorkloadProfile w = WorkloadProfile::paperDefault();
+    auto m = mm.lightAlignment(w, 192.7);
+    EXPECT_NEAR(m.throughputMpairs, 1.1, 0.05);
+    EXPECT_NEAR(m.instances, 174.0, 3.0);
+    EXPECT_EQ(m.latencyCycles, 156.0);
+}
+
+TEST(Tech, ScalingFactorsApplied)
+{
+    BlockCost c28{ 1.91, 3.5 };
+    BlockCost c7 = TechModel::to7nm(c28);
+    EXPECT_NEAR(c7.areaMm2, 1.0, 1e-9);
+    EXPECT_NEAR(c7.powerMw, 1.0, 1e-9);
+}
+
+TEST(Sram, CalibratedAgainstPaperPoints)
+{
+    u64 bufBytes = static_cast<u64>(11.74 * 1024 * 1024);
+    EXPECT_NEAR(SramModel::areaMm2(bufBytes, SramModel::Profile::Buffer),
+                6.13, 0.02);
+    EXPECT_NEAR(SramModel::powerMw(bufBytes, SramModel::Profile::Buffer),
+                6.09, 0.02);
+    u64 fifoBytes = 190 * 1024;
+    EXPECT_NEAR(SramModel::powerMw(fifoBytes, SramModel::Profile::Fifo),
+                3.36, 0.02);
+}
+
+TEST(GenDp, EfficiencyConstantsReproduceTable4)
+{
+    BlockCost chain = GenDpModel::chainCost(331772.0);
+    EXPECT_NEAR(chain.areaMm2, 174.9, 0.5);
+    EXPECT_NEAR(chain.powerMw, 115800.0, 500.0);
+    BlockCost align = GenDpModel::alignCost(3469180.0);
+    EXPECT_NEAR(align.areaMm2, 139.4, 0.5);
+    EXPECT_NEAR(align.powerMw, 92300.0, 500.0);
+}
+
+TEST(BaselineModelsTest, RatiosMatchPaper)
+{
+    auto gx = BaselineModels::genPairXReported();
+    auto mm2 = BaselineModels::mm2Cpu();
+    auto gc = BaselineModels::genCache();
+    auto gd = BaselineModels::genDp();
+    EXPECT_NEAR(gx.mbpsPerMm2() / mm2.mbpsPerMm2(), 958.0, 30.0);
+    EXPECT_NEAR(gx.mbpsPerW() / mm2.mbpsPerW(), 1575.0, 50.0);
+    EXPECT_NEAR(gx.mbpsPerW() / gc.mbpsPerW(), 1.43, 0.05);
+    EXPECT_NEAR(gx.mbpsPerMm2() / gd.mbpsPerMm2(), 1.97, 0.06);
+    EXPECT_NEAR(gx.throughputMbps / gc.throughputMbps, 26.6, 0.5);
+}
+
+TEST(PipelineModelTest, PaperOperatingPointRollsUp)
+{
+    // Feed the paper's NMSL rate and workload through the roll-up; the
+    // totals must land near Table 4 / Table 5.
+    NmslResult nmsl;
+    nmsl.mpairsPerSec = 192.7;
+    nmsl.centralBufferBytes = static_cast<u64>(11.74 * 1024 * 1024);
+    nmsl.channelFifoBytes = 190 * 1024;
+    NmslConfig cfg;
+    PipelineModel pm(2.0);
+    auto d = pm.design(nmsl, cfg, WorkloadProfile::paperDefault());
+
+    EXPECT_NEAR(d.throughputMbps(), 57810.0, 100.0);
+    EXPECT_NEAR(d.genPairXCost.areaMm2, 66.8, 3.0);
+    EXPECT_NEAR(d.totalCost.areaMm2, 381.1, 10.0);
+    EXPECT_NEAR(d.totalCost.powerMw / 1000.0, 209.0, 8.0);
+    EXPECT_NEAR(d.chainMcups, 331772.0, 5000.0);
+    EXPECT_NEAR(d.alignMcups, 3469180.0, 50000.0);
+}
+
+TEST(PipelineModelTest, ThroughputDegradesWithFallback)
+{
+    NmslResult nmsl;
+    nmsl.mpairsPerSec = 192.7;
+    nmsl.centralBufferBytes = 1 << 20;
+    nmsl.channelFifoBytes = 1 << 16;
+    PipelineModel pm(2.0);
+    auto d = pm.design(nmsl, NmslConfig{}, WorkloadProfile::paperDefault());
+
+    WorkloadProfile high = WorkloadProfile::paperDefault();
+    high.lightFallbackFrac = 0.5; // error-rate-driven fallback explosion
+    double degraded = pm.throughputUnder(d, high);
+    EXPECT_LT(degraded, d.endToEndMpairs);
+    // Baseline workload keeps the design at its nominal rate.
+    EXPECT_NEAR(pm.throughputUnder(d, WorkloadProfile::paperDefault()),
+                d.endToEndMpairs, 1.0);
+}
+
+TEST(PipelineModelTest, LongReadsRoughlyTenfoldSlower)
+{
+    NmslResult nmsl;
+    nmsl.mpairsPerSec = 192.7;
+    nmsl.centralBufferBytes = 1 << 20;
+    nmsl.channelFifoBytes = 1 << 16;
+    PipelineModel pm(2.0);
+    auto d = pm.design(nmsl, NmslConfig{}, WorkloadProfile::paperDefault());
+    double lr = pm.longReadMbps(d, LongReadWorkload{});
+    EXPECT_LT(lr, d.throughputMbps() / 3.0);
+    EXPECT_GT(lr, d.throughputMbps() / 60.0);
+}
+
+
+TEST(Nmsl, BlockMappingLosesToHashInterleave)
+{
+    // Hot seeds concentrated in one hash region overload a single
+    // channel under Block mapping; hash interleaving spreads them.
+    util::Pcg32 rng(21);
+    std::vector<PairTrace> w(3000);
+    for (auto &trace : w) {
+        for (auto &st : trace) {
+            st.hash = rng.below(1u << 20); // narrow hash region
+            st.locCount = 10;
+        }
+    }
+    NmslConfig hash;
+    hash.windowSize = 1024;
+    hash.mapping = ChannelMapping::HashInterleave;
+    NmslConfig block = hash;
+    block.mapping = ChannelMapping::Block;
+    block.tableEntries = u64{1} << 26;
+    auto a = NmslSim(hash).run(w);
+    auto b = NmslSim(block).run(w);
+    EXPECT_GT(a.mpairsPerSec, 4.0 * b.mpairsPerSec);
+}
+
+TEST(Nmsl, MappingsEquivalentUnderUniformLoad)
+{
+    // With hashes spanning the full table, both mappings balance.
+    util::Pcg32 rng(22);
+    std::vector<PairTrace> w(3000);
+    for (auto &trace : w) {
+        for (auto &st : trace) {
+            st.hash = rng.next() & ((1u << 26) - 1);
+            st.locCount = 10;
+        }
+    }
+    NmslConfig hash;
+    hash.windowSize = 1024;
+    NmslConfig block = hash;
+    block.mapping = ChannelMapping::Block;
+    auto a = NmslSim(hash).run(w);
+    auto b = NmslSim(block).run(w);
+    EXPECT_NEAR(a.mpairsPerSec / b.mpairsPerSec, 1.0, 0.25);
+}
+
+TEST(HostInterface, ReproducesPaperBandwidths)
+{
+    // SS7.4: 192.7 MPair/s, 150 bp, 2-bit encoding -> 14.5 GB/s in;
+    // 8 B locations + ~20 B CIGAR -> 5.4 GB/s out.
+    auto d = hostDemand(192.7);
+    EXPECT_NEAR(d.inputGBs, 14.5, 0.1);
+    EXPECT_NEAR(d.outputGBs, 5.4, 0.1);
+}
+
+TEST(HostInterface, Gen3AndGen4SustainTheDesign)
+{
+    auto d = hostDemand(192.7);
+    auto links = pcieGenerations();
+    ASSERT_GE(links.size(), 2u);
+    EXPECT_TRUE(links[0].sustains(d)); // Gen3 x16
+    EXPECT_TRUE(links[1].sustains(d)); // Gen4 x16
+}
+
+TEST(HostInterface, InputScalesWithReadLength)
+{
+    HostTrafficConfig longReads;
+    longReads.readLen = 300;
+    auto d150 = hostDemand(100.0);
+    auto d300 = hostDemand(100.0, longReads);
+    EXPECT_NEAR(d300.inputGBs / d150.inputGBs, 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(d300.outputGBs, d150.outputGBs);
+}
+
+TEST(HostInterface, LinkBoundCapInvertsDemand)
+{
+    // At the link-bound rate the demand exactly saturates one direction.
+    for (const auto &link : pcieGenerations()) {
+        double cap = maxMpairsOn(link);
+        auto d = hostDemand(cap);
+        EXPECT_TRUE(link.sustains(d));
+        auto over = hostDemand(cap * 1.01);
+        EXPECT_FALSE(link.sustains(over));
+    }
+}
+
+} // namespace

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Failure-injection and format-robustness tests for the FASTA/FASTQ
+ * readers and the CLI flag parser: a production mapper meets malformed
+ * and foreign-formatted files long before it meets clean ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../tools/cli.hh"
+#include "genomics/fasta.hh"
+
+namespace {
+
+using namespace gpx;
+using genomics::DnaSequence;
+using genomics::Reference;
+
+// ---------------------------------------------------------------------
+// FASTA robustness
+// ---------------------------------------------------------------------
+
+TEST(FastaRobust, EmptyStreamYieldsEmptyReference)
+{
+    std::istringstream in("");
+    Reference ref = genomics::readFasta(in);
+    EXPECT_EQ(ref.totalLength(), 0u);
+    EXPECT_EQ(ref.numChromosomes(), 0u);
+}
+
+TEST(FastaRobust, CrlfLineEndingsDoNotCorruptSequence)
+{
+    // A CRLF file must decode to the same bases as its LF twin; a naive
+    // reader turns each '\r' into a spurious 'A'.
+    std::istringstream crlf(">chr1\r\nACGTACGT\r\nTTGG\r\n");
+    Reference ref = genomics::readFasta(crlf);
+    ASSERT_EQ(ref.numChromosomes(), 1u);
+    EXPECT_EQ(ref.chromosome(0).toString(), "ACGTACGTTTGG");
+}
+
+TEST(FastaRobust, HeaderDescriptionStripped)
+{
+    std::istringstream in(">chr1 Homo sapiens chromosome 1\nACGT\n");
+    Reference ref = genomics::readFasta(in);
+    ASSERT_EQ(ref.numChromosomes(), 1u);
+    EXPECT_EQ(ref.name(0), "chr1");
+}
+
+TEST(FastaRobust, BlankLinesSkipped)
+{
+    std::istringstream in("\n>chr1\n\nAC\nGT\n\n>chr2\nTTTT\n");
+    Reference ref = genomics::readFasta(in);
+    ASSERT_EQ(ref.numChromosomes(), 2u);
+    EXPECT_EQ(ref.chromosome(0).toString(), "ACGT");
+    EXPECT_EQ(ref.chromosome(1).toString(), "TTTT");
+}
+
+TEST(FastaRobust, MultiLineWrapJoined)
+{
+    std::string seq(500, 'C');
+    std::ostringstream file;
+    file << ">chr1\n";
+    for (std::size_t i = 0; i < seq.size(); i += 60)
+        file << seq.substr(i, 60) << '\n';
+    std::istringstream in(file.str());
+    Reference ref = genomics::readFasta(in);
+    EXPECT_EQ(ref.chromosome(0).toString(), seq);
+}
+
+TEST(FastaRobust, AmbiguityCodesResolveToA)
+{
+    // The documented convention: any non-ACGT character maps to A.
+    std::istringstream in(">chr1\nACGTNNRY\n");
+    Reference ref = genomics::readFasta(in);
+    EXPECT_EQ(ref.chromosome(0).toString(), "ACGTAAAA");
+}
+
+// ---------------------------------------------------------------------
+// FASTQ robustness
+// ---------------------------------------------------------------------
+
+TEST(FastqRobust, CrlfRecordsDecodeCleanly)
+{
+    std::istringstream in("@r1\r\nACGT\r\n+\r\nIIII\r\n");
+    auto reads = genomics::readFastq(in);
+    ASSERT_EQ(reads.size(), 1u);
+    EXPECT_EQ(reads[0].name, "r1");
+    EXPECT_EQ(reads[0].seq.toString(), "ACGT");
+}
+
+TEST(FastqRobust, NameStopsAtWhitespace)
+{
+    std::istringstream in("@r1 1:N:0:ATCACG\nACGT\n+\nIIII\n");
+    auto reads = genomics::readFastq(in);
+    ASSERT_EQ(reads.size(), 1u);
+    EXPECT_EQ(reads[0].name, "r1");
+}
+
+TEST(FastqRobustDeath, TruncatedRecordIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            std::istringstream in("@r1\nACGT\n+\n"); // missing quality
+            genomics::readFastq(in);
+        },
+        "truncated FASTQ record");
+}
+
+TEST(FastqRobustDeath, MalformedHeaderIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            std::istringstream in("ACGT\nACGT\n+\nIIII\n");
+            genomics::readFastq(in);
+        },
+        "malformed FASTQ header");
+}
+
+// ---------------------------------------------------------------------
+// CLI parser
+// ---------------------------------------------------------------------
+
+tools::Cli
+parse(std::vector<std::string> args, const std::set<std::string> &vals,
+      const std::set<std::string> &bools)
+{
+    std::vector<char *> argv;
+    static std::vector<std::string> storage;
+    storage = std::move(args);
+    storage.insert(storage.begin(), "prog");
+    argv.reserve(storage.size());
+    for (auto &s : storage)
+        argv.push_back(s.data());
+    return tools::Cli(static_cast<int>(argv.size()), argv.data(), vals,
+                      bools, "usage");
+}
+
+TEST(Cli, ValueAndBoolFlags)
+{
+    auto cli = parse({ "--ref", "x.fa", "--baseline" }, { "--ref" },
+                     { "--baseline" });
+    EXPECT_EQ(cli.str("--ref"), "x.fa");
+    EXPECT_TRUE(cli.has("--baseline"));
+    EXPECT_FALSE(cli.has("--out"));
+}
+
+TEST(Cli, NumericParsing)
+{
+    auto cli = parse({ "--threads", "8", "--rate", "0.25" },
+                     { "--threads", "--rate" }, {});
+    EXPECT_EQ(cli.num("--threads", 0), 8);
+    EXPECT_DOUBLE_EQ(cli.real("--rate", 0.0), 0.25);
+    EXPECT_EQ(cli.num("--missing", 42), 42);
+    EXPECT_DOUBLE_EQ(cli.real("--missing", 1.5), 1.5);
+}
+
+TEST(CliDeath, UnknownFlagExits)
+{
+    EXPECT_EXIT(parse({ "--bogus" }, { "--ref" }, {}),
+                ::testing::ExitedWithCode(2), "unknown flag: --bogus");
+}
+
+TEST(CliDeath, MissingValueExits)
+{
+    EXPECT_EXIT(parse({ "--ref" }, { "--ref" }, {}),
+                ::testing::ExitedWithCode(2), "needs a value");
+}
+
+TEST(CliDeath, MissingRequiredExits)
+{
+    auto cli = parse({}, { "--ref" }, {});
+    EXPECT_EXIT(cli.required("--ref"), ::testing::ExitedWithCode(2),
+                "missing required flag: --ref");
+}
+
+TEST(CliDeath, NonNumericValueExits)
+{
+    auto cli = parse({ "--threads", "many" }, { "--threads" }, {});
+    EXPECT_EXIT(cli.num("--threads", 0), ::testing::ExitedWithCode(2),
+                "expects an integer");
+}
+
+
+TEST(CliDeath, HelpExitsZero)
+{
+    // Usage goes to stdout (which EXPECT_EXIT does not capture); the
+    // contract under test is the clean exit before any flag validation.
+    EXPECT_EXIT(parse({ "--help" }, { "--ref" }, {}),
+                ::testing::ExitedWithCode(0), "");
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the long-read mapping pipeline (paper §4.7): pseudo-pair
+ * decomposition, location voting and chunked DP alignment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/mm2lite.hh"
+#include "genpair/longread.hh"
+#include "simdata/genome_generator.hh"
+#include "simdata/read_simulator.hh"
+
+namespace {
+
+using namespace gpx;
+using genomics::DnaSequence;
+using genomics::Read;
+using genomics::Reference;
+using genpair::LongReadMapper;
+using genpair::LongReadParams;
+using genpair::SeedMap;
+using genpair::SeedMapParams;
+
+class LongReadTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        simdata::GenomeParams gp;
+        gp.length = 400000;
+        gp.chromosomes = 1;
+        gp.seed = 55;
+        ref_ = simdata::generateGenome(gp);
+        SeedMapParams sp;
+        sp.tableBits = 20;
+        map_ = std::make_unique<SeedMap>(ref_, sp);
+        dp_ = std::make_unique<baseline::Mm2Lite>(
+            ref_, baseline::Mm2LiteParams{});
+        mapper_ = std::make_unique<LongReadMapper>(ref_, *map_,
+                                                   LongReadParams{},
+                                                   dp_.get());
+    }
+
+    Reference ref_;
+    std::unique_ptr<SeedMap> map_;
+    std::unique_ptr<baseline::Mm2Lite> dp_;
+    std::unique_ptr<LongReadMapper> mapper_;
+};
+
+TEST_F(LongReadTest, MapsCleanForwardRead)
+{
+    Read read;
+    read.seq = ref_.chromosome(0).sub(50000, 5000);
+    auto m = mapper_->mapRead(read);
+    ASSERT_TRUE(m.mapped);
+    EXPECT_EQ(m.pos, 50000u);
+    EXPECT_FALSE(m.reverse);
+    EXPECT_EQ(m.cigar.querySpan(), 5000u);
+}
+
+TEST_F(LongReadTest, MapsCleanReverseRead)
+{
+    Read read;
+    read.seq = ref_.chromosome(0).sub(80000, 4000).revComp();
+    auto m = mapper_->mapRead(read);
+    ASSERT_TRUE(m.mapped);
+    EXPECT_EQ(m.pos, 80000u);
+    EXPECT_TRUE(m.reverse);
+}
+
+TEST_F(LongReadTest, MapsNoisyRead)
+{
+    simdata::DiploidGenome dg(ref_, simdata::VariantParams{});
+    simdata::LongReadSimParams lp;
+    lp.meanLen = 4000;
+    lp.sdLen = 500;
+    lp.errors = simdata::ErrorProfile::uniform(0.005); // HiFi-like
+    simdata::LongReadSimulator sim(dg, lp);
+    u32 correct = 0;
+    const u32 n = 10;
+    for (u32 i = 0; i < n; ++i) {
+        Read read = sim.simulateRead();
+        auto m = mapper_->mapRead(read);
+        if (m.mapped && m.reverse == read.truthReverse) {
+            u64 diff = m.pos > read.truthPos ? m.pos - read.truthPos
+                                             : read.truthPos - m.pos;
+            correct += diff <= 200;
+        }
+    }
+    EXPECT_GE(correct, n - 2);
+}
+
+TEST_F(LongReadTest, RandomSequenceUnmapped)
+{
+    util::Pcg32 rng(3);
+    std::string junk;
+    for (int i = 0; i < 3000; ++i)
+        junk.push_back(genomics::baseToChar(rng.below(4)));
+    Read read;
+    read.seq = DnaSequence(junk);
+    auto m = mapper_->mapRead(read);
+    EXPECT_FALSE(m.mapped);
+    EXPECT_GT(mapper_->stats().unmapped, 0u);
+}
+
+TEST_F(LongReadTest, StatsTrackPseudoPairs)
+{
+    Read read;
+    read.seq = ref_.chromosome(0).sub(10000, 3000);
+    mapper_->mapRead(read);
+    // 3000/150 = 20 segments -> 19 pseudo pairs, twice (both strands).
+    EXPECT_GE(mapper_->stats().pseudoPairs, 19u);
+    EXPECT_GT(mapper_->stats().votes, 0u);
+    EXPECT_GT(mapper_->stats().dpCells, 0u);
+}
+
+TEST_F(LongReadTest, DeletionInReadStillMaps)
+{
+    // A long read with a 30-base deletion relative to the reference.
+    DnaSequence seq = ref_.chromosome(0).sub(120000, 2000);
+    seq.append(ref_.chromosome(0).sub(122030, 2000));
+    Read read;
+    read.seq = seq;
+    auto m = mapper_->mapRead(read);
+    ASSERT_TRUE(m.mapped);
+    EXPECT_EQ(m.pos, 120000u);
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit and property tests for SeedMap query merging and the
+ * Paired-Adjacency filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "genpair/pafilter.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace gpx;
+using genpair::CandidatePair;
+using genpair::pairedAdjacencyFilter;
+using genpair::QueryWork;
+
+TEST(PaFilter, EmptyInputs)
+{
+    QueryWork w;
+    EXPECT_TRUE(pairedAdjacencyFilter({}, {}, 500, w).empty());
+    EXPECT_TRUE(pairedAdjacencyFilter({ 1, 2 }, {}, 500, w).empty());
+    EXPECT_TRUE(pairedAdjacencyFilter({}, { 1, 2 }, 500, w).empty());
+}
+
+TEST(PaFilter, KeepsPairsWithinDelta)
+{
+    QueryWork w;
+    std::vector<GlobalPos> left = { 1000 };
+    std::vector<GlobalPos> right = { 1200 };
+    auto out = pairedAdjacencyFilter(left, right, 500, w);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].leftStart, 1000u);
+    EXPECT_EQ(out[0].rightStart, 1200u);
+}
+
+TEST(PaFilter, RejectsBeyondDelta)
+{
+    QueryWork w;
+    EXPECT_TRUE(pairedAdjacencyFilter({ 1000 }, { 1600 }, 500, w).empty());
+}
+
+TEST(PaFilter, RejectsWrongOrder)
+{
+    QueryWork w;
+    // Right read upstream of left read violates FR ordering.
+    EXPECT_TRUE(pairedAdjacencyFilter({ 1000 }, { 800 }, 500, w).empty());
+}
+
+TEST(PaFilter, ZeroDistanceAllowed)
+{
+    QueryWork w;
+    auto out = pairedAdjacencyFilter({ 1000 }, { 1000 }, 500, w);
+    EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(PaFilter, EmitsAllCombinationsInWindow)
+{
+    QueryWork w;
+    std::vector<GlobalPos> left = { 100, 150 };
+    std::vector<GlobalPos> right = { 120, 180, 900 };
+    auto out = pairedAdjacencyFilter(left, right, 100, w);
+    // (100,120), (100,180), (150,180) -- not (150,120) (order), not 900.
+    EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(PaFilter, CountsIterations)
+{
+    QueryWork w;
+    std::vector<GlobalPos> left = { 100, 200, 300 };
+    std::vector<GlobalPos> right = { 150, 250, 350 };
+    pairedAdjacencyFilter(left, right, 100, w);
+    EXPECT_GT(w.filterIterations, 0u);
+}
+
+/** Property test: matches a brute-force quadratic reference. */
+class PaFilterProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PaFilterProperty, MatchesBruteForce)
+{
+    util::Pcg32 rng(GetParam() * 101 + 13);
+    u32 delta = 200 + rng.below(400);
+    std::vector<GlobalPos> left, right;
+    for (u32 i = 0, n = rng.below(40); i < n; ++i)
+        left.push_back(rng.below(10000));
+    for (u32 i = 0, n = rng.below(40); i < n; ++i)
+        right.push_back(rng.below(10000));
+    std::sort(left.begin(), left.end());
+    std::sort(right.begin(), right.end());
+    left.erase(std::unique(left.begin(), left.end()), left.end());
+    right.erase(std::unique(right.begin(), right.end()), right.end());
+
+    QueryWork w;
+    auto fast = pairedAdjacencyFilter(left, right, delta, w);
+
+    std::vector<CandidatePair> brute;
+    for (GlobalPos l : left) {
+        for (GlobalPos r : right) {
+            if (r >= l && r - l <= delta)
+                brute.push_back({ l, r });
+        }
+    }
+    ASSERT_EQ(fast.size(), brute.size());
+    auto key = [](const CandidatePair &c) {
+        return std::pair<GlobalPos, GlobalPos>(c.leftStart, c.rightStart);
+    };
+    auto cmp = [&](const CandidatePair &a, const CandidatePair &b) {
+        return key(a) < key(b);
+    };
+    std::sort(fast.begin(), fast.end(), cmp);
+    std::sort(brute.begin(), brute.end(), cmp);
+    for (std::size_t i = 0; i < fast.size(); ++i)
+        EXPECT_EQ(key(fast[i]), key(brute[i]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PaFilterProperty,
+                         ::testing::Range(0, 20));
+
+} // namespace

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * End-to-end tests of the GenPair pipeline: fast-path mapping, fallback
+ * routing (Fig. 10 semantics), orientation handling and accuracy on
+ * simulated data.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/mm2lite.hh"
+#include "eval/mapping_eval.hh"
+#include "genpair/pipeline.hh"
+#include "simdata/genome_generator.hh"
+#include "simdata/read_simulator.hh"
+
+namespace {
+
+using namespace gpx;
+using genomics::DnaSequence;
+using genomics::MappingPath;
+using genomics::ReadPair;
+using genomics::Reference;
+using genpair::GenPairParams;
+using genpair::GenPairPipeline;
+using genpair::SeedMap;
+using genpair::SeedMapParams;
+
+class PipelineTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        simdata::GenomeParams gp;
+        gp.length = 300000;
+        gp.chromosomes = 1;
+        gp.seed = 33;
+        ref_ = simdata::generateGenome(gp);
+        SeedMapParams sp;
+        sp.tableBits = 20;
+        map_ = std::make_unique<SeedMap>(ref_, sp);
+        mapper_ = std::make_unique<baseline::Mm2Lite>(
+            ref_, baseline::Mm2LiteParams{});
+        pipeline_ = std::make_unique<GenPairPipeline>(
+            ref_, *map_, GenPairParams{}, mapper_.get());
+    }
+
+    /** Error-free FR pair at the given position and insert. */
+    ReadPair
+    cleanPair(GlobalPos pos, u64 insert = 400) const
+    {
+        ReadPair pair;
+        pair.first.seq = ref_.chromosome(0).sub(pos, 150);
+        pair.first.truthPos = pos;
+        pair.second.seq =
+            ref_.chromosome(0).sub(pos + insert - 150, 150).revComp();
+        pair.second.truthPos = pos + insert - 150;
+        pair.second.truthReverse = true;
+        return pair;
+    }
+
+    Reference ref_;
+    std::unique_ptr<SeedMap> map_;
+    std::unique_ptr<baseline::Mm2Lite> mapper_;
+    std::unique_ptr<GenPairPipeline> pipeline_;
+};
+
+TEST_F(PipelineTest, CleanPairLightAligned)
+{
+    auto pm = pipeline_->mapPair(cleanPair(10000));
+    EXPECT_EQ(pm.path, MappingPath::LightAligned);
+    ASSERT_TRUE(pm.bothMapped());
+    EXPECT_EQ(pm.first.pos, 10000u);
+    EXPECT_EQ(pm.second.pos, 10250u);
+    EXPECT_FALSE(pm.first.reverse);
+    EXPECT_TRUE(pm.second.reverse);
+    EXPECT_EQ(pm.first.score, 300);
+    EXPECT_EQ(pm.second.score, 300);
+}
+
+TEST_F(PipelineTest, ReverseStrandFragmentHandled)
+{
+    // Swap roles: fragment sequenced from the minus strand means read 1
+    // is the reverse-complemented right mate.
+    ReadPair pair = cleanPair(20000);
+    std::swap(pair.first, pair.second);
+    auto pm = pipeline_->mapPair(pair);
+    EXPECT_EQ(pm.path, MappingPath::LightAligned);
+    ASSERT_TRUE(pm.bothMapped());
+    EXPECT_EQ(pm.first.pos, 20250u);
+    EXPECT_TRUE(pm.first.reverse);
+    EXPECT_EQ(pm.second.pos, 20000u);
+    EXPECT_FALSE(pm.second.reverse);
+}
+
+TEST_F(PipelineTest, PairWithFewMismatchesLightAligned)
+{
+    ReadPair pair = cleanPair(30000);
+    pair.first.seq.set(75, (pair.first.seq.at(75) + 1) & 3u);
+    auto pm = pipeline_->mapPair(pair);
+    EXPECT_EQ(pm.path, MappingPath::LightAligned);
+    EXPECT_EQ(pm.first.score, 290);
+}
+
+TEST_F(PipelineTest, RandomReadFallsToFullDp)
+{
+    util::Pcg32 rng(99);
+    ReadPair pair;
+    std::string junk1, junk2;
+    for (int i = 0; i < 150; ++i) {
+        junk1.push_back(genomics::baseToChar(rng.below(4)));
+        junk2.push_back(genomics::baseToChar(rng.below(4)));
+    }
+    pair.first.seq = DnaSequence(junk1);
+    pair.second.seq = DnaSequence(junk2);
+    auto pm = pipeline_->mapPair(pair);
+    // Random 150-mers essentially never occur in a 300 kb genome; the
+    // pair exits through a full-DP fallback (and stays unmapped there).
+    EXPECT_TRUE(pm.path == MappingPath::FullDpFallback ||
+                pm.path == MappingPath::Unmapped);
+    const auto &st = pipeline_->stats();
+    EXPECT_EQ(st.seedMissFallback + st.paFilterFallback, 1u);
+}
+
+TEST_F(PipelineTest, ExcessiveInsertFallsBack)
+{
+    // Mates 5 kb apart exceed delta=500: adjacency filter rejects.
+    auto pm = pipeline_->mapPair(cleanPair(40000, 5000));
+    EXPECT_EQ(pm.path, MappingPath::FullDpFallback);
+    EXPECT_GE(pipeline_->stats().paFilterFallback, 1u);
+    // The DP fallback still maps both reads.
+    EXPECT_TRUE(pm.first.mapped);
+    EXPECT_TRUE(pm.second.mapped);
+}
+
+TEST_F(PipelineTest, MixedEditReadUsesDpAlignFallback)
+{
+    ReadPair pair = cleanPair(50000);
+    // Read 1: one mismatch AND one deletion -> not light-alignable.
+    DnaSequence seq = ref_.chromosome(0).sub(50000, 60);
+    seq.append(ref_.chromosome(0).sub(50061, 90));
+    seq.set(20, (seq.at(20) + 1) & 3u);
+    pair.first.seq = seq;
+    auto pm = pipeline_->mapPair(pair);
+    EXPECT_EQ(pm.path, MappingPath::DpAlignFallback);
+    ASSERT_TRUE(pm.bothMapped());
+    EXPECT_EQ(pm.first.pos, 50000u);
+    EXPECT_EQ(pm.first.score, 276); // 1 mismatch + 1 deletion (Table 1)
+}
+
+TEST_F(PipelineTest, StatsAccumulate)
+{
+    pipeline_->mapPair(cleanPair(60000));
+    pipeline_->mapPair(cleanPair(61000));
+    const auto &st = pipeline_->stats();
+    EXPECT_EQ(st.pairsTotal, 2u);
+    EXPECT_EQ(st.lightAligned, 2u);
+    EXPECT_GT(st.query.seedLookups, 0u);
+    EXPECT_GT(st.lightAlignsAttempted, 0u);
+}
+
+TEST_F(PipelineTest, NoFallbackEngineCountsUnmapped)
+{
+    GenPairPipeline lone(ref_, *map_, GenPairParams{}, nullptr);
+    util::Pcg32 rng(7);
+    ReadPair pair;
+    std::string junk;
+    for (int i = 0; i < 150; ++i)
+        junk.push_back(genomics::baseToChar(rng.below(4)));
+    pair.first.seq = DnaSequence(junk);
+    pair.second.seq = DnaSequence(junk);
+    auto pm = lone.mapPair(pair);
+    EXPECT_EQ(pm.path, MappingPath::Unmapped);
+    EXPECT_EQ(lone.stats().unmapped, 1u);
+}
+
+TEST_F(PipelineTest, SimulatedReadsAccuracy)
+{
+    simdata::DiploidGenome dg(ref_, simdata::VariantParams{});
+    simdata::ReadSimParams rp;
+    simdata::ReadSimulator sim(dg, rp);
+    eval::MappingEvaluator evaluator(30);
+    const u32 n = 150;
+    for (u32 i = 0; i < n; ++i) {
+        auto pair = sim.simulatePair();
+        auto pm = pipeline_->mapPair(pair);
+        evaluator.addPair(pair, pm);
+    }
+    const auto &acc = evaluator.result();
+    EXPECT_GT(acc.recall(), 0.9);
+    EXPECT_GT(acc.precision(), 0.93);
+    // The large majority of pairs must take the fast path (Fig. 10).
+    const auto &st = pipeline_->stats();
+    EXPECT_GT(st.fraction(st.lightAligned), 0.5);
+}
+
+} // namespace

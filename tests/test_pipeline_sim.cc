@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the cycle-level GenPairX pipeline simulator: balanced
+ * designs sustain the NMSL rate, under-provisioned stages backpressure,
+ * and the inter-stage buffers absorb bursts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hwsim/fifo.hh"
+#include "hwsim/pipeline_sim.hh"
+
+namespace {
+
+using namespace gpx;
+using namespace gpx::hwsim;
+
+std::vector<PairWork>
+uniformWorkload(u64 pairs, u32 iters, u32 aligns)
+{
+    std::vector<PairWork> w(pairs);
+    for (auto &p : w) {
+        p.paIterations = iters;
+        p.lightAligns = aligns;
+        p.bypassLight = false;
+    }
+    return w;
+}
+
+TEST(Fifo, PushPopOrderAndStats)
+{
+    Fifo<int> f(2);
+    EXPECT_TRUE(f.tryPush(1));
+    EXPECT_TRUE(f.tryPush(2));
+    EXPECT_FALSE(f.tryPush(3)); // full
+    EXPECT_EQ(f.rejections(), 1u);
+    EXPECT_EQ(f.maxOccupancy(), 2u);
+    EXPECT_EQ(f.pop(), 1);
+    EXPECT_EQ(f.pop(), 2);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(PipelineSim, BalancedDesignSustainsNmslRate)
+{
+    // The paper's Table 3 design at the paper's workload.
+    PipelineSimConfig cfg;
+    cfg.nmslMpairs = 192.7;
+    cfg.paInstances = 3;
+    cfg.laInstances = 174;
+    auto workload = GenPairXPipelineSim::synthesizeWorkload(
+        WorkloadProfile::paperDefault(), 20000, 5);
+    auto res = GenPairXPipelineSim(cfg).run(workload);
+    EXPECT_GT(res.efficiencyVsNmsl(cfg), 0.90);
+}
+
+TEST(PipelineSim, UnderProvisionedLightAlignThrottles)
+{
+    PipelineSimConfig cfg;
+    cfg.nmslMpairs = 192.7;
+    cfg.paInstances = 3;
+    cfg.laInstances = 40; // far below the required 174
+    auto workload = GenPairXPipelineSim::synthesizeWorkload(
+        WorkloadProfile::paperDefault(), 10000, 6);
+    auto res = GenPairXPipelineSim(cfg).run(workload);
+    EXPECT_LT(res.efficiencyVsNmsl(cfg), 0.5);
+    EXPECT_GT(res.laUtilization, 0.95);
+    EXPECT_GT(res.sourceStallCycles, 0u);
+}
+
+TEST(PipelineSim, UnderProvisionedPaFilterThrottles)
+{
+    PipelineSimConfig cfg;
+    cfg.nmslMpairs = 192.7;
+    cfg.paInstances = 1; // needs 3
+    cfg.laInstances = 174;
+    auto workload = GenPairXPipelineSim::synthesizeWorkload(
+        WorkloadProfile::paperDefault(), 10000, 7);
+    auto res = GenPairXPipelineSim(cfg).run(workload);
+    EXPECT_LT(res.efficiencyVsNmsl(cfg), 0.6);
+    EXPECT_GT(res.paUtilization, 0.90);
+}
+
+TEST(PipelineSim, BypassPairsSkipLightAlignment)
+{
+    PipelineSimConfig cfg;
+    cfg.nmslMpairs = 100.0;
+    cfg.paInstances = 2;
+    cfg.laInstances = 1; // tiny, but every pair bypasses it
+    std::vector<PairWork> w(5000);
+    for (auto &p : w) {
+        p.paIterations = 10;
+        p.lightAligns = 100;
+        p.bypassLight = true;
+    }
+    auto res = GenPairXPipelineSim(cfg).run(w);
+    EXPECT_GT(res.efficiencyVsNmsl(cfg), 0.9);
+    EXPECT_EQ(res.laUtilization, 0.0);
+}
+
+TEST(PipelineSim, DeterministicForSameWorkload)
+{
+    PipelineSimConfig cfg;
+    auto w = uniformWorkload(2000, 24, 12);
+    auto a = GenPairXPipelineSim(cfg).run(w);
+    auto b = GenPairXPipelineSim(cfg).run(w);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.buf2MaxOccupancy, b.buf2MaxOccupancy);
+}
+
+TEST(PipelineSim, BufferAbsorbsHeavyTail)
+{
+    // Identical mean work, one with a heavy tail: the deeper buffer
+    // keeps the source from stalling.
+    PipelineSimConfig shallow;
+    shallow.bufferDepth = 4;
+    shallow.nmslMpairs = 150;
+    PipelineSimConfig deep = shallow;
+    deep.bufferDepth = 2048;
+
+    auto workload = GenPairXPipelineSim::synthesizeWorkload(
+        WorkloadProfile::paperDefault(), 10000, 11);
+    auto a = GenPairXPipelineSim(shallow).run(workload);
+    auto b = GenPairXPipelineSim(deep).run(workload);
+    EXPECT_GE(b.mpairsPerSec, a.mpairsPerSec);
+    EXPECT_LE(b.sourceStallCycles, a.sourceStallCycles);
+}
+
+TEST(PipelineSim, SynthesizedWorkloadMatchesMeans)
+{
+    WorkloadProfile p = WorkloadProfile::paperDefault();
+    auto w = GenPairXPipelineSim::synthesizeWorkload(p, 50000, 3);
+    double iterSum = 0, alignSum = 0, bypass = 0;
+    for (const auto &pw : w) {
+        iterSum += pw.paIterations;
+        alignSum += pw.lightAligns;
+        bypass += pw.bypassLight;
+    }
+    EXPECT_NEAR(iterSum / w.size(), p.avgFilterIterationsPerPair, 2.0);
+    EXPECT_NEAR(alignSum / w.size(), p.avgLightAlignsPerPair, 1.0);
+    EXPECT_NEAR(bypass / w.size(), p.fullDpFrac(), 0.01);
+}
+
+} // namespace

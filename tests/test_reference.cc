@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for Reference coordinates and FASTA/FASTQ serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "genomics/fasta.hh"
+#include "genomics/reference.hh"
+
+namespace {
+
+using namespace gpx;
+using genomics::DnaSequence;
+using genomics::Reference;
+
+Reference
+makeRef()
+{
+    Reference ref;
+    ref.addChromosome("chr1", DnaSequence("ACGTACGTAC"));
+    ref.addChromosome("chr2", DnaSequence("TTTTGGGG"));
+    return ref;
+}
+
+TEST(Reference, TotalLengthSumsChromosomes)
+{
+    Reference ref = makeRef();
+    EXPECT_EQ(ref.totalLength(), 18u);
+    EXPECT_EQ(ref.numChromosomes(), 2u);
+}
+
+TEST(Reference, GlobalToChromRoundTrip)
+{
+    Reference ref = makeRef();
+    for (GlobalPos p = 0; p < ref.totalLength(); ++p) {
+        genomics::ChromPos cp = ref.toChromPos(p);
+        EXPECT_EQ(ref.toGlobal(cp.chrom, cp.offset), p);
+    }
+}
+
+TEST(Reference, ChromosomeBoundaries)
+{
+    Reference ref = makeRef();
+    EXPECT_EQ(ref.toChromPos(9).chrom, 0u);
+    EXPECT_EQ(ref.toChromPos(10).chrom, 1u);
+    EXPECT_EQ(ref.toChromPos(10).offset, 0u);
+    EXPECT_EQ(ref.chromosomeStart(1), 10u);
+}
+
+TEST(Reference, BaseAtCrossesChromosomes)
+{
+    Reference ref = makeRef();
+    EXPECT_EQ(ref.baseAt(0), genomics::BaseA);
+    EXPECT_EQ(ref.baseAt(10), genomics::BaseT);
+    EXPECT_EQ(ref.baseAt(14), genomics::BaseG);
+}
+
+TEST(Reference, WindowClampsAtChromosomeEnd)
+{
+    Reference ref = makeRef();
+    DnaSequence w = ref.window(8, 10);
+    EXPECT_EQ(w.toString(), "AC"); // truncated at chr1's end
+}
+
+TEST(Reference, WindowValidChecksBoundary)
+{
+    Reference ref = makeRef();
+    EXPECT_TRUE(ref.windowValid(0, 10));
+    EXPECT_FALSE(ref.windowValid(5, 10)); // would straddle chr1/chr2
+    EXPECT_TRUE(ref.windowValid(10, 8));
+    EXPECT_FALSE(ref.windowValid(10, 9));
+    EXPECT_FALSE(ref.windowValid(100, 1));
+}
+
+TEST(Fasta, RoundTrip)
+{
+    Reference ref = makeRef();
+    std::stringstream ss;
+    genomics::writeFasta(ss, ref, 4);
+    Reference back = genomics::readFasta(ss);
+    ASSERT_EQ(back.numChromosomes(), 2u);
+    EXPECT_EQ(back.name(0), "chr1");
+    EXPECT_EQ(back.chromosome(0).toString(), "ACGTACGTAC");
+    EXPECT_EQ(back.chromosome(1).toString(), "TTTTGGGG");
+}
+
+TEST(Fastq, RoundTrip)
+{
+    std::vector<genomics::Read> reads(2);
+    reads[0].name = "r1";
+    reads[0].seq = DnaSequence("ACGT");
+    reads[1].name = "r2";
+    reads[1].seq = DnaSequence("GGTT");
+    std::stringstream ss;
+    genomics::writeFastq(ss, reads);
+    auto back = genomics::readFastq(ss);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].name, "r1");
+    EXPECT_EQ(back[1].seq.toString(), "GGTT");
+}
+
+} // namespace

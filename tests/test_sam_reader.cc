@@ -1,0 +1,163 @@
+/**
+ * @file
+ * SAM reader tests: round trip through SamWriter, mandatory-column
+ * validation, malformed-line quarantine, tag handling, and coordinate
+ * resolution against the Reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "genomics/sam.hh"
+#include "genomics/sam_reader.hh"
+#include "simdata/genome_generator.hh"
+
+namespace {
+
+using namespace gpx;
+using genomics::Cigar;
+using genomics::Mapping;
+using genomics::PairMapping;
+using genomics::ReadPair;
+using genomics::Reference;
+using genomics::SamRecord;
+
+Reference
+smallRef()
+{
+    simdata::GenomeParams gp;
+    gp.length = 40000;
+    gp.chromosomes = 2;
+    gp.seed = 3;
+    return simdata::generateGenome(gp);
+}
+
+TEST(SamReader, RoundTripThroughWriter)
+{
+    Reference ref = smallRef();
+    ReadPair pair;
+    pair.first.name = "p0";
+    pair.first.seq = ref.window(1000, 150);
+    pair.second.name = "p0";
+    pair.second.seq = ref.window(1237, 150).revComp();
+
+    PairMapping pm;
+    pm.first.mapped = true;
+    pm.first.pos = 1000;
+    pm.first.score = 300;
+    pm.first.cigar = Cigar::parse("150M");
+    pm.second.mapped = true;
+    pm.second.pos = 1237;
+    pm.second.reverse = true;
+    pm.second.score = 290;
+    pm.second.cigar = Cigar::parse("150M");
+
+    std::ostringstream out;
+    genomics::SamWriter writer(out, ref);
+    writer.writeHeader();
+    writer.writePair(pair, pm);
+
+    std::istringstream in(out.str());
+    auto sam = genomics::readSam(in);
+    EXPECT_TRUE(sam.badLines.empty());
+    EXPECT_GE(sam.headerLines.size(), 3u); // @HD, @SQ x2, @PG
+    ASSERT_EQ(sam.records.size(), 2u);
+
+    const auto &r1 = sam.records[0];
+    EXPECT_EQ(r1.qname, "p0");
+    EXPECT_TRUE(r1.isMapped());
+    EXPECT_TRUE(r1.isFirstInPair());
+    EXPECT_FALSE(r1.isReverse());
+    EXPECT_EQ(*genomics::recordGlobalPos(r1, ref), 1000u);
+    ASSERT_TRUE(r1.alignScore.has_value());
+    EXPECT_EQ(*r1.alignScore, 300);
+    EXPECT_EQ(r1.cigar.toString(), "150M");
+
+    const auto &r2 = sam.records[1];
+    EXPECT_TRUE(r2.isSecondInPair());
+    EXPECT_TRUE(r2.isReverse());
+    EXPECT_EQ(*genomics::recordGlobalPos(r2, ref), 1237u);
+    // SAM stores reverse-mapped reads reference-forward.
+    EXPECT_EQ(r2.seq, ref.window(1237, 150).toString());
+}
+
+TEST(SamReader, UnmappedRecordHasNoGlobalPos)
+{
+    Reference ref = smallRef();
+    std::istringstream in("r1\t4\t*\t0\t0\t*\t*\t0\t0\tACGT\t*\n");
+    auto sam = genomics::readSam(in);
+    ASSERT_EQ(sam.records.size(), 1u);
+    EXPECT_FALSE(sam.records[0].isMapped());
+    EXPECT_FALSE(genomics::recordGlobalPos(sam.records[0], ref));
+}
+
+TEST(SamReader, MalformedLinesQuarantinedNotFatal)
+{
+    std::istringstream in(
+        "good\t4\t*\t0\t0\t*\t*\t0\t0\tACGT\t*\n"
+        "too\tfew\tfields\n"
+        "bad\tflags\t*\t0\t0\t*\t*\t0\t0\tACGT\t*\n"
+        "badcigar\t0\tchr1\t10\t60\t5Q\t*\t0\t0\tACGT\t*\n"
+        "mapped_no_pos\t0\tchr1\t0\t60\t4M\t*\t0\t0\tACGT\t*\n");
+    auto sam = genomics::readSam(in);
+    EXPECT_EQ(sam.records.size(), 1u);
+    EXPECT_EQ(sam.badLines.size(), 4u);
+    EXPECT_EQ(sam.badLines[0].first, 2u); // line numbers preserved
+}
+
+TEST(SamReader, UnknownChromosomeRejected)
+{
+    Reference ref = smallRef();
+    std::istringstream in(
+        "r1\t0\tchrMT\t100\t60\t4M\t*\t0\t0\tACGT\t*\n");
+    auto sam = genomics::readSam(in);
+    ASSERT_EQ(sam.records.size(), 1u);
+    EXPECT_FALSE(genomics::recordGlobalPos(sam.records[0], ref));
+}
+
+TEST(SamReader, PositionPastChromosomeEndRejected)
+{
+    Reference ref = smallRef();
+    std::ostringstream line;
+    line << "r1\t0\t" << ref.name(0) << '\t'
+         << ref.chromosomeLength(0) + 5 << "\t60\t4M\t*\t0\t0\tACGT\t*\n";
+    std::istringstream in(line.str());
+    auto sam = genomics::readSam(in);
+    ASSERT_EQ(sam.records.size(), 1u);
+    EXPECT_FALSE(genomics::recordGlobalPos(sam.records[0], ref));
+}
+
+TEST(SamReader, SecondChromosomeCoordinatesResolve)
+{
+    Reference ref = smallRef();
+    std::ostringstream line;
+    line << "r1\t0\t" << ref.name(1) << "\t101\t60\t4M\t*\t0\t0\tACGT\t*\n";
+    std::istringstream in(line.str());
+    auto sam = genomics::readSam(in);
+    auto pos = genomics::recordGlobalPos(sam.records[0], ref);
+    ASSERT_TRUE(pos.has_value());
+    EXPECT_EQ(*pos, ref.toGlobal(1, 100));
+}
+
+TEST(SamReader, TagsBeyondAsIgnored)
+{
+    std::istringstream in("r1\t0\tchr1\t10\t60\t4M\t*\t0\t0\tACGT\t*\t"
+                          "NM:i:2\tAS:i:290\tXS:i:250\n");
+    auto sam = genomics::readSam(in);
+    ASSERT_EQ(sam.records.size(), 1u);
+    ASSERT_TRUE(sam.records[0].alignScore.has_value());
+    EXPECT_EQ(*sam.records[0].alignScore, 290);
+}
+
+TEST(SamReader, CrlfAndBlankLinesHandled)
+{
+    std::istringstream in("@HD\tVN:1.6\r\n\r\n"
+                          "r1\t4\t*\t0\t0\t*\t*\t0\t0\tACGT\t*\r\n");
+    auto sam = genomics::readSam(in);
+    EXPECT_EQ(sam.headerLines.size(), 1u);
+    EXPECT_EQ(sam.records.size(), 1u);
+    EXPECT_TRUE(sam.badLines.empty());
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for SeedMap construction and query, and for the partitioned
+ * seeder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "genpair/seeder.hh"
+#include "genpair/seedmap.hh"
+#include "simdata/genome_generator.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace gpx;
+using genomics::DnaSequence;
+using genomics::Reference;
+using genpair::PartitionedSeeder;
+using genpair::SeedMap;
+using genpair::SeedMapParams;
+
+Reference
+testRef(u64 len = 100000, u64 seed = 5)
+{
+    simdata::GenomeParams p;
+    p.length = len;
+    p.chromosomes = 2;
+    p.seed = seed;
+    return simdata::generateGenome(p);
+}
+
+SeedMapParams
+smallParams()
+{
+    SeedMapParams p;
+    p.seedLen = 50;
+    p.tableBits = 18;
+    p.filterThreshold = 500;
+    return p;
+}
+
+TEST(SeedMap, EverySeedPositionRetrievable)
+{
+    Reference ref = testRef(60000);
+    SeedMap map(ref, smallParams());
+    // Every genome position's seed must be present in its hash bucket.
+    const DnaSequence &chrom = ref.chromosome(0);
+    for (u64 p = 0; p + 50 <= chrom.size(); p += 487) {
+        u32 h = map.hashSeed(chrom.sub(p, 50));
+        auto span = map.lookup(h);
+        GlobalPos global = ref.toGlobal(0, p);
+        bool found = std::find(span.begin(), span.end(),
+                               static_cast<u32>(global)) != span.end();
+        EXPECT_TRUE(found) << "position " << p;
+    }
+}
+
+TEST(SeedMap, LocationsSortedWithinBucket)
+{
+    Reference ref = testRef(80000);
+    SeedMap map(ref, smallParams());
+    const DnaSequence &chrom = ref.chromosome(0);
+    for (u64 p = 0; p + 50 <= chrom.size(); p += 997) {
+        auto span = map.lookup(map.hashSeed(chrom.sub(p, 50)));
+        EXPECT_TRUE(std::is_sorted(span.begin(), span.end()));
+    }
+}
+
+TEST(SeedMap, StatsAccounting)
+{
+    Reference ref = testRef(50000);
+    SeedMap map(ref, smallParams());
+    const auto &st = map.stats();
+    // Total seeds: every position of both chromosomes minus tails.
+    u64 expect = 0;
+    for (u32 c = 0; c < ref.numChromosomes(); ++c)
+        expect += ref.chromosomeLength(c) - 49;
+    EXPECT_EQ(st.totalSeeds, expect);
+    EXPECT_EQ(st.storedLocations + st.filteredLocations, st.totalSeeds);
+    EXPECT_GT(st.avgLocationsPerSeed, 0.9);
+}
+
+TEST(SeedMap, FilterThresholdDropsHeavySeeds)
+{
+    // Deterministic heavy-tail genome: a 100 bp unit repeated 60 times
+    // with random spacers. Every interior seed of the unit occurs 60
+    // times, well above the threshold of 30.
+    util::Pcg32 rng(77);
+    auto randomStretch = [&](u64 n) {
+        std::string s;
+        for (u64 i = 0; i < n; ++i)
+            s.push_back(genomics::baseToChar(rng.below(4)));
+        return s;
+    };
+    std::string unit = randomStretch(100);
+    std::string genome;
+    for (int copy = 0; copy < 60; ++copy) {
+        genome += unit;
+        genome += randomStretch(300);
+    }
+    Reference ref;
+    ref.addChromosome("chr1", DnaSequence(genome));
+
+    SeedMapParams unfiltered = smallParams();
+    unfiltered.filterThreshold = 0;
+    SeedMap mapAll(ref, unfiltered);
+
+    SeedMapParams filtered = smallParams();
+    filtered.filterThreshold = 30;
+    SeedMap mapFiltered(ref, filtered);
+
+    EXPECT_EQ(mapAll.stats().filteredSeeds, 0u);
+    EXPECT_GT(mapFiltered.stats().filteredSeeds, 0u);
+    EXPECT_LT(mapFiltered.stats().storedLocations,
+              mapAll.stats().storedLocations);
+    // The repeated unit's seeds are gone from the filtered index but
+    // present (60 deep) in the unfiltered one.
+    u32 h = mapAll.hashSeed(DnaSequence(unit.substr(0, 50)));
+    EXPECT_EQ(mapAll.lookup(h).size(), 60u);
+    EXPECT_EQ(mapFiltered.lookup(h).size(), 0u);
+}
+
+TEST(SeedMap, TableBytesReported)
+{
+    Reference ref = testRef(50000);
+    SeedMap map(ref, smallParams());
+    EXPECT_EQ(map.seedTableBytes(), ((u64{1} << 18) + 1) * 4);
+    EXPECT_EQ(map.locationTableBytes(), map.stats().storedLocations * 4);
+}
+
+TEST(SeedMap, AutoTableBits)
+{
+    Reference ref = testRef(50000);
+    SeedMapParams p = smallParams();
+    p.tableBits = 0;
+    SeedMap map(ref, p);
+    EXPECT_GE(map.tableBits(), 16u);
+    EXPECT_LE(map.tableBits(), 30u);
+}
+
+TEST(Seeder, ExtractsFirstMiddleLast)
+{
+    Reference ref = testRef(50000);
+    SeedMap map(ref, smallParams());
+    PartitionedSeeder seeder(map);
+    DnaSequence read = ref.chromosome(0).sub(1000, 150);
+    auto seeds = seeder.extract(read);
+    EXPECT_EQ(seeds[0].offsetInRead, 0u);
+    EXPECT_EQ(seeds[1].offsetInRead, 50u);
+    EXPECT_EQ(seeds[2].offsetInRead, 100u);
+    // Each seed hash must retrieve the true genome position.
+    for (const auto &s : seeds) {
+        auto span = map.lookup(s.hash);
+        u32 want = static_cast<u32>(1000 + s.offsetInRead);
+        EXPECT_NE(std::find(span.begin(), span.end(), want), span.end());
+    }
+}
+
+TEST(Seeder, NonMultipleLengthRead)
+{
+    Reference ref = testRef(50000);
+    SeedMap map(ref, smallParams());
+    PartitionedSeeder seeder(map);
+    DnaSequence read = ref.chromosome(0).sub(2000, 130);
+    auto seeds = seeder.extract(read);
+    EXPECT_EQ(seeds[0].offsetInRead, 0u);
+    EXPECT_EQ(seeds[1].offsetInRead, 40u);
+    EXPECT_EQ(seeds[2].offsetInRead, 80u);
+}
+
+TEST(Seeder, HashMatchesSeedMapHash)
+{
+    Reference ref = testRef(50000);
+    SeedMap map(ref, smallParams());
+    PartitionedSeeder seeder(map);
+    DnaSequence read = ref.chromosome(0).sub(3000, 150);
+    auto seeds = seeder.extract(read);
+    EXPECT_EQ(seeds[0].hash, map.hashSeed(read.sub(0, 50)));
+    EXPECT_EQ(seeds[2].hash, map.hashSeed(read.sub(100, 50)));
+}
+
+} // namespace

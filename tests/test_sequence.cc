@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the 2-bit DnaSequence representation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "genomics/sequence.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace gpx;
+using genomics::DnaSequence;
+
+TEST(Sequence, EncodeDecodeRoundTrip)
+{
+    DnaSequence s("ACGTACGTTGCA");
+    EXPECT_EQ(s.size(), 12u);
+    EXPECT_EQ(s.toString(), "ACGTACGTTGCA");
+}
+
+TEST(Sequence, LowerCaseAndAmbiguityHandled)
+{
+    DnaSequence s("acgtN");
+    EXPECT_EQ(s.toString(), "ACGTA"); // N maps to A
+}
+
+TEST(Sequence, AtMatchesEncoding)
+{
+    DnaSequence s("ACGT");
+    EXPECT_EQ(s.at(0), genomics::BaseA);
+    EXPECT_EQ(s.at(1), genomics::BaseC);
+    EXPECT_EQ(s.at(2), genomics::BaseG);
+    EXPECT_EQ(s.at(3), genomics::BaseT);
+}
+
+TEST(Sequence, SetOverwritesBase)
+{
+    DnaSequence s("AAAA");
+    s.set(2, genomics::BaseT);
+    EXPECT_EQ(s.toString(), "AATA");
+}
+
+TEST(Sequence, SubExtractsRange)
+{
+    DnaSequence s("ACGTACGT");
+    EXPECT_EQ(s.sub(2, 4).toString(), "GTAC");
+    EXPECT_EQ(s.sub(0, 0).size(), 0u);
+}
+
+TEST(Sequence, RevCompKnownValue)
+{
+    DnaSequence s("AACGTT");
+    EXPECT_EQ(s.revComp().toString(), "AACGTT"); // palindrome
+    EXPECT_EQ(DnaSequence("ACCT").revComp().toString(), "AGGT");
+}
+
+TEST(Sequence, RevCompInvolution)
+{
+    util::Pcg32 rng(3);
+    std::string s;
+    for (int i = 0; i < 257; ++i)
+        s.push_back(genomics::baseToChar(rng.below(4)));
+    DnaSequence seq(s);
+    EXPECT_EQ(seq.revComp().revComp(), seq);
+}
+
+TEST(Sequence, AppendConcatenates)
+{
+    DnaSequence a("ACG");
+    DnaSequence b("TTT");
+    a.append(b);
+    EXPECT_EQ(a.toString(), "ACGTTT");
+}
+
+TEST(Sequence, PackedBytesDeterministic)
+{
+    DnaSequence a("ACGTACGT");
+    DnaSequence b("ACGTACGT");
+    EXPECT_EQ(a.packed(), b.packed());
+    DnaSequence c("ACGTACGA");
+    EXPECT_NE(a.packed(), c.packed());
+}
+
+TEST(Sequence, BitPlanesMatchBaseBits)
+{
+    DnaSequence s("ACGT");
+    std::vector<u64> lo, hi;
+    s.bitPlanes(lo, hi);
+    ASSERT_EQ(lo.size(), 1u);
+    // A=00 C=01 G=10 T=11 -> lo bits 0101 (C,T), hi bits 0011 (G,T).
+    EXPECT_EQ(lo[0], 0b1010u);
+    EXPECT_EQ(hi[0], 0b1100u);
+}
+
+TEST(Sequence, BitPlanesCrossWordBoundary)
+{
+    std::string s(70, 'T');
+    DnaSequence seq(s);
+    std::vector<u64> lo, hi;
+    seq.bitPlanes(lo, hi);
+    ASSERT_EQ(lo.size(), 2u);
+    EXPECT_EQ(lo[0], ~u64{0});
+    EXPECT_EQ(lo[1], (u64{1} << 6) - 1);
+}
+
+TEST(Sequence, HammingDistanceCountsDiffs)
+{
+    DnaSequence a("ACGTACGT");
+    DnaSequence b("ACGAACGA");
+    EXPECT_EQ(genomics::hammingDistance(a, b), 2u);
+    EXPECT_EQ(genomics::hammingDistance(a, a), 0u);
+}
+
+TEST(Sequence, FromCodesMatchesPush)
+{
+    std::vector<u8> codes = { 0, 1, 2, 3, 3, 2 };
+    DnaSequence s = DnaSequence::fromCodes(codes);
+    EXPECT_EQ(s.toString(), "ACGTTG");
+}
+
+TEST(Sequence, ComplementBase)
+{
+    EXPECT_EQ(genomics::complementBase(genomics::BaseA), genomics::BaseT);
+    EXPECT_EQ(genomics::complementBase(genomics::BaseC), genomics::BaseG);
+}
+
+} // namespace

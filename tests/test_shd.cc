@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit and property tests for the SHD bit-parallel primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/shd.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace gpx;
+using align::BitPlanes;
+using align::HammingMask;
+using align::shiftedMasks;
+using genomics::DnaSequence;
+
+TEST(HammingMask, PopcountPrefixSuffix)
+{
+    HammingMask m;
+    m.bits = 8;
+    m.words = { 0b11100111 };
+    EXPECT_EQ(m.popcount(), 6u);
+    EXPECT_EQ(m.onesPrefix(), 3u);
+    EXPECT_EQ(m.onesSuffix(), 3u);
+}
+
+TEST(HammingMask, AllOnes)
+{
+    HammingMask m;
+    m.bits = 150;
+    m.words = { ~u64{0}, ~u64{0}, (u64{1} << 22) - 1 };
+    EXPECT_EQ(m.popcount(), 150u);
+    EXPECT_EQ(m.onesPrefix(), 150u);
+    EXPECT_EQ(m.onesSuffix(), 150u);
+}
+
+TEST(HammingMask, AllZeros)
+{
+    HammingMask m;
+    m.bits = 100;
+    m.words = { 0, 0 };
+    EXPECT_EQ(m.onesPrefix(), 0u);
+    EXPECT_EQ(m.onesSuffix(), 0u);
+}
+
+TEST(HammingMask, PrefixCrossesWordBoundary)
+{
+    HammingMask m;
+    m.bits = 100;
+    m.words = { ~u64{0}, (u64{1} << 10) - 1 }; // ones through bit 73
+    EXPECT_EQ(m.onesPrefix(), 74u);
+}
+
+TEST(HammingMask, SuffixCrossesWordBoundary)
+{
+    HammingMask m;
+    m.bits = 96;
+    // Bits 60..95 set.
+    m.words = { ~u64{0} << 60, ~u64{0} >> 32 };
+    EXPECT_EQ(m.onesSuffix(), 36u);
+}
+
+TEST(BitPlanes, EqualityMaskExactMatch)
+{
+    DnaSequence read("ACGTACGT");
+    DnaSequence ref("ACGTACGT");
+    BitPlanes rp(read), gp(ref);
+    HammingMask m = rp.equalityMask(gp, 0);
+    EXPECT_EQ(m.popcount(), 8u);
+}
+
+TEST(BitPlanes, EqualityMaskWithOffset)
+{
+    DnaSequence read("ACGT");
+    DnaSequence ref("TTACGTTT");
+    BitPlanes rp(read), gp(ref);
+    EXPECT_EQ(rp.equalityMask(gp, 2).popcount(), 4u);
+    EXPECT_LT(rp.equalityMask(gp, 0).popcount(), 4u);
+}
+
+TEST(BitPlanes, BitsBeyondRefWindowAreMismatch)
+{
+    DnaSequence read("AAAA");
+    DnaSequence ref("AA");
+    BitPlanes rp(read), gp(ref);
+    HammingMask m = rp.equalityMask(gp, 0);
+    // Only the two in-window bases can match; 'A' equals implicit zero
+    // planes and must NOT be counted.
+    EXPECT_EQ(m.popcount(), 2u);
+}
+
+/** Property test: equality masks match a naive per-base comparison. */
+class MaskProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MaskProperty, MatchesNaiveComparison)
+{
+    util::Pcg32 rng(GetParam() * 31 + 7);
+    u32 readLen = 100 + rng.below(120);
+    u32 refLen = readLen + 20;
+    std::string rs, gs;
+    for (u32 i = 0; i < readLen; ++i)
+        rs.push_back(genomics::baseToChar(rng.below(4)));
+    for (u32 i = 0; i < refLen; ++i)
+        gs.push_back(genomics::baseToChar(rng.below(4)));
+    DnaSequence read(rs), ref(gs);
+    BitPlanes rp(read), gp(ref);
+    for (u32 off = 0; off <= 20; off += 5) {
+        HammingMask m = rp.equalityMask(gp, off);
+        for (u32 i = 0; i < readLen; ++i) {
+            bool expect = off + i < refLen && read.at(i) == ref.at(off + i);
+            EXPECT_EQ(m.test(i), expect)
+                << "offset " << off << " bit " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, MaskProperty, ::testing::Range(0, 10));
+
+TEST(ShiftedMasks, CenterMaskIsShiftZero)
+{
+    DnaSequence read("ACGTACGTAC");
+    // Window: 3 pad bases, the read, 3 pad bases.
+    DnaSequence window("TTT" "ACGTACGTAC" "TTT");
+    auto masks = shiftedMasks(read, window, 3, 3);
+    ASSERT_EQ(masks.size(), 7u);
+    EXPECT_EQ(masks[3].popcount(), 10u); // shift 0 = exact
+}
+
+TEST(ShiftedMasks, DetectsShiftedMatch)
+{
+    DnaSequence read("ACGTACGTAC");
+    // The read occurs 2 bases to the right of the nominal center.
+    DnaSequence window("GGGGG" "ACGTACGTAC" "G");
+    auto masks = shiftedMasks(read, window, 3, 3);
+    // shift +2: read[i] == window[3 + i + 2].
+    EXPECT_EQ(masks[3 + 2].popcount(), 10u);
+}
+
+} // namespace

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Unit tests for the synthetic genome, diploid variants and the read
+ * simulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "genomics/sequence.hh"
+#include "simdata/datasets.hh"
+#include "simdata/genome_generator.hh"
+#include "simdata/read_simulator.hh"
+#include "simdata/variants.hh"
+
+namespace {
+
+using namespace gpx;
+using namespace gpx::simdata;
+using genomics::DnaSequence;
+using genomics::Reference;
+
+GenomeParams
+smallGenome(u64 len = 100000, u64 seed = 7)
+{
+    GenomeParams p;
+    p.length = len;
+    p.chromosomes = 2;
+    p.seed = seed;
+    return p;
+}
+
+TEST(GenomeGenerator, ProducesRequestedLength)
+{
+    Reference ref = generateGenome(smallGenome(120000));
+    EXPECT_EQ(ref.totalLength(), 120000u);
+    EXPECT_EQ(ref.numChromosomes(), 2u);
+}
+
+TEST(GenomeGenerator, DeterministicForSeed)
+{
+    Reference a = generateGenome(smallGenome(50000, 3));
+    Reference b = generateGenome(smallGenome(50000, 3));
+    EXPECT_EQ(a.chromosome(0), b.chromosome(0));
+    Reference c = generateGenome(smallGenome(50000, 4));
+    EXPECT_FALSE(a.chromosome(0) == c.chromosome(0));
+}
+
+TEST(GenomeGenerator, GcContentNearTarget)
+{
+    GenomeParams p = smallGenome(200000);
+    p.repeatFraction = 0.0; // pure background
+    Reference ref = generateGenome(p);
+    u64 gc = 0;
+    const DnaSequence &chrom = ref.chromosome(0);
+    for (std::size_t i = 0; i < chrom.size(); ++i) {
+        u8 b = chrom.at(i);
+        gc += b == genomics::BaseC || b == genomics::BaseG;
+    }
+    double frac = static_cast<double>(gc) / chrom.size();
+    EXPECT_NEAR(frac, p.gcContent, 0.02);
+}
+
+TEST(GenomeGenerator, RepeatsCreateDuplicateSeeds)
+{
+    // With repeats, some 50-mers must recur; without, essentially none.
+    GenomeParams with = smallGenome(400000);
+    with.repeatFraction = 0.5;
+    GenomeParams without = smallGenome(400000);
+    without.repeatFraction = 0.0;
+    without.satelliteFamilies = 0;
+
+    auto countDupes = [](const Reference &ref) {
+        std::vector<std::string> seeds;
+        const DnaSequence &chrom = ref.chromosome(0);
+        for (u64 p = 0; p + 50 <= chrom.size(); p += 97)
+            seeds.push_back(chrom.sub(p, 50).toString());
+        std::sort(seeds.begin(), seeds.end());
+        u64 dupes = 0;
+        for (std::size_t i = 1; i < seeds.size(); ++i)
+            dupes += seeds[i] == seeds[i - 1];
+        return dupes;
+    };
+    EXPECT_GT(countDupes(generateGenome(with)), 0u);
+    EXPECT_EQ(countDupes(generateGenome(without)), 0u);
+}
+
+TEST(Variants, GeneratedRatesApproximate)
+{
+    Reference ref = generateGenome(smallGenome(500000));
+    VariantParams vp;
+    vp.snpRate = 1e-3;
+    vp.indelRate = 2e-4;
+    DiploidGenome dg(ref, vp);
+    u64 snps = 0, indels = 0;
+    for (const auto &v : dg.truthVariants()) {
+        if (v.type == VariantType::Snp)
+            ++snps;
+        else
+            ++indels;
+    }
+    double snpRate = static_cast<double>(snps) / ref.totalLength();
+    double indelRate = static_cast<double>(indels) / ref.totalLength();
+    EXPECT_NEAR(snpRate, 1e-3, 3e-4);
+    EXPECT_NEAR(indelRate, 2e-4, 1e-4);
+}
+
+TEST(Variants, HaplotypeCarriesHomVariants)
+{
+    Reference ref = generateGenome(smallGenome(100000));
+    VariantParams vp;
+    vp.hetFraction = 0.0; // all hom: both haplotypes carry everything
+    DiploidGenome dg(ref, vp);
+    ASSERT_FALSE(dg.truthVariants().empty());
+    const Variant *snp = nullptr;
+    for (const auto &v : dg.truthVariants()) {
+        if (v.type == VariantType::Snp) {
+            snp = &v;
+            break;
+        }
+    }
+    ASSERT_NE(snp, nullptr);
+    for (u32 hap = 0; hap < 2; ++hap) {
+        const Haplotype &h = dg.haplotype(snp->chrom, hap);
+        // Find the haplotype position of this ref offset by scanning the
+        // anchor map (no indel before the first variant is guaranteed
+        // only for hap positions < first indel; use toRefOffset inverse
+        // via linear check around the anchor).
+        bool found = false;
+        for (u64 hp = snp->pos > 64 ? snp->pos - 64 : 0;
+             hp < snp->pos + 64 && hp < h.seq.size(); ++hp) {
+            if (h.toRefOffset(hp) == snp->pos &&
+                h.seq.at(hp) == snp->altBase) {
+                found = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(found) << "hap " << hap;
+    }
+}
+
+TEST(Variants, CoordinateMapConsistent)
+{
+    Reference ref = generateGenome(smallGenome(100000));
+    DiploidGenome dg(ref, VariantParams{});
+    const Haplotype &h = dg.haplotype(0, 0);
+    // toRefOffset must be monotone non-decreasing.
+    u64 prev = 0;
+    for (u64 hp = 0; hp < h.seq.size(); hp += 977) {
+        u64 rp = h.toRefOffset(hp);
+        EXPECT_GE(rp, prev);
+        prev = rp;
+    }
+}
+
+TEST(ReadSimulator, ErrorFreeReadsMatchReference)
+{
+    Reference ref = generateGenome(smallGenome(200000));
+    VariantParams vp;
+    vp.snpRate = 0;
+    vp.indelRate = 0;
+    DiploidGenome dg(ref, vp);
+    ReadSimParams rp;
+    rp.errors.subRate = 0;
+    rp.errors.insRate = 0;
+    rp.errors.delRate = 0;
+    rp.errors.badFragmentFrac = 0;
+    ReadSimulator sim(dg, rp);
+    for (int i = 0; i < 50; ++i) {
+        auto pair = sim.simulatePair();
+        // Read 1 forward copy of the reference at its truth position.
+        DnaSequence expect1 = ref.window(pair.first.truthPos, 150);
+        EXPECT_EQ(pair.first.seq.toString(), expect1.toString());
+        // Read 2 is the reverse complement of its truth window.
+        DnaSequence expect2 =
+            ref.window(pair.second.truthPos, 150).revComp();
+        EXPECT_EQ(pair.second.seq.toString(), expect2.toString());
+        EXPECT_TRUE(pair.second.truthReverse);
+        EXPECT_GE(pair.second.truthPos, pair.first.truthPos);
+    }
+}
+
+TEST(ReadSimulator, InsertDistanceWithinBounds)
+{
+    Reference ref = generateGenome(smallGenome(200000));
+    DiploidGenome dg(ref, VariantParams{});
+    ReadSimParams rp;
+    rp.insertMean = 400;
+    rp.insertSd = 40;
+    ReadSimulator sim(dg, rp);
+    for (int i = 0; i < 200; ++i) {
+        auto pair = sim.simulatePair();
+        u64 dist = pair.second.truthPos - pair.first.truthPos;
+        EXPECT_LT(dist, 800u); // mean 400-150=250, far tail bounded
+    }
+}
+
+TEST(ReadSimulator, ErrorRateApproximatelyRealized)
+{
+    Reference ref = generateGenome(smallGenome(200000));
+    VariantParams vp;
+    vp.snpRate = 0;
+    vp.indelRate = 0;
+    DiploidGenome dg(ref, vp);
+    ReadSimParams rp;
+    rp.errors.subRate = 0.01; // substitutions only: Hamming-measurable
+    rp.errors.insRate = 0;
+    rp.errors.delRate = 0;
+    rp.errors.badFragmentFrac = 0;
+    ReadSimulator sim(dg, rp);
+    u64 mismatches = 0, bases = 0;
+    for (int i = 0; i < 400; ++i) {
+        auto pair = sim.simulatePair();
+        DnaSequence truth = ref.window(pair.first.truthPos, 150);
+        if (truth.size() != 150)
+            continue;
+        mismatches += genomics::hammingDistance(pair.first.seq, truth);
+        bases += 150;
+    }
+    double rate = static_cast<double>(mismatches) / bases;
+    EXPECT_NEAR(rate, 0.01, 0.004);
+}
+
+TEST(LongReadSimulator, LengthsAndTruth)
+{
+    Reference ref = generateGenome(smallGenome(400000));
+    DiploidGenome dg(ref, VariantParams{});
+    LongReadSimParams lp;
+    lp.meanLen = 5000;
+    lp.sdLen = 1000;
+    lp.minLen = 1000;
+    LongReadSimulator sim(dg, lp);
+    for (int i = 0; i < 20; ++i) {
+        auto read = sim.simulateRead();
+        EXPECT_GE(read.seq.size(), 1000u);
+        EXPECT_NE(read.truthPos, kInvalidPos);
+    }
+}
+
+TEST(Datasets, ThreeProfilesBuild)
+{
+    auto sets = buildPaperDatasets(1 << 17, 100);
+    ASSERT_EQ(sets.size(), 3u);
+    for (const auto &ds : sets) {
+        EXPECT_EQ(ds.pairs.size(), 100u);
+        EXPECT_TRUE(ds.reference);
+        EXPECT_TRUE(ds.diploid);
+    }
+    // Shared genome: same reference across the three datasets.
+    EXPECT_EQ(sets[0].reference->chromosome(0),
+              sets[1].reference->chromosome(0));
+}
+
+} // namespace

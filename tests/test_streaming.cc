@@ -1,0 +1,173 @@
+/**
+ * @file
+ * StreamingMapper tests: bit-identical results to the batch driver
+ * across chunk sizes, stats aggregation, stream-mismatch failure, and
+ * the incremental FastqReader.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "genomics/fasta.hh"
+#include "genpair/streaming.hh"
+#include "simdata/datasets.hh"
+
+namespace {
+
+using namespace gpx;
+
+class StreamingTest : public ::testing::Test
+{
+  protected:
+    StreamingTest()
+    {
+        dataset_ = simdata::buildDataset(
+            simdata::datasetConfig(1, 400000, 600));
+        map_ = std::make_unique<genpair::SeedMap>(
+            *dataset_.reference, genpair::SeedMapParams{});
+        // Serialize the pairs to FASTQ text the way a user would feed
+        // them back in.
+        std::vector<genomics::Read> r1, r2;
+        for (const auto &p : dataset_.pairs) {
+            r1.push_back(p.first);
+            r2.push_back(p.second);
+        }
+        std::ostringstream o1, o2;
+        genomics::writeFastq(o1, r1);
+        genomics::writeFastq(o2, r2);
+        fq1_ = o1.str();
+        fq2_ = o2.str();
+    }
+
+    /** SAM text of a streaming run with the given chunk size. */
+    std::string
+    streamedSam(u64 chunk_pairs, genpair::StreamingResult *out = nullptr)
+    {
+        std::istringstream i1(fq1_), i2(fq2_);
+        std::ostringstream sam;
+        genomics::SamWriter writer(sam, *dataset_.reference);
+        writer.writeHeader();
+        genpair::DriverConfig config;
+        config.threads = 2;
+        genpair::StreamingMapper mapper(*dataset_.reference, *map_,
+                                        config, chunk_pairs);
+        auto result = mapper.run(i1, i2, writer);
+        if (out)
+            *out = result;
+        return sam.str();
+    }
+
+    simdata::Dataset dataset_;
+    std::unique_ptr<genpair::SeedMap> map_;
+    std::string fq1_, fq2_;
+};
+
+TEST_F(StreamingTest, ChunkSizeDoesNotChangeOutput)
+{
+    genpair::StreamingResult tiny, large;
+    std::string samTiny = streamedSam(7, &tiny);
+    std::string samLarge = streamedSam(100000, &large);
+    EXPECT_EQ(samTiny, samLarge);
+    EXPECT_EQ(tiny.pairs, large.pairs);
+    EXPECT_EQ(tiny.pairs, dataset_.pairs.size());
+    EXPECT_GT(tiny.chunks, large.chunks);
+    EXPECT_EQ(large.chunks, 1u);
+}
+
+TEST_F(StreamingTest, MatchesBatchDriver)
+{
+    genpair::StreamingResult streamed;
+    std::string samStreamed = streamedSam(64, &streamed);
+
+    // Batch run over the same reads, same SAM writer settings. The
+    // FASTQ round trip strips truth metadata, so feed the batch driver
+    // the re-parsed reads rather than the originals.
+    std::istringstream i1(fq1_), i2(fq2_);
+    auto r1 = genomics::readFastq(i1);
+    auto r2 = genomics::readFastq(i2);
+    std::vector<genomics::ReadPair> pairs(r1.size());
+    for (std::size_t i = 0; i < r1.size(); ++i)
+        pairs[i] = { r1[i], r2[i] };
+    genpair::DriverConfig config;
+    config.threads = 2;
+    genpair::ParallelMapper batch(*dataset_.reference, *map_, config);
+    auto batchResult = batch.mapAll(pairs);
+
+    std::ostringstream sam;
+    genomics::SamWriter writer(sam, *dataset_.reference);
+    writer.writeHeader();
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+        writer.writePair(pairs[i], batchResult.mappings[i]);
+
+    EXPECT_EQ(samStreamed, sam.str());
+    EXPECT_EQ(streamed.stats.pairsTotal, batchResult.stats.pairsTotal);
+    EXPECT_EQ(streamed.stats.lightAligned,
+              batchResult.stats.lightAligned);
+    EXPECT_EQ(streamed.stats.unmapped, batchResult.stats.unmapped);
+}
+
+TEST_F(StreamingTest, StatsAccumulateAcrossChunks)
+{
+    genpair::StreamingResult r;
+    streamedSam(50, &r);
+    const auto &st = r.stats;
+    EXPECT_EQ(st.pairsTotal, dataset_.pairs.size());
+    // Routing classes partition the input.
+    EXPECT_EQ(st.lightAligned + st.dpAligned + st.fullDpMapped +
+                  st.unmapped,
+              st.pairsTotal);
+    EXPECT_GT(st.query.seedLookups, 0u);
+}
+
+TEST_F(StreamingTest, EmptyStreamsYieldHeaderOnlySam)
+{
+    std::istringstream i1(""), i2("");
+    std::ostringstream sam;
+    genomics::SamWriter writer(sam, *dataset_.reference);
+    writer.writeHeader();
+    genpair::StreamingMapper mapper(*dataset_.reference, *map_,
+                                    genpair::DriverConfig{});
+    auto result = mapper.run(i1, i2, writer);
+    EXPECT_EQ(result.pairs, 0u);
+    EXPECT_EQ(result.chunks, 0u);
+    EXPECT_EQ(sam.str().find("sim"), std::string::npos);
+}
+
+TEST_F(StreamingTest, MismatchedStreamLengthsFatal)
+{
+    EXPECT_DEATH(
+        {
+            std::istringstream i1(fq1_);
+            std::istringstream i2("@only\nACGT\n+\nIIII\n");
+            std::ostringstream sam;
+            genomics::SamWriter writer(sam, *dataset_.reference);
+            genpair::StreamingMapper mapper(*dataset_.reference, *map_,
+                                            genpair::DriverConfig{});
+            mapper.run(i1, i2, writer);
+        },
+        "FASTQ streams disagree");
+}
+
+TEST(FastqReader, IncrementalMatchesBatch)
+{
+    std::string text = "@a x\nACGT\n+\nIIII\n@b\nTTAA\n+\nIIII\n";
+    std::istringstream batchIn(text);
+    auto batch = genomics::readFastq(batchIn);
+
+    std::istringstream incIn(text);
+    genomics::FastqReader reader(incIn);
+    genomics::Read r;
+    std::vector<genomics::Read> inc;
+    while (reader.next(r))
+        inc.push_back(r);
+
+    ASSERT_EQ(inc.size(), batch.size());
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+        EXPECT_EQ(inc[i].name, batch[i].name);
+        EXPECT_TRUE(inc[i].seq == batch[i].seq);
+    }
+    EXPECT_EQ(reader.recordsRead(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Wavefront aligner tests: oracle differentials (unit penalties ==
+ * Levenshtein via filters::editDistance), CIGAR consistency, penalty
+ * accounting under affine costs, the penalty cap, and the O(ns) work
+ * advantage over the DP matrix on near-identical sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/affine.hh"
+#include "align/wfa.hh"
+#include "filters/edit_distance.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace gpx;
+using align::WfaPenalties;
+using align::wfaGlobalAlign;
+using genomics::CigarOp;
+using genomics::DnaSequence;
+
+DnaSequence
+randomSeq(util::Pcg32 &rng, u32 len)
+{
+    DnaSequence s;
+    for (u32 i = 0; i < len; ++i)
+        s.push(static_cast<u8>(rng.below(4)));
+    return s;
+}
+
+/** The penalty a CIGAR implies under @p p, recomputed independently. */
+u32
+cigarPenalty(const genomics::Cigar &cigar, const DnaSequence &q,
+             const DnaSequence &t, const WfaPenalties &p)
+{
+    u32 penalty = 0;
+    std::size_t v = 0, h = 0;
+    for (const auto &e : cigar.elems()) {
+        switch (e.op) {
+        case CigarOp::Match:
+            for (u32 i = 0; i < e.len; ++i, ++v, ++h)
+                if (q.at(v) != t.at(h))
+                    penalty += p.mismatch;
+            break;
+        case CigarOp::Insertion:
+            penalty += p.gapOpen + e.len * p.gapExtend;
+            v += e.len;
+            break;
+        case CigarOp::Deletion:
+            penalty += p.gapOpen + e.len * p.gapExtend;
+            h += e.len;
+            break;
+        default:
+            ADD_FAILURE() << "unexpected CIGAR op";
+        }
+    }
+    EXPECT_EQ(v, q.size());
+    EXPECT_EQ(h, t.size());
+    return penalty;
+}
+
+TEST(Wfa, IdenticalSequencesFreeAlignment)
+{
+    util::Pcg32 rng(1);
+    DnaSequence s = randomSeq(rng, 200);
+    auto r = wfaGlobalAlign(s, s);
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.penalty, 0u);
+    EXPECT_EQ(r.cigar.toString(), "200M");
+}
+
+TEST(Wfa, EmptySequences)
+{
+    WfaPenalties p;
+    auto both = wfaGlobalAlign(DnaSequence(""), DnaSequence(""));
+    ASSERT_TRUE(both.valid);
+    EXPECT_EQ(both.penalty, 0u);
+
+    auto textOnly = wfaGlobalAlign(DnaSequence(""), DnaSequence("ACGT"));
+    ASSERT_TRUE(textOnly.valid);
+    EXPECT_EQ(textOnly.penalty, p.gapOpen + 4 * p.gapExtend);
+    EXPECT_EQ(textOnly.cigar.toString(), "4D");
+
+    auto queryOnly = wfaGlobalAlign(DnaSequence("ACGT"), DnaSequence(""));
+    ASSERT_TRUE(queryOnly.valid);
+    EXPECT_EQ(queryOnly.penalty, p.gapOpen + 4 * p.gapExtend);
+    EXPECT_EQ(queryOnly.cigar.toString(), "4I");
+}
+
+TEST(Wfa, SingleMismatch)
+{
+    util::Pcg32 rng(2);
+    DnaSequence t = randomSeq(rng, 120);
+    DnaSequence q = t;
+    q.set(60, (q.at(60) + 1) & 3u);
+    auto r = wfaGlobalAlign(q, t);
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.penalty, WfaPenalties{}.mismatch);
+    EXPECT_EQ(r.cigar.toString(), "120M");
+}
+
+TEST(Wfa, GapRunCostsOpenPlusExtends)
+{
+    util::Pcg32 rng(3);
+    WfaPenalties p;
+    DnaSequence t = randomSeq(rng, 150);
+    // Query missing 3 bases -> one 3-deletion in SAM terms.
+    DnaSequence q;
+    for (std::size_t i = 0; i < t.size(); ++i)
+        if (i < 70 || i >= 73)
+            q.push(t.at(i));
+    auto r = wfaGlobalAlign(q, t, p);
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.penalty, p.gapOpen + 3 * p.gapExtend);
+    EXPECT_EQ(r.cigar.toString(), "70M3D77M");
+}
+
+TEST(Wfa, PenaltyCapAbandonsCleanly)
+{
+    util::Pcg32 rng(4);
+    DnaSequence q = randomSeq(rng, 100);
+    DnaSequence t = randomSeq(rng, 100);
+    auto r = wfaGlobalAlign(q, t, WfaPenalties{}, 10);
+    EXPECT_FALSE(r.valid);
+    // And the same pair aligns when unbounded.
+    auto full = wfaGlobalAlign(q, t);
+    EXPECT_TRUE(full.valid);
+    EXPECT_GT(full.penalty, 10u);
+}
+
+class WfaOracle : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(WfaOracle, UnitPenaltyEqualsEditDistance)
+{
+    util::Pcg32 rng(100 + GetParam());
+    for (int trial = 0; trial < 10; ++trial) {
+        DnaSequence t = randomSeq(rng, 60 + rng.below(60));
+        // Mutate into the query with random scattered edits.
+        DnaSequence q;
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            u32 roll = rng.below(30);
+            if (roll == 0)
+                continue; // deletion
+            q.push(t.at(i));
+            if (roll == 1)
+                q.push(static_cast<u8>(rng.below(4))); // insertion
+            else if (roll == 2)
+                q.set(q.size() - 1, (q.at(q.size() - 1) + 1) & 3u);
+        }
+        auto r = wfaGlobalAlign(q, t, WfaPenalties::unit());
+        ASSERT_TRUE(r.valid);
+        EXPECT_EQ(r.penalty, filters::editDistance(q, t));
+    }
+}
+
+TEST_P(WfaOracle, CigarReproducesPenaltyUnderAffineCosts)
+{
+    util::Pcg32 rng(200 + GetParam());
+    WfaPenalties p; // affine defaults
+    for (int trial = 0; trial < 10; ++trial) {
+        DnaSequence t = randomSeq(rng, 80 + rng.below(60));
+        DnaSequence q;
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            u32 roll = rng.below(25);
+            if (roll == 0)
+                continue;
+            q.push(t.at(i));
+            if (roll == 1)
+                q.push(static_cast<u8>(rng.below(4)));
+        }
+        auto r = wfaGlobalAlign(q, t, p);
+        ASSERT_TRUE(r.valid);
+        // The traceback CIGAR must (a) span both sequences and (b) cost
+        // exactly the reported penalty.
+        EXPECT_EQ(cigarPenalty(r.cigar, q, t, p), r.penalty);
+    }
+}
+
+/** Reference min-cost gap-affine DP (three-matrix Gotoh). */
+u32
+affineDpMinCost(const DnaSequence &q, const DnaSequence &t,
+                const WfaPenalties &p)
+{
+    const std::size_t n = q.size(), m = t.size();
+    const i64 inf = i64{1} << 40;
+    auto matrix = [&] {
+        return std::vector<std::vector<i64>>(
+            n + 1, std::vector<i64>(m + 1, inf));
+    };
+    auto M = matrix(), I = matrix(), D = matrix();
+    M[0][0] = 0;
+    for (std::size_t i = 1; i <= n; ++i)
+        I[i][0] = p.gapOpen + static_cast<i64>(i) * p.gapExtend;
+    for (std::size_t j = 1; j <= m; ++j)
+        D[0][j] = p.gapOpen + static_cast<i64>(j) * p.gapExtend;
+    for (std::size_t i = 1; i <= n; ++i) {
+        for (std::size_t j = 1; j <= m; ++j) {
+            const i64 sub = q.at(i - 1) == t.at(j - 1) ? 0 : p.mismatch;
+            M[i][j] = std::min({ M[i - 1][j - 1], I[i - 1][j - 1],
+                                 D[i - 1][j - 1] }) +
+                      sub;
+            I[i][j] = std::min({ M[i - 1][j] + p.gapOpen + p.gapExtend,
+                                 I[i - 1][j] + p.gapExtend,
+                                 D[i - 1][j] + p.gapOpen + p.gapExtend });
+            D[i][j] = std::min({ M[i][j - 1] + p.gapOpen + p.gapExtend,
+                                 I[i][j - 1] + p.gapOpen + p.gapExtend,
+                                 D[i][j - 1] + p.gapExtend });
+        }
+        // Column 0 for I is set above; M/D stay inf there.
+        I[i][0] = std::min(I[i][0], inf);
+    }
+    return static_cast<u32>(std::min({ M[n][m], I[n][m], D[n][m] }));
+}
+
+TEST_P(WfaOracle, PenaltyMatchesGotohDpOnRandomPairs)
+{
+    // Full optimality differential against the three-matrix DP oracle,
+    // on sequence pairs small enough for O(nm) to be instant.
+    util::Pcg32 rng(300 + GetParam());
+    WfaPenalties p;
+    for (int trial = 0; trial < 12; ++trial) {
+        DnaSequence q = randomSeq(rng, 4 + rng.below(30));
+        DnaSequence t = randomSeq(rng, 4 + rng.below(30));
+        auto r = wfaGlobalAlign(q, t, p);
+        ASSERT_TRUE(r.valid);
+        EXPECT_EQ(r.penalty, affineDpMinCost(q, t, p))
+            << "q=" << q.toString() << " t=" << t.toString();
+        EXPECT_EQ(cigarPenalty(r.cigar, q, t, p), r.penalty);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WfaOracle, ::testing::Range(u64{0}, u64{6}));
+
+TEST(Wfa, WorkScalesWithDivergenceNotLength)
+{
+    // The WFA selling point: near-identical sequences cost ~n wavefront
+    // ops while the DP matrix always costs n*m cells.
+    util::Pcg32 rng(9);
+    DnaSequence t = randomSeq(rng, 600);
+    DnaSequence clean = t;
+    clean.set(300, (clean.at(300) + 1) & 3u);
+    auto cheap = wfaGlobalAlign(clean, t);
+    ASSERT_TRUE(cheap.valid);
+
+    DnaSequence diverged = t;
+    for (u32 i = 0; i < 60; ++i) {
+        u32 pos = rng.below(600);
+        diverged.set(pos, (diverged.at(pos) + 1) & 3u);
+    }
+    auto costly = wfaGlobalAlign(diverged, t);
+    ASSERT_TRUE(costly.valid);
+
+    EXPECT_LT(cheap.wavefrontOps, u64{600} * 600 / 50); // << n*m
+    EXPECT_GT(costly.wavefrontOps, cheap.wavefrontOps * 5);
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Minimal flag parsing shared by the command-line tools. Flags are
+ * `--name value` pairs plus boolean `--name`; anything unknown is a
+ * fatal usage error so typos never silently fall back to defaults.
+ */
+
+#ifndef GPX_TOOLS_CLI_HH
+#define GPX_TOOLS_CLI_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gpx {
+namespace tools {
+
+/** Parsed command line: flag -> value ("" for boolean flags). */
+class Cli
+{
+  public:
+    /**
+     * @param argc/argv Program arguments.
+     * @param value_flags Flags that take a value.
+     * @param bool_flags Flags that do not.
+     * @param usage Printed on any parse error.
+     */
+    Cli(int argc, char **argv, const std::set<std::string> &value_flags,
+        const std::set<std::string> &bool_flags, const std::string &usage)
+        : usage_(usage)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                std::printf("%s", usage_.c_str());
+                std::exit(0);
+            }
+            if (bool_flags.count(arg)) {
+                flags_[arg] = "";
+                continue;
+            }
+            if (!value_flags.count(arg))
+                die("unknown flag: " + arg);
+            if (i + 1 >= argc)
+                die("flag " + arg + " needs a value");
+            flags_[arg] = argv[++i];
+        }
+    }
+
+    bool has(const std::string &flag) const { return flags_.count(flag); }
+
+    std::string
+    str(const std::string &flag, const std::string &fallback = "") const
+    {
+        auto it = flags_.find(flag);
+        return it == flags_.end() ? fallback : it->second;
+    }
+
+    /** Required string flag; exits with usage if absent. */
+    std::string
+    required(const std::string &flag) const
+    {
+        if (!has(flag))
+            die("missing required flag: " + flag);
+        return flags_.at(flag);
+    }
+
+    long long
+    num(const std::string &flag, long long fallback) const
+    {
+        auto it = flags_.find(flag);
+        if (it == flags_.end())
+            return fallback;
+        char *end = nullptr;
+        long long v = std::strtoll(it->second.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0')
+            die("flag " + flag + " expects an integer, got '" +
+                it->second + "'");
+        return v;
+    }
+
+    double
+    real(const std::string &flag, double fallback) const
+    {
+        auto it = flags_.find(flag);
+        if (it == flags_.end())
+            return fallback;
+        char *end = nullptr;
+        double v = std::strtod(it->second.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            die("flag " + flag + " expects a number, got '" + it->second +
+                "'");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    die(const std::string &message) const
+    {
+        std::fprintf(stderr, "error: %s\n\n%s\n", message.c_str(),
+                     usage_.c_str());
+        std::exit(2);
+    }
+
+    std::map<std::string, std::string> flags_;
+    std::string usage_;
+};
+
+} // namespace tools
+} // namespace gpx
+
+#endif // GPX_TOOLS_CLI_HH
