@@ -1,0 +1,31 @@
+# End-to-end smoke of the four CLIs, invoked by the smoke_tools_pipeline
+# CTest entry: simulate a small dataset, build an index image, map the
+# pairs through the streaming driver, then score the SAM against truth.
+# Any non-zero exit fails the test.
+#
+# Required -D variables: GPX_SIMULATE GPX_INDEX GPX_MAP GPX_MAPEVAL WORK_DIR
+foreach(v GPX_SIMULATE GPX_INDEX GPX_MAP GPX_MAPEVAL WORK_DIR)
+    if(NOT DEFINED ${v})
+        message(FATAL_ERROR "RunToolPipeline.cmake needs -D${v}=...")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_step)
+    execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "pipeline step failed (rc=${rc}): ${ARGV}")
+    endif()
+endfunction()
+
+run_step(${GPX_SIMULATE} --out ${WORK_DIR}/sim
+    --length 262144 --chromosomes 1 --pairs 1000)
+run_step(${GPX_INDEX} --ref ${WORK_DIR}/sim.fa --out ${WORK_DIR}/sim.gpx)
+run_step(${GPX_MAP} --ref ${WORK_DIR}/sim.fa --index ${WORK_DIR}/sim.gpx
+    --r1 ${WORK_DIR}/sim_1.fq --r2 ${WORK_DIR}/sim_2.fq
+    --out ${WORK_DIR}/out.sam --threads 2)
+run_step(${GPX_MAPEVAL} --ref ${WORK_DIR}/sim.fa
+    --sam ${WORK_DIR}/out.sam --truth ${WORK_DIR}/sim.truth.tsv
+    --min-correct 90)

@@ -1,0 +1,12 @@
+# Interface target carrying the sanitizer flags selected via
+# -DGPX_SANITIZE=... (semicolon- or comma-separated, e.g.
+# "address;undefined"). Linked PUBLIC from the gpx library so every
+# dependent target compiles and links with the same instrumentation.
+add_library(gpx_sanitizers INTERFACE)
+if(GPX_SANITIZE)
+    string(REPLACE "," ";" _gpx_san_list "${GPX_SANITIZE}")
+    string(REPLACE ";" "," _gpx_san_flag "${_gpx_san_list}")
+    target_compile_options(gpx_sanitizers INTERFACE
+        -fsanitize=${_gpx_san_flag} -fno-omit-frame-pointer -fno-sanitize-recover=all)
+    target_link_options(gpx_sanitizers INTERFACE -fsanitize=${_gpx_san_flag})
+endif()

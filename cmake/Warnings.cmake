@@ -1,0 +1,9 @@
+# Interface target carrying the project-wide warning flags. Linked
+# PRIVATE by every target so warnings never propagate to consumers.
+add_library(gpx_warnings INTERFACE)
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(gpx_warnings INTERFACE -Wall -Wextra -Wshadow)
+    if(GPX_WERROR)
+        target_compile_options(gpx_warnings INTERFACE -Werror)
+    endif()
+endif()

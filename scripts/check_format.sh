@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Check (default) or fix (--fix) clang-format conformance for all
+# tracked C++ sources. Mirrors the non-blocking CI format job.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "error: clang-format not found in PATH" >&2
+    exit 1
+fi
+
+mode="--dry-run -Werror"
+if [ "${1:-}" = "--fix" ]; then
+    mode="-i"
+fi
+
+# shellcheck disable=SC2086
+git ls-files '*.cc' '*.hh' | xargs clang-format $mode

@@ -112,8 +112,8 @@ INSTANTIATE_TEST_SUITE_P(
         EditCase{ "4 Consecutive Deletions", 150, 0, { 4 }, 0, 280 },
         EditCase{ "5 Consecutive Deletions", 150, 0, { 5 }, 0, 278 },
         EditCase{ "1 Mismatch + 1 Deletion", 149, 1, { 1 }, 0, 276 }),
-    [](const auto &info) {
-        std::string name = info.param.label;
+    [](const auto &test_info) {
+        std::string name = test_info.param.label;
         for (auto &ch : name) {
             if (!std::isalnum(static_cast<unsigned char>(ch)))
                 ch = '_';

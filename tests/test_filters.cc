@@ -384,8 +384,8 @@ INSTANTIATE_TEST_SUITE_P(
     Filters, AllFilters,
     ::testing::Values(FilterKind::BaseCount, FilterKind::Shd,
                       FilterKind::GateKeeper, FilterKind::SneakySnake),
-    [](const auto &info) {
-        switch (info.param) {
+    [](const auto &test_info) {
+        switch (test_info.param) {
         case FilterKind::BaseCount: return std::string("BaseCount");
         case FilterKind::Shd: return std::string("SHD");
         case FilterKind::GateKeeper: return std::string("GateKeeper");

@@ -249,9 +249,9 @@ INSTANTIATE_TEST_SUITE_P(
     Configs, DramRandomTraffic,
     ::testing::Combine(::testing::Values("hbm2", "ddr5", "gddr6"),
                        ::testing::Values(u64{1}, u64{2}, u64{3})),
-    [](const auto &info) {
-        return std::string(std::get<0>(info.param)) + "_seed" +
-               std::to_string(std::get<1>(info.param));
+    [](const auto &test_info) {
+        return std::string(std::get<0>(test_info.param)) + "_seed" +
+               std::to_string(std::get<1>(test_info.param));
     });
 
 // ---------------------------------------------------------------------
@@ -355,12 +355,12 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1u, 4u, 64u, 1024u),
                        ::testing::Values("uniform", "hot-channel",
                                          "heavy-tail")),
-    [](const auto &info) {
-        std::string name = std::get<1>(info.param);
+    [](const auto &test_info) {
+        std::string name = std::get<1>(test_info.param);
         for (auto &c : name)
             if (c == '-')
                 c = '_';
-        return name + "_w" + std::to_string(std::get<0>(info.param));
+        return name + "_w" + std::to_string(std::get<0>(test_info.param));
     });
 
 } // namespace

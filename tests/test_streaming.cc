@@ -58,6 +58,30 @@ class StreamingTest : public ::testing::Test
         return sam.str();
     }
 
+    struct ReferenceRun
+    {
+        std::string sam;
+        genpair::StreamingResult result;
+    };
+
+    /**
+     * Single-chunk reference run, computed once per suite — the
+     * dataset is deterministic, so every fixture instance produces the
+     * same bytes.
+     */
+    const ReferenceRun &
+    referenceRun()
+    {
+        static const ReferenceRun ref = [this] {
+            ReferenceRun r;
+            r.sam = streamedSam(100000, &r.result);
+            return r;
+        }();
+        return ref;
+    }
+
+    const std::string &referenceSam() { return referenceRun().sam; }
+
     simdata::Dataset dataset_;
     std::unique_ptr<genpair::SeedMap> map_;
     std::string fq1_, fq2_;
@@ -65,14 +89,56 @@ class StreamingTest : public ::testing::Test
 
 TEST_F(StreamingTest, ChunkSizeDoesNotChangeOutput)
 {
-    genpair::StreamingResult tiny, large;
+    genpair::StreamingResult tiny;
     std::string samTiny = streamedSam(7, &tiny);
-    std::string samLarge = streamedSam(100000, &large);
-    EXPECT_EQ(samTiny, samLarge);
-    EXPECT_EQ(tiny.pairs, large.pairs);
+    const auto &large = referenceRun();
+    EXPECT_EQ(samTiny, large.sam);
+    EXPECT_EQ(tiny.pairs, large.result.pairs);
     EXPECT_EQ(tiny.pairs, dataset_.pairs.size());
-    EXPECT_GT(tiny.chunks, large.chunks);
-    EXPECT_EQ(large.chunks, 1u);
+    EXPECT_GT(tiny.chunks, large.result.chunks);
+    EXPECT_EQ(large.result.chunks, 1u);
+}
+
+TEST_F(StreamingTest, ChunkSizeOneMapsOnePairPerChunk)
+{
+    genpair::StreamingResult one;
+    std::string samOne = streamedSam(1, &one);
+    EXPECT_EQ(samOne, referenceSam());
+    EXPECT_EQ(one.pairs, dataset_.pairs.size());
+    EXPECT_EQ(one.chunks, one.pairs);
+}
+
+TEST_F(StreamingTest, LastPartialChunkIsMappedAndCounted)
+{
+    // A chunk size that does not divide the pair count leaves a final
+    // partial chunk; it must still be mapped and counted as a chunk.
+    const u64 n = dataset_.pairs.size();
+    const u64 chunkPairs = n - 1;
+    ASSERT_GE(n, 3u) << "n-1 must not divide n";
+    genpair::StreamingResult r;
+    std::string sam = streamedSam(chunkPairs, &r);
+    EXPECT_EQ(r.pairs, n);
+    EXPECT_EQ(r.chunks, 2u);
+    EXPECT_EQ(sam, referenceSam());
+}
+
+TEST_F(StreamingTest, ExactMultipleChunkSizeHasNoEmptyTrailingChunk)
+{
+    const u64 n = dataset_.pairs.size();
+    ASSERT_EQ(n % 2, 0u) << "test assumes an even pair count";
+    genpair::StreamingResult r;
+    streamedSam(n / 2, &r);
+    EXPECT_EQ(r.pairs, n);
+    EXPECT_EQ(r.chunks, 2u);
+}
+
+TEST_F(StreamingTest, ZeroChunkSizeIsClampedToOne)
+{
+    genpair::StreamingResult r;
+    std::string sam = streamedSam(0, &r);
+    EXPECT_EQ(r.pairs, dataset_.pairs.size());
+    EXPECT_EQ(r.chunks, r.pairs);
+    EXPECT_EQ(sam, referenceSam());
 }
 
 TEST_F(StreamingTest, MatchesBatchDriver)

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "util/version.hh"
+
 namespace gpx {
 namespace tools {
 
@@ -36,6 +38,10 @@ class Cli
             std::string arg = argv[i];
             if (arg == "--help" || arg == "-h") {
                 std::printf("%s", usage_.c_str());
+                std::exit(0);
+            }
+            if (arg == "--version") {
+                std::printf("gpx %s\n", kVersion);
                 std::exit(0);
             }
             if (bool_flags.count(arg)) {

@@ -26,7 +26,8 @@ const char kUsage[] =
     "  --seed-len N         seed length in bp                  [50]\n"
     "  --table-bits N       log2 Seed Table entries (0 = auto) [0]\n"
     "  --filter-threshold N index filtering threshold;\n"
-    "                       0 disables the filter              [500]\n";
+    "                       0 disables the filter              [500]\n"
+    "  --version            print the gpx version and exit\n";
 
 } // namespace
 

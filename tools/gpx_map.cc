@@ -43,7 +43,8 @@ const char kUsage[] =
     "                       memory bound)                 [65536]\n"
     "  --delta N            paired-adjacency threshold in bp  [500]\n"
     "  --filter-threshold N index filter when building inline [500]\n"
-    "  --baseline           bypass GenPair; map with MM2-lite only\n";
+    "  --baseline           bypass GenPair; map with MM2-lite only\n"
+    "  --version            print the gpx version and exit\n";
 
 } // namespace
 

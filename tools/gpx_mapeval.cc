@@ -7,6 +7,7 @@
  * so miscalibrated confidence shows up, not just wrong positions.
  */
 
+#include <cstdio>
 #include <fstream>
 #include <map>
 
@@ -25,12 +26,16 @@ const char kUsage[] =
     "  --ref FILE       reference FASTA (chromosome name resolution)\n"
     "  --sam FILE       mappings to evaluate\n"
     "  --truth FILE     truth table from gpx_simulate\n"
-    "  --tolerance N    max |mapped - truth| in bp          [20]\n";
+    "  --tolerance N    max |mapped - truth| in bp          [20]\n"
+    "  --min-correct X  exit non-zero when overall correct %\n"
+    "                   falls below X (CI gating)            [off]\n"
+    "  --version        print the gpx version and exit\n";
 
 struct Truth
 {
     gpx::GlobalPos pos = gpx::kInvalidPos;
     bool reverse = false;
+    bool creditedCorrect = false; ///< --min-correct credit given once
 };
 
 } // namespace
@@ -40,8 +45,9 @@ main(int argc, char **argv)
 {
     using namespace gpx;
     tools::Cli cli(argc, argv,
-                   { "--ref", "--sam", "--truth", "--tolerance" }, {},
-                   kUsage);
+                   { "--ref", "--sam", "--truth", "--tolerance",
+                     "--min-correct" },
+                   {}, kUsage);
 
     std::ifstream refFile(cli.required("--ref"));
     if (!refFile)
@@ -102,6 +108,7 @@ main(int argc, char **argv)
     std::map<u8, Bin> byMapq;
     Bin overall;
     u64 unknown = 0;
+    u64 truthCorrect = 0; // distinct truth reads mapped correctly
     for (const auto &r : sam.records) {
         auto it = findTruth(r);
         if (it == truths.end()) {
@@ -122,6 +129,10 @@ main(int argc, char **argv)
         if (diff <= tolerance && r.isReverse() == it->second.reverse) {
             ++overall.correct;
             ++bin.correct;
+            if (!it->second.creditedCorrect) {
+                it->second.creditedCorrect = true;
+                ++truthCorrect;
+            }
         }
     }
     if (unknown)
@@ -145,5 +156,22 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(tolerance),
                 overall.total ? 100.0 * overall.unmapped / overall.total
                               : 0.0);
+
+    const double minCorrect = cli.real("--min-correct", 0.0);
+    if (minCorrect > 0) {
+        // Credit each truth read at most once and denominate over the
+        // truth set, so neither a truncated SAM nor duplicate/secondary
+        // alignments can pass the gate.
+        const double pctCorrect =
+            truths.empty() ? 0.0
+                           : 100.0 * truthCorrect / truths.size();
+        if (pctCorrect < minCorrect) {
+            std::fprintf(stderr,
+                         "FAIL: %.3f%% of truth reads mapped correctly, "
+                         "below --min-correct %.3f%%\n",
+                         pctCorrect, minCorrect);
+            return 1;
+        }
+    }
     return 0;
 }

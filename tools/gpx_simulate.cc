@@ -39,7 +39,8 @@ const char kUsage[] =
     "  --seed N            RNG seed                       [23]\n"
     "  --long              simulate PacBio-HiFi-like long reads\n"
     "                      instead of pairs (writes PREFIX.fq; --pairs\n"
-    "                      then counts reads; mean length 9569 bp)\n";
+    "                      then counts reads; mean length 9569 bp)\n"
+    "  --version           print the gpx version and exit\n";
 
 } // namespace
 
