@@ -1,0 +1,268 @@
+/**
+ * @file
+ * micro_driver_scaling — host driver throughput across threads x chunk
+ * size, pooled vs pre-pool.
+ *
+ * The seed ParallelMapper respawned every worker thread and rebuilt
+ * each worker's Mm2Lite + GenPairPipeline engines on every mapAll()
+ * call, so a streaming run paid that cost once per chunk. This harness
+ * replays that exact behavior (`legacy`) next to the persistent worker
+ * pool (`pooled`) over a threads x chunk-size grid and reports
+ * multi-chunk streaming throughput in pairs/s. `--json PATH` records
+ * the grid machine-readably (see BENCH_driver_scaling.json next to the
+ * fig11 baseline at the repo root).
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hh"
+#include "genpair/driver.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+#include "util/version.hh"
+
+namespace {
+
+using namespace gpx;
+
+/**
+ * The seed driver's mapAll, verbatim in behavior: spawn threads,
+ * construct both engines inside each worker, contiguous partition —
+ * all charged to the chunk being mapped.
+ */
+double
+legacyMapChunk(const genomics::Reference &ref,
+               const genpair::SeedMap &map,
+               const genpair::DriverConfig &config, u32 threads,
+               std::shared_ptr<const baseline::MinimizerIndex> index,
+               const std::vector<genomics::ReadPair> &pairs,
+               std::vector<genomics::PairMapping> &out)
+{
+    util::Stopwatch watch;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (u32 t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t]() {
+            baseline::Mm2Lite fallback(ref, config.fallback, index);
+            genpair::GenPairPipeline pipeline(ref, map, config.pipeline,
+                                              &fallback);
+            u64 chunk = (pairs.size() + threads - 1) / threads;
+            u64 begin = t * chunk;
+            u64 end = std::min<u64>(pairs.size(), begin + chunk);
+            for (u64 i = begin; i < end; ++i)
+                out[i] = pipeline.mapPair(pairs[i]);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    return watch.seconds();
+}
+
+struct GridPoint
+{
+    u32 threads;
+    u64 chunkPairs;
+    u64 chunks;
+    double legacyPairsPerSec;
+    double pooledPairsPerSec;
+
+    double
+    speedup() const
+    {
+        return legacyPairsPerSec > 0
+                   ? pooledPairsPerSec / legacyPairsPerSec
+                   : 0.0;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gpx;
+    using namespace gpx::bench;
+
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--json needs a path\n");
+                return 2;
+            }
+            jsonPath = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    banner("Host driver scaling: persistent pool vs per-chunk respawn",
+           "ROADMAP host-throughput north star (driver refactor PR)");
+
+    // Smaller than the fig benches: the grid multiplies runtime.
+    simdata::Dataset dataset = simdata::buildDataset(
+        simdata::datasetConfig(1, u64{ 2 } << 20, 6000));
+    genpair::SeedMap seedmap(*dataset.reference,
+                             genpair::SeedMapParams{});
+    const auto &pairs = dataset.pairs;
+
+    // Small chunks are where per-chunk respawn hurts most (the spawn +
+    // engine-construction cost is amortized over fewer pairs), so the
+    // grid leans small; 256 anchors the amortized end where the two
+    // drivers are expected to converge.
+    const std::vector<u32> threadGrid{ 1, 2, 4, 8 };
+    const std::vector<u64> chunkGrid{ 4, 64, 256 };
+    std::vector<GridPoint> grid;
+
+    for (u32 threads : threadGrid) {
+        genpair::DriverConfig config;
+        config.threads = threads;
+        auto sharedIndex =
+            std::make_shared<const baseline::MinimizerIndex>(
+                *dataset.reference, config.fallback.minimizers);
+        // One pool per thread count, reused across every chunk size —
+        // exactly how StreamingMapper drives it.
+        genpair::ParallelMapper pooled(*dataset.reference, seedmap,
+                                       config);
+        // Warm caches and first-touch pages once per thread count so
+        // neither side is charged for them.
+        pooled.mapAll(pairs);
+        for (u64 chunkPairs : chunkGrid) {
+            GridPoint pt;
+            pt.threads = threads;
+            pt.chunkPairs = chunkPairs;
+            pt.chunks = (pairs.size() + chunkPairs - 1) / chunkPairs;
+
+            // Chunked streaming replay, legacy driver: per-chunk thread
+            // spawn + engine construction, like the seed mapAll.
+            std::vector<genomics::PairMapping> legacyOut(pairs.size());
+            auto legacyRun = [&]() {
+                double secs = 0;
+                for (u64 begin = 0; begin < pairs.size();
+                     begin += chunkPairs) {
+                    const u64 end =
+                        std::min<u64>(pairs.size(), begin + chunkPairs);
+                    std::vector<genomics::ReadPair> chunk(
+                        pairs.begin() +
+                            static_cast<std::ptrdiff_t>(begin),
+                        pairs.begin() + static_cast<std::ptrdiff_t>(end));
+                    std::vector<genomics::PairMapping> mapped(
+                        chunk.size());
+                    secs += legacyMapChunk(*dataset.reference, seedmap,
+                                           config, threads, sharedIndex,
+                                           chunk, mapped);
+                    std::copy(mapped.begin(), mapped.end(),
+                              legacyOut.begin() +
+                                  static_cast<std::ptrdiff_t>(begin));
+                }
+                return secs;
+            };
+
+            // Same chunk replay through the persistent pool.
+            std::vector<genomics::PairMapping> pooledOut(pairs.size());
+            auto pooledRun = [&]() {
+                double secs = 0;
+                for (u64 begin = 0; begin < pairs.size();
+                     begin += chunkPairs) {
+                    const u64 end =
+                        std::min<u64>(pairs.size(), begin + chunkPairs);
+                    std::vector<genomics::ReadPair> chunk(
+                        pairs.begin() +
+                            static_cast<std::ptrdiff_t>(begin),
+                        pairs.begin() + static_cast<std::ptrdiff_t>(end));
+                    auto res = pooled.mapAll(chunk);
+                    secs += res.seconds;
+                    std::copy(res.mappings.begin(), res.mappings.end(),
+                              pooledOut.begin() +
+                                  static_cast<std::ptrdiff_t>(begin));
+                }
+                return secs;
+            };
+
+            // Interleaved best-of-N: the two sides see the same host
+            // noise, and min-time is the standard low-variance pick.
+            constexpr int kReps = 3;
+            double legacySecs = legacyRun();
+            double pooledSecs = pooledRun();
+            for (int rep = 1; rep < kReps; ++rep) {
+                legacySecs = std::min(legacySecs, legacyRun());
+                pooledSecs = std::min(pooledSecs, pooledRun());
+            }
+            pt.legacyPairsPerSec =
+                legacySecs > 0 ? pairs.size() / legacySecs : 0;
+            pt.pooledPairsPerSec =
+                pooledSecs > 0 ? pairs.size() / pooledSecs : 0;
+
+            // The refactor must not change a single mapping.
+            for (std::size_t i = 0; i < pairs.size(); ++i) {
+                if (legacyOut[i].first.pos != pooledOut[i].first.pos ||
+                    legacyOut[i].path != pooledOut[i].path) {
+                    std::fprintf(stderr,
+                                 "pooled/legacy mapping mismatch at "
+                                 "pair %zu\n",
+                                 i);
+                    return 1;
+                }
+            }
+            grid.push_back(pt);
+        }
+    }
+
+    util::Table table({ "threads", "chunk", "chunks", "legacy pairs/s",
+                        "pooled pairs/s", "speedup" });
+    for (const auto &pt : grid) {
+        table.row()
+            .cell(static_cast<double>(pt.threads), 0)
+            .cell(static_cast<double>(pt.chunkPairs), 0)
+            .cell(static_cast<double>(pt.chunks), 0)
+            .cell(pt.legacyPairsPerSec, 0)
+            .cell(pt.pooledPairsPerSec, 0)
+            .cell(pt.speedup(), 2);
+    }
+    table.print("driver scaling: threads x chunk size");
+
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+            return 1;
+        }
+        auto num = [](double v, int prec) {
+            std::ostringstream str;
+            str << std::fixed << std::setprecision(prec) << v;
+            return str.str();
+        };
+        out << "{\n  \"bench\": \"micro_driver_scaling\",\n"
+            << "  \"gpx_version\": \"" << kVersion << "\",\n"
+            << "  \"pairs\": " << pairs.size() << ",\n"
+            << "  \"grid\": [\n";
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            const auto &pt = grid[i];
+            out << "    {\"threads\": " << pt.threads
+                << ", \"chunk_pairs\": " << pt.chunkPairs
+                << ", \"chunks\": " << pt.chunks
+                << ", \"legacy_pairs_per_s\": "
+                << num(pt.legacyPairsPerSec, 0)
+                << ", \"pooled_pairs_per_s\": "
+                << num(pt.pooledPairsPerSec, 0)
+                << ", \"pooled_vs_legacy\": " << num(pt.speedup(), 2)
+                << "}" << (i + 1 < grid.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+        out.flush();
+        if (!out) {
+            std::fprintf(stderr, "write to %s failed\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+    return 0;
+}

@@ -83,7 +83,8 @@ FastqReader::next(Read &read)
         gpx_assert(header[0] == '@', "malformed FASTQ header");
         if (!std::getline(is_, seq) || !std::getline(is_, plus) ||
             !std::getline(is_, qual)) {
-            gpx_fatal("truncated FASTQ record");
+            gpx_fatal("truncated FASTQ record: EOF mid-record at record ",
+                      records_ + 1, " (header '", header, "')");
         }
         chompCr(seq);
         std::size_t end = header.find_first_of(" \t", 1);

@@ -1,7 +1,6 @@
 #include "genpair/driver.hh"
 
 #include <algorithm>
-#include <thread>
 
 #include "util/logging.hh"
 #include "util/timer.hh"
@@ -19,6 +18,84 @@ ParallelMapper::ParallelMapper(const genomics::Reference &ref,
                                          std::thread::hardware_concurrency());
     sharedIndex_ = std::make_shared<const baseline::MinimizerIndex>(
         ref, config_.fallback.minimizers);
+    perThread_.resize(threads_);
+    workers_.reserve(threads_);
+    for (u32 t = 0; t < threads_; ++t)
+        workers_.emplace_back([this, t]() { workerLoop(t); });
+    // Engine construction is a pool start-up cost, not a mapping cost:
+    // don't return until every worker has built its engines, so the
+    // first mapAll()'s stopwatch measures mapping only.
+    std::unique_lock<std::mutex> lock(mu_);
+    jobDone_.wait(lock, [&] { return workersReady_ == threads_; });
+}
+
+ParallelMapper::~ParallelMapper()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_ = true;
+    }
+    jobReady_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ParallelMapper::workerLoop(u32 slot)
+{
+    // Engines are built once per worker and live for the pool's
+    // lifetime; every mapAll() call reuses them.
+    baseline::Mm2Lite fallback(ref_, config_.fallback, sharedIndex_);
+    GenPairPipeline pipeline(ref_, map_, config_.pipeline, &fallback);
+    std::unique_ptr<LightAlignGate> gate;
+    if (config_.gateFactory) {
+        gate = config_.gateFactory();
+        pipeline.setLightAlignGate(gate.get());
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++workersReady_;
+    }
+    jobDone_.notify_all();
+
+    u64 seenJob = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            jobReady_.wait(lock, [&] {
+                return shutdown_ || jobSeq_ != seenJob;
+            });
+            if (shutdown_)
+                return;
+            seenJob = jobSeq_;
+        }
+
+        pipeline.resetStats();
+        const auto &pairs = *jobPairs_;
+        auto &out = *jobOut_;
+        for (;;) {
+            const u64 begin = cursor_.fetch_add(kBlockPairs,
+                                                std::memory_order_relaxed);
+            if (begin >= pairs.size())
+                break;
+            const u64 end =
+                std::min<u64>(pairs.size(), begin + kBlockPairs);
+            for (u64 i = begin; i < end; ++i) {
+                if (config_.useGenPair)
+                    out[i] = pipeline.mapPair(pairs[i]);
+                else
+                    out[i] = fallback.mapPair(pairs[i]);
+            }
+        }
+        perThread_[slot] = pipeline.stats();
+
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--workersLeft_ == 0)
+                jobDone_.notify_one();
+        }
+    }
 }
 
 DriverResult
@@ -26,56 +103,27 @@ ParallelMapper::mapAll(const std::vector<genomics::ReadPair> &pairs)
 {
     DriverResult result;
     result.mappings.resize(pairs.size());
-    std::vector<PipelineStats> perThread(threads_);
 
     util::Stopwatch watch;
-    std::vector<std::thread> workers;
-    workers.reserve(threads_);
-    for (u32 t = 0; t < threads_; ++t) {
-        workers.emplace_back([&, t]() {
-            baseline::Mm2Lite fallback(ref_, config_.fallback,
-                                       sharedIndex_);
-            GenPairPipeline pipeline(ref_, map_, config_.pipeline,
-                                     &fallback);
-            // Contiguous block partitioning keeps the output stable and
-            // the per-thread caches warm.
-            u64 chunk = (pairs.size() + threads_ - 1) / threads_;
-            u64 begin = t * chunk;
-            u64 end = std::min<u64>(pairs.size(), begin + chunk);
-            for (u64 i = begin; i < end; ++i) {
-                if (config_.useGenPair) {
-                    result.mappings[i] = pipeline.mapPair(pairs[i]);
-                } else {
-                    result.mappings[i] = fallback.mapPair(pairs[i]);
-                }
-            }
-            perThread[t] = pipeline.stats();
-        });
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        jobPairs_ = &pairs;
+        jobOut_ = &result.mappings;
+        cursor_.store(0, std::memory_order_relaxed);
+        workersLeft_ = threads_;
+        ++jobSeq_;
     }
-    for (auto &w : workers)
-        w.join();
+    jobReady_.notify_all();
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        jobDone_.wait(lock, [&] { return workersLeft_ == 0; });
+    }
     result.seconds = watch.seconds();
     result.pairsPerSec =
         result.seconds > 0 ? pairs.size() / result.seconds : 0;
 
-    // Aggregate worker statistics.
-    PipelineStats &agg = result.stats;
-    for (const auto &st : perThread) {
-        agg.pairsTotal += st.pairsTotal;
-        agg.seedMissFallback += st.seedMissFallback;
-        agg.paFilterFallback += st.paFilterFallback;
-        agg.lightAlignFallback += st.lightAlignFallback;
-        agg.lightAligned += st.lightAligned;
-        agg.dpAligned += st.dpAligned;
-        agg.fullDpMapped += st.fullDpMapped;
-        agg.unmapped += st.unmapped;
-        agg.query.seedLookups += st.query.seedLookups;
-        agg.query.locationsFetched += st.query.locationsFetched;
-        agg.query.filterIterations += st.query.filterIterations;
-        agg.candidatePairs += st.candidatePairs;
-        agg.lightAlignsAttempted += st.lightAlignsAttempted;
-        agg.lightHypotheses += st.lightHypotheses;
-    }
+    for (const auto &st : perThread_)
+        result.stats += st;
     return result;
 }
 

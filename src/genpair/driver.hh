@@ -3,14 +3,26 @@
  * Multi-threaded mapping driver: the "GenPair + MM2 (CPU)" software
  * configuration of the paper's evaluation (§6), which runs the GenPair
  * pipeline on general-purpose cores with Minimap2-style DP fallback.
- * The SeedMap and minimizer index are shared read-only; each worker
- * owns its own pipeline/fallback engines (all mutable state is
- * thread-local), so results are bit-identical to a serial run.
+ *
+ * The SeedMap and minimizer index are shared read-only. Workers are
+ * persistent: each thread constructs its Mm2Lite fallback and
+ * GenPairPipeline once, at pool start-up, and reuses them across
+ * mapAll() calls — a streaming run of ten thousand chunks spawns
+ * threads and builds engines exactly once. Within a call, workers pull
+ * fixed-size blocks off an atomic cursor for load balance; mapping is
+ * per-pair pure and results land at the pair's input index, so output
+ * is bit-identical to a serial run regardless of scheduling.
  */
 
 #ifndef GPX_GENPAIR_DRIVER_HH
 #define GPX_GENPAIR_DRIVER_HH
 
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "baseline/mm2lite.hh"
@@ -28,6 +40,16 @@ struct DriverConfig
     GenPairParams pipeline;
     baseline::Mm2LiteParams fallback;
     bool useGenPair = true; ///< false = pure MM2-lite baseline runs
+
+    /**
+     * Light-align admission gate factory (paper SS8). Called once per
+     * worker at pool start-up so each pipeline owns a thread-local gate
+     * instance; empty = no gate. The workers start concurrently, so the
+     * factory may be invoked from all of them at once and must be
+     * thread-safe. Gate decisions must be a pure function of
+     * (read, candidate) or results become schedule-dependent.
+     */
+    std::function<std::unique_ptr<LightAlignGate>()> gateFactory;
 };
 
 /** Batch mapping results. */
@@ -35,6 +57,12 @@ struct DriverResult
 {
     std::vector<genomics::PairMapping> mappings; ///< 1:1 with input
     PipelineStats stats;   ///< aggregated across workers
+    /**
+     * Pure mapping wall time of this mapAll() call. One-time costs —
+     * thread spawn, per-worker engine construction — are paid at pool
+     * start-up and never charged here, so pairsPerSec is comparable
+     * across chunk sizes.
+     */
     double seconds = 0;
     double pairsPerSec = 0;
 
@@ -46,12 +74,20 @@ struct DriverResult
     }
 };
 
-/** Parallel paired-end mapping over a shared index. */
+/**
+ * Parallel paired-end mapping over a shared index, backed by a
+ * persistent worker pool. Not itself thread-safe: one mapAll() at a
+ * time (the workers inside it are the parallelism).
+ */
 class ParallelMapper
 {
   public:
     ParallelMapper(const genomics::Reference &ref, const SeedMap &map,
                    const DriverConfig &config);
+    ~ParallelMapper();
+
+    ParallelMapper(const ParallelMapper &) = delete;
+    ParallelMapper &operator=(const ParallelMapper &) = delete;
 
     /** Map all pairs; mappings[i] corresponds to pairs[i]. */
     DriverResult mapAll(const std::vector<genomics::ReadPair> &pairs);
@@ -59,11 +95,32 @@ class ParallelMapper
     u32 threads() const { return threads_; }
 
   private:
+    /** Pairs a worker claims per cursor grab (load-balance grain). */
+    static constexpr u64 kBlockPairs = 64;
+
+    void workerLoop(u32 slot);
+
     const genomics::Reference &ref_;
     const SeedMap &map_;
     DriverConfig config_;
     u32 threads_;
     std::shared_ptr<const baseline::MinimizerIndex> sharedIndex_;
+
+    // Job hand-off: mapAll() publishes the job under mu_, bumps
+    // jobSeq_ and wakes the pool; workers race the shared cursor and
+    // the last one out signals completion.
+    std::mutex mu_;
+    std::condition_variable jobReady_;
+    std::condition_variable jobDone_;
+    u64 jobSeq_ = 0;
+    u32 workersReady_ = 0;
+    u32 workersLeft_ = 0;
+    bool shutdown_ = false;
+    const std::vector<genomics::ReadPair> *jobPairs_ = nullptr;
+    std::vector<genomics::PairMapping> *jobOut_ = nullptr;
+    std::atomic<u64> cursor_{ 0 };
+    std::vector<PipelineStats> perThread_;
+    std::vector<std::thread> workers_;
 };
 
 } // namespace genpair

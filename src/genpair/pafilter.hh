@@ -27,6 +27,15 @@ struct QueryWork
     u64 seedLookups = 0;      ///< Seed Table accesses
     u64 locationsFetched = 0; ///< Location Table entries streamed
     u64 filterIterations = 0; ///< comparator cycles in the PA filter
+
+    QueryWork &
+    operator+=(const QueryWork &other)
+    {
+        seedLookups += other.seedLookups;
+        locationsFetched += other.locationsFetched;
+        filterIterations += other.filterIterations;
+        return *this;
+    }
 };
 
 /**

@@ -63,6 +63,31 @@ struct PipelineStats
     u64 lightHypotheses = 0;
     u64 gateRejected = 0; ///< candidates dropped by the SS8 gate
 
+    /**
+     * Merge another worker's (or chunk's) counters into this one. The
+     * single accumulation point for every stats merge in the tree —
+     * hand-rolled field lists in the drivers drifted once (dropping
+     * gateRejected) and must not come back.
+     */
+    PipelineStats &
+    operator+=(const PipelineStats &other)
+    {
+        pairsTotal += other.pairsTotal;
+        seedMissFallback += other.seedMissFallback;
+        paFilterFallback += other.paFilterFallback;
+        lightAlignFallback += other.lightAlignFallback;
+        lightAligned += other.lightAligned;
+        dpAligned += other.dpAligned;
+        fullDpMapped += other.fullDpMapped;
+        unmapped += other.unmapped;
+        query += other.query;
+        candidatePairs += other.candidatePairs;
+        lightAlignsAttempted += other.lightAlignsAttempted;
+        lightHypotheses += other.lightHypotheses;
+        gateRejected += other.gateRejected;
+        return *this;
+    }
+
     double
     fraction(u64 value) const
     {

@@ -1,5 +1,11 @@
 #include "genpair/streaming.hh"
 
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
 #include "util/logging.hh"
 #include "util/timer.hh"
 
@@ -8,25 +14,60 @@ namespace genpair {
 
 namespace {
 
-void
-accumulate(PipelineStats &into, const PipelineStats &chunk)
+/**
+ * Single-slot blocking hand-off between one producer and one consumer
+ * thread: the double-buffering primitive of the streaming pipeline.
+ * push() blocks while the slot is full; pop() blocks while it is empty
+ * and returns nullopt once the channel is closed and drained.
+ */
+template <typename T>
+class HandoffSlot
 {
-    into.pairsTotal += chunk.pairsTotal;
-    into.seedMissFallback += chunk.seedMissFallback;
-    into.paFilterFallback += chunk.paFilterFallback;
-    into.lightAlignFallback += chunk.lightAlignFallback;
-    into.lightAligned += chunk.lightAligned;
-    into.dpAligned += chunk.dpAligned;
-    into.fullDpMapped += chunk.fullDpMapped;
-    into.unmapped += chunk.unmapped;
-    into.query.seedLookups += chunk.query.seedLookups;
-    into.query.locationsFetched += chunk.query.locationsFetched;
-    into.query.filterIterations += chunk.query.filterIterations;
-    into.candidatePairs += chunk.candidatePairs;
-    into.lightAlignsAttempted += chunk.lightAlignsAttempted;
-    into.lightHypotheses += chunk.lightHypotheses;
-    into.gateRejected += chunk.gateRejected;
-}
+  public:
+    void
+    push(T value)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        spaceFree_.wait(lock, [&] { return !slot_.has_value(); });
+        slot_.emplace(std::move(value));
+        itemReady_.notify_one();
+    }
+
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        itemReady_.wait(lock, [&] { return slot_.has_value() || closed_; });
+        if (!slot_.has_value())
+            return std::nullopt;
+        std::optional<T> out = std::move(slot_);
+        slot_.reset();
+        spaceFree_.notify_one();
+        return out;
+    }
+
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+        itemReady_.notify_one();
+    }
+
+  private:
+    std::mutex mu_;
+    std::condition_variable itemReady_;
+    std::condition_variable spaceFree_;
+    std::optional<T> slot_;
+    bool closed_ = false;
+};
+
+/** One chunk moving through the reader → mapper → writer pipeline. */
+struct Batch
+{
+    std::vector<genomics::ReadPair> pairs;
+    std::vector<genomics::PairMapping> mappings; ///< filled by the mapper
+};
 
 } // namespace
 
@@ -44,39 +85,67 @@ StreamingMapper::run(std::istream &r1, std::istream &r2,
                      genomics::SamWriter &sam)
 {
     StreamingResult result;
-    genomics::FastqReader reader1(r1);
-    genomics::FastqReader reader2(r2);
     util::Stopwatch watch;
 
-    std::vector<genomics::ReadPair> chunk;
-    chunk.reserve(chunkPairs_);
-    bool done = false;
-    while (!done) {
-        chunk.clear();
-        while (chunk.size() < chunkPairs_) {
-            genomics::ReadPair pair;
-            const bool got1 = reader1.next(pair.first);
-            const bool got2 = reader2.next(pair.second);
-            if (got1 != got2)
-                gpx_fatal("FASTQ streams disagree: ",
-                          reader1.recordsRead(), " vs ",
-                          reader2.recordsRead(), " records");
-            if (!got1) {
-                done = true;
-                break;
-            }
-            chunk.push_back(std::move(pair));
-        }
-        if (chunk.empty())
-            break;
+    HandoffSlot<Batch> parsed;
+    HandoffSlot<Batch> mapped;
 
-        DriverResult mapped = mapper_.mapAll(chunk);
-        accumulate(result.stats, mapped.stats);
-        for (std::size_t i = 0; i < chunk.size(); ++i)
-            sam.writePair(chunk[i], mapped.mappings[i]);
-        result.pairs += chunk.size();
+    // Reader: parse the next chunk while the pool maps the current one.
+    std::thread reader([&]() {
+        genomics::FastqReader reader1(r1);
+        genomics::FastqReader reader2(r2);
+        bool done = false;
+        while (!done) {
+            Batch batch;
+            batch.pairs.reserve(chunkPairs_);
+            while (batch.pairs.size() < chunkPairs_) {
+                genomics::ReadPair pair;
+                const bool got1 = reader1.next(pair.first);
+                const bool got2 = reader2.next(pair.second);
+                if (got1 != got2)
+                    gpx_fatal("FASTQ streams disagree: ",
+                              got1 ? "R2" : "R1", " ended early after ",
+                              (got1 ? reader2 : reader1).recordsRead(),
+                              " records while ", got1 ? "R1" : "R2",
+                              " still has reads (",
+                              (got1 ? reader1 : reader2).recordsRead(),
+                              " so far)");
+                if (!got1) {
+                    done = true;
+                    break;
+                }
+                batch.pairs.push_back(std::move(pair));
+            }
+            if (!batch.pairs.empty())
+                parsed.push(std::move(batch));
+        }
+        parsed.close();
+    });
+
+    // Writer: drain SAM records while the pool maps the next chunk.
+    // Single consumer of the `mapped` slot, so records leave in chunk
+    // order — output stays bit-identical to a batch run.
+    std::thread writer([&]() {
+        while (auto batch = mapped.pop()) {
+            for (std::size_t i = 0; i < batch->pairs.size(); ++i)
+                sam.writePair(batch->pairs[i], batch->mappings[i]);
+        }
+    });
+
+    // Mapper (this thread): the pool's workers are the parallelism.
+    while (auto batch = parsed.pop()) {
+        DriverResult res = mapper_.mapAll(batch->pairs);
+        result.stats += res.stats;
+        result.mapSeconds += res.seconds;
+        result.pairs += batch->pairs.size();
         ++result.chunks;
+        batch->mappings = std::move(res.mappings);
+        mapped.push(std::move(*batch));
     }
+    mapped.close();
+
+    reader.join();
+    writer.join();
 
     result.seconds = watch.seconds();
     result.pairsPerSec =

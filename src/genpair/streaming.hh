@@ -1,14 +1,19 @@
 /**
  * @file
- * Streaming mapping driver: FASTQ pair in, SAM out, bounded memory.
+ * Streaming mapping driver: FASTQ pair in, SAM out, bounded memory,
+ * I/O overlapped with compute.
  *
  * The batch ParallelMapper needs every read pair resident; real read
  * sets (the paper maps 100 M pairs, §6) do not fit the host budget
- * that way. StreamingMapper pulls fixed-size chunks from two
- * FastqReaders, maps each chunk with the shared-index parallel driver,
- * and emits SAM records in input order before pulling the next chunk —
- * peak memory is one chunk regardless of input size, and results are
- * bit-identical to a whole-file batch run (mapping is per-pair pure).
+ * that way. StreamingMapper runs a three-stage pipeline over fixed-size
+ * chunks: a reader thread parses the next FASTQ chunk and a writer
+ * thread drains the previous chunk's SAM records while the persistent
+ * worker pool maps the current chunk. Each hand-off queue is
+ * single-slot (double buffering per stage), so peak memory stays
+ * bounded by a small constant number of chunks regardless of input
+ * size, and results are bit-identical to a whole-file batch run
+ * (mapping is per-pair pure and chunks flow reader → mapper → writer
+ * in input order).
  */
 
 #ifndef GPX_GENPAIR_STREAMING_HH
@@ -29,7 +34,11 @@ struct StreamingResult
     u64 pairs = 0;
     u64 chunks = 0;
     PipelineStats stats; ///< aggregated over all chunks
+    /** End-to-end wall time including FASTQ parse and SAM drain. */
     double seconds = 0;
+    /** Pure mapping wall time summed over chunks (see DriverResult). */
+    double mapSeconds = 0;
+    /** End-to-end throughput (pairs / seconds). */
     double pairsPerSec = 0;
 };
 
@@ -45,8 +54,8 @@ class StreamingMapper
 
     /**
      * Map all pairs from @p r1/@p r2 (same-order FASTQ streams) and
-     * write records through @p sam. Fatal error if the streams yield
-     * different record counts.
+     * write records through @p sam. Fatal error — naming the stream
+     * that ended early — if the streams yield different record counts.
      */
     StreamingResult run(std::istream &r1, std::istream &r2,
                         genomics::SamWriter &sam);

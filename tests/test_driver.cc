@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "genpair/driver.hh"
 #include "simdata/genome_generator.hh"
 #include "simdata/read_simulator.hh"
+#include "test_gates.hh"
 
 namespace {
 
@@ -62,6 +65,75 @@ TEST_F(DriverTest, ParallelMatchesSerial)
     }
     EXPECT_EQ(serial.stats.lightAligned, parallel.stats.lightAligned);
     EXPECT_EQ(serial.stats.pairsTotal, parallel.stats.pairsTotal);
+}
+
+TEST_F(DriverTest, StatsFieldwiseParallelEqualsSerial)
+{
+    // The seed driver's hand-rolled stats merge silently dropped
+    // gateRejected; comparing every field against a serial run (with a
+    // gate installed so gateRejected is exercised) pins the full list.
+    auto withGate = [](u32 threads) {
+        DriverConfig cfg;
+        cfg.threads = threads;
+        cfg.gateFactory = [] {
+            return std::make_unique<gpx::testing::OddPositionGate>();
+        };
+        return cfg;
+    };
+    auto serial =
+        ParallelMapper(ref_, *map_, withGate(1)).mapAll(pairs_);
+    auto parallel =
+        ParallelMapper(ref_, *map_, withGate(8)).mapAll(pairs_);
+
+    const auto &s = serial.stats;
+    const auto &p = parallel.stats;
+    EXPECT_GT(s.gateRejected, 0u);
+    EXPECT_EQ(s.pairsTotal, p.pairsTotal);
+    EXPECT_EQ(s.seedMissFallback, p.seedMissFallback);
+    EXPECT_EQ(s.paFilterFallback, p.paFilterFallback);
+    EXPECT_EQ(s.lightAlignFallback, p.lightAlignFallback);
+    EXPECT_EQ(s.lightAligned, p.lightAligned);
+    EXPECT_EQ(s.dpAligned, p.dpAligned);
+    EXPECT_EQ(s.fullDpMapped, p.fullDpMapped);
+    EXPECT_EQ(s.unmapped, p.unmapped);
+    EXPECT_EQ(s.query.seedLookups, p.query.seedLookups);
+    EXPECT_EQ(s.query.locationsFetched, p.query.locationsFetched);
+    EXPECT_EQ(s.query.filterIterations, p.query.filterIterations);
+    EXPECT_EQ(s.candidatePairs, p.candidatePairs);
+    EXPECT_EQ(s.lightAlignsAttempted, p.lightAlignsAttempted);
+    EXPECT_EQ(s.lightHypotheses, p.lightHypotheses);
+    EXPECT_EQ(s.gateRejected, p.gateRejected);
+}
+
+TEST_F(DriverTest, PoolPersistsAcrossMapAllCalls)
+{
+    // Workers (and their engines) outlive one mapAll; a second call on
+    // the same mapper must neither double-count stats nor change
+    // results.
+    DriverConfig cfg;
+    cfg.threads = 4;
+    ParallelMapper mapper(ref_, *map_, cfg);
+    auto first = mapper.mapAll(pairs_);
+    auto second = mapper.mapAll(pairs_);
+    EXPECT_EQ(first.stats.pairsTotal, pairs_.size());
+    EXPECT_EQ(second.stats.pairsTotal, pairs_.size());
+    EXPECT_EQ(first.stats.lightAligned, second.stats.lightAligned);
+    ASSERT_EQ(first.mappings.size(), second.mappings.size());
+    for (std::size_t i = 0; i < first.mappings.size(); ++i) {
+        EXPECT_EQ(first.mappings[i].first.pos,
+                  second.mappings[i].first.pos);
+        EXPECT_EQ(first.mappings[i].path, second.mappings[i].path);
+    }
+}
+
+TEST_F(DriverTest, EmptyInputYieldsEmptyResult)
+{
+    DriverConfig cfg;
+    cfg.threads = 4;
+    ParallelMapper mapper(ref_, *map_, cfg);
+    auto res = mapper.mapAll({});
+    EXPECT_TRUE(res.mappings.empty());
+    EXPECT_EQ(res.stats.pairsTotal, 0u);
 }
 
 TEST_F(DriverTest, StatsAggregateToInputSize)

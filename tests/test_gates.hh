@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Shared test doubles for the light-align admission gate.
+ */
+
+#ifndef GPX_TESTS_TEST_GATES_HH
+#define GPX_TESTS_TEST_GATES_HH
+
+#include "genpair/light_align.hh"
+
+namespace gpx {
+namespace testing {
+
+/**
+ * Deterministic light-align gate: a pure function of the candidate
+ * position (rejects odd positions), so serial and parallel runs must
+ * agree on every counter it touches regardless of which worker maps
+ * which pair.
+ */
+class OddPositionGate final : public genpair::LightAlignGate
+{
+  public:
+    bool
+    admit(const genomics::DnaSequence &, GlobalPos candidate) override
+    {
+        return candidate % 2 == 0;
+    }
+};
+
+} // namespace testing
+} // namespace gpx
+
+#endif // GPX_TESTS_TEST_GATES_HH

@@ -108,6 +108,19 @@ TEST(FastqRobustDeath, TruncatedRecordIsFatal)
         "truncated FASTQ record");
 }
 
+TEST(FastqRobustDeath, TruncatedRecordReportsIndexAndHeader)
+{
+    // EOF mid-record must say which record broke, not just that the
+    // stream ended: record 1 parsed fine, record 2 is cut short.
+    EXPECT_DEATH(
+        {
+            std::istringstream in(
+                "@r1\nACGT\n+\nIIII\n@r2\nACGT\n+\n");
+            genomics::readFastq(in);
+        },
+        "EOF mid-record at record 2 \\(header '@r2'\\)");
+}
+
 TEST(FastqRobustDeath, MalformedHeaderIsFatal)
 {
     EXPECT_DEATH(

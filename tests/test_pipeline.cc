@@ -161,6 +161,43 @@ TEST_F(PipelineTest, StatsAccumulate)
     EXPECT_GT(st.lightAlignsAttempted, 0u);
 }
 
+TEST(PipelineStats, PlusEqualsCoversEveryField)
+{
+    // Every field gets a distinct value so a merge that drops or
+    // double-counts any one of them fails on that exact field — the
+    // regression that motivated replacing the drivers' hand-rolled
+    // accumulators (they silently dropped gateRejected).
+    genpair::PipelineStats a, b;
+    u64 v = 1;
+    for (u64 *f : { &b.pairsTotal, &b.seedMissFallback,
+                    &b.paFilterFallback, &b.lightAlignFallback,
+                    &b.lightAligned, &b.dpAligned, &b.fullDpMapped,
+                    &b.unmapped, &b.query.seedLookups,
+                    &b.query.locationsFetched,
+                    &b.query.filterIterations, &b.candidatePairs,
+                    &b.lightAlignsAttempted, &b.lightHypotheses,
+                    &b.gateRejected })
+        *f = v++;
+
+    a += b;
+    a += b;
+    EXPECT_EQ(a.pairsTotal, 2u * b.pairsTotal);
+    EXPECT_EQ(a.seedMissFallback, 2u * b.seedMissFallback);
+    EXPECT_EQ(a.paFilterFallback, 2u * b.paFilterFallback);
+    EXPECT_EQ(a.lightAlignFallback, 2u * b.lightAlignFallback);
+    EXPECT_EQ(a.lightAligned, 2u * b.lightAligned);
+    EXPECT_EQ(a.dpAligned, 2u * b.dpAligned);
+    EXPECT_EQ(a.fullDpMapped, 2u * b.fullDpMapped);
+    EXPECT_EQ(a.unmapped, 2u * b.unmapped);
+    EXPECT_EQ(a.query.seedLookups, 2u * b.query.seedLookups);
+    EXPECT_EQ(a.query.locationsFetched, 2u * b.query.locationsFetched);
+    EXPECT_EQ(a.query.filterIterations, 2u * b.query.filterIterations);
+    EXPECT_EQ(a.candidatePairs, 2u * b.candidatePairs);
+    EXPECT_EQ(a.lightAlignsAttempted, 2u * b.lightAlignsAttempted);
+    EXPECT_EQ(a.lightHypotheses, 2u * b.lightHypotheses);
+    EXPECT_EQ(a.gateRejected, 2u * b.gateRejected);
+}
+
 TEST_F(PipelineTest, NoFallbackEngineCountsUnmapped)
 {
     GenPairPipeline lone(ref_, *map_, GenPairParams{}, nullptr);

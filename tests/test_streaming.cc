@@ -7,11 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 
 #include "genomics/fasta.hh"
 #include "genpair/streaming.hh"
 #include "simdata/datasets.hh"
+#include "test_gates.hh"
 
 namespace {
 
@@ -42,14 +44,15 @@ class StreamingTest : public ::testing::Test
 
     /** SAM text of a streaming run with the given chunk size. */
     std::string
-    streamedSam(u64 chunk_pairs, genpair::StreamingResult *out = nullptr)
+    streamedSam(u64 chunk_pairs, genpair::StreamingResult *out = nullptr,
+                u32 threads = 2)
     {
         std::istringstream i1(fq1_), i2(fq2_);
         std::ostringstream sam;
         genomics::SamWriter writer(sam, *dataset_.reference);
         writer.writeHeader();
         genpair::DriverConfig config;
-        config.threads = 2;
+        config.threads = threads;
         genpair::StreamingMapper mapper(*dataset_.reference, *map_,
                                         config, chunk_pairs);
         auto result = mapper.run(i1, i2, writer);
@@ -141,6 +144,60 @@ TEST_F(StreamingTest, ZeroChunkSizeIsClampedToOne)
     EXPECT_EQ(sam, referenceSam());
 }
 
+TEST_F(StreamingTest, ThreadCountDoesNotChangeOutput)
+{
+    // Bit-identical SAM across --threads 1/2/8: the pool's atomic
+    // block cursor changes which worker maps which pair, never what
+    // lands at the pair's output index.
+    genpair::StreamingResult r1, r2, r8;
+    std::string sam1 = streamedSam(64, &r1, 1);
+    std::string sam2 = streamedSam(64, &r2, 2);
+    std::string sam8 = streamedSam(64, &r8, 8);
+    EXPECT_EQ(sam1, sam2);
+    EXPECT_EQ(sam1, sam8);
+    EXPECT_EQ(r1.stats.lightAligned, r8.stats.lightAligned);
+    EXPECT_EQ(r1.stats.unmapped, r8.stats.unmapped);
+}
+
+TEST_F(StreamingTest, ThreadAndChunkSweepIsDeterministic)
+{
+    // Cross sweep under the persistent pool: every (threads, chunk)
+    // combination must produce the single-chunk reference bytes.
+    for (u32 threads : { 1u, 2u, 8u }) {
+        for (u64 chunk : { u64{ 3 }, u64{ 100 } }) {
+            std::string sam = streamedSam(chunk, nullptr, threads);
+            EXPECT_EQ(sam, referenceSam())
+                << "threads=" << threads << " chunk=" << chunk;
+        }
+    }
+}
+
+TEST_F(StreamingTest, GateRejectionsSurviveChunkAggregation)
+{
+    // The seed batch driver dropped gateRejected when merging worker
+    // stats, so streaming runs always reported zero. With a rejecting
+    // gate installed, the counter must be nonzero and independent of
+    // chunking and thread count.
+    auto run = [&](u64 chunk_pairs, u32 threads) {
+        std::istringstream i1(fq1_), i2(fq2_);
+        std::ostringstream sam;
+        genomics::SamWriter writer(sam, *dataset_.reference);
+        writer.writeHeader();
+        genpair::DriverConfig config;
+        config.threads = threads;
+        config.gateFactory = [] {
+            return std::make_unique<gpx::testing::OddPositionGate>();
+        };
+        genpair::StreamingMapper mapper(*dataset_.reference, *map_,
+                                        config, chunk_pairs);
+        return mapper.run(i1, i2, writer).stats.gateRejected;
+    };
+    const u64 serial = run(1000000, 1);
+    EXPECT_GT(serial, 0u);
+    EXPECT_EQ(run(37, 4), serial);
+    EXPECT_EQ(run(7, 8), serial);
+}
+
 TEST_F(StreamingTest, MatchesBatchDriver)
 {
     genpair::StreamingResult streamed;
@@ -213,6 +270,23 @@ TEST_F(StreamingTest, MismatchedStreamLengthsFatal)
             mapper.run(i1, i2, writer);
         },
         "FASTQ streams disagree");
+}
+
+TEST_F(StreamingTest, MismatchFatalNamesTheStreamThatEndedEarly)
+{
+    // R2 runs out after one record; the fatal must say so (and not
+    // just that the counts differ) so users know which file to fix.
+    EXPECT_DEATH(
+        {
+            std::istringstream i1(fq1_);
+            std::istringstream i2("@only\nACGT\n+\nIIII\n");
+            std::ostringstream sam;
+            genomics::SamWriter writer(sam, *dataset_.reference);
+            genpair::StreamingMapper mapper(*dataset_.reference, *map_,
+                                            genpair::DriverConfig{});
+            mapper.run(i1, i2, writer);
+        },
+        "R2 ended early after 1 records");
 }
 
 TEST(FastqReader, IncrementalMatchesBatch)
