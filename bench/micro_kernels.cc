@@ -4,6 +4,12 @@
  * hardware models: xxHash seeding, SeedMap lookup, the SHD mask kernel,
  * light alignment and the DP fallback aligner. These provide the
  * software-side MCUPS/throughput numbers quoted in EXPERIMENTS.md.
+ *
+ * The *Scalar / *Legacy rows are the pre-word-parallel implementations
+ * (retained in-library as test oracles) so one run reports the
+ * before/after of every bit-parallel kernel. The checked-in baseline
+ * BENCH_micro_kernels.json is produced with `--benchmark_format=json`;
+ * scripts/check_kernel_regression.py gates CI against it.
  */
 
 #include <benchmark/benchmark.h>
@@ -11,6 +17,8 @@
 #include "align/affine.hh"
 #include "align/shd.hh"
 #include "align/wfa.hh"
+#include "baseline/minimizer_index.hh"
+#include "filters/edit_distance.hh"
 #include "filters/grim_filter.hh"
 #include "filters/sneakysnake.hh"
 #include "genpair/light_align.hh"
@@ -176,5 +184,172 @@ BM_GrimFilterQuery(benchmark::State &state)
     state.SetItemsProcessed(static_cast<i64>(state.iterations()));
 }
 BENCHMARK(BM_GrimFilterQuery);
+
+// ---------------------------------------------------------------------------
+// Before/after rows for the bit-parallel sequence kernels.
+// ---------------------------------------------------------------------------
+
+/** A 150 bp read with a realistic sprinkle of edits vs its origin. */
+genomics::DnaSequence
+editedRead(u64 origin)
+{
+    auto read = sharedRef().chromosome(0).sub(origin, 150);
+    read.set(40, (read.at(40) + 1) & 3u);
+    read.set(77, (read.at(77) + 2) & 3u);
+    read.set(121, (read.at(121) + 1) & 3u);
+    return read;
+}
+
+void
+BM_EditDistance150Scalar(benchmark::State &state)
+{
+    auto read = editedRead(70000);
+    auto target = sharedRef().chromosome(0).sub(70000, 150);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(filters::editDistanceScalar(read, target));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_EditDistance150Scalar);
+
+void
+BM_EditDistance150Myers(benchmark::State &state)
+{
+    auto read = editedRead(70000);
+    auto target = sharedRef().chromosome(0).sub(70000, 150);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(filters::editDistance(read, target));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_EditDistance150Myers);
+
+void
+BM_EditDistanceBoundedScalar(benchmark::State &state)
+{
+    auto read = editedRead(71000);
+    auto target = sharedRef().chromosome(0).sub(71000, 150);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            filters::editDistanceBoundedScalar(read, target, 5));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_EditDistanceBoundedScalar);
+
+void
+BM_EditDistanceBoundedMyers(benchmark::State &state)
+{
+    auto read = editedRead(71000);
+    auto target = sharedRef().chromosome(0).sub(71000, 150);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            filters::editDistanceBounded(read, target, 5));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_EditDistanceBoundedMyers);
+
+void
+BM_CandidateEditScalar(benchmark::State &state)
+{
+    auto read = editedRead(72000);
+    auto window = sharedRef().chromosome(0).sub(71995, 160);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            filters::candidateEditDistanceScalar(read, window, 5, 5));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_CandidateEditScalar);
+
+void
+BM_CandidateEditMyers(benchmark::State &state)
+{
+    auto read = editedRead(72000);
+    auto window = sharedRef().chromosome(0).sub(71995, 160);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            filters::candidateEditDistance(read, window, 5, 5));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_CandidateEditMyers);
+
+void
+BM_MinimizerExtractLegacy(benchmark::State &state)
+{
+    // The pre-refactor per-base/deque implementation, retained in the
+    // library as the scalar oracle.
+    auto seq = sharedRef().chromosome(0).sub(80000, 10000);
+    baseline::MinimizerParams params;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            baseline::extractMinimizersScalar(seq, params));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_MinimizerExtractLegacy);
+
+void
+BM_MinimizerExtractPacked(benchmark::State &state)
+{
+    auto seq = sharedRef().chromosome(0).sub(80000, 10000);
+    baseline::MinimizerParams params;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(baseline::extractMinimizers(seq, params));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_MinimizerExtractPacked);
+
+void
+BM_WindowMaterialize(benchmark::State &state)
+{
+    // Candidate inspection the old way: copy the window, then compare.
+    auto read = sharedRef().chromosome(0).sub(90000, 150);
+    for (auto _ : state) {
+        genomics::DnaSequence window = sharedRef().window(90000, 150);
+        benchmark::DoNotOptimize(genomics::hammingDistance(read, window));
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_WindowMaterialize);
+
+void
+BM_WindowZeroCopy(benchmark::State &state)
+{
+    // Candidate inspection the new way: view straight into the genome.
+    auto read = sharedRef().chromosome(0).sub(90000, 150);
+    for (auto _ : state) {
+        genomics::DnaView window = sharedRef().windowView(90000, 150);
+        benchmark::DoNotOptimize(
+            genomics::hammingDistance(read.view(), window));
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_WindowZeroCopy);
+
+/** Pre-refactor revComp: one push per base, copied as the before row. */
+genomics::DnaSequence
+legacyRevComp(const genomics::DnaSequence &s)
+{
+    genomics::DnaSequence out;
+    for (std::size_t i = s.size(); i > 0; --i)
+        out.push(genomics::complementBase(s.at(i - 1)));
+    return out;
+}
+
+void
+BM_RevCompLegacy(benchmark::State &state)
+{
+    auto read = sharedRef().chromosome(0).sub(95000, 150);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(legacyRevComp(read));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_RevCompLegacy);
+
+void
+BM_RevCompWord(benchmark::State &state)
+{
+    auto read = sharedRef().chromosome(0).sub(95000, 150);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(read.revComp());
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_RevCompWord);
 
 } // namespace

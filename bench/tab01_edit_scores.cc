@@ -124,7 +124,7 @@ main()
     }
     for (u32 k : { 1u, 2u, 3u, 4u, 5u }) {
         genomics::DnaSequence read = ref.window(1000, 75);
-        read.append(ref.window(1075 + k, 75));
+        read.append(ref.windowView(1075 + k, 75));
         check(std::to_string(k) + " Deletion(s)", read,
               sr.scoreFromCounts(150, 0, { k }));
     }

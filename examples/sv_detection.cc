@@ -42,8 +42,8 @@ main()
     const u32 delLen = 400;
     const DnaSequence &chrom = ref.chromosome(0);
     DnaSequence donor = chrom.sub(0, delStart);
-    donor.append(chrom.sub(delStart + delLen,
-                           chrom.size() - delStart - delLen));
+    donor.append(chrom.view(delStart + delLen,
+                            chrom.size() - delStart - delLen));
     std::printf("planted deletion: ref [%llu, %llu) (%u bp)\n",
                 static_cast<unsigned long long>(delStart),
                 static_cast<unsigned long long>(delStart + delLen),

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Gate CI on the micro_kernels benchmark against a checked-in baseline.
+
+Compares a fresh `micro_kernels --benchmark_format=json` run against
+BENCH_micro_kernels.json. Absolute nanoseconds differ between machines,
+so per-kernel ratios (current/baseline) are normalized by their median:
+the median ratio is the machine-speed factor, and a kernel fails only
+when it is more than --tolerance slower than that factor predicts —
+i.e. it regressed *relative to the other kernels*.
+
+Additionally enforces the bit-parallel speedup contract within the
+current run (machine-independent): the Myers edit-distance kernel must
+be at least --min-edit-speedup times faster than the retained scalar
+oracle benched in the same binary.
+
+Usage:
+  check_kernel_regression.py BASELINE.json CURRENT.json \
+      [--tolerance 0.30] [--min-edit-speedup 5.0]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_times(path):
+    """Name -> cpu_time ns, min over repetitions.
+
+    Scheduling, frequency scaling and cache pollution only ever *add*
+    time, so the minimum across --benchmark_repetitions is the robust
+    estimator of a kernel's true cost; cpu_time additionally excludes
+    time the process was descheduled."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type", "iteration") != "iteration":
+            continue
+        name = row.get("run_name", row["name"])
+        t = float(row["cpu_time"])
+        times[name] = min(times.get(name, t), t)
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed slowdown vs the median-normalized "
+                         "baseline (0.30 = 30%%)")
+    ap.add_argument("--min-edit-speedup", type=float, default=5.0,
+                    help="required Myers-vs-scalar edit-distance speedup "
+                         "within the current run")
+    ap.add_argument("--min-gate-ns", type=float, default=10.0,
+                    help="kernels faster than this in the baseline are "
+                         "reported but not gated (sub-10ns rows jitter "
+                         "far more than any real regression)")
+    args = ap.parse_args()
+
+    base = load_times(args.baseline)
+    cur = load_times(args.current)
+
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("error: no common benchmarks between baseline and current")
+        return 1
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        print(f"error: benchmarks missing from current run: {missing}")
+        return 1
+    ungated = sorted(set(cur) - set(base))
+    if ungated:
+        print("warning: benchmarks not in the baseline are NOT gated "
+              f"(regenerate BENCH_micro_kernels.json): {ungated}")
+
+    ratios = {name: cur[name] / base[name] for name in shared}
+    machine = statistics.median(ratios.values())
+    print(f"machine-speed factor (median current/baseline): {machine:.3f}")
+
+    failed = False
+    for name in shared:
+        rel = ratios[name] / machine
+        flag = ""
+        if rel > 1.0 + args.tolerance:
+            if base[name] < args.min_gate_ns:
+                flag = "  (slow, below gate floor — ignored)"
+            else:
+                flag = "  << REGRESSION"
+                failed = True
+        print(f"  {name:32s} base {base[name]:12.1f} ns  "
+              f"cur {cur[name]:12.1f} ns  rel {rel:6.3f}{flag}")
+
+    scalar = cur.get("BM_EditDistance150Scalar")
+    myers = cur.get("BM_EditDistance150Myers")
+    if scalar is None or myers is None:
+        print("error: edit-distance speedup rows missing from current run")
+        failed = True
+    else:
+        speedup = scalar / myers
+        ok = speedup >= args.min_edit_speedup
+        print(f"edit-distance bit-parallel speedup: {speedup:.1f}x "
+              f"(required >= {args.min_edit_speedup:.1f}x)"
+              f"{'' if ok else '  << FAIL'}")
+        failed = failed or not ok
+
+    if failed:
+        print("FAIL: kernel regression gate")
+        return 1
+    print("OK: all kernels within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@ namespace align {
 
 using genomics::Cigar;
 using genomics::CigarOp;
-using genomics::DnaSequence;
+using genomics::DnaView;
 using genomics::ScoringScheme;
 
 namespace {
@@ -51,7 +51,7 @@ struct EngineResult
  * boundary conditions.
  */
 EngineResult
-run(const DnaSequence &query, const DnaSequence &target,
+run(const DnaView &query, const DnaView &target,
     const ScoringScheme &sc, Mode mode, i32 band)
 {
     const std::size_t m = query.size();
@@ -67,6 +67,13 @@ run(const DnaSequence &query, const DnaSequence &target,
     auto tbAt = [&](std::size_t i, std::size_t j) -> u8 & {
         return tb[i * (n + 1) + j];
     };
+
+    // Decode both operands once (32 bases per word load) so the O(n*m)
+    // inner loop compares plain bytes instead of re-extracting packed
+    // 2-bit codes.
+    std::vector<u8> qc(m), tc(n);
+    query.decodeTo(qc.data());
+    target.decodeTo(tc.data());
 
     std::vector<i32> hPrev(n + 1, kNegInf), hCur(n + 1, kNegInf);
     std::vector<i32> f1(n + 1, kNegInf), f2(n + 1, kNegInf);
@@ -167,8 +174,7 @@ run(const DnaSequence &query, const DnaSequence &target,
                 f2[j] = f2Open;
             }
 
-            i32 sub = query.at(i - 1) == target.at(j - 1) ? sc.match
-                                                          : -sc.mismatch;
+            i32 sub = qc[i - 1] == tc[j - 1] ? sc.match : -sc.mismatch;
             i32 diag = hPrev[j - 1] == kNegInf ? kNegInf : hPrev[j - 1] + sub;
 
             i32 h = diag;
@@ -285,7 +291,7 @@ run(const DnaSequence &query, const DnaSequence &target,
 } // namespace
 
 AlignResult
-fitAlign(const DnaSequence &query, const DnaSequence &target,
+fitAlign(const DnaView &query, const DnaView &target,
          const ScoringScheme &scheme, i32 band)
 {
     EngineResult r = run(query, target, scheme, Mode::Fit, band);
@@ -300,7 +306,7 @@ fitAlign(const DnaSequence &query, const DnaSequence &target,
 }
 
 AlignResult
-globalAlign(const DnaSequence &query, const DnaSequence &target,
+globalAlign(const DnaView &query, const DnaView &target,
             const ScoringScheme &scheme, i32 band)
 {
     EngineResult r = run(query, target, scheme, Mode::Global, band);
@@ -315,7 +321,7 @@ globalAlign(const DnaSequence &query, const DnaSequence &target,
 }
 
 LocalResult
-localAlign(const DnaSequence &query, const DnaSequence &target,
+localAlign(const DnaView &query, const DnaView &target,
            const ScoringScheme &scheme)
 {
     EngineResult r = run(query, target, scheme, Mode::Local, -1);

@@ -45,8 +45,8 @@ struct AlignResult
  * @param band Optional band half-width around the main diagonal;
  *             negative disables banding.
  */
-AlignResult fitAlign(const genomics::DnaSequence &query,
-                     const genomics::DnaSequence &target,
+AlignResult fitAlign(const genomics::DnaView &query,
+                     const genomics::DnaView &target,
                      const genomics::ScoringScheme &scheme,
                      i32 band = -1);
 
@@ -54,8 +54,8 @@ AlignResult fitAlign(const genomics::DnaSequence &query,
  * Global alignment: both sequences consumed end to end. Used by unit tests
  * and by the chain-gap stitching of the long-read path.
  */
-AlignResult globalAlign(const genomics::DnaSequence &query,
-                        const genomics::DnaSequence &target,
+AlignResult globalAlign(const genomics::DnaView &query,
+                        const genomics::DnaView &target,
                         const genomics::ScoringScheme &scheme,
                         i32 band = -1);
 
@@ -73,8 +73,8 @@ struct LocalResult
     u64 cellUpdates = 0;
 };
 
-LocalResult localAlign(const genomics::DnaSequence &query,
-                       const genomics::DnaSequence &target,
+LocalResult localAlign(const genomics::DnaView &query,
+                       const genomics::DnaView &target,
                        const genomics::ScoringScheme &scheme);
 
 } // namespace align

@@ -66,7 +66,7 @@ HammingMask::test(u32 i) const
     return (words[i >> 6] >> (i & 63u)) & 1u;
 }
 
-BitPlanes::BitPlanes(const genomics::DnaSequence &seq)
+BitPlanes::BitPlanes(const genomics::DnaView &seq)
     : bits_(static_cast<u32>(seq.size()))
 {
     seq.bitPlanes(lo_, hi_);
@@ -116,8 +116,8 @@ BitPlanes::equalityMask(const BitPlanes &ref, u32 ref_offset) const
 }
 
 std::vector<HammingMask>
-shiftedMasks(const genomics::DnaSequence &read,
-             const genomics::DnaSequence &window, u32 center, u32 e)
+shiftedMasks(const genomics::DnaView &read,
+             const genomics::DnaView &window, u32 center, u32 e)
 {
     gpx_assert(center >= e, "window must extend e bases left of center");
     BitPlanes readPlanes(read);

@@ -47,7 +47,7 @@ class BitPlanes
 {
   public:
     BitPlanes() = default;
-    explicit BitPlanes(const genomics::DnaSequence &seq);
+    explicit BitPlanes(const genomics::DnaView &seq);
 
     u32 bits() const { return bits_; }
 
@@ -69,8 +69,8 @@ class BitPlanes
  * read's nominal start is at @p center within the window. masks[e + s]
  * compares read[i] with window[center + i + s] for shifts s in [-e, +e].
  */
-std::vector<HammingMask> shiftedMasks(const genomics::DnaSequence &read,
-                                      const genomics::DnaSequence &window,
+std::vector<HammingMask> shiftedMasks(const genomics::DnaView &read,
+                                      const genomics::DnaView &window,
                                       u32 center, u32 e);
 
 } // namespace align

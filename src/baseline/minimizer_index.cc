@@ -1,6 +1,7 @@
 #include "baseline/minimizer_index.hh"
 
 #include <algorithm>
+#include <bit>
 #include <deque>
 
 #include "util/logging.hh"
@@ -8,8 +9,6 @@
 
 namespace gpx {
 namespace baseline {
-
-using genomics::DnaSequence;
 
 namespace {
 
@@ -30,7 +29,90 @@ mixHash(u64 key, u64 mask)
 } // namespace
 
 std::vector<Minimizer>
-extractMinimizers(const DnaSequence &seq, const MinimizerParams &params)
+extractMinimizers(const genomics::DnaView &seq,
+                  const MinimizerParams &params)
+{
+    std::vector<Minimizer> out;
+    const u32 k = params.k;
+    const u32 w = params.w;
+    if (seq.size() < k)
+        return out;
+    gpx_assert(k >= 4 && k <= 31, "k must be in [4,31]");
+    gpx_assert(w >= 1, "w must be positive");
+
+    const u64 mask = (u64{1} << (2 * k)) - 1;
+    u64 fwd = 0, rev = 0;
+    // Expected density: roughly 2/(w+1) positions win a window.
+    out.reserve(2 * seq.size() / (w + 1) + 16);
+
+    struct Cand
+    {
+        u64 hash;
+        u64 pos;
+        bool reverse;
+    };
+    // Monotonic queue over the sliding window as a fixed-capacity power-
+    // of-two ring: positions in the queue span at most w+1 values before
+    // the front eviction runs, so no allocation ever happens mid-stream.
+    const u32 cap = std::bit_ceil(w + 1u);
+    const u32 rmask = cap - 1;
+    std::vector<Cand> ring(cap);
+    u32 head = 0;
+    u32 count = 0;
+    u64 lastEmittedPos = ~u64{0};
+
+    // Roll the k-mer hashes directly over the packed words: one 64-bit
+    // load yields 32 bases, decoded by shifting a register instead of a
+    // per-base packed-byte extraction.
+    const std::size_t len = seq.size();
+    const std::size_t nw = seq.numWords();
+    std::size_t i = 0;
+    for (std::size_t wi = 0; wi < nw; ++wi) {
+        u64 word = seq.word(wi);
+        const std::size_t cnt = std::min<std::size_t>(32, len - 32 * wi);
+        for (std::size_t t = 0; t < cnt; ++t, ++i) {
+            const u8 b = static_cast<u8>(word & 0x3u);
+            word >>= 2;
+            fwd = ((fwd << 2) | b) & mask;
+            rev = (rev >> 2) |
+                  (static_cast<u64>(genomics::complementBase(b))
+                   << (2 * (k - 1)));
+            if (i + 1 < k)
+                continue;
+            u64 pos = i + 1 - k;
+            // Canonical k-mer; skip palindromic ties to stay
+            // strand-neutral.
+            if (fwd == rev)
+                continue;
+            bool reverse = rev < fwd;
+            u64 canon = reverse ? rev : fwd;
+            Cand c{ mixHash(canon, mask), pos, reverse };
+
+            while (count > 0 &&
+                   ring[(head + count - 1) & rmask].hash >= c.hash)
+                --count;
+            ring[(head + count) & rmask] = c;
+            ++count;
+            while (ring[head].pos + w <= pos) {
+                head = (head + 1) & rmask;
+                --count;
+            }
+
+            if (pos + 1 >= w || i + 1 == len) {
+                const Cand &m = ring[head];
+                if (m.pos != lastEmittedPos) {
+                    out.push_back({ m.hash, m.pos, m.reverse });
+                    lastEmittedPos = m.pos;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<Minimizer>
+extractMinimizersScalar(const genomics::DnaView &seq,
+                        const MinimizerParams &params)
 {
     std::vector<Minimizer> out;
     const u32 k = params.k;

@@ -37,9 +37,22 @@ struct Minimizer
     bool reverse = false; ///< canonical k-mer is the reverse complement
 };
 
-/** Extract the minimizers of a sequence (used for both index and reads). */
-std::vector<Minimizer> extractMinimizers(const genomics::DnaSequence &seq,
+/**
+ * Extract the minimizers of a sequence (used for both index and reads).
+ * The k-mer hashes roll directly over the packed 2-bit words; any
+ * DnaSequence converts implicitly to the view.
+ */
+std::vector<Minimizer> extractMinimizers(const genomics::DnaView &seq,
                                          const MinimizerParams &params);
+
+/**
+ * The original per-base implementation (std::deque monotonic queue),
+ * retained verbatim as the oracle the property tests and the
+ * micro_kernels before/after rows compare against. Must produce a
+ * stream identical to extractMinimizers().
+ */
+std::vector<Minimizer> extractMinimizersScalar(const genomics::DnaView &seq,
+                                               const MinimizerParams &params);
 
 /** Sorted minimizer table over a reference genome. */
 class MinimizerIndex

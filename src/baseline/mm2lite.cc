@@ -1,6 +1,7 @@
 #include "baseline/mm2lite.hh"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "util/logging.hh"
 
@@ -55,8 +56,19 @@ Mm2Lite::collectAnchors(const Read &read)
     std::vector<Anchor> anchors;
     const u32 k = params_.minimizers.k;
     auto mins = extractMinimizers(read.seq, params_.minimizers);
+    // Resolve each minimizer's occurrence list once, size the anchor
+    // vector exactly, then fill it.
+    std::vector<std::span<const MinimizerIndex::Entry>> hits;
+    hits.reserve(mins.size());
+    std::size_t total = 0;
     for (const auto &m : mins) {
-        for (const auto &e : index_->lookup(m.hash)) {
+        hits.push_back(index_->lookup(m.hash));
+        total += hits.back().size();
+    }
+    anchors.reserve(total);
+    for (std::size_t mi = 0; mi < mins.size(); ++mi) {
+        const auto &m = mins[mi];
+        for (const auto &e : hits[mi]) {
             bool reverse = m.reverse != e.reverse;
             Anchor a;
             a.length = k;
@@ -126,7 +138,7 @@ Mm2Lite::mapRead(const Read &read)
                                               params_.alignSlack);
             if (wlen < query->size())
                 continue;
-            DnaSequence window = ref_.window(wstart, wlen);
+            genomics::DnaView window = ref_.windowView(wstart, wlen);
             // Band: the window only extends alignSlack around the chain
             // diagonal, so a band of slack + indel headroom is lossless
             // for any alignment the window can contain.
@@ -150,15 +162,16 @@ Mm2Lite::mapRead(const Read &read)
               [](const Mapping &a, const Mapping &b) {
                   return a.score > b.score;
               });
-    // Deduplicate identical positions (multiple chains, same alignment).
+    // Deduplicate identical positions (multiple chains, same alignment):
+    // hash-set membership keeps the first (best-scoring) occurrence in
+    // O(n) instead of the old quadratic scan over the kept list.
     std::vector<Mapping> unique;
+    unique.reserve(mappings.size());
+    std::unordered_set<u64> seen;
+    seen.reserve(mappings.size() * 2);
     for (auto &m : mappings) {
-        bool dup = false;
-        for (const auto &u : unique) {
-            if (u.pos == m.pos && u.reverse == m.reverse)
-                dup = true;
-        }
-        if (!dup)
+        const u64 key = (m.pos << 1) | (m.reverse ? 1u : 0u);
+        if (seen.insert(key).second)
             unique.push_back(std::move(m));
     }
     return unique;
@@ -172,7 +185,7 @@ Mm2Lite::alignAt(const DnaSequence &read, GlobalPos pos, u32 slack)
     auto [wstart, wlen] = clampWindow(ref_, pos, read.size(), slack);
     if (wlen < read.size())
         return m;
-    DnaSequence window = ref_.window(wstart, wlen);
+    genomics::DnaView window = ref_.windowView(wstart, wlen);
     auto res = align::fitAlign(read, window, params_.scoring,
                                static_cast<i32>(2 * slack + 32));
     dpWork_.alignCells += res.cellUpdates;

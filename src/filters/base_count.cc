@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 
 namespace gpx {
 namespace filters {
 
 FilterDecision
-BaseCountFilter::evaluate(const genomics::DnaSequence &read,
-                          const genomics::DnaSequence &window, u32 center,
+BaseCountFilter::evaluate(const genomics::DnaView &read,
+                          const genomics::DnaView &window, u32 center,
                           u32 maxEdits) const
 {
     // The read may legally consume any substring of the window region
@@ -18,11 +19,36 @@ BaseCountFilter::evaluate(const genomics::DnaSequence &read,
     const u64 to = std::min<u64>(
         window.size(), center + read.size() + static_cast<u64>(maxEdits));
 
-    std::array<i64, 4> need{};
-    for (std::size_t i = 0; i < read.size(); ++i)
-        ++need[read.at(i)];
-    for (u64 i = from; i < to; ++i)
-        --need[window.at(i)];
+    // Word-parallel base histograms: split each packed word into its two
+    // bit planes and popcount the four plane combinations (A=00, C=01,
+    // G=10, T=11). Zero padding past the end would count as A, so A is
+    // derived from the word's true base count instead.
+    auto countBases = [](const genomics::DnaView &seq) {
+        std::array<i64, 4> n{};
+        const std::size_t nw = seq.numWords();
+        for (std::size_t w = 0; w < nw; ++w) {
+            u64 v = seq.word(w);
+            u64 b0 = v & 0x5555555555555555ull;
+            u64 b1 = (v >> 1) & 0x5555555555555555ull;
+            i64 rem = static_cast<i64>(
+                std::min<std::size_t>(32, seq.size() - 32 * w));
+            i64 cC = std::popcount(b0 & ~b1);
+            i64 cG = std::popcount(b1 & ~b0);
+            i64 cT = std::popcount(b0 & b1);
+            n[genomics::BaseC] += cC;
+            n[genomics::BaseG] += cG;
+            n[genomics::BaseT] += cT;
+            n[genomics::BaseA] += rem - cC - cG - cT;
+        }
+        return n;
+    };
+
+    const u64 wfrom = std::min<u64>(from, window.size());
+    const u64 wlen = to > wfrom ? to - wfrom : 0;
+    std::array<i64, 4> need = countBases(read);
+    std::array<i64, 4> have = countBases(window.sub(wfrom, wlen));
+    for (std::size_t b = 0; b < 4; ++b)
+        need[b] -= have[b];
 
     // Each edit supplies at most one missing base, so the total deficit
     // lower-bounds the edit distance.

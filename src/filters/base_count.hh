@@ -25,8 +25,8 @@ class BaseCountFilter final : public PreAlignmentFilter
   public:
     std::string name() const override { return "BaseCount"; }
 
-    FilterDecision evaluate(const genomics::DnaSequence &read,
-                            const genomics::DnaSequence &window,
+    FilterDecision evaluate(const genomics::DnaView &read,
+                            const genomics::DnaView &window,
                             u32 center, u32 maxEdits) const override;
 };
 

@@ -1,14 +1,23 @@
 /**
  * @file
- * Unit-cost edit distance (Levenshtein), full and banded.
+ * Unit-cost edit distance (Levenshtein): bit-parallel primary kernels
+ * plus the scalar DP retained as the ground-truth oracle.
  *
- * This is the ground-truth oracle the filter tests validate against:
- * lower-bounding filters must never report an edit estimate above the
- * true distance, and no filter may reject a candidate whose distance is
- * within the edit budget (a false reject loses a mapping; a false accept
- * merely wastes verification work). The banded variant (Ukkonen cutoff)
- * is also what a production pre-filter would call when it needs an exact
- * small-distance verdict.
+ * The primary implementations use Myers' 1999 bit-vector algorithm
+ * (blocked for patterns longer than 64 bases, with the edlib-style
+ * horizontal carry chain between blocks): one column of the DP matrix
+ * costs a handful of word operations per 64 pattern rows instead of 64
+ * scalar cells. The bounded variant adds a Ukkonen-style cutoff — the
+ * running last-row score minus the columns still to come lower-bounds
+ * the final distance, so hopeless candidates exit early. The semi-global
+ * variant (candidateEditDistance) runs the same kernel with a free text
+ * prefix (zero horizontal boundary deltas) and a running minimum over
+ * the last row for the free suffix.
+ *
+ * The *Scalar functions are the original O(n*m) DP kept verbatim: they
+ * are the oracle the randomized property tests and the filter-soundness
+ * tests validate against (lower-bounding filters must never report an
+ * edit estimate above the true distance).
  */
 
 #ifndef GPX_FILTERS_EDIT_DISTANCE_HH
@@ -20,16 +29,16 @@
 namespace gpx {
 namespace filters {
 
-/** Full O(n*m) unit-cost edit distance between two sequences. */
-u32 editDistance(const genomics::DnaSequence &a,
-                 const genomics::DnaSequence &b);
+/** Full unit-cost edit distance between two sequences (bit-parallel). */
+u32 editDistance(const genomics::DnaView &a, const genomics::DnaView &b);
 
 /**
  * Banded edit distance with cutoff @p k: returns the exact distance when
- * it is <= k, otherwise k+1 ("more than k"). O(n*k) time.
+ * it is <= k, otherwise k+1 ("more than k"). Bit-parallel with a
+ * Ukkonen-style early exit.
  */
-u32 editDistanceBounded(const genomics::DnaSequence &a,
-                        const genomics::DnaSequence &b, u32 k);
+u32 editDistanceBounded(const genomics::DnaView &a,
+                        const genomics::DnaView &b, u32 k);
 
 /**
  * Minimum edit distance between @p read and any prefix-anchored
@@ -38,9 +47,22 @@ u32 editDistanceBounded(const genomics::DnaSequence &a,
  * lower-bound (the read must align somewhere near the candidate, the
  * window edges are free).
  */
-u32 candidateEditDistance(const genomics::DnaSequence &read,
-                          const genomics::DnaSequence &window, u32 center,
+u32 candidateEditDistance(const genomics::DnaView &read,
+                          const genomics::DnaView &window, u32 center,
                           u32 slack);
+
+/** Scalar O(n*m) oracle for editDistance (tests/benches only). */
+u32 editDistanceScalar(const genomics::DnaView &a,
+                       const genomics::DnaView &b);
+
+/** Scalar banded oracle for editDistanceBounded (tests/benches only). */
+u32 editDistanceBoundedScalar(const genomics::DnaView &a,
+                              const genomics::DnaView &b, u32 k);
+
+/** Scalar semi-global oracle for candidateEditDistance (tests only). */
+u32 candidateEditDistanceScalar(const genomics::DnaView &read,
+                                const genomics::DnaView &window, u32 center,
+                                u32 slack);
 
 } // namespace filters
 } // namespace gpx

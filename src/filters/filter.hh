@@ -56,10 +56,13 @@ class PreAlignmentFilter
 
     /**
      * Evaluate the candidate placement of @p read at offset @p center
-     * within @p window, with an edit budget of @p maxEdits.
+     * within @p window, with an edit budget of @p maxEdits. Both
+     * arguments are zero-copy views (any DnaSequence converts
+     * implicitly); reference windows should come straight from
+     * Reference::windowView() so no candidate inspection copies bases.
      */
-    virtual FilterDecision evaluate(const genomics::DnaSequence &read,
-                                    const genomics::DnaSequence &window,
+    virtual FilterDecision evaluate(const genomics::DnaView &read,
+                                    const genomics::DnaView &window,
                                     u32 center, u32 maxEdits) const = 0;
 };
 

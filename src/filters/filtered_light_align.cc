@@ -9,8 +9,8 @@ FilterGate::admit(const genomics::DnaSequence &read, GlobalPos candidate)
     ++evaluations_;
     const GlobalPos from = candidate >= budget_ ? candidate - budget_ : 0;
     const u32 center = static_cast<u32>(candidate - from);
-    genomics::DnaSequence window =
-        ref_.window(from, read.size() + 2 * static_cast<u64>(budget_));
+    genomics::DnaView window =
+        ref_.windowView(from, read.size() + 2 * static_cast<u64>(budget_));
     const bool ok =
         filter_.evaluate(read, window, center, budget_).accept;
     if (!ok)
@@ -28,8 +28,8 @@ FilteredLightAligner::align(const genomics::DnaSequence &read,
     const u32 e = budget_;
     const GlobalPos from = candidate >= e ? candidate - e : 0;
     const u32 center = static_cast<u32>(candidate - from);
-    genomics::DnaSequence window =
-        ref_.window(from, read.size() + 2 * static_cast<u64>(e));
+    genomics::DnaView window =
+        ref_.windowView(from, read.size() + 2 * static_cast<u64>(e));
 
     FilterDecision gate = gate_.evaluate(read, window, center, e);
     stats_.gateEstimateSum += gate.estimatedEdits;

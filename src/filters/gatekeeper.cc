@@ -6,8 +6,8 @@ namespace gpx {
 namespace filters {
 
 FilterDecision
-GateKeeperFilter::evaluate(const genomics::DnaSequence &read,
-                           const genomics::DnaSequence &window, u32 center,
+GateKeeperFilter::evaluate(const genomics::DnaView &read,
+                           const genomics::DnaView &window, u32 center,
                            u32 maxEdits) const
 {
     FilterDecision d;

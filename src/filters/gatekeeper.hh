@@ -38,8 +38,8 @@ class GateKeeperFilter final : public PreAlignmentFilter
 
     std::string name() const override { return "GateKeeper"; }
 
-    FilterDecision evaluate(const genomics::DnaSequence &read,
-                            const genomics::DnaSequence &window,
+    FilterDecision evaluate(const genomics::DnaView &read,
+                            const genomics::DnaView &window,
                             u32 center, u32 maxEdits) const override;
 
   private:

@@ -39,8 +39,8 @@ class ShdFilter final : public PreAlignmentFilter
 
     std::string name() const override { return "SHD"; }
 
-    FilterDecision evaluate(const genomics::DnaSequence &read,
-                            const genomics::DnaSequence &window,
+    FilterDecision evaluate(const genomics::DnaView &read,
+                            const genomics::DnaView &window,
                             u32 center, u32 maxEdits) const override;
 
   private:

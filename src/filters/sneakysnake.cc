@@ -8,8 +8,8 @@ namespace gpx {
 namespace filters {
 
 FilterDecision
-SneakySnakeFilter::evaluate(const genomics::DnaSequence &read,
-                            const genomics::DnaSequence &window, u32 center,
+SneakySnakeFilter::evaluate(const genomics::DnaView &read,
+                            const genomics::DnaView &window, u32 center,
                             u32 maxEdits) const
 {
     FilterDecision d;

@@ -29,8 +29,8 @@ class SneakySnakeFilter final : public PreAlignmentFilter
   public:
     std::string name() const override { return "SneakySnake"; }
 
-    FilterDecision evaluate(const genomics::DnaSequence &read,
-                            const genomics::DnaSequence &window,
+    FilterDecision evaluate(const genomics::DnaView &read,
+                            const genomics::DnaView &window,
                             u32 center, u32 maxEdits) const override;
 };
 

@@ -32,15 +32,16 @@ chompCr(std::string &line)
 } // namespace
 
 Reference
-readFasta(std::istream &is)
+readFasta(std::istream &is, IngestStats *stats)
 {
     Reference ref;
     std::string line;
     std::string name;
     std::string seq;
+    u64 ambiguous = 0;
     auto flush = [&]() {
         if (!name.empty())
-            ref.addChromosome(name, DnaSequence(seq));
+            ref.addChromosome(name, DnaSequence(seq, &ambiguous));
         name.clear();
         seq.clear();
     };
@@ -57,6 +58,11 @@ readFasta(std::istream &is)
         }
     }
     flush();
+    if (ambiguous > 0)
+        gpx_warn("FASTA ingestion: ", ambiguous,
+                 " ambiguous (non-ACGT) bases encoded as A");
+    if (stats != nullptr)
+        stats->ambiguousBases += ambiguous;
     return ref;
 }
 
@@ -90,7 +96,15 @@ FastqReader::next(Read &read)
         std::size_t end = header.find_first_of(" \t", 1);
         read.name = header.substr(
             1, end == std::string::npos ? end : end - 1);
-        read.seq = DnaSequence(seq);
+        u64 ambiguousBefore = stats_.ambiguousBases;
+        read.seq = DnaSequence(seq, &stats_.ambiguousBases);
+        if (stats_.ambiguousBases > ambiguousBefore && !warnedAmbiguous_) {
+            warnedAmbiguous_ = true;
+            gpx_warn("FASTQ ingestion: ambiguous (non-ACGT) bases encoded "
+                     "as A, first in record ",
+                     records_ + 1, " ('", read.name,
+                     "'); counting silently from here on");
+        }
         read.truthPos = kInvalidPos;
         read.truthReverse = false;
         ++records_;

@@ -22,8 +22,22 @@ namespace genomics {
 void writeFasta(std::ostream &os, const Reference &ref,
                 std::size_t line_width = 70);
 
-/** Read a FASTA stream into a Reference. */
-Reference readFasta(std::istream &is);
+/**
+ * Ingestion statistics: every reader counts the non-ACGT characters
+ * (N and other IUPAC ambiguity codes, or plain corruption) it silently
+ * encoded as A, so bad inputs are no longer invisible.
+ */
+struct IngestStats
+{
+    u64 ambiguousBases = 0; ///< non-ACGT input characters encoded as A
+};
+
+/**
+ * Read a FASTA stream into a Reference. When @p stats is non-null the
+ * ambiguous-base count is accumulated there; a stream with any
+ * ambiguous bases triggers one warning log per call.
+ */
+Reference readFasta(std::istream &is, IngestStats *stats = nullptr);
 
 /** Write reads as FASTQ (constant quality, as simulated reads carry none). */
 void writeFastq(std::ostream &os, const std::vector<Read> &reads,
@@ -48,9 +62,17 @@ class FastqReader
     /** Records yielded so far. */
     u64 recordsRead() const { return records_; }
 
+    /** Non-ACGT bases (encoded as A) seen so far; warns once per reader. */
+    u64 ambiguousBases() const { return stats_.ambiguousBases; }
+
+    /** Full ingestion statistics. */
+    const IngestStats &stats() const { return stats_; }
+
   private:
     std::istream &is_;
     u64 records_ = 0;
+    IngestStats stats_;
+    bool warnedAmbiguous_ = false;
 };
 
 } // namespace genomics

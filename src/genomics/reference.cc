@@ -45,12 +45,18 @@ Reference::baseAt(GlobalPos pos) const
 DnaSequence
 Reference::window(GlobalPos pos, u64 len) const
 {
+    return windowView(pos, len).materialize();
+}
+
+DnaView
+Reference::windowView(GlobalPos pos, u64 len) const
+{
     if (pos >= total_)
         return {};
     ChromPos cp = toChromPos(pos);
     const DnaSequence &chrom = chroms_[cp.chrom];
     u64 avail = chrom.size() - cp.offset;
-    return chrom.sub(cp.offset, std::min(len, avail));
+    return chrom.view(cp.offset, std::min(len, avail));
 }
 
 bool

@@ -68,6 +68,14 @@ class Reference
     DnaSequence window(GlobalPos pos, u64 len) const;
 
     /**
+     * Zero-copy variant of window(): a view aliasing the chromosome's
+     * packed storage, clamped identically. Valid for the lifetime of
+     * this Reference; this is what the candidate-inspection hot paths
+     * (filters, light alignment, DP fallback) consume.
+     */
+    DnaView windowView(GlobalPos pos, u64 len) const;
+
+    /**
      * True iff [pos, pos+len) lies fully within one chromosome; seeds and
      * alignment windows that would straddle a boundary are invalid.
      */

@@ -1,9 +1,88 @@
 #include "genomics/sequence.hh"
 
+#include <algorithm>
+#include <array>
+
 #include "util/logging.hh"
 
 namespace gpx {
 namespace genomics {
+
+namespace {
+
+/** char -> 2-bit code (non-ACGT maps to A). */
+constexpr std::array<u8, 256>
+makeCodeTable()
+{
+    std::array<u8, 256> t{};
+    t[static_cast<u8>('C')] = t[static_cast<u8>('c')] = BaseC;
+    t[static_cast<u8>('G')] = t[static_cast<u8>('g')] = BaseG;
+    t[static_cast<u8>('T')] = t[static_cast<u8>('t')] = BaseT;
+    return t;
+}
+
+/** char -> 1 when not an unambiguous ACGT/acgt character. */
+constexpr std::array<u8, 256>
+makeAmbigTable()
+{
+    std::array<u8, 256> t{};
+    t.fill(1);
+    for (char c : { 'A', 'a', 'C', 'c', 'G', 'g', 'T', 't' })
+        t[static_cast<u8>(c)] = 0;
+    return t;
+}
+
+constexpr auto kCodeTable = makeCodeTable();
+constexpr auto kAmbigTable = makeAmbigTable();
+
+/**
+ * Streams 2-bit payloads of arbitrary bit width into a packed byte
+ * vector, LSB-first — the write-side counterpart of DnaView::word().
+ */
+struct PackedWriter
+{
+    std::vector<u8> &out;
+    u64 acc = 0;
+    u32 bits = 0;
+
+    explicit PackedWriter(std::vector<u8> &o) : out(o) {}
+
+    /** Append the low @p nbits bits of @p v (nbits <= 64). */
+    void
+    push(u64 v, u32 nbits)
+    {
+        pushSmall(v & 0xffffffffull, std::min<u32>(nbits, 32));
+        if (nbits > 32)
+            pushSmall(v >> 32, nbits - 32);
+    }
+
+    /** nbits <= 32; keeps the accumulator under one byte afterwards. */
+    void
+    pushSmall(u64 v, u32 nbits)
+    {
+        if (nbits < 32)
+            v &= (u64{1} << nbits) - 1;
+        acc |= v << bits;
+        bits += nbits;
+        while (bits >= 8) {
+            out.push_back(static_cast<u8>(acc));
+            acc >>= 8;
+            bits -= 8;
+        }
+    }
+
+    void
+    finish()
+    {
+        if (bits > 0) {
+            out.push_back(static_cast<u8>(acc));
+            acc = 0;
+            bits = 0;
+        }
+    }
+};
+
+} // namespace
 
 char
 baseToChar(u8 code)
@@ -15,20 +94,187 @@ baseToChar(u8 code)
 u8
 charToBase(char c)
 {
-    switch (c) {
-      case 'A': case 'a': return BaseA;
-      case 'C': case 'c': return BaseC;
-      case 'G': case 'g': return BaseG;
-      case 'T': case 't': return BaseT;
-      default: return BaseA;
+    return kCodeTable[static_cast<u8>(c)];
+}
+
+bool
+isAmbiguousBase(char c)
+{
+    return kAmbigTable[static_cast<u8>(c)] != 0;
+}
+
+// ---------------------------------------------------------------------------
+// DnaView
+// ---------------------------------------------------------------------------
+
+DnaView::DnaView(const DnaSequence &seq)
+    : bytes_(seq.packed().data()), bytesLen_(seq.packed().size()), off_(0),
+      size_(seq.size())
+{
+}
+
+DnaView::DnaView(const DnaSequence &seq, std::size_t start, std::size_t len)
+{
+    gpx_assert(start + len <= seq.size(), "view out of range: start=", start,
+               " len=", len, " size=", seq.size());
+    bytes_ = seq.packed().data() + (start >> 2);
+    bytesLen_ = seq.packed().size() - (start >> 2);
+    off_ = start & 3u;
+    size_ = len;
+}
+
+DnaView
+DnaView::sub(std::size_t start, std::size_t len) const
+{
+    gpx_assert(start + len <= size_, "sub-view out of range: start=", start,
+               " len=", len, " size=", size_);
+    DnaView v;
+    std::size_t base = off_ + start;
+    v.bytes_ = bytes_ + (base >> 2);
+    v.bytesLen_ = bytesLen_ - (base >> 2);
+    v.off_ = base & 3u;
+    v.size_ = len;
+    return v;
+}
+
+void
+DnaView::packTo(u8 *out) const
+{
+    if (size_ == 0)
+        return;
+    std::size_t nbytes = packedBytes();
+    if (off_ == 0) {
+        // Byte-aligned: straight copy plus a masked tail byte.
+        std::memcpy(out, bytes_, nbytes);
+        if ((size_ & 3u) != 0)
+            out[nbytes - 1] &=
+                static_cast<u8>((1u << ((size_ & 3u) << 1)) - 1);
+        return;
+    }
+    std::size_t nw = numWords();
+    for (std::size_t w = 0; w < nw; ++w)
+        detail::store64le(out + 8 * w, word(w),
+                          std::min<std::size_t>(8, nbytes - 8 * w));
+}
+
+void
+DnaView::decodeTo(u8 *out) const
+{
+    const std::size_t nw = numWords();
+    for (std::size_t w = 0; w < nw; ++w) {
+        u64 v = word(w);
+        const std::size_t rem = std::min<std::size_t>(32, size_ - 32 * w);
+        for (std::size_t i = 0; i < rem; ++i) {
+            out[32 * w + i] = static_cast<u8>(v & 0x3u);
+            v >>= 2;
+        }
     }
 }
 
-DnaSequence::DnaSequence(std::string_view ascii)
+DnaSequence
+DnaView::materialize() const
 {
-    packed_.reserve((ascii.size() + 3) / 4);
-    for (char c : ascii)
-        push(charToBase(c));
+    std::vector<u8> bytes(packedBytes());
+    packTo(bytes.data());
+    return DnaSequence::fromPackedBytes(std::move(bytes), size_);
+}
+
+DnaSequence
+DnaView::revComp() const
+{
+    std::vector<u8> bytes;
+    bytes.reserve(packedBytes());
+    PackedWriter wr(bytes);
+    for (std::size_t w = numWords(); w > 0; --w) {
+        std::size_t rem = std::min<std::size_t>(32, size_ - 32 * (w - 1));
+        // word() zero-pads past the end; the pad becomes the low fields
+        // of the reversed word and is shifted out below.
+        u64 rc = detail::revCompWord(word(w - 1));
+        rc >>= 64 - 2 * rem;
+        wr.push(rc, static_cast<u32>(2 * rem));
+    }
+    wr.finish();
+    return DnaSequence::fromPackedBytes(std::move(bytes), size_);
+}
+
+std::string
+DnaView::toString() const
+{
+    std::string s;
+    s.reserve(size_);
+    std::size_t nw = numWords();
+    for (std::size_t w = 0; w < nw; ++w) {
+        u64 v = word(w);
+        std::size_t rem = std::min<std::size_t>(32, size_ - 32 * w);
+        for (std::size_t i = 0; i < rem; ++i) {
+            s.push_back(baseToChar(v & 0x3u));
+            v >>= 2;
+        }
+    }
+    return s;
+}
+
+void
+DnaView::bitPlanes(std::vector<u64> &lo, std::vector<u64> &hi) const
+{
+    std::size_t words = (size_ + 63) / 64;
+    lo.resize(words);
+    hi.resize(words);
+    std::size_t nw = numWords();
+    for (std::size_t w = 0; w < words; ++w) {
+        u64 v0 = word(2 * w);
+        u64 v1 = 2 * w + 1 < nw ? word(2 * w + 1) : 0;
+        lo[w] = detail::evenBits(v0) | (detail::evenBits(v1) << 32);
+        hi[w] = detail::evenBits(v0 >> 1) | (detail::evenBits(v1 >> 1) << 32);
+    }
+}
+
+bool
+DnaView::operator==(const DnaView &other) const
+{
+    if (size_ != other.size_)
+        return false;
+    std::size_t nw = numWords();
+    for (std::size_t w = 0; w < nw; ++w) {
+        if (word(w) != other.word(w))
+            return false;
+    }
+    return true;
+}
+
+u64
+hammingDistance(const DnaView &a, const DnaView &b)
+{
+    gpx_assert(a.size() == b.size(), "hammingDistance: length mismatch");
+    u64 d = 0;
+    std::size_t nw = a.numWords();
+    for (std::size_t w = 0; w < nw; ++w) {
+        u64 x = a.word(w) ^ b.word(w);
+        // Collapse each differing 2-bit field onto its low bit.
+        u64 diff = (x | (x >> 1)) & 0x5555555555555555ull;
+        d += static_cast<u64>(std::popcount(diff));
+    }
+    return d;
+}
+
+// ---------------------------------------------------------------------------
+// DnaSequence
+// ---------------------------------------------------------------------------
+
+DnaSequence::DnaSequence(std::string_view ascii, u64 *ambiguous)
+{
+    packed_.assign((ascii.size() + 3) / 4, 0);
+    u64 ambig = 0;
+    std::size_t i = 0;
+    for (char c : ascii) {
+        u8 uc = static_cast<u8>(c);
+        packed_[i >> 2] |= static_cast<u8>(kCodeTable[uc] << ((i & 3u) << 1));
+        ambig += kAmbigTable[uc];
+        ++i;
+    }
+    size_ = ascii.size();
+    if (ambiguous != nullptr)
+        *ambiguous += ambig;
 }
 
 DnaSequence
@@ -38,6 +284,20 @@ DnaSequence::fromCodes(const std::vector<u8> &codes)
     s.packed_.reserve((codes.size() + 3) / 4);
     for (u8 c : codes)
         s.push(c);
+    return s;
+}
+
+DnaSequence
+DnaSequence::fromPackedBytes(std::vector<u8> bytes, std::size_t n)
+{
+    gpx_assert(bytes.size() == (n + 3) / 4,
+               "fromPackedBytes: byte count does not match base count");
+    gpx_assert((n & 3u) == 0 || bytes.empty() ||
+                   (bytes.back() >> ((n & 3u) << 1)) == 0,
+               "fromPackedBytes: nonzero tail bits");
+    DnaSequence s;
+    s.packed_ = std::move(bytes);
+    s.size_ = n;
     return s;
 }
 
@@ -51,10 +311,33 @@ DnaSequence::push(u8 code)
 }
 
 void
-DnaSequence::append(const DnaSequence &other)
+DnaSequence::append(const DnaView &other)
 {
-    for (std::size_t i = 0; i < other.size(); ++i)
-        push(other.at(i));
+    if (other.empty())
+        return;
+    // A view into our own storage would dangle across reallocation.
+    DnaSequence copy;
+    DnaView src = other;
+    if (!packed_.empty() && other.rawBytes() >= packed_.data() &&
+        other.rawBytes() < packed_.data() + packed_.size()) {
+        copy = other.materialize();
+        src = copy.view();
+    }
+    packed_.reserve((size_ + src.size() + 3) / 4);
+    PackedWriter wr(packed_);
+    if ((size_ & 3u) != 0) {
+        // Re-open the partial tail byte so the writer continues it.
+        wr.acc = packed_.back();
+        wr.bits = static_cast<u32>((size_ & 3u) << 1);
+        packed_.pop_back();
+    }
+    std::size_t nw = src.numWords();
+    for (std::size_t w = 0; w < nw; ++w) {
+        std::size_t rem = std::min<std::size_t>(32, src.size() - 32 * w);
+        wr.push(src.word(w), static_cast<u32>(2 * rem));
+    }
+    wr.finish();
+    size_ += src.size();
 }
 
 void
@@ -71,68 +354,7 @@ DnaSequence::sub(std::size_t start, std::size_t len) const
 {
     gpx_assert(start + len <= size_, "sub out of range: start=", start,
                " len=", len, " size=", size_);
-    DnaSequence out;
-    out.packed_.reserve((len + 3) / 4);
-    for (std::size_t i = 0; i < len; ++i)
-        out.push(at(start + i));
-    return out;
-}
-
-DnaSequence
-DnaSequence::revComp() const
-{
-    DnaSequence out;
-    out.packed_.reserve(packed_.size());
-    for (std::size_t i = size_; i > 0; --i)
-        out.push(complementBase(at(i - 1)));
-    return out;
-}
-
-std::string
-DnaSequence::toString() const
-{
-    std::string s;
-    s.reserve(size_);
-    for (std::size_t i = 0; i < size_; ++i)
-        s.push_back(baseToChar(at(i)));
-    return s;
-}
-
-void
-DnaSequence::bitPlanes(std::vector<u64> &lo, std::vector<u64> &hi) const
-{
-    std::size_t words = (size_ + 63) / 64;
-    lo.assign(words, 0);
-    hi.assign(words, 0);
-    for (std::size_t i = 0; i < size_; ++i) {
-        u8 code = at(i);
-        if (code & 1u)
-            lo[i >> 6] |= u64{1} << (i & 63u);
-        if (code & 2u)
-            hi[i >> 6] |= u64{1} << (i & 63u);
-    }
-}
-
-bool
-DnaSequence::operator==(const DnaSequence &other) const
-{
-    if (size_ != other.size_)
-        return false;
-    for (std::size_t i = 0; i < size_; ++i) {
-        if (at(i) != other.at(i))
-            return false;
-    }
-    return true;
-}
-
-u64
-hammingDistance(const DnaSequence &a, const DnaSequence &b)
-{
-    gpx_assert(a.size() == b.size(), "hammingDistance: length mismatch");
-    u64 d = 0;
-    for (std::size_t i = 0; i < a.size(); ++i)
-        d += a.at(i) != b.at(i);
-    return d;
+    return view(start, len).materialize();
 }
 
 } // namespace genomics

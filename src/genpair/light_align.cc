@@ -10,10 +10,10 @@ namespace genpair {
 using align::HammingMask;
 using genomics::Cigar;
 using genomics::CigarOp;
-using genomics::DnaSequence;
+using genomics::DnaView;
 
 LightResult
-LightAligner::alignWindow(const DnaSequence &read, const DnaSequence &window,
+LightAligner::alignWindow(const DnaView &read, const DnaView &window,
                           u32 center) const
 {
     const u32 n = static_cast<u32>(read.size());
@@ -123,7 +123,7 @@ LightAligner::alignWindow(const DnaSequence &read, const DnaSequence &window,
 }
 
 LightResult
-LightAligner::align(const DnaSequence &read, GlobalPos candidate) const
+LightAligner::align(const DnaView &read, GlobalPos candidate) const
 {
     const u32 n = static_cast<u32>(read.size());
     const u32 e = params_.maxShift;
@@ -138,7 +138,7 @@ LightAligner::align(const DnaSequence &read, GlobalPos candidate) const
     if (!ref_.windowValid(wstart, wlen))
         return fail;
 
-    DnaSequence window = ref_.window(wstart, wlen);
+    DnaView window = ref_.windowView(wstart, wlen);
     LightResult res = alignWindow(read, window, e);
     if (res.aligned)
         res.pos = wstart + res.pos; // window-relative -> global

@@ -100,9 +100,10 @@ class LightAligner
 
     /**
      * Attempt to light-align @p read with its first base at reference
-     * position @p candidate.
+     * position @p candidate. The reference window is consumed as a
+     * zero-copy view; no bases are materialized.
      */
-    LightResult align(const genomics::DnaSequence &read,
+    LightResult align(const genomics::DnaView &read,
                       GlobalPos candidate) const;
 
     /**
@@ -111,8 +112,8 @@ class LightAligner
      * must extend maxShift bases on each side). Exposed for unit tests
      * and for the hardware-model cycle accounting.
      */
-    LightResult alignWindow(const genomics::DnaSequence &read,
-                            const genomics::DnaSequence &window,
+    LightResult alignWindow(const genomics::DnaView &read,
+                            const genomics::DnaView &window,
                             u32 center) const;
 
   private:

@@ -6,7 +6,7 @@ namespace gpx {
 namespace genpair {
 
 ReadSeeds
-PartitionedSeeder::extract(const genomics::DnaSequence &read) const
+PartitionedSeeder::extract(const genomics::DnaView &read) const
 {
     const u32 s = map_.params().seedLen;
     gpx_assert(read.size() >= s, "read shorter than the seed length");

@@ -38,9 +38,9 @@ class PartitionedSeeder
 
     /**
      * Seeds of one read: offsets 0, (len-s)/2 and len-s. The read must
-     * be at least one seed long.
+     * be at least one seed long. Consumes a zero-copy view.
      */
-    ReadSeeds extract(const genomics::DnaSequence &read) const;
+    ReadSeeds extract(const genomics::DnaView &read) const;
 
   private:
     const SeedMap &map_;

@@ -16,7 +16,7 @@ SeedMap::SeedMap(const genomics::Reference &ref, const SeedMapParams &params)
 {
     gpx_assert(ref.totalLength() < (u64{1} << 32),
                "SeedMap stores 32-bit locations; genome too large");
-    gpx_assert(params_.seedLen >= 8 && params_.seedLen <= 256,
+    gpx_assert(params_.seedLen >= 8 && params_.seedLen <= kMaxSeedLen,
                "unsupported seed length");
 
     if (params_.tableBits == 0) {
@@ -35,14 +35,20 @@ SeedMap::SeedMap(const genomics::Reference &ref, const SeedMapParams &params)
         u32 loc;
     };
     std::vector<Rec> recs;
+    u64 totalPositions = 0;
+    for (u32 c = 0; c < ref.numChromosomes(); ++c) {
+        u64 len = ref.chromosomeLength(c);
+        if (len >= params_.seedLen)
+            totalPositions += len - params_.seedLen + 1;
+    }
+    recs.reserve(totalPositions);
     for (u32 c = 0; c < ref.numChromosomes(); ++c) {
         const DnaSequence &chrom = ref.chromosome(c);
         if (chrom.size() < params_.seedLen)
             continue;
         GlobalPos base = ref.chromosomeStart(c);
         for (u64 p = 0; p + params_.seedLen <= chrom.size(); ++p) {
-            DnaSequence seed = chrom.sub(p, params_.seedLen);
-            u32 h = maskHash(hashSeed(seed));
+            u32 h = maskHash(hashSeedAt(chrom, p));
             recs.push_back({ h, static_cast<u32>(base + p) });
             ++stats_.totalSeeds;
         }
@@ -163,9 +169,16 @@ SeedMap::hashSeed(const DnaSequence &seed) const
 }
 
 u32
-SeedMap::hashSeedAt(const DnaSequence &read, u64 offset) const
+SeedMap::hashSeedAt(const genomics::DnaView &read, u64 offset) const
 {
-    return hashSeed(read.sub(offset, params_.seedLen));
+    // Repack the (generally byte-misaligned) seed slice into a stack
+    // buffer word-by-word: same bytes hashSeed() sees for an owning
+    // copy, without the per-seed heap allocation.
+    genomics::DnaView seed = read.sub(offset, params_.seedLen);
+    u8 buf[(kMaxSeedLen + 3) / 4];
+    static_assert(sizeof(buf) * 4 >= kMaxSeedLen);
+    seed.packTo(buf);
+    return util::xxh32(buf, seed.packedBytes());
 }
 
 std::span<const u32>

@@ -30,6 +30,9 @@
 namespace gpx {
 namespace genpair {
 
+/** Upper bound on seedLen (sizes hashSeedAt's stack repack buffer). */
+inline constexpr u32 kMaxSeedLen = 256;
+
 /** SeedMap construction parameters. */
 struct SeedMapParams
 {
@@ -69,8 +72,12 @@ class SeedMap
     /** Hash a seed sequence to its (unmasked) 32-bit xxHash value. */
     u32 hashSeed(const genomics::DnaSequence &seed) const;
 
-    /** Hash of the seed starting at @p offset in @p read. */
-    u32 hashSeedAt(const genomics::DnaSequence &read, u64 offset) const;
+    /**
+     * Hash of the seed starting at @p offset in @p read: identical to
+     * hashSeed() on an owning copy, but repacks through a stack buffer
+     * so the per-seed heap allocation disappears from the hot path.
+     */
+    u32 hashSeedAt(const genomics::DnaView &read, u64 offset) const;
 
     /**
      * Query: the sorted location list of a seed hash (the online

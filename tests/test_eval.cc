@@ -177,7 +177,7 @@ TEST_F(PileupTest, DeletionCalledFromCigar)
     for (u32 i = 0; i < 30; ++i) {
         // Read skips ref bases 200..202 (3-base deletion).
         DnaSequence seq = ref_.window(100, 100);
-        seq.append(ref_.window(203, 97));
+        seq.append(ref_.windowView(203, 97));
         Mapping m;
         m.mapped = true;
         m.pos = 100;
@@ -198,7 +198,7 @@ TEST_F(PileupTest, InsertionCalledFromCigar)
         DnaSequence seq = ref_.window(100, 100);
         seq.push(genomics::BaseT);
         seq.push(genomics::BaseT);
-        seq.append(ref_.window(200, 98));
+        seq.append(ref_.windowView(200, 98));
         Mapping m;
         m.mapped = true;
         m.pos = 100;

@@ -97,21 +97,15 @@ TEST(EditDistance, IdenticalIsZero)
 
 TEST(EditDistance, KnownSmallCases)
 {
-    EXPECT_EQ(filters::editDistance(DnaSequence("ACGT"),
-                                    DnaSequence("AGGT")),
-              1u); // one substitution
-    EXPECT_EQ(filters::editDistance(DnaSequence("ACGT"),
-                                    DnaSequence("ACGGT")),
-              1u); // one insertion
-    EXPECT_EQ(filters::editDistance(DnaSequence("ACGT"),
-                                    DnaSequence("AGT")),
-              1u); // one deletion
-    EXPECT_EQ(filters::editDistance(DnaSequence("AAAA"),
-                                    DnaSequence("TTTT")),
-              4u);
-    EXPECT_EQ(filters::editDistance(DnaSequence(""),
-                                    DnaSequence("ACGT")),
-              4u);
+    auto dist = [](std::string_view x, std::string_view y) {
+        DnaSequence a{ x }, b{ y };
+        return filters::editDistance(a, b);
+    };
+    EXPECT_EQ(dist("ACGT", "AGGT"), 1u);  // one substitution
+    EXPECT_EQ(dist("ACGT", "ACGGT"), 1u); // one insertion
+    EXPECT_EQ(dist("ACGT", "AGT"), 1u);   // one deletion
+    EXPECT_EQ(dist("AAAA", "TTTT"), 4u);
+    EXPECT_EQ(dist("", "ACGT"), 4u);
 }
 
 TEST(EditDistance, SymmetricOnRandomPairs)

@@ -77,6 +77,20 @@ TEST(FastaRobust, AmbiguityCodesResolveToA)
     EXPECT_EQ(ref.chromosome(0).toString(), "ACGTAAAA");
 }
 
+TEST(FastaRobust, AmbiguousBasesCountedInStats)
+{
+    std::istringstream in(">c1\nACGTNN\n>c2\nNRYA\nacgt\n");
+    genomics::IngestStats stats;
+    Reference ref = genomics::readFasta(in, &stats);
+    EXPECT_EQ(ref.numChromosomes(), 2u);
+    EXPECT_EQ(stats.ambiguousBases, 5u); // N N + N R Y
+
+    std::istringstream clean(">c1\nACGT\n");
+    genomics::IngestStats cleanStats;
+    genomics::readFasta(clean, &cleanStats);
+    EXPECT_EQ(cleanStats.ambiguousBases, 0u);
+}
+
 // ---------------------------------------------------------------------
 // FASTQ robustness
 // ---------------------------------------------------------------------
@@ -96,6 +110,29 @@ TEST(FastqRobust, NameStopsAtWhitespace)
     auto reads = genomics::readFastq(in);
     ASSERT_EQ(reads.size(), 1u);
     EXPECT_EQ(reads[0].name, "r1");
+}
+
+TEST(FastqRobust, ReaderCountsAmbiguousBases)
+{
+    std::istringstream in("@r1\nACGN\n+\nIIII\n@r2\nNNNN\n+\nIIII\n"
+                          "@r3\nACGT\n+\nIIII\n");
+    genomics::FastqReader reader(in);
+    genomics::Read r;
+    while (reader.next(r)) {
+    }
+    EXPECT_EQ(reader.recordsRead(), 3u);
+    EXPECT_EQ(reader.ambiguousBases(), 5u);
+    EXPECT_EQ(reader.stats().ambiguousBases, 5u);
+}
+
+TEST(FastqRobust, CleanInputReportsZeroAmbiguous)
+{
+    std::istringstream in("@r1\nACGT\n+\nIIII\n");
+    genomics::FastqReader reader(in);
+    genomics::Read r;
+    while (reader.next(r)) {
+    }
+    EXPECT_EQ(reader.ambiguousBases(), 0u);
 }
 
 TEST(FastqRobustDeath, TruncatedRecordIsFatal)

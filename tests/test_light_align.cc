@@ -45,6 +45,12 @@ struct Fixture
     {
         return ref.window(pos, len);
     }
+
+    genomics::DnaView
+    windowView(GlobalPos pos, u64 len) const
+    {
+        return ref.windowView(pos, len);
+    }
 };
 
 TEST(LightAlign, ExactMatch)
@@ -95,7 +101,7 @@ TEST(LightAlign, SingleDeletion)
     Fixture f;
     // Read skips one reference base at read offset 60.
     DnaSequence read = f.window(1000, 60);
-    read.append(f.window(1061, 90));
+    read.append(f.windowView(1061, 90));
     ASSERT_EQ(read.size(), 150u);
     LightResult r = f.aligner.align(read, 1000);
     ASSERT_TRUE(r.aligned);
@@ -108,7 +114,7 @@ TEST(LightAlign, FiveConsecutiveDeletions)
 {
     Fixture f;
     DnaSequence read = f.window(1000, 80);
-    read.append(f.window(1085, 70));
+    read.append(f.windowView(1085, 70));
     LightResult r = f.aligner.align(read, 1000);
     ASSERT_TRUE(r.aligned);
     EXPECT_EQ(r.score, 278); // paper Table 1
@@ -120,7 +126,7 @@ TEST(LightAlign, SingleInsertion)
     Fixture f;
     DnaSequence read = f.window(1000, 75);
     read.push(genomics::BaseG); // may match ref by chance; score >= 284
-    read.append(f.window(1075, 74));
+    read.append(f.windowView(1075, 74));
     ASSERT_EQ(read.size(), 150u);
     LightResult r = f.aligner.align(read, 1000);
     ASSERT_TRUE(r.aligned);
@@ -151,7 +157,7 @@ TEST(LightAlign, CandidateDisplacedByGap)
     // deletion; the prefix then matches at a non-zero shift.
     Fixture f;
     DnaSequence read = f.window(1000, 60);
-    read.append(f.window(1063, 90)); // 3-base deletion at offset 60
+    read.append(f.windowView(1063, 90)); // 3-base deletion at offset 60
     // Candidate computed from a tail seed: loc - offset = 1003.
     LightResult r = f.aligner.align(read, 1003);
     ASSERT_TRUE(r.aligned);
@@ -165,7 +171,7 @@ TEST(LightAlign, MixedEditsFallToDp)
     // One mismatch AND one deletion: two edit types; light alignment
     // must reject (per paper, this goes to DP).
     DnaSequence read = f.window(1000, 60);
-    read.append(f.window(1061, 90));
+    read.append(f.windowView(1061, 90));
     read.set(20, (read.at(20) + 1) & 3u);
     LightResult r = f.aligner.align(read, 1000);
     EXPECT_FALSE(r.aligned);
@@ -222,7 +228,7 @@ TEST_P(LightVsDp, ScoreMatchesDpOptimum)
         u32 k = 1 + rng.below(5);
         u32 split = 20 + rng.below(110);
         read = ref.window(pos, split);
-        read.append(ref.window(pos + split + k, 150 - split));
+        read.append(ref.windowView(pos + split + k, 150 - split));
     } else {
         // k consecutive insertions, k in 1..2.
         u32 k = 1 + rng.below(2);
@@ -230,7 +236,7 @@ TEST_P(LightVsDp, ScoreMatchesDpOptimum)
         read = ref.window(pos, split);
         for (u32 i = 0; i < k; ++i)
             read.push(rng.below(4));
-        read.append(ref.window(pos + split, 150 - split - k));
+        read.append(ref.windowView(pos + split, 150 - split - k));
     }
     ASSERT_EQ(read.size(), 150u);
 

@@ -122,7 +122,7 @@ TEST_F(LongReadTest, DeletionInReadStillMaps)
 {
     // A long read with a 30-base deletion relative to the reference.
     DnaSequence seq = ref_.chromosome(0).sub(120000, 2000);
-    seq.append(ref_.chromosome(0).sub(122030, 2000));
+    seq.append(ref_.chromosome(0).view(122030, 2000));
     Read read;
     read.seq = seq;
     auto m = mapper_->mapRead(read);

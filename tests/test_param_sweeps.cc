@@ -63,7 +63,7 @@ TEST_P(LightAlignLengths, ExactAndEditedReadsAlign)
 
     // One deletion of 2 at mid-read.
     DnaSequence del = ref.window(5000, len / 2);
-    del.append(ref.window(5000 + len / 2 + 2, len - len / 2));
+    del.append(ref.windowView(5000 + len / 2 + 2, len - len / 2));
     auto rd = aligner.align(del, 5000);
     ASSERT_TRUE(rd.aligned) << "len " << len;
     EXPECT_EQ(rd.cigar.deletedBases(), 2u);

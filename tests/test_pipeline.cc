@@ -140,7 +140,7 @@ TEST_F(PipelineTest, MixedEditReadUsesDpAlignFallback)
     ReadPair pair = cleanPair(50000);
     // Read 1: one mismatch AND one deletion -> not light-alignable.
     DnaSequence seq = ref_.chromosome(0).sub(50000, 60);
-    seq.append(ref_.chromosome(0).sub(50061, 90));
+    seq.append(ref_.chromosome(0).view(50061, 90));
     seq.set(20, (seq.at(20) + 1) & 3u);
     pair.first.seq = seq;
     auto pm = pipeline_->mapPair(pair);

@@ -126,4 +126,39 @@ TEST(Sequence, ComplementBase)
     EXPECT_EQ(genomics::complementBase(genomics::BaseC), genomics::BaseG);
 }
 
+TEST(DnaView, BasicAccessAndWords)
+{
+    DnaSequence s("ACGTACGTTGCA");
+    genomics::DnaView v = s.view(2, 7); // GTACGTT
+    EXPECT_EQ(v.size(), 7u);
+    EXPECT_EQ(v.toString(), "GTACGTT");
+    EXPECT_EQ(v.at(0), genomics::BaseG);
+    EXPECT_EQ(v.at(6), genomics::BaseT);
+    // One packed word: G,T,A,C,G,T,T = 2,3,0,1,2,3,3 LSB-first.
+    u64 w = v.word(0);
+    for (int i = 0; i < 7; ++i)
+        EXPECT_EQ((w >> (2 * i)) & 3u, v.at(static_cast<std::size_t>(i)));
+    EXPECT_EQ(w >> 14, 0u); // zero-padded past the view
+}
+
+TEST(DnaView, EqualityAcrossDifferentAlignments)
+{
+    DnaSequence s("TTACGTACGTACG");
+    // The same 8-base payload viewed at offsets 2 and from a copy at 0.
+    DnaSequence copy = s.sub(2, 8);
+    EXPECT_TRUE(s.view(2, 8) == copy.view());
+    EXPECT_FALSE(s.view(1, 8) == copy.view());
+    EXPECT_FALSE(s.view(2, 7) == copy.view());
+}
+
+TEST(DnaView, MaterializeRoundTrip)
+{
+    std::string ascii(157, 'A');
+    for (std::size_t i = 0; i < ascii.size(); ++i)
+        ascii[i] = genomics::baseToChar(static_cast<u8>(i % 4));
+    DnaSequence s{ std::string_view(ascii) };
+    DnaSequence copy = s.view(3, 140).materialize();
+    EXPECT_EQ(copy.toString(), ascii.substr(3, 140));
+}
+
 } // namespace
