@@ -9,7 +9,7 @@ namespace gpx {
 namespace genpair {
 
 ParallelMapper::ParallelMapper(const genomics::Reference &ref,
-                               const SeedMap &map,
+                               const SeedMapView &map,
                                const DriverConfig &config)
     : ref_(ref), map_(map), config_(config)
 {

@@ -82,8 +82,13 @@ struct DriverResult
 class ParallelMapper
 {
   public:
-    ParallelMapper(const genomics::Reference &ref, const SeedMap &map,
-                   const DriverConfig &config);
+    /**
+     * @param map Non-owning SeedMap view shared read-only by every
+     *            worker; its backing storage (owning SeedMap or
+     *            mmap-backed image) must outlive the pool.
+     */
+    ParallelMapper(const genomics::Reference &ref,
+                   const SeedMapView &map, const DriverConfig &config);
     ~ParallelMapper();
 
     ParallelMapper(const ParallelMapper &) = delete;
@@ -101,7 +106,7 @@ class ParallelMapper
     void workerLoop(u32 slot);
 
     const genomics::Reference &ref_;
-    const SeedMap &map_;
+    SeedMapView map_;
     DriverConfig config_;
     u32 threads_;
     std::shared_ptr<const baseline::MinimizerIndex> sharedIndex_;

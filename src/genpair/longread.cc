@@ -13,7 +13,7 @@ using genomics::Mapping;
 using genomics::Read;
 
 LongReadMapper::LongReadMapper(const genomics::Reference &ref,
-                               const SeedMap &map,
+                               const SeedMapView &map,
                                const LongReadParams &params,
                                baseline::Mm2Lite *dp)
     : ref_(ref), map_(map), params_(params), seeder_(map), dp_(dp)

@@ -52,8 +52,9 @@ struct LongReadStats
 class LongReadMapper
 {
   public:
-    LongReadMapper(const genomics::Reference &ref, const SeedMap &map,
-                   const LongReadParams &params, baseline::Mm2Lite *dp);
+    LongReadMapper(const genomics::Reference &ref,
+                   const SeedMapView &map, const LongReadParams &params,
+                   baseline::Mm2Lite *dp);
 
     /** Map one long read; Mapping.cigar is stitched from DP chunks. */
     genomics::Mapping mapRead(const genomics::Read &read);
@@ -70,7 +71,7 @@ class LongReadMapper
                                    GlobalPos start);
 
     const genomics::Reference &ref_;
-    const SeedMap &map_;
+    SeedMapView map_;
     LongReadParams params_;
     PartitionedSeeder seeder_;
     baseline::Mm2Lite *dp_;

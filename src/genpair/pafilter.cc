@@ -6,7 +6,8 @@ namespace gpx {
 namespace genpair {
 
 std::vector<GlobalPos>
-queryCandidates(const SeedMap &map, const ReadSeeds &seeds, QueryWork &work)
+queryCandidates(const SeedMapView &map, const ReadSeeds &seeds,
+                QueryWork &work)
 {
     std::vector<GlobalPos> candidates;
     for (const Seed &seed : seeds) {

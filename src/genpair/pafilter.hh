@@ -43,7 +43,7 @@ struct QueryWork
  * lists into candidate read-start positions (location minus the seed's
  * offset in the read), deduplicated.
  */
-std::vector<GlobalPos> queryCandidates(const SeedMap &map,
+std::vector<GlobalPos> queryCandidates(const SeedMapView &map,
                                        const ReadSeeds &seeds,
                                        QueryWork &work);
 

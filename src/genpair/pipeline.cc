@@ -14,7 +14,7 @@ using genomics::PairMapping;
 using genomics::ReadPair;
 
 GenPairPipeline::GenPairPipeline(const genomics::Reference &ref,
-                                 const SeedMap &map,
+                                 const SeedMapView &map,
                                  const GenPairParams &params,
                                  baseline::Mm2Lite *fallback)
     : ref_(ref), map_(map), params_(params), seeder_(map),

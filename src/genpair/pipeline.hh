@@ -110,14 +110,16 @@ class GenPairPipeline
   public:
     /**
      * @param ref Reference genome.
-     * @param map Prebuilt SeedMap over @p ref.
+     * @param map View of a prebuilt SeedMap over @p ref (owning or
+     *            mmap-backed; the backing storage must outlive the
+     *            pipeline).
      * @param params Online parameters.
      * @param fallback DP pipeline for residual pairs; may be null, in
      *                 which case residual pairs count as unmapped (used
      *                 by the filter-threshold sweep of §7.8).
      */
-    GenPairPipeline(const genomics::Reference &ref, const SeedMap &map,
-                    const GenPairParams &params,
+    GenPairPipeline(const genomics::Reference &ref,
+                    const SeedMapView &map, const GenPairParams &params,
                     baseline::Mm2Lite *fallback);
 
     /** Map one pair through the full Fig. 3 pipeline. */
@@ -147,7 +149,7 @@ class GenPairPipeline
     };
 
     const genomics::Reference &ref_;
-    const SeedMap &map_;
+    SeedMapView map_;
     GenPairParams params_;
     PartitionedSeeder seeder_;
     LightAligner light_;

@@ -34,7 +34,8 @@ using ReadSeeds = std::array<Seed, 3>;
 class PartitionedSeeder
 {
   public:
-    explicit PartitionedSeeder(const SeedMap &map) : map_(map) {}
+    /** @param map Non-owning view; any SeedMap backend works. */
+    explicit PartitionedSeeder(const SeedMapView &map) : map_(map) {}
 
     /**
      * Seeds of one read: offsets 0, (len-s)/2 and len-s. The read must
@@ -43,7 +44,7 @@ class PartitionedSeeder
     ReadSeeds extract(const genomics::DnaView &read) const;
 
   private:
-    const SeedMap &map_;
+    SeedMapView map_;
 };
 
 } // namespace genpair

@@ -1,27 +1,45 @@
 /**
  * @file
- * SeedMap serialization.
+ * SeedMap serialization: the legacy v1 stream image and the
+ * memory-mappable sharded v2 image.
  *
  * The paper's offline stage builds SeedMap "only once for a given
- * reference genome" and reuses it across read sets (§4.2). These
- * routines persist the index to a compact binary image so production
- * deployments pay construction once; the format stores the Seed and
- * Location tables verbatim (the same layout the NMSL's memory channels
- * consume).
+ * reference genome" and reuses it across read sets (§4.2). v1 persisted
+ * the two tables as a stream that every gpx_map start re-deserialized
+ * through a full copy. The v2 format is designed to be used *in place*:
+ *
+ *   [header, 64 B]
+ *   [shard directory, shardCount x 64 B]
+ *   [shard 0 Seed Table]   (64-byte aligned, zero-padded)
+ *   [shard 0 Location Table]
+ *   [shard 1 Seed Table] ...
+ *
+ * Every section starts on a 64-byte boundary (cache-line- and
+ * direct-I/O-friendly) and carries an xxh64 checksum recorded in the
+ * header/directory. A shard covers a contiguous power-of-two range of
+ * masked seed-hash values; its Seed Table is a local CSR over its own
+ * Location Table slice, so a SeedMapImage can serve queries straight
+ * from kernel-shared mapped pages with zero deserialization, and a
+ * future multi-reference deployment can mount shards from several
+ * images under one directory.
  */
 
 #ifndef GPX_GENPAIR_SEEDMAP_IO_HH
 #define GPX_GENPAIR_SEEDMAP_IO_HH
 
 #include <iosfwd>
+#include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "genpair/seedmap.hh"
+#include "util/mapped_file.hh"
 
 namespace gpx {
 namespace genpair {
 
-/** Binary image header. */
+/** Legacy v1 binary image header (kept bit-compatible with old images). */
 struct SeedMapImageHeader
 {
     static constexpr u32 kMagic = 0x53504758; // "GPXS"
@@ -38,14 +56,128 @@ struct SeedMapImageHeader
     u64 payloadChecksum = 0;
 };
 
-/** Serialize a SeedMap to a binary stream. */
+/** Section alignment of the v2 image (cache line / DMA burst). */
+inline constexpr u64 kSeedMapSectionAlign = 64;
+
+/** v2 image header: exactly one 64-byte aligned section. */
+struct SeedMapImageHeaderV2
+{
+    static constexpr u32 kVersion = 2;
+
+    u32 magic = SeedMapImageHeader::kMagic;
+    u32 version = kVersion;
+    u32 seedLen = 0;
+    u32 tableBits = 0;
+    u32 filterThreshold = 0;
+    u32 shardCount = 0; ///< power of two, <= 2^tableBits
+    u64 fileBytes = 0;  ///< total image size, for truncation detection
+    u64 directoryOffset = 0; ///< byte offset of the shard directory
+    u64 directoryChecksum = 0; ///< xxh64 of the directory section
+    u64 reserved = 0;
+    /** xxh64 of the preceding 56 header bytes. */
+    u64 headerChecksum = 0;
+};
+static_assert(sizeof(SeedMapImageHeaderV2) == kSeedMapSectionAlign);
+
+/** One v2 shard directory entry (one 64-byte aligned slot each). */
+struct SeedMapShardDirEntry
+{
+    u64 hashCount = 0;        ///< masked-hash values this shard covers
+    u64 seedTableOffset = 0;  ///< byte offset, 64-byte aligned
+    u64 seedTableEntries = 0; ///< hashCount + 1 local CSR offsets
+    u64 seedTableChecksum = 0;
+    u64 locationOffset = 0; ///< byte offset, 64-byte aligned
+    u64 locationEntries = 0;
+    u64 locationChecksum = 0;
+    u64 reserved = 0;
+};
+static_assert(sizeof(SeedMapShardDirEntry) == kSeedMapSectionAlign);
+
+/** Serialize a SeedMap to a v1 binary stream (legacy format). */
 void saveSeedMap(std::ostream &os, const SeedMap &map);
 
 /**
- * Deserialize; returns std::nullopt on magic/version/checksum mismatch
- * (a truncated or corrupt image must never be silently accepted).
+ * Serialize a SeedMap as a v2 image with @p shards hash-range shards
+ * (rounded up to a power of two and clamped to the Seed Table size;
+ * pass 1 for a single-shard image).
  */
-std::optional<SeedMap> loadSeedMap(std::istream &is);
+void saveSeedMapV2(std::ostream &os, const SeedMap &map, u32 shards = 1);
+
+/**
+ * Deserialize a v1 or v2 image through the owning copy path; returns
+ * std::nullopt on magic/version/bounds/checksum mismatch (a truncated
+ * or corrupt image must never be silently accepted) and, when @p error
+ * is non-null, a human-readable diagnostic of what was rejected.
+ */
+std::optional<SeedMap> loadSeedMap(std::istream &is,
+                                   std::string *error = nullptr);
+
+/** Options for SeedMapImage::open. */
+struct SeedMapOpenOptions
+{
+    /**
+     * Verify the per-shard Seed/Location Table checksums at open time.
+     * Costs one sequential read of the image's pages; disable for
+     * latency-critical restarts of already-trusted images (the header
+     * and directory are always verified).
+     */
+    bool verifyPayload = true;
+    /** Force the owning copy path even for v2 images (debugging). */
+    bool forceCopy = false;
+};
+
+/**
+ * An opened SeedMap image. For v2 images the tables are served straight
+ * from a read-only memory mapping — zero-copy, demand-paged and
+ * kernel-shared across every process mapping the same file. v1 images
+ * fall back to the legacy owning copy path, so callers can open any
+ * image generation through this one interface.
+ */
+class SeedMapImage
+{
+  public:
+    /**
+     * Open @p path, validating the header, directory and (by default)
+     * payload checksums. Returns std::nullopt with a diagnostic in
+     * @p error on any validation failure.
+     */
+    static std::optional<SeedMapImage>
+    open(const std::string &path, const SeedMapOpenOptions &options = {},
+         std::string *error = nullptr);
+
+    /**
+     * Query view over the image. Valid as long as this SeedMapImage is
+     * alive and unmoved-from; hand it to the drivers by value.
+     */
+    SeedMapView
+    view() const
+    {
+        if (owned_)
+            return owned_->view();
+        return { params_, tableBits_, shards_ };
+    }
+
+    /** True when serving from the mapping (v2), false on the copy path. */
+    bool mmapBacked() const { return owned_ == nullptr; }
+    u32
+    shardCount() const
+    {
+        return owned_ ? 1u : static_cast<u32>(shards_.size());
+    }
+    u32 tableBits() const { return tableBits_; }
+    const SeedMapParams &params() const { return params_; }
+    /** On-disk image size in bytes (0 on the v1 copy path). */
+    u64 imageBytes() const { return file_.size(); }
+
+  private:
+    SeedMapImage() = default;
+
+    util::MappedFile file_;
+    std::vector<SeedMapShardView> shards_; ///< spans into file_
+    SeedMapParams params_;
+    u32 tableBits_ = 0;
+    std::unique_ptr<SeedMap> owned_; ///< v1 legacy copy path
+};
 
 } // namespace genpair
 } // namespace gpx

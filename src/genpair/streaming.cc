@@ -72,7 +72,7 @@ struct Batch
 } // namespace
 
 StreamingMapper::StreamingMapper(const genomics::Reference &ref,
-                                 const SeedMap &map,
+                                 const SeedMapView &map,
                                  const DriverConfig &config,
                                  u64 chunk_pairs)
     : ref_(ref), mapper_(ref, map, config),

@@ -47,10 +47,13 @@ class StreamingMapper
 {
   public:
     /**
+     * @param map Non-owning SeedMap view (owning or mmap-backed; the
+     *            backing storage must outlive the mapper).
      * @param chunk_pairs Read pairs mapped per chunk (the memory bound).
      */
-    StreamingMapper(const genomics::Reference &ref, const SeedMap &map,
-                    const DriverConfig &config, u64 chunk_pairs = 65536);
+    StreamingMapper(const genomics::Reference &ref,
+                    const SeedMapView &map, const DriverConfig &config,
+                    u64 chunk_pairs = 65536);
 
     /**
      * Map all pairs from @p r1/@p r2 (same-order FASTQ streams) and

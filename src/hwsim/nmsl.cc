@@ -9,7 +9,7 @@ namespace gpx {
 namespace hwsim {
 
 std::vector<PairTrace>
-buildWorkload(const genpair::SeedMap &map,
+buildWorkload(const genpair::SeedMapView &map,
               const std::vector<genomics::ReadPair> &pairs)
 {
     genpair::PartitionedSeeder seeder(map);

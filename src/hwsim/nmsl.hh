@@ -96,7 +96,7 @@ struct NmslResult
  * six partitioned seeds per pair in the forward-fragment orientation,
  * exactly the stream the Partitioned Seeding module emits.
  */
-std::vector<PairTrace> buildWorkload(const genpair::SeedMap &map,
+std::vector<PairTrace> buildWorkload(const genpair::SeedMapView &map,
                                      const std::vector<genomics::ReadPair>
                                          &pairs);
 

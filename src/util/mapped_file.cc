@@ -1,0 +1,140 @@
+#include "util/mapped_file.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(_WIN32)
+#include <cstdio>
+#include <vector>
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace gpx {
+namespace util {
+
+namespace {
+
+void
+setError(std::string *error, const std::string &msg)
+{
+    if (error != nullptr)
+        *error = msg;
+}
+
+} // namespace
+
+MappedFile::~MappedFile()
+{
+#if !defined(_WIN32)
+    if (addr_ != nullptr)
+        ::munmap(addr_, size_);
+#else
+    delete[] static_cast<u8 *>(addr_);
+#endif
+}
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      valid_(std::exchange(other.valid_, false))
+{
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this != &other) {
+#if !defined(_WIN32)
+        if (addr_ != nullptr)
+            ::munmap(addr_, size_);
+#else
+        delete[] static_cast<u8 *>(addr_);
+#endif
+        addr_ = std::exchange(other.addr_, nullptr);
+        size_ = std::exchange(other.size_, 0);
+        valid_ = std::exchange(other.valid_, false);
+    }
+    return *this;
+}
+
+std::optional<MappedFile>
+MappedFile::open(const std::string &path, std::string *error)
+{
+#if !defined(_WIN32)
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        setError(error, "cannot open " + path + ": " +
+                            std::strerror(errno));
+        return std::nullopt;
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        setError(error, "cannot stat " + path + ": " +
+                            std::strerror(errno));
+        ::close(fd);
+        return std::nullopt;
+    }
+    MappedFile mf;
+    mf.size_ = static_cast<u64>(st.st_size);
+    if (mf.size_ > 0) {
+        void *addr = ::mmap(nullptr, mf.size_, PROT_READ, MAP_PRIVATE,
+                            fd, 0);
+        if (addr == MAP_FAILED) {
+            setError(error, "cannot mmap " + path + ": " +
+                                std::strerror(errno));
+            ::close(fd);
+            return std::nullopt;
+        }
+        mf.addr_ = addr;
+    }
+    // The mapping holds its own reference to the file; the descriptor
+    // is no longer needed.
+    ::close(fd);
+    mf.valid_ = true;
+    return mf;
+#else
+    // Portability fallback: read the whole file into owned memory. Not
+    // zero-copy, but keeps the open() contract identical.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        setError(error, "cannot open " + path);
+        return std::nullopt;
+    }
+    // 64-bit seek/tell: a genome-scale index image exceeds 2 GiB.
+    ::_fseeki64(f, 0, SEEK_END);
+    long long size = ::_ftelli64(f);
+    ::_fseeki64(f, 0, SEEK_SET);
+    MappedFile mf;
+    mf.size_ = size > 0 ? static_cast<u64>(size) : 0;
+    if (mf.size_ > 0) {
+        u8 *buf = new u8[mf.size_];
+        if (std::fread(buf, 1, mf.size_, f) != mf.size_) {
+            setError(error, "short read on " + path);
+            delete[] buf;
+            std::fclose(f);
+            return std::nullopt;
+        }
+        mf.addr_ = buf;
+    }
+    std::fclose(f);
+    mf.valid_ = true;
+    return mf;
+#endif
+}
+
+void
+MappedFile::prefetch() const
+{
+#if !defined(_WIN32) && defined(MADV_WILLNEED)
+    if (addr_ != nullptr)
+        ::madvise(addr_, size_, MADV_WILLNEED);
+#endif
+}
+
+} // namespace util
+} // namespace gpx

@@ -1,0 +1,151 @@
+#include "util/md5.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace gpx {
+namespace util {
+
+namespace {
+
+constexpr u32 kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+};
+
+// floor(2^32 * abs(sin(i+1))), the RFC 1321 constant table.
+constexpr u32 kSine[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf,
+    0x4787c62a, 0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af,
+    0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e,
+    0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+    0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6,
+    0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039,
+    0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244, 0x432aff97,
+    0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d,
+    0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+};
+
+} // namespace
+
+Md5::Md5()
+{
+    state_[0] = 0x67452301;
+    state_[1] = 0xefcdab89;
+    state_[2] = 0x98badcfe;
+    state_[3] = 0x10325476;
+}
+
+void
+Md5::processBlock(const u8 *block)
+{
+    u32 m[16];
+    for (int i = 0; i < 16; ++i)
+        std::memcpy(&m[i], block + 4 * i, 4);
+
+    u32 a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+    for (u32 i = 0; i < 64; ++i) {
+        u32 f;
+        u32 g;
+        if (i < 16) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else if (i < 32) {
+            f = (d & b) | (~d & c);
+            g = (5 * i + 1) & 15;
+        } else if (i < 48) {
+            f = b ^ c ^ d;
+            g = (3 * i + 5) & 15;
+        } else {
+            f = c ^ (b | ~d);
+            g = (7 * i) & 15;
+        }
+        u32 tmp = d;
+        d = c;
+        c = b;
+        b = b + std::rotl(a + f + kSine[i] + m[g], static_cast<int>(
+                                                       kShift[i]));
+        a = tmp;
+    }
+    state_[0] += a;
+    state_[1] += b;
+    state_[2] += c;
+    state_[3] += d;
+}
+
+void
+Md5::update(const void *data, std::size_t len)
+{
+    const u8 *bytes = static_cast<const u8 *>(data);
+    totalBytes_ += len;
+    if (buffered_ > 0) {
+        std::size_t take = std::min<std::size_t>(len, 64 - buffered_);
+        std::memcpy(buffer_ + buffered_, bytes, take);
+        buffered_ += take;
+        bytes += take;
+        len -= take;
+        if (buffered_ == 64) {
+            processBlock(buffer_);
+            buffered_ = 0;
+        }
+    }
+    while (len >= 64) {
+        processBlock(bytes);
+        bytes += 64;
+        len -= 64;
+    }
+    if (len > 0) {
+        std::memcpy(buffer_, bytes, len);
+        buffered_ = len;
+    }
+}
+
+std::string
+Md5::hexDigest()
+{
+    u64 bitLen = totalBytes_ * 8;
+    u8 pad[72] = { 0x80 };
+    std::size_t padLen =
+        (buffered_ < 56) ? 56 - buffered_ : 120 - buffered_;
+    update(pad, padLen);
+    // update() of the length must not re-enter padding accounting:
+    // buffered_ is now 56, so these 8 bytes complete the final block.
+    u8 lenBytes[8];
+    std::memcpy(lenBytes, &bitLen, 8);
+    update(lenBytes, 8);
+
+    static const char hex[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(32);
+    for (u32 word : state_) {
+        for (int b = 0; b < 4; ++b) {
+            u8 byte = static_cast<u8>(word >> (8 * b));
+            out.push_back(hex[byte >> 4]);
+            out.push_back(hex[byte & 15]);
+        }
+    }
+    return out;
+}
+
+std::string
+md5Hex(const void *data, std::size_t len)
+{
+    Md5 md5;
+    md5.update(data, len);
+    return md5.hexDigest();
+}
+
+std::string
+md5Hex(const std::string &s)
+{
+    return md5Hex(s.data(), s.size());
+}
+
+} // namespace util
+} // namespace gpx

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Self-contained MD5 (RFC 1321). Not for security — it pins golden-test
+ * digests in the format the bioinformatics world already speaks
+ * (`md5sum out.sam`), so a corpus digest checked in here can be
+ * re-verified from any shell.
+ */
+
+#ifndef GPX_UTIL_MD5_HH
+#define GPX_UTIL_MD5_HH
+
+#include <cstddef>
+#include <string>
+
+#include "util/types.hh"
+
+namespace gpx {
+namespace util {
+
+/** Incremental MD5 digest. */
+class Md5
+{
+  public:
+    Md5();
+
+    /** Absorb @p len bytes. */
+    void update(const void *data, std::size_t len);
+
+    /** Finalize and return the 32-char lowercase hex digest. */
+    std::string hexDigest();
+
+  private:
+    void processBlock(const u8 *block);
+
+    u32 state_[4];
+    u64 totalBytes_ = 0;
+    u8 buffer_[64];
+    std::size_t buffered_ = 0;
+};
+
+/** One-shot convenience: MD5 hex digest of a byte buffer. */
+std::string md5Hex(const void *data, std::size_t len);
+
+/** One-shot convenience: MD5 hex digest of a string. */
+std::string md5Hex(const std::string &s);
+
+} // namespace util
+} // namespace gpx
+
+#endif // GPX_UTIL_MD5_HH

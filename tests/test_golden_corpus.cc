@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Golden end-to-end corpus: a small checked-in simulated reference and
+ * read set (tests/data/golden/) with a pinned SAM md5. Serial, pooled,
+ * streaming and mmap-backed (v2 image) drivers must all reproduce the
+ * digest bit-identically — the cross-driver determinism contract that
+ * PR 2 established and the v2 zero-copy serving path must preserve.
+ *
+ * If an intentional mapping-behavior change moves the digest, every
+ * driver must move to the SAME new digest; update kGoldenSamMd5 and
+ * say why in the commit. `md5sum` of a gpx_map run over the same
+ * corpus (threads/chunk don't matter) reproduces the value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "baseline/mm2lite.hh"
+#include "genomics/fasta.hh"
+#include "genomics/sam.hh"
+#include "genpair/pipeline.hh"
+#include "genpair/seedmap_io.hh"
+#include "genpair/streaming.hh"
+#include "util/md5.hh"
+
+namespace {
+
+using namespace gpx;
+using genomics::Reference;
+
+/** Pinned digest of header + all records over the golden corpus. */
+const char kGoldenSamMd5[] = "6e4b292bd35bc3babd6ffd733c44612f";
+
+const char *
+goldenDir()
+{
+#ifdef GPX_GOLDEN_DIR
+    return GPX_GOLDEN_DIR;
+#else
+    return "tests/data/golden";
+#endif
+}
+
+class GoldenCorpusTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        std::string dir = goldenDir();
+        std::ifstream refFile(dir + "/ref.fa");
+        ASSERT_TRUE(refFile) << "missing golden reference in " << dir;
+        ref_ = genomics::readFasta(refFile);
+        ASSERT_GT(ref_.totalLength(), 0u);
+
+        std::ifstream r1(dir + "/r1.fq"), r2(dir + "/r2.fq");
+        ASSERT_TRUE(r1 && r2) << "missing golden FASTQ in " << dir;
+        auto reads1 = genomics::readFastq(r1);
+        auto reads2 = genomics::readFastq(r2);
+        ASSERT_EQ(reads1.size(), reads2.size());
+        ASSERT_GT(reads1.size(), 0u);
+        pairs_.reserve(reads1.size());
+        for (std::size_t i = 0; i < reads1.size(); ++i)
+            pairs_.push_back({ reads1[i], reads2[i] });
+
+        // Pinned index parameters: auto-sizing heuristics must never be
+        // able to move the golden digest.
+        params_.seedLen = 50;
+        params_.tableBits = 18;
+        params_.filterThreshold = 500;
+        map_ = std::make_unique<genpair::SeedMap>(ref_, params_);
+    }
+
+    /** Digest of one full SAM run produced by @p writeBody. */
+    template <typename WriteBody>
+    std::string
+    samDigest(WriteBody &&writeBody)
+    {
+        std::ostringstream os;
+        genomics::SamWriter sam(os, ref_);
+        sam.writeHeader();
+        writeBody(sam);
+        return util::md5Hex(os.str());
+    }
+
+    Reference ref_;
+    std::vector<genomics::ReadPair> pairs_;
+    genpair::SeedMapParams params_;
+    std::unique_ptr<genpair::SeedMap> map_;
+    genpair::DriverConfig config_;
+};
+
+TEST_F(GoldenCorpusTest, SerialPipelineReproducesPinnedDigest)
+{
+    std::string digest = samDigest([&](genomics::SamWriter &sam) {
+        baseline::Mm2Lite fallback(ref_, config_.fallback);
+        genpair::GenPairPipeline pipeline(ref_, *map_, config_.pipeline,
+                                          &fallback);
+        for (const auto &pair : pairs_)
+            sam.writePair(pair, pipeline.mapPair(pair));
+    });
+    EXPECT_EQ(digest, kGoldenSamMd5);
+}
+
+TEST_F(GoldenCorpusTest, WorkerPoolReproducesPinnedDigest)
+{
+    std::string digest = samDigest([&](genomics::SamWriter &sam) {
+        genpair::DriverConfig config = config_;
+        config.threads = 3;
+        genpair::ParallelMapper mapper(ref_, *map_, config);
+        auto result = mapper.mapAll(pairs_);
+        for (std::size_t i = 0; i < pairs_.size(); ++i)
+            sam.writePair(pairs_[i], result.mappings[i]);
+    });
+    EXPECT_EQ(digest, kGoldenSamMd5);
+}
+
+TEST_F(GoldenCorpusTest, StreamingDriverReproducesPinnedDigest)
+{
+    std::string dir = goldenDir();
+    std::string digest = samDigest([&](genomics::SamWriter &sam) {
+        std::ifstream r1(dir + "/r1.fq"), r2(dir + "/r2.fq");
+        ASSERT_TRUE(r1 && r2);
+        genpair::DriverConfig config = config_;
+        config.threads = 2;
+        genpair::StreamingMapper mapper(ref_, *map_, config, 64);
+        auto result = mapper.run(r1, r2, sam);
+        EXPECT_EQ(result.pairs, pairs_.size());
+        EXPECT_GT(result.chunks, 1u);
+    });
+    EXPECT_EQ(digest, kGoldenSamMd5);
+}
+
+TEST_F(GoldenCorpusTest, MmapBackedDriverReproducesPinnedDigest)
+{
+    // Round the index through a sharded v2 image and serve the mapping
+    // from the mmap view: still the same bits out.
+    std::string imagePath = ::testing::TempDir() + "golden_v2.gpx";
+    {
+        std::ofstream out(imagePath, std::ios::binary | std::ios::trunc);
+        genpair::saveSeedMapV2(out, *map_, 4);
+        ASSERT_TRUE(out.good());
+    }
+    std::string error;
+    auto image = genpair::SeedMapImage::open(imagePath, {}, &error);
+    ASSERT_TRUE(image.has_value()) << error;
+    ASSERT_TRUE(image->mmapBacked());
+    ASSERT_EQ(image->shardCount(), 4u);
+
+    std::string dir = goldenDir();
+    std::string digest = samDigest([&](genomics::SamWriter &sam) {
+        std::ifstream r1(dir + "/r1.fq"), r2(dir + "/r2.fq");
+        ASSERT_TRUE(r1 && r2);
+        genpair::DriverConfig config = config_;
+        config.threads = 2;
+        genpair::StreamingMapper mapper(ref_, image->view(), config, 128);
+        auto result = mapper.run(r1, r2, sam);
+        EXPECT_EQ(result.pairs, pairs_.size());
+    });
+    EXPECT_EQ(digest, kGoldenSamMd5);
+}
+
+TEST_F(GoldenCorpusTest, LegacyV1CopyPathReproducesPinnedDigest)
+{
+    // The v1 stream-load path must keep producing the same mapping as
+    // every other backend for as long as v1 images exist in the wild.
+    std::string imagePath = ::testing::TempDir() + "golden_v1.gpx";
+    {
+        std::ofstream out(imagePath, std::ios::binary | std::ios::trunc);
+        genpair::saveSeedMap(out, *map_);
+        ASSERT_TRUE(out.good());
+    }
+    std::string error;
+    auto image = genpair::SeedMapImage::open(imagePath, {}, &error);
+    ASSERT_TRUE(image.has_value()) << error;
+    ASSERT_FALSE(image->mmapBacked());
+
+    std::string digest = samDigest([&](genomics::SamWriter &sam) {
+        genpair::ParallelMapper mapper(ref_, image->view(), config_);
+        auto result = mapper.mapAll(pairs_);
+        for (std::size_t i = 0; i < pairs_.size(); ++i)
+            sam.writePair(pairs_[i], result.mappings[i]);
+    });
+    EXPECT_EQ(digest, kGoldenSamMd5);
+}
+
+} // namespace

@@ -135,6 +135,81 @@ TEST(FastqRobust, CleanInputReportsZeroAmbiguous)
     EXPECT_EQ(reader.ambiguousBases(), 0u);
 }
 
+TEST(FastqRobust, MissingTrailingNewlineStillYieldsLastRecord)
+{
+    // EOF directly after the quality characters (no final '\n'): the
+    // last record must parse whole, not vanish or go fatal.
+    std::istringstream in("@r1\nACGT\n+\nIIII\n@r2\nTTGG\n+\nIIII");
+    auto reads = genomics::readFastq(in);
+    ASSERT_EQ(reads.size(), 2u);
+    EXPECT_EQ(reads[1].name, "r2");
+    EXPECT_EQ(reads[1].seq.toString(), "TTGG");
+}
+
+TEST(FastqRobust, CrlfWithMissingTrailingNewline)
+{
+    // CRLF line endings AND no terminator on the last line: the '\r'
+    // on the final quality line must not corrupt anything.
+    std::istringstream in("@r1\r\nACGT\r\n+\r\nIIII\r\n@r2\r\nTTGG\r\n"
+                          "+\r\nIIII");
+    auto reads = genomics::readFastq(in);
+    ASSERT_EQ(reads.size(), 2u);
+    EXPECT_EQ(reads[0].seq.toString(), "ACGT");
+    EXPECT_EQ(reads[1].name, "r2");
+    EXPECT_EQ(reads[1].seq.toString(), "TTGG");
+}
+
+TEST(FastqRobust, EmptyFinalRecordParsesAsZeroLengthRead)
+{
+    // A zero-length final record (empty sequence and quality) is valid
+    // FASTQ; it must surface as an empty read, not crash or be lost.
+    std::istringstream in("@r1\nACGT\n+\nIIII\n@empty\n\n+\n\n");
+    auto reads = genomics::readFastq(in);
+    ASSERT_EQ(reads.size(), 2u);
+    EXPECT_EQ(reads[1].name, "empty");
+    EXPECT_EQ(reads[1].seq.size(), 0u);
+}
+
+TEST(FastqRobust, CrlfEmptyFinalRecord)
+{
+    std::istringstream in("@r1\r\nACGT\r\n+\r\nIIII\r\n@empty\r\n\r\n"
+                          "+\r\n\r\n");
+    auto reads = genomics::readFastq(in);
+    ASSERT_EQ(reads.size(), 2u);
+    EXPECT_EQ(reads[1].name, "empty");
+    EXPECT_EQ(reads[1].seq.size(), 0u);
+}
+
+TEST(FastqRobust, TrailingBlankLinesYieldNoExtraRecords)
+{
+    std::istringstream in("@r1\nACGT\n+\nIIII\n\n\n\r\n");
+    auto reads = genomics::readFastq(in);
+    ASSERT_EQ(reads.size(), 1u);
+    EXPECT_EQ(reads[0].seq.toString(), "ACGT");
+}
+
+TEST(FastqRobust, StreamingReaderAgreesOnEdgeCaseInput)
+{
+    // The incremental reader (the streaming driver's parser) must see
+    // exactly the same records as the batch helper on edge-case input.
+    const std::string file =
+        "@r1\r\nACGT\r\n+\r\nIIII\r\n@empty\n\n+\n\n@r3\nGGCC\n+\nIIII";
+    std::istringstream a(file);
+    auto batch = genomics::readFastq(a);
+    std::istringstream b(file);
+    genomics::FastqReader reader(b);
+    genomics::Read r;
+    std::size_t i = 0;
+    while (reader.next(r)) {
+        ASSERT_LT(i, batch.size());
+        EXPECT_EQ(r.name, batch[i].name);
+        EXPECT_EQ(r.seq.toString(), batch[i].seq.toString());
+        ++i;
+    }
+    EXPECT_EQ(i, batch.size());
+    EXPECT_EQ(reader.recordsRead(), 3u);
+}
+
 TEST(FastqRobustDeath, TruncatedRecordIsFatal)
 {
     EXPECT_DEATH(

@@ -141,6 +141,80 @@ TEST(SeedMap, AutoTableBits)
     EXPECT_LE(map.tableBits(), 30u);
 }
 
+TEST(SeedMap, ParallelBuildBitIdenticalToSerial)
+{
+    Reference ref = testRef(120000, 11);
+    SeedMapParams p = smallParams();
+    SeedMap serial(ref, p);
+    for (u32 threads : { 1u, 2u, 3u, 8u }) {
+        SeedMap parallel = SeedMap::build(ref, p, threads);
+        EXPECT_EQ(parallel.rawSeedTable(), serial.rawSeedTable())
+            << threads << " threads";
+        EXPECT_EQ(parallel.rawLocationTable(), serial.rawLocationTable())
+            << threads << " threads";
+        EXPECT_EQ(parallel.stats().totalSeeds, serial.stats().totalSeeds);
+        EXPECT_EQ(parallel.stats().storedLocations,
+                  serial.stats().storedLocations);
+        EXPECT_EQ(parallel.stats().distinctHashes,
+                  serial.stats().distinctHashes);
+        EXPECT_EQ(parallel.stats().filteredSeeds,
+                  serial.stats().filteredSeeds);
+        EXPECT_EQ(parallel.stats().filteredLocations,
+                  serial.stats().filteredLocations);
+        EXPECT_DOUBLE_EQ(parallel.stats().queryWeightedLocations,
+                         serial.stats().queryWeightedLocations);
+    }
+}
+
+TEST(SeedMap, ParallelBuildRespectsFilterThreshold)
+{
+    // Heavy-tail genome as in FilterThresholdDropsHeavySeeds, built in
+    // parallel: the filter must drop the same buckets.
+    util::Pcg32 rng(77);
+    auto randomStretch = [&](u64 n) {
+        std::string s;
+        for (u64 i = 0; i < n; ++i)
+            s.push_back(genomics::baseToChar(rng.below(4)));
+        return s;
+    };
+    std::string unit = randomStretch(100);
+    std::string genome;
+    for (int copy = 0; copy < 60; ++copy) {
+        genome += unit;
+        genome += randomStretch(300);
+    }
+    Reference ref;
+    ref.addChromosome("chr1", DnaSequence(genome));
+
+    SeedMapParams filtered = smallParams();
+    filtered.filterThreshold = 30;
+    SeedMap serial(ref, filtered);
+    SeedMap parallel = SeedMap::build(ref, filtered, 4);
+    EXPECT_EQ(parallel.rawSeedTable(), serial.rawSeedTable());
+    EXPECT_EQ(parallel.rawLocationTable(), serial.rawLocationTable());
+    EXPECT_GT(parallel.stats().filteredSeeds, 0u);
+}
+
+TEST(SeedMapView, ViewLookupsMatchOwningMap)
+{
+    Reference ref = testRef(60000);
+    SeedMap map(ref, smallParams());
+    genpair::SeedMapView view = map.view();
+    EXPECT_EQ(view.tableBits(), map.tableBits());
+    EXPECT_EQ(view.shardCount(), 1u);
+    EXPECT_EQ(view.seedTableBytes(), map.seedTableBytes());
+    EXPECT_EQ(view.locationTableBytes(), map.locationTableBytes());
+    const DnaSequence &chrom = ref.chromosome(0);
+    for (u64 p = 0; p + 50 <= chrom.size(); p += 313) {
+        u32 h = map.hashSeed(chrom.sub(p, 50));
+        auto a = map.lookup(h);
+        auto b = view.lookup(h);
+        ASSERT_EQ(a.size(), b.size()) << "position " << p;
+        // Zero-copy: the view serves the owning map's own storage.
+        EXPECT_EQ(a.data(), b.data());
+    }
+}
+
 TEST(Seeder, ExtractsFirstMiddleLast)
 {
     Reference ref = testRef(50000);

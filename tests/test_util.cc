@@ -9,6 +9,7 @@
 #include <cmath>
 #include <string>
 
+#include "util/md5.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -176,6 +177,50 @@ TEST(Histogram, PercentileMonotone)
 TEST(ExactPercentile, MedianOfOddSet)
 {
     EXPECT_DOUBLE_EQ(exactPercentile({ 3.0, 1.0, 2.0 }, 0.5), 2.0);
+}
+
+// RFC 1321 appendix A.5 test suite: the golden-corpus digests pinned
+// elsewhere are only trustworthy if this implementation matches md5sum.
+TEST(Md5, Rfc1321Vectors)
+{
+    EXPECT_EQ(md5Hex(std::string("")),
+              "d41d8cd98f00b204e9800998ecf8427e");
+    EXPECT_EQ(md5Hex(std::string("a")),
+              "0cc175b9c0f1b6a831c399e269772661");
+    EXPECT_EQ(md5Hex(std::string("abc")),
+              "900150983cd24fb0d6963f7d28e17f72");
+    EXPECT_EQ(md5Hex(std::string("message digest")),
+              "f96b697d7cb7938d525a2f31aaf161d0");
+    EXPECT_EQ(md5Hex(std::string("abcdefghijklmnopqrstuvwxyz")),
+              "c3fcd3d76192e4007dfb496cca67e13b");
+    EXPECT_EQ(md5Hex(std::string(
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+                  "0123456789")),
+              "d174ab98d277d9f5a5611c2c9f419d9f");
+    EXPECT_EQ(md5Hex(std::string(
+                  "123456789012345678901234567890123456789012345678901"
+                  "23456789012345678901234567890")),
+              "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalUpdatesMatchOneShot)
+{
+    // Same bytes absorbed in awkward chunk sizes (straddling the
+    // 64-byte block boundary) must give the same digest.
+    std::string data(1000, '\0');
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<char>('A' + (i * 17) % 26);
+    Md5 incremental;
+    std::size_t pos = 0;
+    const std::size_t chunks[] = { 1, 63, 64, 65, 7, 300 };
+    std::size_t c = 0;
+    while (pos < data.size()) {
+        std::size_t take =
+            std::min(chunks[c++ % 6], data.size() - pos);
+        incremental.update(data.data() + pos, take);
+        pos += take;
+    }
+    EXPECT_EQ(incremental.hexDigest(), md5Hex(data));
 }
 
 TEST(Table, RendersAlignedColumns)

@@ -7,7 +7,10 @@
  * gpx_map loads.
  */
 
+#include <algorithm>
+#include <bit>
 #include <fstream>
+#include <thread>
 
 #include "cli.hh"
 #include "genomics/fasta.hh"
@@ -27,6 +30,13 @@ const char kUsage[] =
     "  --table-bits N       log2 Seed Table entries (0 = auto) [0]\n"
     "  --filter-threshold N index filtering threshold;\n"
     "                       0 disables the filter              [500]\n"
+    "  --threads N          build worker threads (0 = hardware;\n"
+    "                       any count gives identical tables)  [0]\n"
+    "  --shards N           hash-range shards in the v2 image\n"
+    "                       (rounded up to a power of two;\n"
+    "                       0 = match the build threads)       [0]\n"
+    "  --format v1|v2       image format; v2 is 64-byte\n"
+    "                       aligned, sharded and mmap-served   [v2]\n"
     "  --version            print the gpx version and exit\n";
 
 } // namespace
@@ -37,7 +47,8 @@ main(int argc, char **argv)
     using namespace gpx;
     tools::Cli cli(argc, argv,
                    { "--ref", "--out", "--seed-len", "--table-bits",
-                     "--filter-threshold" },
+                     "--filter-threshold", "--threads", "--shards",
+                     "--format" },
                    {}, kUsage);
 
     const std::string refPath = cli.required("--ref");
@@ -59,10 +70,18 @@ main(int argc, char **argv)
     params.filterThreshold =
         static_cast<u32>(cli.num("--filter-threshold", 500));
 
+    u32 threads = static_cast<u32>(cli.num("--threads", 0));
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    const std::string format = cli.str("--format", "v2");
+    if (format != "v1" && format != "v2")
+        gpx_fatal("--format must be v1 or v2, got ", format);
+
     util::Stopwatch watch;
-    genpair::SeedMap map(ref, params);
+    genpair::SeedMap map = genpair::SeedMap::build(ref, params, threads);
     const auto &stats = map.stats();
-    std::printf("built SeedMap in %.2f s\n", watch.seconds());
+    std::printf("built SeedMap in %.2f s (%u threads)\n", watch.seconds(),
+                threads);
     std::printf("  seeds scanned            %llu\n",
                 static_cast<unsigned long long>(stats.totalSeeds));
     std::printf("  locations stored         %llu\n",
@@ -80,10 +99,17 @@ main(int argc, char **argv)
     std::ofstream out(outPath, std::ios::binary);
     if (!out)
         gpx_fatal("cannot open output: ", outPath);
-    genpair::saveSeedMap(out, map);
+    if (format == "v1") {
+        genpair::saveSeedMap(out, map);
+    } else {
+        u32 shards = static_cast<u32>(cli.num("--shards", 0));
+        if (shards == 0)
+            shards = std::bit_ceil(threads);
+        genpair::saveSeedMapV2(out, map, shards);
+    }
     out.flush();
     if (!out)
         gpx_fatal("write failed: ", outPath);
-    std::printf("wrote %s\n", outPath.c_str());
+    std::printf("wrote %s (%s image)\n", outPath.c_str(), format.c_str());
     return 0;
 }

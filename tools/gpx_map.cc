@@ -37,7 +37,11 @@ const char kUsage[] =
     "                       replaces --r1/--r2)\n"
     "  --out FILE           output SAM ('-' for stdout)\n"
     "  --index FILE         prebuilt SeedMap image (from gpx_index);\n"
-    "                       omitted = build in memory\n"
+    "                       v2 images are served zero-copy via mmap,\n"
+    "                       v1 images load through the legacy copy\n"
+    "                       path; omitted = build in memory\n"
+    "  --no-mmap            force the owning copy path even for v2\n"
+    "                       images (debugging / comparison)\n"
     "  --threads N          worker threads (0 = hardware)     [0]\n"
     "  --chunk N            read pairs mapped per chunk (the\n"
     "                       memory bound)                 [65536]\n"
@@ -56,7 +60,7 @@ main(int argc, char **argv)
                    { "--ref", "--r1", "--r2", "--long", "--out",
                      "--index", "--threads", "--delta",
                      "--filter-threshold", "--chunk" },
-                   { "--baseline" }, kUsage);
+                   { "--baseline", "--no-mmap" }, kUsage);
 
     // Reference.
     const std::string refPath = cli.required("--ref");
@@ -84,23 +88,36 @@ main(int argc, char **argv)
             gpx_fatal("cannot open --r2 FASTQ");
     }
 
-    // SeedMap: load the offline image or build inline.
-    std::unique_ptr<genpair::SeedMap> map;
+    // SeedMap: open the offline image (zero-copy mmap for v2 images,
+    // legacy stream copy for v1) or build inline. Either way the query
+    // path below consumes only the non-owning view.
+    std::optional<genpair::SeedMapImage> image;
+    std::unique_ptr<genpair::SeedMap> built;
+    genpair::SeedMapView map;
     if (cli.has("--index")) {
-        std::ifstream idx(cli.str("--index"), std::ios::binary);
-        if (!idx)
-            gpx_fatal("cannot open index: ", cli.str("--index"));
-        auto loaded = genpair::loadSeedMap(idx);
-        if (!loaded)
-            gpx_fatal("index image rejected (corrupt or wrong version): ",
-                      cli.str("--index"));
-        map = std::make_unique<genpair::SeedMap>(std::move(*loaded));
+        genpair::SeedMapOpenOptions opts;
+        opts.forceCopy = cli.has("--no-mmap");
+        std::string err;
+        util::Stopwatch watch;
+        image = genpair::SeedMapImage::open(cli.str("--index"), opts,
+                                            &err);
+        if (!image)
+            gpx_fatal("index image rejected: ", err);
+        map = image->view();
+        std::printf("opened index in %.3f s (%s, %u shard%s)\n",
+                    watch.seconds(),
+                    image->mmapBacked() ? "mmap, zero-copy"
+                                        : "legacy copy path",
+                    image->shardCount(),
+                    image->shardCount() == 1 ? "" : "s");
     } else {
         genpair::SeedMapParams sp;
         sp.filterThreshold =
             static_cast<u32>(cli.num("--filter-threshold", 500));
         util::Stopwatch watch;
-        map = std::make_unique<genpair::SeedMap>(ref, sp);
+        built = std::make_unique<genpair::SeedMap>(genpair::SeedMap::build(
+            ref, sp, static_cast<u32>(cli.num("--threads", 0))));
+        map = *built;
         std::printf("built SeedMap inline in %.2f s\n", watch.seconds());
     }
 
@@ -123,7 +140,7 @@ main(int argc, char **argv)
         baseline::Mm2Lite dp(ref, baseline::Mm2LiteParams{});
         genpair::LongReadParams lrParams;
         lrParams.delta = static_cast<u32>(cli.num("--delta", 500));
-        genpair::LongReadMapper mapper(ref, *map, lrParams, &dp);
+        genpair::LongReadMapper mapper(ref, map, lrParams, &dp);
         genomics::FastqReader reader(longFile);
         genomics::Read read;
         util::Stopwatch watch;
@@ -153,7 +170,7 @@ main(int argc, char **argv)
     config.pipeline.delta = static_cast<u32>(cli.num("--delta", 500));
     config.useGenPair = !cli.has("--baseline");
     genpair::StreamingMapper mapper(
-        ref, *map, config, static_cast<u64>(cli.num("--chunk", 65536)));
+        ref, map, config, static_cast<u64>(cli.num("--chunk", 65536)));
     auto result = mapper.run(r1File, r2File, sam);
     os->flush();
     std::printf("mapped %llu pairs in %.2f s (%.0f pairs/s, %llu "
