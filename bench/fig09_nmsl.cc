@@ -4,14 +4,21 @@
  * CPU implementation (actually measured, multi-threaded, on the host)
  * and the paper's reported GPU point. Also prints throughput per unit
  * area and per unit power.
+ *
+ * With `--trace FILE` the NMSL workload is replayed from a recorded
+ * `gpx_map --trace` run (gpx-stage-trace v1) instead of the synthetic
+ * generator — the real-trace co-simulation path of the stage-graph
+ * engine. The CPU rows still use the synthetic stack's SeedMap.
  */
 
 #include <atomic>
+#include <fstream>
 #include <thread>
 
 #include "common.hh"
 #include "hwsim/baseline_models.hh"
 #include "hwsim/nmsl.hh"
+#include "hwsim/trace_adapter.hh"
 
 namespace {
 
@@ -49,20 +56,53 @@ measureHostQueryRate(const genpair::SeedMap &map,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gpx;
     using namespace gpx::bench;
+
+    std::string tracePath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
+            tracePath = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: fig09_nmsl [--trace FILE]\n");
+            return 2;
+        }
+    }
 
     banner("SeedMap Query throughput: CPU vs GPU vs NMSL",
            "Fig. 9 + §7.1 (paper: NMSL 192.7 MPair/s = 2.12x GPU, "
            "4.58x CPU)");
 
     MappingStack s = buildStack(1, kBenchGenomeLen, 20000);
-    auto workload = hwsim::buildWorkload(*s.seedmap, s.dataset.pairs);
 
+    std::vector<hwsim::PairTrace> workload;
     hwsim::NmslConfig cfg;
     cfg.windowSize = 1024;
+    if (tracePath.empty()) {
+        workload = hwsim::buildWorkload(*s.seedmap, s.dataset.pairs);
+    } else {
+        std::ifstream traceFile(tracePath);
+        if (!traceFile) {
+            std::fprintf(stderr, "cannot open trace: %s\n",
+                         tracePath.c_str());
+            return 1;
+        }
+        hwsim::RecordedRun run;
+        std::string error;
+        if (!hwsim::loadRecordedRun(traceFile, &run, &error)) {
+            std::fprintf(stderr, "trace rejected: %s\n", error.c_str());
+            return 1;
+        }
+        workload = std::move(run.traces);
+        cfg = run.nmslConfig(cfg);
+        std::printf("replaying recorded trace: %zu pairs, tableBits %u, "
+                    "%.1f locations/seed\n\n",
+                    workload.size(), run.tableBits,
+                    run.avgLocationsPerSeed);
+    }
     auto nmsl = hwsim::NmslSim(cfg).run(workload);
 
     double hostRate = measureHostQueryRate(*s.seedmap, workload);

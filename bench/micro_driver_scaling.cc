@@ -178,7 +178,7 @@ main(int argc, char **argv)
                             static_cast<std::ptrdiff_t>(begin),
                         pairs.begin() + static_cast<std::ptrdiff_t>(end));
                     auto res = pooled.mapAll(chunk);
-                    secs += res.seconds;
+                    secs += res.timing.seconds;
                     std::copy(res.mappings.begin(), res.mappings.end(),
                               pooledOut.begin() +
                                   static_cast<std::ptrdiff_t>(begin));

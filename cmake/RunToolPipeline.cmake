@@ -25,7 +25,30 @@ run_step(${GPX_SIMULATE} --out ${WORK_DIR}/sim
 run_step(${GPX_INDEX} --ref ${WORK_DIR}/sim.fa --out ${WORK_DIR}/sim.gpx)
 run_step(${GPX_MAP} --ref ${WORK_DIR}/sim.fa --index ${WORK_DIR}/sim.gpx
     --r1 ${WORK_DIR}/sim_1.fq --r2 ${WORK_DIR}/sim_2.fq
-    --out ${WORK_DIR}/out.sam --threads 2)
+    --out ${WORK_DIR}/out.sam --threads 2
+    --stats-json ${WORK_DIR}/stats.json
+    --trace ${WORK_DIR}/run.trace)
 run_step(${GPX_MAPEVAL} --ref ${WORK_DIR}/sim.fa
     --sam ${WORK_DIR}/out.sam --truth ${WORK_DIR}/sim.truth.tsv
     --min-correct 90)
+
+# --stats-json must carry the full PipelineStats, including the
+# per-stage counters of the stage graph.
+file(READ ${WORK_DIR}/stats.json STATS_JSON)
+foreach(key pairs_total light_aligned stages light_align fallback)
+    if(NOT STATS_JSON MATCHES "\"${key}\"")
+        message(FATAL_ERROR "stats.json is missing key '${key}'")
+    endif()
+endforeach()
+
+# --trace must produce a parseable gpx-stage-trace with one record per
+# mapped pair (1000 simulated pairs + the 2-line header).
+file(STRINGS ${WORK_DIR}/run.trace TRACE_LINES)
+list(GET TRACE_LINES 0 TRACE_MAGIC)
+if(NOT TRACE_MAGIC STREQUAL "# gpx-stage-trace v1")
+    message(FATAL_ERROR "trace magic line is '${TRACE_MAGIC}'")
+endif()
+list(LENGTH TRACE_LINES TRACE_LEN)
+if(TRACE_LEN LESS 1002)
+    message(FATAL_ERROR "trace holds ${TRACE_LEN} lines, expected >= 1002")
+endif()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Gate CI on the micro_stage_batch benchmark.
+
+The benchmark measures the batched stage-graph engine against an
+in-binary replay of the seed (pre-stage-graph) per-pair engine, so the
+speedup is a within-run ratio and machine-independent — the same
+contract style as the Myers-vs-scalar gate in
+check_kernel_regression.py. The checked-in BENCH_stage_batch.json
+records >= 1.5x at the production block size; CI enforces a
+conservative floor so host noise cannot flake the job.
+
+Usage:
+  check_stage_batch.py CURRENT.json [--min-speedup 1.10]
+                       [--batch-pairs 64]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("--min-speedup", type=float, default=1.10,
+                    help="required batched-vs-monolith speedup at the "
+                         "gated batch size")
+    ap.add_argument("--batch-pairs", type=int, default=64,
+                    help="grid point to gate (the production "
+                         "MapperEngine block size)")
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "micro_stage_batch":
+        print(f"error: {args.current} is not a micro_stage_batch record")
+        return 1
+
+    gated = None
+    for point in doc.get("grid", []):
+        flag = ""
+        if point["batch_pairs"] == args.batch_pairs:
+            gated = point
+            flag = "  << gated"
+        print(f"  batch {point['batch_pairs']:6d}  "
+              f"{point['pairs_per_s']:>10} pairs/s  "
+              f"{point['speedup_vs_monolith']:.3f}x vs monolith{flag}")
+    if gated is None:
+        print(f"error: no grid point with batch_pairs == "
+              f"{args.batch_pairs}")
+        return 1
+
+    speedup = float(gated["speedup_vs_monolith"])
+    if speedup < args.min_speedup:
+        print(f"FAIL: stage-graph speedup {speedup:.3f}x is below the "
+              f"required {args.min_speedup:.2f}x")
+        return 1
+    print(f"OK: stage-graph speedup {speedup:.3f}x "
+          f"(required >= {args.min_speedup:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,13 +46,97 @@ struct EngineResult
 };
 
 /**
- * Shared DP engine. Computes H/E1/E2/F1/F2 row by row with a full
- * traceback matrix and reconstructs the optimal path for the requested
- * boundary conditions.
+ * Reconstruct the optimal path from the traceback matrix, shared by
+ * the reference and the branchless engine (their matrices are
+ * bit-identical; only the fill loop differs).
+ */
+void
+tracebackPath(EngineResult &out, const std::vector<u8> &tb,
+              std::size_t n, Mode mode, i32 best, std::size_t bestI,
+              std::size_t bestJ)
+{
+    auto tbAt = [&](std::size_t i, std::size_t j) -> u8 {
+        return tb[i * (n + 1) + j];
+    };
+
+    Cigar rev;
+    std::size_t i = bestI, j = bestJ;
+    u8 state = 0; // 0 = H, 1 = E1, 2 = E2, 3 = F1, 4 = F2
+    bool hitStart = false;
+    while (!hitStart) {
+        if (state == 0) {
+            u8 cell = tbAt(i, j);
+            switch (cell & kSrcMask) {
+              case kSrcStart:
+                hitStart = true;
+                break;
+              case kSrcDiag:
+                rev.push(CigarOp::Match, 1);
+                --i;
+                --j;
+                if (i == 0 && j == 0 && mode != Mode::Fit)
+                    hitStart = true;
+                if (mode == Mode::Fit && i == 0)
+                    hitStart = true;
+                if (mode == Mode::Local && (tbAt(i, j) & kSrcMask) ==
+                        kSrcStart && i == 0)
+                    hitStart = true;
+                break;
+              case kSrcE1: state = 1; break;
+              case kSrcE2: state = 2; break;
+              case kSrcF1: state = 3; break;
+              case kSrcF2: state = 4; break;
+            }
+            if (mode == Mode::Fit && state == 0 && !hitStart && i == 0)
+                hitStart = true;
+        } else if (state == 1 || state == 2) {
+            u8 cell = tbAt(i, j);
+            rev.push(CigarOp::Deletion, 1);
+            bool ext = cell & (state == 1 ? kExtE1 : kExtE2);
+            --j;
+            if (!ext)
+                state = 0;
+            if (j == 0 && state != 0)
+                gpx_panic("affine traceback escaped matrix (E)");
+        } else {
+            u8 cell = tbAt(i, j);
+            rev.push(CigarOp::Insertion, 1);
+            bool ext = cell & (state == 3 ? kExtF1 : kExtF2);
+            --i;
+            if (!ext)
+                state = 0;
+            if (i == 0 && state != 0)
+                gpx_panic("affine traceback escaped matrix (F)");
+            if (mode == Mode::Fit && state == 0 && i == 0)
+                hitStart = true;
+        }
+        if (mode == Mode::Global && i == 0 && j == 0)
+            hitStart = true;
+    }
+
+    // Reverse the CIGAR.
+    Cigar cigar;
+    const auto &elems = rev.elems();
+    for (auto it = elems.rbegin(); it != elems.rend(); ++it)
+        cigar.push(it->op, it->len);
+
+    out.valid = true;
+    out.score = best;
+    out.cigar = std::move(cigar);
+    out.queryStart = i;
+    out.targetStart = j;
+    out.targetEnd = bestJ;
+}
+
+/**
+ * The seed DP engine, kept verbatim as the oracle for the branchless
+ * engine below: computes H/E1/E2/F1/F2 row by row with a full
+ * traceback matrix, one heap-allocated working set per call and a
+ * branchy inner loop.
  */
 EngineResult
-run(const DnaView &query, const DnaView &target,
-    const ScoringScheme &sc, Mode mode, i32 band)
+runReference(const DnaView &query, const DnaView &target,
+             const ScoringScheme &sc, Mode mode, i32 band)
 {
     const std::size_t m = query.size();
     const std::size_t n = target.size();
@@ -129,7 +213,11 @@ run(const DnaView &query, const DnaView &target,
             tbAt(i, 0) = flags;
         }
         // Maintain F across the banded region; reset off-band columns.
-        if (band >= 0 && jLo > 1) {
+        // (jLo can pass the row's end when the band excludes the whole
+        // row — query much longer than target — so clamp: the seed
+        // code wrote one past the buffer there, found by the oracle
+        // fuzz test.)
+        if (band >= 0 && jLo > 1 && jLo - 1 <= n) {
             f1[jLo - 1] = kNegInf;
             f2[jLo - 1] = kNegInf;
         }
@@ -217,74 +305,197 @@ run(const DnaView &query, const DnaView &target,
     if (best <= kNegInf / 2)
         return out; // band excluded every complete path
 
-    // Traceback.
-    Cigar rev;
-    std::size_t i = bestI, j = bestJ;
-    u8 state = 0; // 0 = H, 1 = E1, 2 = E2, 3 = F1, 4 = F2
-    bool hitStart = false;
-    while (!hitStart) {
-        if (state == 0) {
-            u8 cell = tbAt(i, j);
-            switch (cell & kSrcMask) {
-              case kSrcStart:
-                hitStart = true;
-                break;
-              case kSrcDiag:
-                rev.push(CigarOp::Match, 1);
-                --i;
-                --j;
-                if (i == 0 && j == 0 && mode != Mode::Fit)
-                    hitStart = true;
-                if (mode == Mode::Fit && i == 0)
-                    hitStart = true;
-                if (mode == Mode::Local && (tbAt(i, j) & kSrcMask) ==
-                        kSrcStart && i == 0)
-                    hitStart = true;
-                break;
-              case kSrcE1: state = 1; break;
-              case kSrcE2: state = 2; break;
-              case kSrcF1: state = 3; break;
-              case kSrcF2: state = 4; break;
-            }
-            if (mode == Mode::Fit && state == 0 && !hitStart && i == 0)
-                hitStart = true;
-        } else if (state == 1 || state == 2) {
-            u8 cell = tbAt(i, j);
-            rev.push(CigarOp::Deletion, 1);
-            bool ext = cell & (state == 1 ? kExtE1 : kExtE2);
-            --j;
-            if (!ext)
-                state = 0;
-            if (j == 0 && state != 0)
-                gpx_panic("affine traceback escaped matrix (E)");
+    tracebackPath(out, tb, n, mode, best, bestI, bestJ);
+    return out;
+}
+
+/**
+ * The production engine: identical recurrence, boundary handling and
+ * traceback matrix as runReference() — the randomized oracle tests in
+ * test_affine pin that — but the inner loop is branchless (every
+ * min/max and flag is a conditional move; DNA comparisons are
+ * unpredictable, so the reference's per-cell branches cost a
+ * mispredict each) and the whole working set lives in a caller-owned
+ * AlignScratch, so a driver's thousandth alignment allocates nothing.
+ */
+template <Mode mode>
+EngineResult
+runBranchless(const DnaView &query, const DnaView &target,
+              const ScoringScheme &sc, i32 band, AlignScratch &scr)
+{
+    const std::size_t m = query.size();
+    const std::size_t n = target.size();
+    EngineResult out;
+    if (m == 0 || n == 0)
+        return out;
+
+    gpx_assert((m + 1) * (n + 1) <= (1ull << 27),
+               "DP matrix too large; use banding or smaller windows");
+
+    scr.traceback.assign((m + 1) * (n + 1), 0);
+    scr.queryCodes.resize(m);
+    scr.targetCodes.resize(n);
+    query.decodeTo(scr.queryCodes.data());
+    target.decodeTo(scr.targetCodes.data());
+    scr.hPrev.assign(n + 1, kNegInf);
+    scr.hCur.assign(n + 1, kNegInf);
+    scr.f1.assign(n + 1, kNegInf);
+    scr.f2.assign(n + 1, kNegInf);
+
+    const i32 oe1 = sc.gapOpen1 + sc.gapExtend1;
+    const i32 oe2 = sc.gapOpen2 + sc.gapExtend2;
+    const i32 ge1 = sc.gapExtend1;
+    const i32 ge2 = sc.gapExtend2;
+    const i32 match = sc.match;
+    const i32 mismatch = sc.mismatch;
+
+    u8 *tb = scr.traceback.data();
+
+    // Row 0 (identical to the reference).
+    scr.hPrev[0] = 0;
+    tb[0] = kSrcStart;
+    for (std::size_t j = 1; j <= n; ++j) {
+        if (mode == Mode::Global) {
+            scr.hPrev[j] = -sc.gapCost(static_cast<u32>(j));
+            bool piece1 = sc.gapOpen1 + static_cast<i32>(j) * ge1 <=
+                          sc.gapOpen2 + static_cast<i32>(j) * ge2;
+            u8 flags = piece1 ? kSrcE1 : kSrcE2;
+            if (j > 1)
+                flags |= piece1 ? kExtE1 : kExtE2;
+            tb[j] = flags;
         } else {
-            u8 cell = tbAt(i, j);
-            rev.push(CigarOp::Insertion, 1);
-            bool ext = cell & (state == 3 ? kExtF1 : kExtF2);
-            --i;
-            if (!ext)
-                state = 0;
-            if (i == 0 && state != 0)
-                gpx_panic("affine traceback escaped matrix (F)");
-            if (mode == Mode::Fit && state == 0 && i == 0)
-                hitStart = true;
+            scr.hPrev[j] = 0; // free target start
+            tb[j] = kSrcStart;
         }
-        if (mode == Mode::Global && i == 0 && j == 0)
-            hitStart = true;
     }
 
-    // Reverse the CIGAR.
-    Cigar cigar;
-    const auto &elems = rev.elems();
-    for (auto it = elems.rbegin(); it != elems.rend(); ++it)
-        cigar.push(it->op, it->len);
+    i32 best = kNegInf;
+    std::size_t bestI = 0, bestJ = 0;
 
-    out.valid = true;
-    out.score = best;
-    out.cigar = std::move(cigar);
-    out.queryStart = i;
-    out.targetStart = j;
-    out.targetEnd = bestJ;
+    const u8 *qc = scr.queryCodes.data();
+    const u8 *tc = scr.targetCodes.data();
+
+    for (std::size_t i = 1; i <= m; ++i) {
+        i32 e1 = kNegInf, e2 = kNegInf;
+        std::size_t jLo = 1, jHi = n;
+        if (band >= 0) {
+            i64 lo = static_cast<i64>(i) - band;
+            i64 hi = static_cast<i64>(i) + band;
+            jLo = static_cast<std::size_t>(std::max<i64>(1, lo));
+            jHi = static_cast<std::size_t>(
+                std::min<i64>(static_cast<i64>(n), hi));
+        }
+        std::fill(scr.hCur.begin(), scr.hCur.end(), kNegInf);
+
+        u8 *tbRow = tb + i * (n + 1);
+
+        // Column 0: query-only gap (insertion).
+        if (mode == Mode::Local) {
+            scr.hCur[0] = 0;
+            tbRow[0] = kSrcStart;
+        } else {
+            scr.hCur[0] = -sc.gapCost(static_cast<u32>(i));
+            bool piece1 = sc.gapOpen1 + static_cast<i32>(i) * ge1 <=
+                          sc.gapOpen2 + static_cast<i32>(i) * ge2;
+            u8 flags = piece1 ? kSrcF1 : kSrcF2;
+            if (i > 1)
+                flags |= piece1 ? kExtF1 : kExtF2;
+            tbRow[0] = flags;
+        }
+        // Maintain F across the banded region; reset off-band columns
+        // (clamped: see the matching comment in runReference()).
+        if (band >= 0 && jLo > 1 && jLo - 1 <= n) {
+            scr.f1[jLo - 1] = kNegInf;
+            scr.f2[jLo - 1] = kNegInf;
+        }
+
+        const i32 *hp = scr.hPrev.data();
+        i32 *hc = scr.hCur.data();
+        i32 *f1 = scr.f1.data();
+        i32 *f2 = scr.f2.data();
+        const u8 qi = qc[i - 1];
+
+        for (std::size_t j = jLo; j <= jHi; ++j) {
+            // E: gap consuming target (deletion from the read's view).
+            const i32 hLeft = hc[j - 1];
+            const i32 e1Open = hLeft - oe1;
+            const i32 e1Ext = e1 - ge1;
+            const bool x1 = e1Ext > e1Open;
+            e1 = x1 ? e1Ext : e1Open;
+            const i32 e2Open = hLeft - oe2;
+            const i32 e2Ext = e2 - ge2;
+            const bool x2 = e2Ext > e2Open;
+            e2 = x2 ? e2Ext : e2Open;
+
+            // F: gap consuming query (insertion).
+            const i32 hUp = hp[j];
+            const i32 f1Open = hUp - oe1;
+            const i32 f1Ext = f1[j] - ge1;
+            const bool x3 = f1Ext > f1Open;
+            const i32 f1v = x3 ? f1Ext : f1Open;
+            f1[j] = f1v;
+            const i32 f2Open = hUp - oe2;
+            const i32 f2Ext = f2[j] - ge2;
+            const bool x4 = f2Ext > f2Open;
+            const i32 f2v = x4 ? f2Ext : f2Open;
+            f2[j] = f2v;
+
+            const i32 hDiag = hp[j - 1];
+            const i32 sub = qi == tc[j - 1] ? match : -mismatch;
+            const i32 diag = hDiag == kNegInf ? kNegInf : hDiag + sub;
+
+            i32 h = diag;
+            u8 src = kSrcDiag;
+            src = e1 > h ? kSrcE1 : src;
+            h = e1 > h ? e1 : h;
+            src = e2 > h ? kSrcE2 : src;
+            h = e2 > h ? e2 : h;
+            src = f1v > h ? kSrcF1 : src;
+            h = f1v > h ? f1v : h;
+            src = f2v > h ? kSrcF2 : src;
+            h = f2v > h ? f2v : h;
+            if constexpr (mode == Mode::Local) {
+                src = h < 0 ? kSrcStart : src;
+                h = h < 0 ? 0 : h;
+            }
+            hc[j] = h;
+            tbRow[j] = static_cast<u8>(
+                src | (static_cast<u8>(x1) << 3) |
+                (static_cast<u8>(x2) << 4) | (static_cast<u8>(x3) << 5) |
+                (static_cast<u8>(x4) << 6));
+
+            if constexpr (mode == Mode::Local) {
+                if (h > best) {
+                    best = h;
+                    bestI = i;
+                    bestJ = j;
+                }
+            }
+        }
+        if (jHi >= jLo)
+            out.cellUpdates += jHi - jLo + 1;
+        std::swap(scr.hPrev, scr.hCur);
+    }
+
+    // Pick the end cell.
+    if (mode == Mode::Global) {
+        best = scr.hPrev[n];
+        bestI = m;
+        bestJ = n;
+    } else if (mode == Mode::Fit) {
+        best = kNegInf;
+        bestI = m;
+        for (std::size_t j = 0; j <= n; ++j) {
+            if (scr.hPrev[j] > best) {
+                best = scr.hPrev[j];
+                bestJ = j;
+            }
+        }
+    }
+    if (best <= kNegInf / 2)
+        return out; // band excluded every complete path
+
+    tracebackPath(out, scr.traceback, n, mode, best, bestI, bestJ);
     return out;
 }
 
@@ -294,7 +505,31 @@ AlignResult
 fitAlign(const DnaView &query, const DnaView &target,
          const ScoringScheme &scheme, i32 band)
 {
-    EngineResult r = run(query, target, scheme, Mode::Fit, band);
+    AlignScratch scratch;
+    return fitAlign(query, target, scheme, band, scratch);
+}
+
+AlignResult
+fitAlign(const DnaView &query, const DnaView &target,
+         const ScoringScheme &scheme, i32 band, AlignScratch &scratch)
+{
+    EngineResult r =
+        runBranchless<Mode::Fit>(query, target, scheme, band, scratch);
+    AlignResult out;
+    out.valid = r.valid;
+    out.score = r.score;
+    out.cigar = std::move(r.cigar);
+    out.targetStart = r.targetStart;
+    out.targetEnd = r.targetEnd;
+    out.cellUpdates = r.cellUpdates;
+    return out;
+}
+
+AlignResult
+fitAlignRef(const DnaView &query, const DnaView &target,
+            const ScoringScheme &scheme, i32 band)
+{
+    EngineResult r = runReference(query, target, scheme, Mode::Fit, band);
     AlignResult out;
     out.valid = r.valid;
     out.score = r.score;
@@ -309,7 +544,9 @@ AlignResult
 globalAlign(const DnaView &query, const DnaView &target,
             const ScoringScheme &scheme, i32 band)
 {
-    EngineResult r = run(query, target, scheme, Mode::Global, band);
+    AlignScratch scratch;
+    EngineResult r = runBranchless<Mode::Global>(query, target, scheme,
+                                                 band, scratch);
     AlignResult out;
     out.valid = r.valid;
     out.score = r.score;
@@ -324,7 +561,9 @@ LocalResult
 localAlign(const DnaView &query, const DnaView &target,
            const ScoringScheme &scheme)
 {
-    EngineResult r = run(query, target, scheme, Mode::Local, -1);
+    AlignScratch scratch;
+    EngineResult r =
+        runBranchless<Mode::Local>(query, target, scheme, -1, scratch);
     LocalResult out;
     out.valid = r.valid;
     out.score = r.score;

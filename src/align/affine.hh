@@ -12,6 +12,8 @@
 #ifndef GPX_ALIGN_AFFINE_HH
 #define GPX_ALIGN_AFFINE_HH
 
+#include <vector>
+
 #include "genomics/cigar.hh"
 #include "genomics/scoring.hh"
 #include "genomics/sequence.hh"
@@ -19,6 +21,23 @@
 
 namespace gpx {
 namespace align {
+
+/**
+ * Reusable DP working set: traceback matrix, score rows and decoded
+ * operands. One alignment allocated all of these per call in the seed
+ * implementation; a driver-held scratch amortizes them across every
+ * alignment of a batch (the fallback path runs thousands per chunk).
+ */
+struct AlignScratch
+{
+    std::vector<u8> traceback;
+    std::vector<u8> queryCodes;
+    std::vector<u8> targetCodes;
+    std::vector<i32> hPrev;
+    std::vector<i32> hCur;
+    std::vector<i32> f1;
+    std::vector<i32> f2;
+};
 
 /** Result of a DP alignment. */
 struct AlignResult
@@ -49,6 +68,23 @@ AlignResult fitAlign(const genomics::DnaView &query,
                      const genomics::DnaView &target,
                      const genomics::ScoringScheme &scheme,
                      i32 band = -1);
+
+/** fitAlign() reusing @p scratch (bit-identical, allocation-free warm). */
+AlignResult fitAlign(const genomics::DnaView &query,
+                     const genomics::DnaView &target,
+                     const genomics::ScoringScheme &scheme, i32 band,
+                     AlignScratch &scratch);
+
+/**
+ * The seed (pre-optimization) fitting-alignment engine, kept verbatim
+ * as the correctness oracle for the branchless banded engine above —
+ * the same pattern the bit-parallel kernels use for their scalar
+ * oracles. Also the honest "pre-refactor" side of bench/micro_stage_batch.
+ */
+AlignResult fitAlignRef(const genomics::DnaView &query,
+                        const genomics::DnaView &target,
+                        const genomics::ScoringScheme &scheme,
+                        i32 band = -1);
 
 /**
  * Global alignment: both sequences consumed end to end. Used by unit tests

@@ -72,10 +72,25 @@ BitPlanes::BitPlanes(const genomics::DnaView &seq)
     seq.bitPlanes(lo_, hi_);
 }
 
+void
+BitPlanes::assign(const genomics::DnaView &seq)
+{
+    bits_ = static_cast<u32>(seq.size());
+    seq.bitPlanes(lo_, hi_); // resize() inside reuses capacity
+}
+
 HammingMask
 BitPlanes::equalityMask(const BitPlanes &ref, u32 ref_offset) const
 {
     HammingMask mask;
+    equalityMaskInto(ref, ref_offset, mask);
+    return mask;
+}
+
+void
+BitPlanes::equalityMaskInto(const BitPlanes &ref, u32 ref_offset,
+                            HammingMask &mask) const
+{
     mask.bits = bits_;
     std::size_t words = (bits_ + 63) / 64;
     mask.words.assign(words, 0);
@@ -112,23 +127,32 @@ BitPlanes::equalityMask(const BitPlanes &ref, u32 ref_offset) const
             mask.words[w] &= (u64{1} << (valid - base)) - 1;
         }
     }
-    return mask;
 }
 
 std::vector<HammingMask>
 shiftedMasks(const genomics::DnaView &read,
              const genomics::DnaView &window, u32 center, u32 e)
 {
-    gpx_assert(center >= e, "window must extend e bases left of center");
     BitPlanes readPlanes(read);
     BitPlanes winPlanes(window);
     std::vector<HammingMask> masks;
-    masks.reserve(2 * e + 1);
+    shiftedMasksInto(readPlanes, winPlanes, center, e, masks);
+    return masks;
+}
+
+void
+shiftedMasksInto(const BitPlanes &read_planes,
+                 const BitPlanes &window_planes, u32 center, u32 e,
+                 std::vector<HammingMask> &out)
+{
+    gpx_assert(center >= e, "window must extend e bases left of center");
+    out.resize(2 * e + 1);
     for (i32 s = -static_cast<i32>(e); s <= static_cast<i32>(e); ++s) {
         u32 off = static_cast<u32>(static_cast<i32>(center) + s);
-        masks.push_back(readPlanes.equalityMask(winPlanes, off));
+        read_planes.equalityMaskInto(window_planes, off,
+                                     out[static_cast<std::size_t>(
+                                         s + static_cast<i32>(e))]);
     }
-    return masks;
 }
 
 } // namespace align

@@ -49,6 +49,13 @@ class BitPlanes
     BitPlanes() = default;
     explicit BitPlanes(const genomics::DnaView &seq);
 
+    /**
+     * Rebuild the planes over @p seq, reusing the word storage. The
+     * batched light-alignment stage re-plans one window per candidate;
+     * this keeps that loop allocation-free once warm.
+     */
+    void assign(const genomics::DnaView &seq);
+
     u32 bits() const { return bits_; }
 
     /**
@@ -57,6 +64,10 @@ class BitPlanes
      * Positions where the ref window runs out are 0 (mismatch).
      */
     HammingMask equalityMask(const BitPlanes &ref, u32 ref_offset) const;
+
+    /** equalityMask() writing into @p out, reusing its word storage. */
+    void equalityMaskInto(const BitPlanes &ref, u32 ref_offset,
+                          HammingMask &out) const;
 
   private:
     std::vector<u64> lo_;
@@ -72,6 +83,16 @@ class BitPlanes
 std::vector<HammingMask> shiftedMasks(const genomics::DnaView &read,
                                       const genomics::DnaView &window,
                                       u32 center, u32 e);
+
+/**
+ * shiftedMasks() over prebuilt planes, writing into @p out (resized to
+ * 2e+1; per-mask word storage is reused). The scratch-based form the
+ * batched LightAlignStage uses: the read's planes are computed once per
+ * pair side and shared across every candidate of that pair.
+ */
+void shiftedMasksInto(const BitPlanes &read_planes,
+                      const BitPlanes &window_planes, u32 center, u32 e,
+                      std::vector<HammingMask> &out);
 
 } // namespace align
 } // namespace gpx

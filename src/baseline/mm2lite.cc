@@ -144,7 +144,8 @@ Mm2Lite::mapRead(const Read &read)
             // for any alignment the window can contain.
             auto res = align::fitAlign(*query, window, params_.scoring,
                                        static_cast<i32>(
-                                           2 * params_.alignSlack + 32));
+                                           2 * params_.alignSlack + 32),
+                                       alignScratch_);
             dpWork_.alignCells += res.cellUpdates;
             if (!res.valid || res.score < params_.minAlignScore)
                 continue;
@@ -187,7 +188,8 @@ Mm2Lite::alignAt(const DnaSequence &read, GlobalPos pos, u32 slack)
         return m;
     genomics::DnaView window = ref_.windowView(wstart, wlen);
     auto res = align::fitAlign(read, window, params_.scoring,
-                               static_cast<i32>(2 * slack + 32));
+                               static_cast<i32>(2 * slack + 32),
+                               alignScratch_);
     dpWork_.alignCells += res.cellUpdates;
     if (!res.valid || res.score < params_.minAlignScore)
         return m;

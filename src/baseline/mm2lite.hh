@@ -102,6 +102,12 @@ class Mm2Lite
     std::shared_ptr<const MinimizerIndex> index_;
     util::StageTimers timers_;
     DpWork dpWork_;
+    /**
+     * DP working set reused across every alignment this engine runs
+     * (drivers keep one Mm2Lite per worker, so the fallback path of a
+     * whole batch shares one allocation).
+     */
+    align::AlignScratch alignScratch_;
 };
 
 } // namespace baseline

@@ -197,6 +197,25 @@ DnaView::revComp() const
     return DnaSequence::fromPackedBytes(std::move(bytes), size_);
 }
 
+void
+DnaSequence::assignRevComp(const DnaView &src)
+{
+    gpx_assert(packed_.data() == nullptr ||
+                   src.rawBytes() != packed_.data(),
+               "assignRevComp source must not alias the destination");
+    packed_.clear();
+    PackedWriter wr(packed_);
+    const std::size_t n = src.size();
+    for (std::size_t w = src.numWords(); w > 0; --w) {
+        std::size_t rem = std::min<std::size_t>(32, n - 32 * (w - 1));
+        u64 rc = detail::revCompWord(src.word(w - 1));
+        rc >>= 64 - 2 * rem;
+        wr.push(rc, static_cast<u32>(2 * rem));
+    }
+    wr.finish();
+    size_ = n;
+}
+
 std::string
 DnaView::toString() const
 {

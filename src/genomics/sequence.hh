@@ -306,6 +306,15 @@ class DnaSequence
     /** Reverse complement (word-parallel). */
     DnaSequence revComp() const { return view().revComp(); }
 
+    /**
+     * Overwrite this sequence with the reverse complement of @p src,
+     * reusing the packed storage (no allocation once warm). @p src must
+     * not alias this sequence's own storage. The batched mapping stages
+     * recompute read orientations per pair; this is their
+     * allocation-free path.
+     */
+    void assignRevComp(const DnaView &src);
+
     /** Decode to ASCII. */
     std::string toString() const { return view().toString(); }
 

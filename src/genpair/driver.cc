@@ -3,99 +3,52 @@
 #include <algorithm>
 
 #include "util/logging.hh"
-#include "util/timer.hh"
 
 namespace gpx {
 namespace genpair {
+
+namespace {
+
+/** Per-worker engines: DP fallback + stage-graph pipeline + gate. */
+struct PairWorkerContext : WorkerContext
+{
+    baseline::Mm2Lite fallback;
+    GenPairPipeline pipeline;
+    std::unique_ptr<LightAlignGate> gate;
+
+    PairWorkerContext(
+        const genomics::Reference &ref, const SeedMapView &map,
+        const DriverConfig &config,
+        std::shared_ptr<const baseline::MinimizerIndex> index)
+        : fallback(ref, config.fallback, std::move(index)),
+          pipeline(ref, map, config.pipeline, &fallback)
+    {
+        if (config.gateFactory) {
+            gate = config.gateFactory();
+            pipeline.setLightAlignGate(gate.get());
+        }
+    }
+};
+
+} // namespace
 
 ParallelMapper::ParallelMapper(const genomics::Reference &ref,
                                const SeedMapView &map,
                                const DriverConfig &config)
     : ref_(ref), map_(map), config_(config)
 {
-    threads_ = config.threads ? config.threads
-                              : std::max(1u,
-                                         std::thread::hardware_concurrency());
+    // The MM2-lite baseline path never fills trace records; a trace of
+    // all-zero (Pending) routes would be silently unreplayable.
+    gpx_assert(!config_.recordTrace || config_.useGenPair,
+               "recordTrace records GenPair stage events; it requires "
+               "useGenPair");
     sharedIndex_ = std::make_shared<const baseline::MinimizerIndex>(
         ref, config_.fallback.minimizers);
-    perThread_.resize(threads_);
-    workers_.reserve(threads_);
-    for (u32 t = 0; t < threads_; ++t)
-        workers_.emplace_back([this, t]() { workerLoop(t); });
-    // Engine construction is a pool start-up cost, not a mapping cost:
-    // don't return until every worker has built its engines, so the
-    // first mapAll()'s stopwatch measures mapping only.
-    std::unique_lock<std::mutex> lock(mu_);
-    jobDone_.wait(lock, [&] { return workersReady_ == threads_; });
-}
-
-ParallelMapper::~ParallelMapper()
-{
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        shutdown_ = true;
-    }
-    jobReady_.notify_all();
-    for (auto &w : workers_)
-        w.join();
-}
-
-void
-ParallelMapper::workerLoop(u32 slot)
-{
-    // Engines are built once per worker and live for the pool's
-    // lifetime; every mapAll() call reuses them.
-    baseline::Mm2Lite fallback(ref_, config_.fallback, sharedIndex_);
-    GenPairPipeline pipeline(ref_, map_, config_.pipeline, &fallback);
-    std::unique_ptr<LightAlignGate> gate;
-    if (config_.gateFactory) {
-        gate = config_.gateFactory();
-        pipeline.setLightAlignGate(gate.get());
-    }
-
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++workersReady_;
-    }
-    jobDone_.notify_all();
-
-    u64 seenJob = 0;
-    for (;;) {
-        {
-            std::unique_lock<std::mutex> lock(mu_);
-            jobReady_.wait(lock, [&] {
-                return shutdown_ || jobSeq_ != seenJob;
-            });
-            if (shutdown_)
-                return;
-            seenJob = jobSeq_;
-        }
-
-        pipeline.resetStats();
-        const auto &pairs = *jobPairs_;
-        auto &out = *jobOut_;
-        for (;;) {
-            const u64 begin = cursor_.fetch_add(kBlockPairs,
-                                                std::memory_order_relaxed);
-            if (begin >= pairs.size())
-                break;
-            const u64 end =
-                std::min<u64>(pairs.size(), begin + kBlockPairs);
-            for (u64 i = begin; i < end; ++i) {
-                if (config_.useGenPair)
-                    out[i] = pipeline.mapPair(pairs[i]);
-                else
-                    out[i] = fallback.mapPair(pairs[i]);
-            }
-        }
-        perThread_[slot] = pipeline.stats();
-
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            if (--workersLeft_ == 0)
-                jobDone_.notify_one();
-        }
-    }
+    engine_ = std::make_unique<MapperEngine>(
+        config_.threads, [this](u32 /*slot*/) {
+            return std::make_unique<PairWorkerContext>(
+                ref_, map_, config_, sharedIndex_);
+        });
 }
 
 DriverResult
@@ -103,27 +56,36 @@ ParallelMapper::mapAll(const std::vector<genomics::ReadPair> &pairs)
 {
     DriverResult result;
     result.mappings.resize(pairs.size());
+    if (config_.recordTrace)
+        result.trace.resize(pairs.size());
 
-    util::Stopwatch watch;
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        jobPairs_ = &pairs;
-        jobOut_ = &result.mappings;
-        cursor_.store(0, std::memory_order_relaxed);
-        workersLeft_ = threads_;
-        ++jobSeq_;
-    }
-    jobReady_.notify_all();
-    {
-        std::unique_lock<std::mutex> lock(mu_);
-        jobDone_.wait(lock, [&] { return workersLeft_ == 0; });
-    }
-    result.seconds = watch.seconds();
-    result.pairsPerSec =
-        result.seconds > 0 ? pairs.size() / result.seconds : 0;
+    engine_->forEachContext([](WorkerContext &ctx) {
+        static_cast<PairWorkerContext &>(ctx).pipeline.resetStats();
+    });
 
-    for (const auto &st : perThread_)
-        result.stats += st;
+    const genomics::ReadPair *in = pairs.data();
+    genomics::PairMapping *out = result.mappings.data();
+    PairTraceRecord *trace =
+        config_.recordTrace ? result.trace.data() : nullptr;
+    const bool useGenPair = config_.useGenPair;
+
+    result.timing = engine_->run(
+        pairs.size(), [&](WorkerContext &wc, u64 begin, u64 end) {
+            auto &ctx = static_cast<PairWorkerContext &>(wc);
+            if (useGenPair) {
+                ctx.pipeline.mapBatch(in + begin, end - begin,
+                                      out + begin,
+                                      trace ? trace + begin : nullptr);
+            } else {
+                for (u64 i = begin; i < end; ++i)
+                    out[i] = ctx.fallback.mapPair(in[i]);
+            }
+        });
+
+    engine_->forEachContext([&](WorkerContext &ctx) {
+        result.stats +=
+            static_cast<PairWorkerContext &>(ctx).pipeline.stats();
+    });
     return result;
 }
 

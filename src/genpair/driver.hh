@@ -4,12 +4,12 @@
  * configuration of the paper's evaluation (§6), which runs the GenPair
  * pipeline on general-purpose cores with Minimap2-style DP fallback.
  *
- * The SeedMap and minimizer index are shared read-only. Workers are
- * persistent: each thread constructs its Mm2Lite fallback and
- * GenPairPipeline once, at pool start-up, and reuses them across
- * mapAll() calls — a streaming run of ten thousand chunks spawns
- * threads and builds engines exactly once. Within a call, workers pull
- * fixed-size blocks off an atomic cursor for load balance; mapping is
+ * A thin configuration layer over MapperEngine (engine.hh), which owns
+ * the persistent worker pool, the block cursor and the run timing.
+ * This driver contributes the per-worker engines (Mm2Lite fallback +
+ * GenPairPipeline, built once at pool start-up over the shared
+ * read-only index) and the block function: each claimed block runs as
+ * one SoA batch through the stage graph (stages.hh). Mapping is
  * per-pair pure and results land at the pair's input index, so output
  * is bit-identical to a serial run regardless of scheduling.
  */
@@ -17,15 +17,12 @@
 #ifndef GPX_GENPAIR_DRIVER_HH
 #define GPX_GENPAIR_DRIVER_HH
 
-#include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "baseline/mm2lite.hh"
+#include "genpair/engine.hh"
 #include "genpair/pipeline.hh"
 #include "genpair/seedmap.hh"
 #include "util/types.hh"
@@ -42,6 +39,14 @@ struct DriverConfig
     bool useGenPair = true; ///< false = pure MM2-lite baseline runs
 
     /**
+     * Record per-pair stage events (PairTraceRecord) for hwsim
+     * co-simulation; DriverResult::trace is filled 1:1 with the input
+     * when set. Off by default — tracing costs one extra SeedMap
+     * lookup per seed plus the record stores.
+     */
+    bool recordTrace = false;
+
+    /**
      * Light-align admission gate factory (paper SS8). Called once per
      * worker at pool start-up so each pipeline owns a thread-local gate
      * instance; empty = no gate. The workers start concurrently, so the
@@ -56,28 +61,17 @@ struct DriverConfig
 struct DriverResult
 {
     std::vector<genomics::PairMapping> mappings; ///< 1:1 with input
-    PipelineStats stats;   ///< aggregated across workers
-    /**
-     * Pure mapping wall time of this mapAll() call. One-time costs —
-     * thread spawn, per-worker engine construction — are paid at pool
-     * start-up and never charged here, so pairsPerSec is comparable
-     * across chunk sizes.
-     */
-    double seconds = 0;
-    double pairsPerSec = 0;
-
-    /** Throughput in Mbp/s for the given read length. */
-    double
-    mbpsFor(u32 read_len) const
-    {
-        return pairsPerSec * 2.0 * read_len / 1e6;
-    }
+    PipelineStats stats; ///< aggregated across workers
+    /** Pure mapping wall time of this mapAll() call (see RunTiming). */
+    RunTiming timing;
+    /** Per-pair stage events; 1:1 with input iff recordTrace was set. */
+    std::vector<PairTraceRecord> trace;
 };
 
 /**
- * Parallel paired-end mapping over a shared index, backed by a
- * persistent worker pool. Not itself thread-safe: one mapAll() at a
- * time (the workers inside it are the parallelism).
+ * Parallel paired-end mapping over a shared index, backed by the
+ * persistent MapperEngine pool. Not itself thread-safe: one mapAll()
+ * at a time (the workers inside it are the parallelism).
  */
 class ParallelMapper
 {
@@ -89,43 +83,19 @@ class ParallelMapper
      */
     ParallelMapper(const genomics::Reference &ref,
                    const SeedMapView &map, const DriverConfig &config);
-    ~ParallelMapper();
-
-    ParallelMapper(const ParallelMapper &) = delete;
-    ParallelMapper &operator=(const ParallelMapper &) = delete;
 
     /** Map all pairs; mappings[i] corresponds to pairs[i]. */
     DriverResult mapAll(const std::vector<genomics::ReadPair> &pairs);
 
-    u32 threads() const { return threads_; }
+    u32 threads() const { return engine_->threads(); }
 
   private:
-    /** Pairs a worker claims per cursor grab (load-balance grain). */
-    static constexpr u64 kBlockPairs = 64;
-
-    void workerLoop(u32 slot);
-
     const genomics::Reference &ref_;
     SeedMapView map_;
     DriverConfig config_;
-    u32 threads_;
     std::shared_ptr<const baseline::MinimizerIndex> sharedIndex_;
-
-    // Job hand-off: mapAll() publishes the job under mu_, bumps
-    // jobSeq_ and wakes the pool; workers race the shared cursor and
-    // the last one out signals completion.
-    std::mutex mu_;
-    std::condition_variable jobReady_;
-    std::condition_variable jobDone_;
-    u64 jobSeq_ = 0;
-    u32 workersReady_ = 0;
-    u32 workersLeft_ = 0;
-    bool shutdown_ = false;
-    const std::vector<genomics::ReadPair> *jobPairs_ = nullptr;
-    std::vector<genomics::PairMapping> *jobOut_ = nullptr;
-    std::atomic<u64> cursor_{ 0 };
-    std::vector<PipelineStats> perThread_;
-    std::vector<std::thread> workers_;
+    /** Built after sharedIndex_ (workers capture it); one pool. */
+    std::unique_ptr<MapperEngine> engine_;
 };
 
 } // namespace genpair

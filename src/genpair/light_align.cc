@@ -13,23 +13,15 @@ using genomics::CigarOp;
 using genomics::DnaView;
 
 LightResult
-LightAligner::alignWindow(const DnaView &read, const DnaView &window,
-                          u32 center) const
+LightAligner::evaluateHypotheses(u32 read_len, u32 center,
+                                 const std::vector<HammingMask> &masks,
+                                 const std::vector<u32> &prefix,
+                                 const std::vector<u32> &suffix) const
 {
-    const u32 n = static_cast<u32>(read.size());
+    const u32 n = read_len;
     const u32 e = params_.maxShift;
     const i32 minScore = params_.minScoreFor(n);
     LightResult best;
-
-    auto masks = align::shiftedMasks(read, window, center, e);
-
-    // Per-mask prefix/suffix lengths (the hardware computes these for all
-    // masks in parallel while streaming the read, §5.4).
-    std::vector<u32> prefix(masks.size()), suffix(masks.size());
-    for (std::size_t i = 0; i < masks.size(); ++i) {
-        prefix[i] = masks[i].onesPrefix();
-        suffix[i] = masks[i].onesSuffix();
-    }
 
     auto consider = [&](i32 score, GlobalPos rel_start, Cigar cigar) {
         if (score > best.score || !best.aligned) {
@@ -123,23 +115,85 @@ LightAligner::alignWindow(const DnaView &read, const DnaView &window,
 }
 
 LightResult
-LightAligner::align(const DnaView &read, GlobalPos candidate) const
+LightAligner::alignWindow(const DnaView &read, const DnaView &window,
+                          u32 center) const
 {
     const u32 n = static_cast<u32>(read.size());
-    const u32 e = params_.maxShift;
-    LightResult fail;
+    auto masks = align::shiftedMasks(read, window, center,
+                                     params_.maxShift);
 
+    // Per-mask prefix/suffix lengths (the hardware computes these for all
+    // masks in parallel while streaming the read, §5.4).
+    std::vector<u32> prefix(masks.size()), suffix(masks.size());
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+        prefix[i] = masks[i].onesPrefix();
+        suffix[i] = masks[i].onesSuffix();
+    }
+
+    return evaluateHypotheses(n, center, masks, prefix, suffix);
+}
+
+namespace {
+
+/** Window extent check shared by both align() forms. */
+inline bool
+windowFor(const genomics::Reference &ref, const DnaView &read,
+          GlobalPos candidate, u32 e, GlobalPos *wstart, u64 *wlen)
+{
     // The window must cover [candidate-e, candidate+n+e) inside one
     // chromosome; otherwise the pair falls back to DP.
     if (candidate < e)
-        return fail;
-    GlobalPos wstart = candidate - e;
-    u64 wlen = static_cast<u64>(n) + 2 * e;
-    if (!ref_.windowValid(wstart, wlen))
-        return fail;
+        return false;
+    *wstart = candidate - e;
+    *wlen = static_cast<u64>(read.size()) + 2 * e;
+    return ref.windowValid(*wstart, *wlen);
+}
+
+} // namespace
+
+LightResult
+LightAligner::align(const DnaView &read, GlobalPos candidate) const
+{
+    const u32 e = params_.maxShift;
+    GlobalPos wstart = 0;
+    u64 wlen = 0;
+    if (!windowFor(ref_, read, candidate, e, &wstart, &wlen))
+        return {};
 
     DnaView window = ref_.windowView(wstart, wlen);
     LightResult res = alignWindow(read, window, e);
+    if (res.aligned)
+        res.pos = wstart + res.pos; // window-relative -> global
+    return res;
+}
+
+LightResult
+LightAligner::align(const DnaView &read, GlobalPos candidate,
+                    LightAlignScratch &scratch) const
+{
+    const u32 e = params_.maxShift;
+    GlobalPos wstart = 0;
+    u64 wlen = 0;
+    if (!windowFor(ref_, read, candidate, e, &wstart, &wlen))
+        return {};
+
+    if (!scratch.readValid) {
+        scratch.read.assign(read);
+        scratch.readValid = true;
+    }
+    scratch.window.assign(ref_.windowView(wstart, wlen));
+    align::shiftedMasksInto(scratch.read, scratch.window, e, e,
+                            scratch.masks);
+    scratch.prefix.resize(scratch.masks.size());
+    scratch.suffix.resize(scratch.masks.size());
+    for (std::size_t i = 0; i < scratch.masks.size(); ++i) {
+        scratch.prefix[i] = scratch.masks[i].onesPrefix();
+        scratch.suffix[i] = scratch.masks[i].onesSuffix();
+    }
+
+    LightResult res =
+        evaluateHypotheses(static_cast<u32>(read.size()), e,
+                           scratch.masks, scratch.prefix, scratch.suffix);
     if (res.aligned)
         res.pos = wstart + res.pos; // window-relative -> global
     return res;

@@ -86,6 +86,27 @@ class LightAlignGate
                        GlobalPos candidate) = 0;
 };
 
+/**
+ * Reusable scratch for repeated light alignments. The batched
+ * LightAlignStage attempts ~11.6 alignments per pair (paper §7.2), each
+ * needing bit planes for read and window plus 2e+1 Hamming masks;
+ * without scratch every attempt pays ~17 heap allocations. The read's
+ * planes are additionally cached across the candidates of one pair
+ * side: call invalidateRead() whenever the read changes.
+ */
+struct LightAlignScratch
+{
+    align::BitPlanes read;
+    align::BitPlanes window;
+    std::vector<align::HammingMask> masks;
+    std::vector<u32> prefix;
+    std::vector<u32> suffix;
+    bool readValid = false;
+
+    /** Mark the cached read planes stale (the read changed). */
+    void invalidateRead() { readValid = false; }
+};
+
 /** The Light Alignment engine. */
 class LightAligner
 {
@@ -107,6 +128,14 @@ class LightAligner
                       GlobalPos candidate) const;
 
     /**
+     * Scratch-reusing form of align(): bit-identical result, no heap
+     * allocation once @p scratch is warm. @p scratch must have been
+     * invalidated (or used with the same read) since the read changed.
+     */
+    LightResult align(const genomics::DnaView &read, GlobalPos candidate,
+                      LightAlignScratch &scratch) const;
+
+    /**
      * Core mask-based alignment of @p read against @p window whose
      * position @p center corresponds to the candidate start (the window
      * must extend maxShift bases on each side). Exposed for unit tests
@@ -117,6 +146,16 @@ class LightAligner
                             u32 center) const;
 
   private:
+    /**
+     * Hypothesis evaluation over precomputed masks and their
+     * prefix/suffix runs — the shared core of both alignWindow forms.
+     */
+    LightResult evaluateHypotheses(
+        u32 read_len, u32 center,
+        const std::vector<align::HammingMask> &masks,
+        const std::vector<u32> &prefix,
+        const std::vector<u32> &suffix) const;
+
     const genomics::Reference &ref_;
     LightAlignParams params_;
 };

@@ -144,5 +144,72 @@ LongReadMapper::mapRead(const Read &read)
     return best;
 }
 
+namespace {
+
+/** Per-worker long-read engines (DP + voting mapper). */
+struct LongReadWorkerContext : WorkerContext
+{
+    baseline::Mm2Lite dp;
+    LongReadMapper mapper;
+
+    LongReadWorkerContext(
+        const genomics::Reference &ref, const SeedMapView &map,
+        const LongReadParams &params,
+        const baseline::Mm2LiteParams &dp_params,
+        std::shared_ptr<const baseline::MinimizerIndex> index)
+        : dp(ref, dp_params, std::move(index)),
+          mapper(ref, map, params, &dp)
+    {
+    }
+};
+
+} // namespace
+
+LongReadDriver::LongReadDriver(const genomics::Reference &ref,
+                               const SeedMapView &map,
+                               const LongReadParams &params,
+                               const baseline::Mm2LiteParams &dp_params,
+                               u32 threads)
+    : ref_(ref), map_(map), params_(params), dpParams_(dp_params)
+{
+    sharedIndex_ = std::make_shared<const baseline::MinimizerIndex>(
+        ref, dpParams_.minimizers);
+    engine_ = std::make_unique<MapperEngine>(
+        threads,
+        [this](u32 /*slot*/) {
+            return std::make_unique<LongReadWorkerContext>(
+                ref_, map_, params_, dpParams_, sharedIndex_);
+        },
+        // Long reads are ~60x the work of a short pair; a finer grain
+        // keeps the cursor balanced.
+        /*block_items=*/4);
+}
+
+LongReadResult
+LongReadDriver::mapAll(const std::vector<genomics::Read> &reads)
+{
+    LongReadResult result;
+    result.mappings.resize(reads.size());
+
+    engine_->forEachContext([](WorkerContext &ctx) {
+        static_cast<LongReadWorkerContext &>(ctx).mapper.resetStats();
+    });
+
+    const genomics::Read *in = reads.data();
+    genomics::Mapping *out = result.mappings.data();
+    result.timing = engine_->run(
+        reads.size(), [&](WorkerContext &wc, u64 begin, u64 end) {
+            auto &ctx = static_cast<LongReadWorkerContext &>(wc);
+            for (u64 i = begin; i < end; ++i)
+                out[i] = ctx.mapper.mapRead(in[i]);
+        });
+
+    engine_->forEachContext([&](WorkerContext &ctx) {
+        result.stats +=
+            static_cast<LongReadWorkerContext &>(ctx).mapper.stats();
+    });
+    return result;
+}
+
 } // namespace genpair
 } // namespace gpx

@@ -14,8 +14,12 @@
 #ifndef GPX_GENPAIR_LONGREAD_HH
 #define GPX_GENPAIR_LONGREAD_HH
 
+#include <memory>
+#include <vector>
+
 #include "baseline/mm2lite.hh"
 #include "genomics/readpair.hh"
+#include "genpair/engine.hh"
 #include "genpair/pafilter.hh"
 #include "genpair/seeder.hh"
 #include "genpair/seedmap.hh"
@@ -46,6 +50,20 @@ struct LongReadStats
     u64 votes = 0;
     u64 dpCells = 0;
     QueryWork query;
+
+    /** Single accumulation point for every long-read stats merge. */
+    LongReadStats &
+    operator+=(const LongReadStats &other)
+    {
+        readsTotal += other.readsTotal;
+        mapped += other.mapped;
+        unmapped += other.unmapped;
+        pseudoPairs += other.pseudoPairs;
+        votes += other.votes;
+        dpCells += other.dpCells;
+        query += other.query;
+        return *this;
+    }
 };
 
 /** Long-read mapper built from GenPair stages plus DP alignment. */
@@ -60,6 +78,7 @@ class LongReadMapper
     genomics::Mapping mapRead(const genomics::Read &read);
 
     const LongReadStats &stats() const { return stats_; }
+    void resetStats() { stats_ = {}; }
 
   private:
     /** Candidate read starts (bucketed votes) for one orientation. */
@@ -76,6 +95,46 @@ class LongReadMapper
     PartitionedSeeder seeder_;
     baseline::Mm2Lite *dp_;
     LongReadStats stats_;
+};
+
+/** Result of a parallel long-read batch. */
+struct LongReadResult
+{
+    std::vector<genomics::Mapping> mappings; ///< 1:1 with input reads
+    LongReadStats stats; ///< aggregated across workers
+    RunTiming timing;    ///< filled by MapperEngine
+};
+
+/**
+ * Parallel long-read mapping: the third thin configuration layer over
+ * MapperEngine. Per-worker contexts own an Mm2Lite DP engine (over one
+ * shared MinimizerIndex) plus a LongReadMapper; mapping is per-read
+ * pure and results land at input index, so output is bit-identical to
+ * a serial LongReadMapper loop for any thread count.
+ */
+class LongReadDriver
+{
+  public:
+    /**
+     * @param threads Worker count; 0 = hardware concurrency.
+     */
+    LongReadDriver(const genomics::Reference &ref, const SeedMapView &map,
+                   const LongReadParams &params,
+                   const baseline::Mm2LiteParams &dp_params = {},
+                   u32 threads = 0);
+
+    /** Map all reads; mappings[i] corresponds to reads[i]. */
+    LongReadResult mapAll(const std::vector<genomics::Read> &reads);
+
+    u32 threads() const { return engine_->threads(); }
+
+  private:
+    const genomics::Reference &ref_;
+    SeedMapView map_;
+    LongReadParams params_;
+    baseline::Mm2LiteParams dpParams_;
+    std::shared_ptr<const baseline::MinimizerIndex> sharedIndex_;
+    std::unique_ptr<MapperEngine> engine_;
 };
 
 } // namespace genpair

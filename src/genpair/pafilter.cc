@@ -10,21 +10,30 @@ queryCandidates(const SeedMapView &map, const ReadSeeds &seeds,
                 QueryWork &work)
 {
     std::vector<GlobalPos> candidates;
+    queryCandidatesInto(map, seeds, work, candidates);
+    return candidates;
+}
+
+std::size_t
+queryCandidatesInto(const SeedMapView &map, const ReadSeeds &seeds,
+                    QueryWork &work, std::vector<GlobalPos> &out)
+{
+    const std::size_t start = out.size();
     for (const Seed &seed : seeds) {
         ++work.seedLookups;
         auto span = map.lookup(seed.hash);
         work.locationsFetched += span.size();
         for (u32 loc : span) {
             if (loc >= seed.offsetInRead)
-                candidates.push_back(loc - seed.offsetInRead);
+                out.push_back(loc - seed.offsetInRead);
         }
     }
     // Three sorted lists concatenated; sort + dedupe. The hardware merges
     // the pre-sorted lists on the fly (§4.4); the result is identical.
-    std::sort(candidates.begin(), candidates.end());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                     candidates.end());
-    return candidates;
+    auto begin = out.begin() + static_cast<std::ptrdiff_t>(start);
+    std::sort(begin, out.end());
+    out.erase(std::unique(begin, out.end()), out.end());
+    return out.size() - start;
 }
 
 std::vector<CandidatePair>
@@ -33,22 +42,34 @@ pairedAdjacencyFilter(const std::vector<GlobalPos> &left,
                       QueryWork &work)
 {
     std::vector<CandidatePair> out;
+    pairedAdjacencyFilterInto(left.data(), left.size(), right.data(),
+                              right.size(), delta, work, out);
+    return out;
+}
+
+std::size_t
+pairedAdjacencyFilterInto(const GlobalPos *left, std::size_t left_count,
+                          const GlobalPos *right, std::size_t right_count,
+                          u32 delta, QueryWork &work,
+                          std::vector<CandidatePair> &out)
+{
+    const std::size_t start = out.size();
     std::size_t j = 0;
-    for (std::size_t i = 0; i < left.size(); ++i) {
+    for (std::size_t i = 0; i < left_count; ++i) {
         // Advance the right cursor to the first candidate >= left[i].
-        while (j < right.size() && right[j] < left[i]) {
+        while (j < right_count && right[j] < left[i]) {
             ++j;
             ++work.filterIterations;
         }
         // Emit every right candidate within the delta window.
-        for (std::size_t t = j; t < right.size(); ++t) {
+        for (std::size_t t = j; t < right_count; ++t) {
             ++work.filterIterations;
             if (right[t] - left[i] > delta)
                 break;
             out.push_back({ left[i], right[t] });
         }
     }
-    return out;
+    return out.size() - start;
 }
 
 } // namespace genpair

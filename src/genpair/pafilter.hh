@@ -47,6 +47,17 @@ std::vector<GlobalPos> queryCandidates(const SeedMapView &map,
                                        const ReadSeeds &seeds,
                                        QueryWork &work);
 
+/**
+ * queryCandidates() appending into @p out (whose storage is reused
+ * across calls): the candidates are appended at the tail, then that
+ * appended range alone is sorted and deduplicated. Returns how many
+ * candidates remain appended. The CSR-batched QueryStage packs every
+ * lane of a PairBatch into one growing vector through this form.
+ */
+std::size_t queryCandidatesInto(const SeedMapView &map,
+                                const ReadSeeds &seeds, QueryWork &work,
+                                std::vector<GlobalPos> &out);
+
 /** One candidate pair position that survived the adjacency filter. */
 struct CandidatePair
 {
@@ -66,6 +77,19 @@ struct CandidatePair
 std::vector<CandidatePair> pairedAdjacencyFilter(
     const std::vector<GlobalPos> &left, const std::vector<GlobalPos> &right,
     u32 delta, QueryWork &work);
+
+/**
+ * pairedAdjacencyFilter() over raw spans, appending into @p out (reused
+ * storage). Returns how many candidate pairs were appended. Span form
+ * because the batched PaFilterStage reads its inputs out of one CSR
+ * candidate store rather than per-pair vectors.
+ */
+std::size_t pairedAdjacencyFilterInto(const GlobalPos *left,
+                                      std::size_t left_count,
+                                      const GlobalPos *right,
+                                      std::size_t right_count, u32 delta,
+                                      QueryWork &work,
+                                      std::vector<CandidatePair> &out);
 
 } // namespace genpair
 } // namespace gpx

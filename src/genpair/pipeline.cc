@@ -1,15 +1,13 @@
 #include "genpair/pipeline.hh"
 
-#include <algorithm>
+#include <ostream>
 
+#include "genpair/stages.hh"
 #include "util/logging.hh"
 
 namespace gpx {
 namespace genpair {
 
-using genomics::DnaSequence;
-using genomics::Mapping;
-using genomics::MappingPath;
 using genomics::PairMapping;
 using genomics::ReadPair;
 
@@ -25,190 +23,54 @@ GenPairPipeline::GenPairPipeline(const genomics::Reference &ref,
 PairMapping
 GenPairPipeline::mapPair(const ReadPair &pair)
 {
-    ++stats_.pairsTotal;
-
-    // Oriented queries: a proper FR pair has one read forward (left) and
-    // the other reverse-complemented (right).
-    DnaSequence r1f = pair.first.seq;
-    DnaSequence r1r = pair.first.seq.revComp();
-    DnaSequence r2f = pair.second.seq;
-    DnaSequence r2r = pair.second.seq.revComp();
-
-    Oriented orients[2] = {
-        { &r1f, &r2r, true, {} },  // fragment on the forward strand
-        { &r2f, &r1r, false, {} }, // fragment on the reverse strand
-    };
-
-    u64 totalLocations = 0;
-    for (auto &o : orients) {
-        auto leftCands =
-            queryCandidates(map_, seeder_.extract(*o.left), stats_.query);
-        auto rightCands =
-            queryCandidates(map_, seeder_.extract(*o.right), stats_.query);
-        totalLocations += leftCands.size() + rightCands.size();
-        o.cands = pairedAdjacencyFilter(leftCands, rightCands,
-                                        params_.delta, stats_.query);
-        stats_.candidatePairs += o.cands.size();
-    }
-
-    auto fullDp = [&](u64 &counter) -> PairMapping {
-        ++counter;
-        if (!fallback_) {
-            ++stats_.unmapped;
-            PairMapping out;
-            out.path = MappingPath::Unmapped;
-            return out;
-        }
-        PairMapping out = fallback_->mapPair(pair);
-        out.path = MappingPath::FullDpFallback;
-        if (out.bothMapped() || out.first.mapped || out.second.mapped)
-            ++stats_.fullDpMapped;
-        else
-            ++stats_.unmapped;
-        return out;
-    };
-
-    // Fallback exit 1: the SeedMap query produced no location at all.
-    if (totalLocations == 0)
-        return fullDp(stats_.seedMissFallback);
-
-    // Fallback exit 2: no candidate pair within delta.
-    if (orients[0].cands.empty() && orients[1].cands.empty())
-        return fullDp(stats_.paFilterFallback);
-
-    // Light Alignment over the surviving candidates.
-    struct Best
-    {
-        bool found = false;
-        i64 score = 0;
-        LightResult left;
-        LightResult right;
-        bool read1IsLeft = true;
-    } best;
-
-    for (const auto &o : orients) {
-        u32 budget = params_.maxCandidatePairs;
-        for (const auto &cand : o.cands) {
-            if (budget-- == 0)
-                break;
-            if (gate_ && !gate_->admit(*o.left, cand.leftStart)) {
-                ++stats_.gateRejected;
-                continue;
-            }
-            LightResult la = light_.align(*o.left, cand.leftStart);
-            ++stats_.lightAlignsAttempted;
-            stats_.lightHypotheses += la.hypothesesTried;
-            if (!la.aligned)
-                continue;
-            if (gate_ && !gate_->admit(*o.right, cand.rightStart)) {
-                ++stats_.gateRejected;
-                continue;
-            }
-            LightResult ra = light_.align(*o.right, cand.rightStart);
-            ++stats_.lightAlignsAttempted;
-            stats_.lightHypotheses += ra.hypothesesTried;
-            if (!ra.aligned)
-                continue;
-            i64 score = static_cast<i64>(la.score) + ra.score;
-            if (!best.found || score > best.score) {
-                best.found = true;
-                best.score = score;
-                best.left = la;
-                best.right = ra;
-                best.read1IsLeft = o.read1IsLeft;
-            }
-        }
-    }
-
-    if (best.found) {
-        ++stats_.lightAligned;
-        PairMapping out;
-        out.path = MappingPath::LightAligned;
-        Mapping leftMap, rightMap;
-        leftMap.mapped = true;
-        leftMap.pos = best.left.pos;
-        leftMap.score = best.left.score;
-        leftMap.cigar = best.left.cigar;
-        leftMap.reverse = false;
-        rightMap.mapped = true;
-        rightMap.pos = best.right.pos;
-        rightMap.score = best.right.score;
-        rightMap.cigar = best.right.cigar;
-        rightMap.reverse = true;
-        if (best.read1IsLeft) {
-            out.first = std::move(leftMap);
-            out.second = std::move(rightMap);
-        } else {
-            // Orientation B: read 2 maps forward, read 1 reverse.
-            leftMap.reverse = false;
-            rightMap.reverse = true;
-            out.second = std::move(leftMap);
-            out.first = std::move(rightMap);
-        }
-        return out;
-    }
-
-    // Fallback exit 3: light alignment rejected every candidate; DP-align
-    // at the known candidate positions (no seeding/chaining needed).
-    ++stats_.lightAlignFallback;
-    if (!fallback_) {
-        ++stats_.unmapped;
-        PairMapping out;
-        out.path = MappingPath::Unmapped;
-        return out;
-    }
-
-    struct DpBest
-    {
-        bool found = false;
-        i64 score = 0;
-        Mapping left;
-        Mapping right;
-        bool read1IsLeft = true;
-    } dpBest;
-
-    for (const auto &o : orients) {
-        u32 budget = std::max<u32>(4, params_.maxCandidatePairs / 4);
-        for (const auto &cand : o.cands) {
-            if (budget-- == 0)
-                break;
-            Mapping lm = fallback_->alignAt(*o.left, cand.leftStart,
-                                            params_.dpSlack);
-            if (!lm.mapped || lm.score < params_.minDpScore)
-                continue;
-            Mapping rm = fallback_->alignAt(*o.right, cand.rightStart,
-                                            params_.dpSlack);
-            if (!rm.mapped || rm.score < params_.minDpScore)
-                continue;
-            i64 score = static_cast<i64>(lm.score) + rm.score;
-            if (!dpBest.found || score > dpBest.score) {
-                dpBest.found = true;
-                dpBest.score = score;
-                dpBest.left = std::move(lm);
-                dpBest.right = std::move(rm);
-                dpBest.read1IsLeft = o.read1IsLeft;
-            }
-        }
-    }
-
     PairMapping out;
-    if (dpBest.found) {
-        ++stats_.dpAligned;
-        out.path = MappingPath::DpAlignFallback;
-        dpBest.left.reverse = false;
-        dpBest.right.reverse = true;
-        if (dpBest.read1IsLeft) {
-            out.first = std::move(dpBest.left);
-            out.second = std::move(dpBest.right);
-        } else {
-            out.second = std::move(dpBest.left);
-            out.first = std::move(dpBest.right);
-        }
-    } else {
-        ++stats_.unmapped;
-        out.path = MappingPath::Unmapped;
-    }
+    mapBatch(&pair, 1, &out, nullptr);
     return out;
+}
+
+void
+GenPairPipeline::mapBatch(const ReadPair *pairs, u64 n, PairMapping *out,
+                          PairTraceRecord *trace)
+{
+    if (n == 0)
+        return;
+    StageContext ctx{ ref_,  map_,      params_,   seeder_,
+                      light_, gate_,    fallback_, stats_ };
+    batch_.bind(pairs, n, out, trace);
+    runStageGraph(ctx, batch_);
+}
+
+void
+PipelineStats::writeJson(std::ostream &os) const
+{
+    os << "{\n"
+       << "  \"pairs_total\": " << pairsTotal << ",\n"
+       << "  \"light_aligned\": " << lightAligned << ",\n"
+       << "  \"dp_aligned\": " << dpAligned << ",\n"
+       << "  \"seed_miss_fallback\": " << seedMissFallback << ",\n"
+       << "  \"pa_filter_fallback\": " << paFilterFallback << ",\n"
+       << "  \"light_align_fallback\": " << lightAlignFallback << ",\n"
+       << "  \"full_dp_mapped\": " << fullDpMapped << ",\n"
+       << "  \"unmapped\": " << unmapped << ",\n"
+       << "  \"candidate_pairs\": " << candidatePairs << ",\n"
+       << "  \"light_aligns_attempted\": " << lightAlignsAttempted
+       << ",\n"
+       << "  \"light_hypotheses\": " << lightHypotheses << ",\n"
+       << "  \"gate_rejected\": " << gateRejected << ",\n"
+       << "  \"query\": {\"seed_lookups\": " << query.seedLookups
+       << ", \"locations_fetched\": " << query.locationsFetched
+       << ", \"filter_iterations\": " << query.filterIterations
+       << "},\n"
+       << "  \"stages\": {\n";
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+        const StageCounters &c = stage[s];
+        os << "    \"" << stageName(static_cast<StageId>(s))
+           << "\": {\"batches\": " << c.batches
+           << ", \"items_in\": " << c.itemsIn
+           << ", \"items_out\": " << c.itemsOut << "}"
+           << (s + 1 < kNumStages ? "," : "") << "\n";
+    }
+    os << "  }\n}\n";
 }
 
 } // namespace genpair

@@ -18,6 +18,7 @@
 #ifndef GPX_GENPAIR_PIPELINE_HH
 #define GPX_GENPAIR_PIPELINE_HH
 
+#include <iosfwd>
 #include <vector>
 
 #include "baseline/mm2lite.hh"
@@ -26,6 +27,7 @@
 #include "genpair/pafilter.hh"
 #include "genpair/seeder.hh"
 #include "genpair/seedmap.hh"
+#include "genpair/stages.hh"
 #include "util/types.hh"
 
 namespace gpx {
@@ -63,6 +65,15 @@ struct PipelineStats
     u64 lightHypotheses = 0;
     u64 gateRejected = 0; ///< candidates dropped by the SS8 gate
 
+    /** Per-stage visit counters of the stage graph (stages.hh). */
+    std::array<StageCounters, kNumStages> stage{};
+
+    const StageCounters &
+    stageCounters(StageId id) const
+    {
+        return stage[static_cast<std::size_t>(id)];
+    }
+
     /**
      * Merge another worker's (or chunk's) counters into this one. The
      * single accumulation point for every stats merge in the tree —
@@ -85,8 +96,16 @@ struct PipelineStats
         lightAlignsAttempted += other.lightAlignsAttempted;
         lightHypotheses += other.lightHypotheses;
         gateRejected += other.gateRejected;
+        for (std::size_t s = 0; s < kNumStages; ++s)
+            stage[s] += other.stage[s];
         return *this;
     }
+
+    /**
+     * Machine-readable form: every counter above plus the per-stage
+     * visit counters, as one JSON object (gpx_map --stats-json).
+     */
+    void writeJson(std::ostream &os) const;
 
     double
     fraction(u64 value) const
@@ -122,8 +141,24 @@ class GenPairPipeline
                     const SeedMapView &map, const GenPairParams &params,
                     baseline::Mm2Lite *fallback);
 
-    /** Map one pair through the full Fig. 3 pipeline. */
+    /**
+     * Map one pair through the full Fig. 3 pipeline. A batch-of-one
+     * through the stage graph; kept so every historical call site (and
+     * the golden-corpus digest) is untouched by the batched engine.
+     */
     genomics::PairMapping mapPair(const genomics::ReadPair &pair);
+
+    /**
+     * Map @p n pairs through the batched stage graph: out[i] is the
+     * mapping of pairs[i]. Bit-identical to calling mapPair() per pair
+     * (stats included); the batch form exists for throughput — SoA
+     * lanes and scratch reuse across the whole batch. When @p trace is
+     * non-null it must hold @p n records; each pair's stage events are
+     * recorded for hwsim co-simulation (see stages.hh).
+     */
+    void mapBatch(const genomics::ReadPair *pairs, u64 n,
+                  genomics::PairMapping *out,
+                  PairTraceRecord *trace = nullptr);
 
     /**
      * Install an admission gate ahead of Light Alignment (paper SS8;
@@ -139,15 +174,6 @@ class GenPairPipeline
     const GenPairParams &params() const { return params_; }
 
   private:
-    struct Oriented
-    {
-        /** Left/right queries in forward-reference orientation. */
-        const genomics::DnaSequence *left;
-        const genomics::DnaSequence *right;
-        bool read1IsLeft;
-        std::vector<CandidatePair> cands;
-    };
-
     const genomics::Reference &ref_;
     SeedMapView map_;
     GenPairParams params_;
@@ -156,6 +182,8 @@ class GenPairPipeline
     LightAlignGate *gate_ = nullptr;
     baseline::Mm2Lite *fallback_;
     PipelineStats stats_;
+    /** Reused across mapBatch()/mapPair() calls (scratch persistence). */
+    PairBatch batch_;
 };
 
 } // namespace genpair

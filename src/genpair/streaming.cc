@@ -76,14 +76,18 @@ StreamingMapper::StreamingMapper(const genomics::Reference &ref,
                                  const DriverConfig &config,
                                  u64 chunk_pairs)
     : ref_(ref), mapper_(ref, map, config),
-      chunkPairs_(chunk_pairs == 0 ? 1 : chunk_pairs)
+      chunkPairs_(chunk_pairs == 0 ? 1 : chunk_pairs),
+      traceEnabled_(config.recordTrace)
 {
 }
 
 StreamingResult
 StreamingMapper::run(std::istream &r1, std::istream &r2,
-                     genomics::SamWriter &sam)
+                     genomics::SamWriter &sam,
+                     const TraceSink &trace_sink)
 {
+    gpx_assert(!trace_sink || traceEnabled_,
+               "trace sink needs DriverConfig::recordTrace");
     StreamingResult result;
     util::Stopwatch watch;
 
@@ -133,12 +137,17 @@ StreamingMapper::run(std::istream &r1, std::istream &r2,
     });
 
     // Mapper (this thread): the pool's workers are the parallelism.
+    // Chunks flow through here in input order, so the trace sink sees
+    // stage events exactly as a serial run would emit them.
+    double mapSeconds = 0;
     while (auto batch = parsed.pop()) {
         DriverResult res = mapper_.mapAll(batch->pairs);
         result.stats += res.stats;
-        result.mapSeconds += res.seconds;
+        mapSeconds += res.timing.seconds;
         result.pairs += batch->pairs.size();
         ++result.chunks;
+        if (trace_sink)
+            trace_sink(res.trace.data(), res.trace.size());
         batch->mappings = std::move(res.mappings);
         mapped.push(std::move(*batch));
     }
@@ -147,9 +156,8 @@ StreamingMapper::run(std::istream &r1, std::istream &r2,
     reader.join();
     writer.join();
 
-    result.seconds = watch.seconds();
-    result.pairsPerSec =
-        result.seconds > 0 ? result.pairs / result.seconds : 0;
+    result.total = RunTiming::of(result.pairs, watch.seconds());
+    result.mapping = RunTiming::of(result.pairs, mapSeconds);
     return result;
 }
 

@@ -19,6 +19,7 @@
 #ifndef GPX_GENPAIR_STREAMING_HH
 #define GPX_GENPAIR_STREAMING_HH
 
+#include <functional>
 #include <iosfwd>
 
 #include "genomics/fasta.hh"
@@ -34,18 +35,24 @@ struct StreamingResult
     u64 pairs = 0;
     u64 chunks = 0;
     PipelineStats stats; ///< aggregated over all chunks
-    /** End-to-end wall time including FASTQ parse and SAM drain. */
-    double seconds = 0;
-    /** Pure mapping wall time summed over chunks (see DriverResult). */
-    double mapSeconds = 0;
-    /** End-to-end throughput (pairs / seconds). */
-    double pairsPerSec = 0;
+    /** End-to-end timing including FASTQ parse and SAM drain. */
+    RunTiming total;
+    /** Pure mapping time summed over chunks (see RunTiming). */
+    RunTiming mapping;
 };
 
 /** Chunked mapping driver over the shared SeedMap. */
 class StreamingMapper
 {
   public:
+    /**
+     * Consumer of recorded per-pair stage events, invoked on the
+     * mapping thread once per chunk, in input order (the hand-off to
+     * `gpx_map --trace`). Requires DriverConfig::recordTrace.
+     */
+    using TraceSink =
+        std::function<void(const PairTraceRecord *records, u64 count)>;
+
     /**
      * @param map Non-owning SeedMap view (owning or mmap-backed; the
      *            backing storage must outlive the mapper).
@@ -59,14 +66,18 @@ class StreamingMapper
      * Map all pairs from @p r1/@p r2 (same-order FASTQ streams) and
      * write records through @p sam. Fatal error — naming the stream
      * that ended early — if the streams yield different record counts.
+     * @p trace_sink (optional) receives each chunk's stage-event
+     * records; the driver must have been configured with recordTrace.
      */
     StreamingResult run(std::istream &r1, std::istream &r2,
-                        genomics::SamWriter &sam);
+                        genomics::SamWriter &sam,
+                        const TraceSink &trace_sink = nullptr);
 
   private:
     const genomics::Reference &ref_;
     ParallelMapper mapper_;
     u64 chunkPairs_;
+    bool traceEnabled_;
 };
 
 } // namespace genpair

@@ -1,0 +1,129 @@
+#include "hwsim/trace_adapter.hh"
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace gpx {
+namespace hwsim {
+
+namespace {
+
+const char kMagic[] = "# gpx-stage-trace v1";
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+} // namespace
+
+WorkloadProfile
+RecordedRun::profile(u32 read_len, double chain_cells_per_fallback,
+                     double align_cells_per_dp_pair) const
+{
+    return WorkloadProfile::fromStats(stats, read_len,
+                                      chain_cells_per_fallback,
+                                      align_cells_per_dp_pair,
+                                      avgLocationsPerSeed);
+}
+
+void
+writeTraceHeader(std::ostream &os, u32 table_bits)
+{
+    os << kMagic << '\n' << "# tableBits " << table_bits << '\n';
+}
+
+bool
+loadRecordedRun(std::istream &is, RecordedRun *out, std::string *error)
+{
+    *out = RecordedRun{};
+    std::string line;
+    if (!std::getline(is, line) || line != kMagic)
+        return fail(error, "not a gpx-stage-trace v1 file");
+
+    bool haveTableBits = false;
+    u64 totalLocs = 0;
+    u64 totalSeeds = 0;
+    u64 lineNo = 1;
+
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            std::istringstream hdr(line);
+            std::string hash, key;
+            hdr >> hash >> key;
+            if (key == "tableBits") {
+                if (!(hdr >> out->tableBits) || out->tableBits == 0 ||
+                    out->tableBits > 31)
+                    return fail(error, "line " + std::to_string(lineNo) +
+                                           ": bad tableBits");
+                haveTableBits = true;
+            }
+            continue; // unknown comment keys are forward-compatible
+        }
+        if (line[0] != 'P')
+            return fail(error, "line " + std::to_string(lineNo) +
+                                   ": expected a P record");
+        if (!haveTableBits)
+            return fail(error,
+                        "tableBits header must precede the records");
+
+        std::istringstream rec(line.substr(1));
+        PairTrace trace{};
+        const u32 mask = (1u << out->tableBits) - 1;
+        for (std::size_t s = 0; s < 6; ++s) {
+            u64 hash = 0, count = 0;
+            if (!(rec >> hash >> count))
+                return fail(error, "line " + std::to_string(lineNo) +
+                                       ": truncated seed stream");
+            trace[s] = { static_cast<u32>(hash) & mask,
+                         static_cast<u32>(count), 0 };
+            totalLocs += count;
+            ++totalSeeds;
+        }
+        u32 route = 0;
+        u64 filterIters = 0, lightAligns = 0;
+        if (!(rec >> route >> filterIters >> lightAligns))
+            return fail(error, "line " + std::to_string(lineNo) +
+                                   ": truncated record tail");
+
+        genpair::PipelineStats &st = out->stats;
+        ++st.pairsTotal;
+        switch (static_cast<genpair::PairRoute>(route)) {
+        case genpair::PairRoute::LightAligned:
+            ++st.lightAligned;
+            break;
+        case genpair::PairRoute::LightFallback:
+            ++st.lightAlignFallback;
+            break;
+        case genpair::PairRoute::SeedMiss:
+            ++st.seedMissFallback;
+            break;
+        case genpair::PairRoute::PaMiss:
+            ++st.paFilterFallback;
+            break;
+        default:
+            return fail(error, "line " + std::to_string(lineNo) +
+                                   ": bad route " +
+                                   std::to_string(route));
+        }
+        st.query.filterIterations += filterIters;
+        st.lightAlignsAttempted += lightAligns;
+        out->traces.push_back(trace);
+    }
+
+    if (out->traces.empty())
+        return fail(error, "trace holds no pair records");
+    out->avgLocationsPerSeed =
+        static_cast<double>(totalLocs) / static_cast<double>(totalSeeds);
+    return true;
+}
+
+} // namespace hwsim
+} // namespace gpx

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Recorded-trace adapter: feed the hardware models from a real
+ * software run instead of the synthetic workload generator.
+ *
+ * `gpx_map --trace FILE` records one PairTraceRecord per mapped pair
+ * (the orientation-A seed stream with Location Table list lengths,
+ * plus the Fig. 10 routing and the per-pair filter/light-align work).
+ * This adapter parses that file back into
+ *  - the NMSL replay stream (`std::vector<PairTrace>` for
+ *    NmslSim::run, exactly what hwsim::buildWorkload() synthesizes),
+ *  - a PipelineStats aggregate rebuilt from the recorded events, and
+ *  - a WorkloadProfile (the paper's §7.2 software-profiling
+ *    methodology) for PipelineModel::design / throughputUnder.
+ *
+ * Trace text format (gpx-stage-trace v1):
+ *
+ *   # gpx-stage-trace v1
+ *   # tableBits <B>
+ *   P h0 c0 h1 c1 h2 c2 h3 c3 h4 c4 h5 c5 route filterIters lightAligns
+ *   ...
+ *
+ * Seed hashes are recorded unmasked; the adapter applies the image's
+ * tableBits mask the way buildWorkload() does. route is the
+ * genpair::PairRoute value (1 = light aligned, 2 = light fallback,
+ * 3 = seed miss, 4 = PA miss).
+ */
+
+#ifndef GPX_HWSIM_TRACE_ADAPTER_HH
+#define GPX_HWSIM_TRACE_ADAPTER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "genpair/pipeline.hh"
+#include "genpair/stages.hh"
+#include "hwsim/module_models.hh"
+#include "hwsim/nmsl.hh"
+#include "util/types.hh"
+
+namespace gpx {
+namespace hwsim {
+
+/** A recorded software run, ready to drive the hardware models. */
+struct RecordedRun
+{
+    u32 tableBits = 0;
+    /** NMSL replay stream (hashes masked to tableBits). */
+    std::vector<PairTrace> traces;
+    /**
+     * Pipeline counters rebuilt from the recorded stage events —
+     * exactly the fields profile() consumes: pairsTotal, the three
+     * fallback-route counters, lightAligned, query.filterIterations
+     * and lightAlignsAttempted. The trace does not record DP outcomes
+     * or the orientation-B lookups, so dpAligned / unmapped /
+     * fullDpMapped / query.seedLookups / query.locationsFetched stay
+     * zero; compare those against the run's --stats-json instead.
+     */
+    genpair::PipelineStats stats;
+    /** Mean recorded Location Table list length (paper Obs. 2). */
+    double avgLocationsPerSeed = 0;
+
+    /**
+     * WorkloadProfile from the recorded events. The trace does not
+     * carry DP cell densities (they are properties of the fallback
+     * aligner, not of the stage graph); the paper defaults are used
+     * unless measured values are passed.
+     */
+    WorkloadProfile profile(
+        u32 read_len = 150,
+        double chain_cells_per_fallback =
+            WorkloadProfile{}.chainCellsPerFullDpPair,
+        double align_cells_per_dp_pair =
+            WorkloadProfile{}.alignCellsPerDpPair) const;
+
+    /** NmslConfig sized to the recorded Seed Table (tableEntries). */
+    NmslConfig
+    nmslConfig(NmslConfig base = {}) const
+    {
+        base.tableEntries = u64{ 1 } << tableBits;
+        return base;
+    }
+};
+
+/** Write the trace header; PairTraceRecord::writeText lines follow. */
+void writeTraceHeader(std::ostream &os, u32 table_bits);
+
+/**
+ * Parse a gpx-stage-trace stream. Returns false and sets @p error on
+ * malformed input (wrong magic, truncated record, bad route).
+ */
+bool loadRecordedRun(std::istream &is, RecordedRun *out,
+                     std::string *error);
+
+} // namespace hwsim
+} // namespace gpx
+
+#endif // GPX_HWSIM_TRACE_ADAPTER_HH

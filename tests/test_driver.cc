@@ -142,8 +142,8 @@ TEST_F(DriverTest, StatsAggregateToInputSize)
     cfg.threads = 4;
     auto res = ParallelMapper(ref_, *map_, cfg).mapAll(pairs_);
     EXPECT_EQ(res.stats.pairsTotal, pairs_.size());
-    EXPECT_GT(res.pairsPerSec, 0.0);
-    EXPECT_GT(res.mbpsFor(150), 0.0);
+    EXPECT_GT(res.timing.itemsPerSec, 0.0);
+    EXPECT_GT(res.timing.mbpsFor(150), 0.0);
 }
 
 TEST_F(DriverTest, PureMm2ConfigurationRuns)
@@ -181,7 +181,7 @@ TEST_F(DriverTest, GenPairFasterThanPureMm2)
     ParallelMapper(ref_, *map_, gp).mapAll(pairs_);
     auto a = ParallelMapper(ref_, *map_, gp).mapAll(pairs_);
     auto b = ParallelMapper(ref_, *map_, mm2).mapAll(pairs_);
-    EXPECT_GT(a.pairsPerSec, b.pairsPerSec * 1.1);
+    EXPECT_GT(a.timing.itemsPerSec, b.timing.itemsPerSec * 1.1);
 }
 
 } // namespace

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * MapperEngine tests: the one driver core must hand every item of a
+ * job to exactly one worker context, reuse contexts across runs, and
+ * serve all three driver configuration layers (pair, streaming via
+ * ParallelMapper, long-read) with bit-identical output for any thread
+ * count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "genpair/engine.hh"
+#include "genpair/longread.hh"
+#include "simdata/genome_generator.hh"
+#include "simdata/read_simulator.hh"
+
+namespace {
+
+using namespace gpx;
+using genpair::MapperEngine;
+using genpair::WorkerContext;
+
+/** Context recording which items its worker processed. */
+struct RecordingContext : WorkerContext
+{
+    std::vector<u64> items;
+    u64 runsSeen = 0;
+};
+
+TEST(MapperEngineTest, EveryItemProcessedExactlyOnce)
+{
+    MapperEngine engine(4, [](u32) {
+        return std::make_unique<RecordingContext>();
+    });
+    constexpr u64 kItems = 1000;
+    auto timing = engine.run(kItems, [](WorkerContext &ctx, u64 begin,
+                                        u64 end) {
+        auto &rec = static_cast<RecordingContext &>(ctx);
+        for (u64 i = begin; i < end; ++i)
+            rec.items.push_back(i);
+    });
+    EXPECT_GE(timing.seconds, 0.0);
+    EXPECT_GT(timing.itemsPerSec, 0.0);
+
+    std::set<u64> seen;
+    engine.forEachContext([&](WorkerContext &ctx) {
+        for (u64 i : static_cast<RecordingContext &>(ctx).items)
+            EXPECT_TRUE(seen.insert(i).second) << "item " << i
+                                               << " processed twice";
+    });
+    EXPECT_EQ(seen.size(), kItems);
+}
+
+TEST(MapperEngineTest, ContextsPersistAcrossRuns)
+{
+    MapperEngine engine(3, [](u32) {
+        return std::make_unique<RecordingContext>();
+    });
+    for (int run = 0; run < 5; ++run)
+        engine.run(64, [](WorkerContext &ctx, u64, u64) {
+            ++static_cast<RecordingContext &>(ctx).runsSeen;
+        });
+    u64 totalBlocks = 0;
+    engine.forEachContext([&](WorkerContext &ctx) {
+        totalBlocks += static_cast<RecordingContext &>(ctx).runsSeen;
+    });
+    EXPECT_EQ(totalBlocks, 5u); // 64 items = one block per run
+}
+
+TEST(MapperEngineTest, EmptyJobCompletes)
+{
+    MapperEngine engine(2, [](u32) {
+        return std::make_unique<RecordingContext>();
+    });
+    auto timing = engine.run(0, [](WorkerContext &, u64, u64) {
+        FAIL() << "no block should be dispatched for an empty job";
+    });
+    EXPECT_EQ(timing.itemsPerSec, 0.0);
+}
+
+TEST(MapperEngineTest, ZeroThreadsUsesHardwareConcurrency)
+{
+    MapperEngine engine(0, [](u32) {
+        return std::make_unique<RecordingContext>();
+    });
+    EXPECT_GE(engine.threads(), 1u);
+}
+
+TEST(MapperEngineTest, SlotIndexIsPassedToFactory)
+{
+    std::mutex mu;
+    std::set<u32> slots;
+    MapperEngine engine(4, [&](u32 slot) {
+        std::lock_guard<std::mutex> lock(mu);
+        slots.insert(slot);
+        return std::make_unique<RecordingContext>();
+    });
+    EXPECT_EQ(slots, (std::set<u32>{ 0, 1, 2, 3 }));
+}
+
+class LongReadDriverTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        simdata::GenomeParams gp;
+        gp.length = 300000;
+        gp.chromosomes = 1;
+        gp.seed = 31;
+        ref_ = simdata::generateGenome(gp);
+        map_ = std::make_unique<genpair::SeedMap>(
+            ref_, genpair::SeedMapParams{});
+
+        simdata::DiploidGenome donor(ref_, simdata::VariantParams{});
+        simdata::LongReadSimParams lp;
+        simdata::LongReadSimulator sim(donor, lp);
+        reads_ = sim.simulate(24);
+    }
+
+    genomics::Reference ref_;
+    std::unique_ptr<genpair::SeedMap> map_;
+    std::vector<genomics::Read> reads_;
+};
+
+TEST_F(LongReadDriverTest, ParallelMatchesSerialMapper)
+{
+    // The serial reference: one LongReadMapper, reads in order.
+    baseline::Mm2Lite dp(ref_, baseline::Mm2LiteParams{});
+    genpair::LongReadMapper serial(ref_, *map_, genpair::LongReadParams{},
+                                   &dp);
+    std::vector<genomics::Mapping> expected;
+    expected.reserve(reads_.size());
+    for (const auto &read : reads_)
+        expected.push_back(serial.mapRead(read));
+
+    genpair::LongReadDriver driver(ref_, *map_,
+                                   genpair::LongReadParams{},
+                                   baseline::Mm2LiteParams{}, 4);
+    auto result = driver.mapAll(reads_);
+
+    ASSERT_EQ(result.mappings.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(expected[i].mapped, result.mappings[i].mapped) << i;
+        EXPECT_EQ(expected[i].pos, result.mappings[i].pos) << i;
+        EXPECT_EQ(expected[i].score, result.mappings[i].score) << i;
+        EXPECT_EQ(expected[i].reverse, result.mappings[i].reverse) << i;
+    }
+
+    const auto &s = serial.stats();
+    const auto &p = result.stats;
+    EXPECT_EQ(s.readsTotal, p.readsTotal);
+    EXPECT_EQ(s.mapped, p.mapped);
+    EXPECT_EQ(s.unmapped, p.unmapped);
+    EXPECT_EQ(s.pseudoPairs, p.pseudoPairs);
+    EXPECT_EQ(s.votes, p.votes);
+    EXPECT_EQ(s.query.seedLookups, p.query.seedLookups);
+    EXPECT_EQ(s.query.locationsFetched, p.query.locationsFetched);
+    EXPECT_EQ(s.query.filterIterations, p.query.filterIterations);
+    EXPECT_GT(result.timing.itemsPerSec, 0.0);
+}
+
+TEST_F(LongReadDriverTest, RepeatedMapAllDoesNotAccumulateStats)
+{
+    genpair::LongReadDriver driver(ref_, *map_,
+                                   genpair::LongReadParams{},
+                                   baseline::Mm2LiteParams{}, 2);
+    auto first = driver.mapAll(reads_);
+    auto second = driver.mapAll(reads_);
+    EXPECT_EQ(first.stats.readsTotal, reads_.size());
+    EXPECT_EQ(second.stats.readsTotal, reads_.size());
+    EXPECT_EQ(first.stats.mapped, second.stats.mapped);
+    ASSERT_EQ(first.mappings.size(), second.mappings.size());
+    for (std::size_t i = 0; i < first.mappings.size(); ++i)
+        EXPECT_EQ(first.mappings[i].pos, second.mappings[i].pos) << i;
+}
+
+} // namespace

@@ -23,6 +23,7 @@
 #include "genpair/pipeline.hh"
 #include "genpair/seedmap_io.hh"
 #include "genpair/streaming.hh"
+#include "hwsim/trace_adapter.hh"
 #include "util/md5.hh"
 
 namespace {
@@ -160,6 +161,38 @@ TEST_F(GoldenCorpusTest, MmapBackedDriverReproducesPinnedDigest)
         EXPECT_EQ(result.pairs, pairs_.size());
     });
     EXPECT_EQ(digest, kGoldenSamMd5);
+}
+
+TEST_F(GoldenCorpusTest, TraceEnabledRunReproducesPinnedDigest)
+{
+    // Stage-event recording must be a pure observer: the traced run
+    // produces the same bits as every other driver, and the trace
+    // itself parses back with one record per corpus pair.
+    std::ostringstream trace;
+    hwsim::writeTraceHeader(trace, map_->tableBits());
+    std::string dir = goldenDir();
+    std::string digest = samDigest([&](genomics::SamWriter &sam) {
+        std::ifstream r1(dir + "/r1.fq"), r2(dir + "/r2.fq");
+        ASSERT_TRUE(r1 && r2);
+        genpair::DriverConfig config = config_;
+        config.threads = 3;
+        config.recordTrace = true;
+        genpair::StreamingMapper mapper(ref_, *map_, config, 64);
+        auto result = mapper.run(
+            r1, r2, sam,
+            [&](const genpair::PairTraceRecord *records, u64 count) {
+                for (u64 i = 0; i < count; ++i)
+                    records[i].writeText(trace);
+            });
+        EXPECT_EQ(result.pairs, pairs_.size());
+    });
+    EXPECT_EQ(digest, kGoldenSamMd5);
+
+    std::istringstream is(trace.str());
+    hwsim::RecordedRun run;
+    std::string error;
+    ASSERT_TRUE(hwsim::loadRecordedRun(is, &run, &error)) << error;
+    EXPECT_EQ(run.stats.pairsTotal, pairs_.size());
 }
 
 TEST_F(GoldenCorpusTest, LegacyV1CopyPathReproducesPinnedDigest)

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Recorded-trace co-simulation tests: stage events recorded by the
+ * batched engine must round-trip through the gpx-stage-trace text
+ * format, reproduce exactly the workload hwsim::buildWorkload()
+ * synthesizes for the same pairs, drive the NMSL simulator, and yield
+ * a WorkloadProfile consistent with the software PipelineStats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "genpair/driver.hh"
+#include "genpair/streaming.hh"
+#include "hwsim/pipeline_model.hh"
+#include "hwsim/trace_adapter.hh"
+#include "simdata/genome_generator.hh"
+#include "simdata/read_simulator.hh"
+
+namespace {
+
+using namespace gpx;
+
+class TraceAdapterTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        simdata::GenomeParams gp;
+        gp.length = 200000;
+        gp.chromosomes = 1;
+        gp.seed = 61;
+        ref_ = simdata::generateGenome(gp);
+        map_ = std::make_unique<genpair::SeedMap>(
+            ref_, genpair::SeedMapParams{});
+        simdata::DiploidGenome donor(ref_, simdata::VariantParams{});
+        simdata::ReadSimulator sim(donor, simdata::ReadSimParams{});
+        pairs_ = sim.simulate(250);
+    }
+
+    /** One traced mapping run serialized to trace text. */
+    std::string
+    recordTraceText(u32 threads)
+    {
+        genpair::DriverConfig config;
+        config.threads = threads;
+        config.recordTrace = true;
+        genpair::ParallelMapper mapper(ref_, *map_, config);
+        auto result = mapper.mapAll(pairs_);
+        lastStats_ = result.stats;
+
+        std::ostringstream os;
+        hwsim::writeTraceHeader(os, map_->tableBits());
+        for (const auto &record : result.trace)
+            record.writeText(os);
+        return os.str();
+    }
+
+    genomics::Reference ref_;
+    std::unique_ptr<genpair::SeedMap> map_;
+    std::vector<genomics::ReadPair> pairs_;
+    genpair::PipelineStats lastStats_;
+};
+
+TEST_F(TraceAdapterTest, RecordedTraceMatchesSyntheticWorkload)
+{
+    std::istringstream is(recordTraceText(3));
+    hwsim::RecordedRun run;
+    std::string error;
+    ASSERT_TRUE(hwsim::loadRecordedRun(is, &run, &error)) << error;
+
+    // The recorded seed stream must be exactly what buildWorkload()
+    // synthesizes from the same SeedMap and pairs — the co-simulation
+    // contract: hardware models see the same lookups either way.
+    auto synthetic = hwsim::buildWorkload(*map_, pairs_);
+    ASSERT_EQ(run.traces.size(), synthetic.size());
+    for (std::size_t p = 0; p < synthetic.size(); ++p) {
+        for (std::size_t s = 0; s < 6; ++s) {
+            EXPECT_EQ(run.traces[p][s].hash, synthetic[p][s].hash)
+                << "pair " << p << " seed " << s;
+            EXPECT_EQ(run.traces[p][s].locCount,
+                      synthetic[p][s].locCount)
+                << "pair " << p << " seed " << s;
+        }
+    }
+    EXPECT_EQ(run.tableBits, map_->tableBits());
+}
+
+TEST_F(TraceAdapterTest, RebuiltStatsMatchSoftwareRun)
+{
+    std::istringstream is(recordTraceText(2));
+    hwsim::RecordedRun run;
+    std::string error;
+    ASSERT_TRUE(hwsim::loadRecordedRun(is, &run, &error)) << error;
+
+    EXPECT_EQ(run.stats.pairsTotal, lastStats_.pairsTotal);
+    EXPECT_EQ(run.stats.lightAligned, lastStats_.lightAligned);
+    EXPECT_EQ(run.stats.seedMissFallback, lastStats_.seedMissFallback);
+    EXPECT_EQ(run.stats.paFilterFallback, lastStats_.paFilterFallback);
+    EXPECT_EQ(run.stats.lightAlignFallback,
+              lastStats_.lightAlignFallback);
+    EXPECT_EQ(run.stats.query.filterIterations,
+              lastStats_.query.filterIterations);
+    EXPECT_EQ(run.stats.lightAlignsAttempted,
+              lastStats_.lightAlignsAttempted);
+
+    auto profile = run.profile();
+    EXPECT_NEAR(profile.avgLightAlignsPerPair,
+                static_cast<double>(lastStats_.lightAlignsAttempted) /
+                    lastStats_.pairsTotal,
+                1e-9);
+    EXPECT_GT(run.avgLocationsPerSeed, 0.0);
+}
+
+TEST_F(TraceAdapterTest, TraceIsThreadCountInvariant)
+{
+    // Records land at input index, so the serialized trace must be
+    // byte-identical for any pool size.
+    EXPECT_EQ(recordTraceText(1), recordTraceText(5));
+}
+
+TEST_F(TraceAdapterTest, RecordedTraceDrivesNmslAndPipelineModel)
+{
+    std::istringstream is(recordTraceText(2));
+    hwsim::RecordedRun run;
+    std::string error;
+    ASSERT_TRUE(hwsim::loadRecordedRun(is, &run, &error)) << error;
+
+    hwsim::NmslConfig cfg = run.nmslConfig();
+    cfg.windowSize = 256;
+    hwsim::NmslSim sim(cfg);
+    auto nmsl = sim.run(run.traces);
+    EXPECT_EQ(nmsl.pairs, pairs_.size());
+    EXPECT_GT(nmsl.mpairsPerSec, 0.0);
+
+    hwsim::PipelineModel model;
+    auto design = model.design(nmsl, cfg, run.profile());
+    EXPECT_GT(design.endToEndMpairs, 0.0);
+    EXPECT_GT(design.totalCost.areaMm2, 0.0);
+}
+
+TEST_F(TraceAdapterTest, StreamingSinkPreservesInputOrder)
+{
+    genpair::DriverConfig config;
+    config.threads = 3;
+    config.recordTrace = true;
+    genpair::StreamingMapper mapper(ref_, *map_, config, 32);
+
+    // Round-trip the pairs through FASTQ so the streaming reader sees
+    // them exactly as gpx_map would.
+    std::ostringstream r1, r2;
+    for (const auto &pair : pairs_) {
+        r1 << "@" << pair.first.name << "\n"
+           << pair.first.seq.toString() << "\n+\n"
+           << std::string(pair.first.seq.size(), 'I') << "\n";
+        r2 << "@" << pair.second.name << "\n"
+           << pair.second.seq.toString() << "\n+\n"
+           << std::string(pair.second.seq.size(), 'I') << "\n";
+    }
+    std::istringstream r1s(r1.str()), r2s(r2.str());
+    std::ostringstream samOut, traceOut;
+    genomics::SamWriter sam(samOut, ref_);
+    hwsim::writeTraceHeader(traceOut, map_->tableBits());
+    auto result = mapper.run(
+        r1s, r2s, sam,
+        [&](const genpair::PairTraceRecord *records, u64 count) {
+            for (u64 i = 0; i < count; ++i)
+                records[i].writeText(traceOut);
+        });
+    EXPECT_EQ(result.pairs, pairs_.size());
+    EXPECT_GT(result.chunks, 1u);
+
+    // Streamed chunks must concatenate to the batch-run trace.
+    EXPECT_EQ(traceOut.str(), recordTraceText(2));
+}
+
+TEST(TraceFormatTest, RejectsMalformedInputs)
+{
+    hwsim::RecordedRun run;
+    std::string error;
+
+    std::istringstream wrongMagic("# not a trace\n");
+    EXPECT_FALSE(hwsim::loadRecordedRun(wrongMagic, &run, &error));
+    EXPECT_NE(error.find("gpx-stage-trace"), std::string::npos);
+
+    std::istringstream noBits("# gpx-stage-trace v1\nP 1 2\n");
+    EXPECT_FALSE(hwsim::loadRecordedRun(noBits, &run, &error));
+
+    std::istringstream truncated(
+        "# gpx-stage-trace v1\n# tableBits 18\nP 1 2 3\n");
+    EXPECT_FALSE(hwsim::loadRecordedRun(truncated, &run, &error));
+
+    std::istringstream badRoute(
+        "# gpx-stage-trace v1\n# tableBits 18\n"
+        "P 1 1 1 1 1 1 1 1 1 1 1 1 9 0 0\n");
+    EXPECT_FALSE(hwsim::loadRecordedRun(badRoute, &run, &error));
+    EXPECT_NE(error.find("route"), std::string::npos);
+
+    std::istringstream empty("# gpx-stage-trace v1\n# tableBits 18\n");
+    EXPECT_FALSE(hwsim::loadRecordedRun(empty, &run, &error));
+
+    std::istringstream good(
+        "# gpx-stage-trace v1\n# tableBits 4\n"
+        "P 17 2 1 0 1 0 1 0 1 0 1 0 1 5 3\n");
+    ASSERT_TRUE(hwsim::loadRecordedRun(good, &run, &error)) << error;
+    EXPECT_EQ(run.traces.size(), 1u);
+    EXPECT_EQ(run.traces[0][0].hash, 17u & 0xF); // masked to tableBits
+    EXPECT_EQ(run.stats.lightAligned, 1u);
+    EXPECT_EQ(run.stats.query.filterIterations, 5u);
+}
+
+} // namespace

@@ -7,7 +7,11 @@
  *
  * The residual-routing summary it prints after mapping is the Fig. 10
  * view of the run: how many pairs the fast path handled and where the
- * rest fell back.
+ * rest fell back. `--stats-json` emits the full PipelineStats
+ * (including the per-stage counters of the stage graph) machine-
+ * readably, and `--trace` records per-pair stage events in the
+ * gpx-stage-trace format that the hwsim trace adapter replays through
+ * the NMSL and pipeline hardware models.
  */
 
 #include <fstream>
@@ -20,6 +24,7 @@
 #include "genpair/longread.hh"
 #include "genpair/streaming.hh"
 #include "genpair/seedmap_io.hh"
+#include "hwsim/trace_adapter.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
 
@@ -48,6 +53,10 @@ const char kUsage[] =
     "  --delta N            paired-adjacency threshold in bp  [500]\n"
     "  --filter-threshold N index filter when building inline [500]\n"
     "  --baseline           bypass GenPair; map with MM2-lite only\n"
+    "  --stats-json FILE    write PipelineStats (incl. per-stage\n"
+    "                       counters) as JSON after mapping\n"
+    "  --trace FILE         record per-pair stage events for hwsim\n"
+    "                       co-simulation (gpx-stage-trace v1)\n"
     "  --version            print the gpx version and exit\n";
 
 } // namespace
@@ -59,7 +68,8 @@ main(int argc, char **argv)
     tools::Cli cli(argc, argv,
                    { "--ref", "--r1", "--r2", "--long", "--out",
                      "--index", "--threads", "--delta",
-                     "--filter-threshold", "--chunk" },
+                     "--filter-threshold", "--chunk", "--stats-json",
+                     "--trace" },
                    { "--baseline", "--no-mmap" }, kUsage);
 
     // Reference.
@@ -79,6 +89,9 @@ main(int argc, char **argv)
         longFile.open(cli.str("--long"));
         if (!longFile)
             gpx_fatal("cannot open --long FASTQ");
+        if (cli.has("--trace"))
+            gpx_fatal("--trace records paired-end stage events; it "
+                      "does not apply to --long mode");
     } else {
         r1File.open(cli.required("--r1"));
         if (!r1File)
@@ -136,28 +149,51 @@ main(int argc, char **argv)
     sam.writeHeader();
 
     if (longMode) {
-        // SS4.7: pseudo-pair decomposition + Location Voting + DP.
-        baseline::Mm2Lite dp(ref, baseline::Mm2LiteParams{});
+        // SS4.7: pseudo-pair decomposition + Location Voting + DP,
+        // chunk-streamed through the parallel LongReadDriver.
         genpair::LongReadParams lrParams;
         lrParams.delta = static_cast<u32>(cli.num("--delta", 500));
-        genpair::LongReadMapper mapper(ref, map, lrParams, &dp);
+        genpair::LongReadDriver driver(
+            ref, map, lrParams, baseline::Mm2LiteParams{},
+            static_cast<u32>(cli.num("--threads", 0)));
+        // Long reads are ~60x a short pair; keep the resident chunk
+        // small unless the user asked otherwise.
+        const u64 chunkReads = static_cast<u64>(
+            cli.has("--chunk") ? cli.num("--chunk", 4096) : 4096);
         genomics::FastqReader reader(longFile);
-        genomics::Read read;
+        genpair::LongReadStats stats;
+        double mapSeconds = 0;
         util::Stopwatch watch;
-        while (reader.next(read)) {
-            auto m = mapper.mapRead(read);
-            sam.writeRead(read, m);
+        std::vector<genomics::Read> reads;
+        bool eof = false;
+        while (!eof) {
+            reads.clear();
+            genomics::Read read;
+            while (reads.size() < chunkReads) {
+                if (!reader.next(read)) {
+                    eof = true;
+                    break;
+                }
+                reads.push_back(std::move(read));
+            }
+            if (reads.empty())
+                break;
+            auto result = driver.mapAll(reads);
+            stats += result.stats;
+            mapSeconds += result.timing.seconds;
+            for (std::size_t i = 0; i < reads.size(); ++i)
+                sam.writeRead(reads[i], result.mappings[i]);
         }
         os->flush();
-        const auto &st = mapper.stats();
         std::printf("mapped %llu/%llu long reads in %.2f s "
-                    "(%.1f Mcells DP/read)\n",
-                    static_cast<unsigned long long>(st.mapped),
-                    static_cast<unsigned long long>(st.readsTotal),
-                    watch.seconds(),
-                    st.readsTotal ? static_cast<double>(st.dpCells) /
-                                        st.readsTotal / 1e6
-                                  : 0.0);
+                    "(%u threads, pure mapping %.2f s, "
+                    "%.1f Mcells DP/read)\n",
+                    static_cast<unsigned long long>(stats.mapped),
+                    static_cast<unsigned long long>(stats.readsTotal),
+                    watch.seconds(), driver.threads(), mapSeconds,
+                    stats.readsTotal ? static_cast<double>(stats.dpCells) /
+                                           stats.readsTotal / 1e6
+                                     : 0.0);
         std::printf("wrote %llu SAM records\n",
                     static_cast<unsigned long long>(
                         sam.recordsWritten()));
@@ -169,18 +205,41 @@ main(int argc, char **argv)
     config.threads = static_cast<u32>(cli.num("--threads", 0));
     config.pipeline.delta = static_cast<u32>(cli.num("--delta", 500));
     config.useGenPair = !cli.has("--baseline");
+
+    // Stage-event trace (hwsim co-simulation hand-off).
+    std::ofstream traceFile;
+    genpair::StreamingMapper::TraceSink traceSink;
+    if (cli.has("--trace")) {
+        if (!config.useGenPair)
+            gpx_fatal("--trace records GenPair stage events; drop "
+                      "--baseline");
+        traceFile.open(cli.str("--trace"));
+        if (!traceFile)
+            gpx_fatal("cannot open trace output: ", cli.str("--trace"));
+        config.recordTrace = true;
+        hwsim::writeTraceHeader(traceFile, map.tableBits());
+        traceSink = [&traceFile](const genpair::PairTraceRecord *records,
+                                 u64 count) {
+            for (u64 i = 0; i < count; ++i)
+                records[i].writeText(traceFile);
+        };
+    }
+
     genpair::StreamingMapper mapper(
         ref, map, config, static_cast<u64>(cli.num("--chunk", 65536)));
-    auto result = mapper.run(r1File, r2File, sam);
+    auto result = mapper.run(r1File, r2File, sam, traceSink);
     os->flush();
+    if (traceFile.is_open()) {
+        traceFile.flush();
+        if (!traceFile)
+            gpx_fatal("write to trace file failed");
+    }
     std::printf("mapped %llu pairs in %.2f s (%.0f pairs/s, %llu "
                 "chunks; pure mapping %.2f s = %.0f pairs/s)\n",
                 static_cast<unsigned long long>(result.pairs),
-                result.seconds, result.pairsPerSec,
+                result.total.seconds, result.total.itemsPerSec,
                 static_cast<unsigned long long>(result.chunks),
-                result.mapSeconds,
-                result.mapSeconds > 0 ? result.pairs / result.mapSeconds
-                                      : 0.0);
+                result.mapping.seconds, result.mapping.itemsPerSec);
 
     // Fig. 10 routing summary.
     const auto &st = result.stats;
@@ -196,6 +255,19 @@ main(int argc, char **argv)
                     100 * st.fraction(st.paFilterFallback));
         std::printf("  unmapped                  %6.2f%%\n",
                     100 * st.fraction(st.unmapped));
+    }
+
+    if (cli.has("--stats-json")) {
+        std::ofstream statsFile(cli.str("--stats-json"));
+        if (!statsFile)
+            gpx_fatal("cannot open stats output: ",
+                      cli.str("--stats-json"));
+        st.writeJson(statsFile);
+        statsFile.flush();
+        if (!statsFile)
+            gpx_fatal("write to stats file failed");
+        std::printf("wrote pipeline stats to %s\n",
+                    cli.str("--stats-json").c_str());
     }
 
     std::printf("wrote %llu SAM records\n",
