@@ -1,0 +1,286 @@
+/**
+ * @file
+ * micro_serve_latency — what does serving cost over mapping in-process?
+ *
+ * The gpx_serve pitch is that a resident daemon amortizes the cold
+ * start (reference load, index open, pool spawn) without giving up
+ * meaningful per-request throughput. This harness measures the second
+ * half of that claim: the same FASTQ batches go through (a) a direct
+ * in-process ParallelMapper — the gpx_map hot path once its stack is
+ * warm — and (b) a live ServeServer over a Unix socket via ServeClient,
+ * paying framing, socket copies, the admission gate and the handler
+ * thread handoff. Both sides start from FASTQ text and end at rendered
+ * SAM records, so the delta is exactly the serving overhead.
+ *
+ * Reports requests/s, pairs/s and p50/p99 per-request latency for both
+ * sides; `--json` records them (BENCH_serve_latency.json at the repo
+ * root, gated by scripts/check_serve_latency.py: warm-serve throughput
+ * must stay >= 0.9x direct).
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "common.hh"
+#include "genomics/fasta.hh"
+#include "genomics/sam.hh"
+#include "genpair/driver.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+#include "util/version.hh"
+
+namespace {
+
+using namespace gpx;
+
+constexpr u64 kPairs = 4096;
+constexpr u64 kBatchPairs = 128;
+constexpr u32 kThreads = 4;
+constexpr int kReps = 3;
+
+struct Side
+{
+    double bestSecs = 0;          ///< best-of-reps total wall time
+    std::vector<double> latencyMs; ///< per-request, all reps pooled
+    u64 samBytes = 0;
+
+    double
+    pairsPerSec() const
+    {
+        return bestSecs > 0 ? kPairs / bestSecs : 0;
+    }
+
+    double
+    requestsPerSec() const
+    {
+        return bestSecs > 0 ? (kPairs / kBatchPairs) / bestSecs : 0;
+    }
+};
+
+double
+percentile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1) + 0.5);
+    return values[std::min(idx, values.size() - 1)];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gpx::bench;
+
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--json needs a path\n");
+                return 2;
+            }
+            jsonPath = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    banner("Warm gpx_serve round trips vs direct in-process mapping",
+           "serve daemon PR; the cost of the wire on the mapping path");
+
+    simdata::Dataset dataset = simdata::buildDataset(
+        simdata::datasetConfig(1, u64{ 2 } << 20, kPairs));
+    const auto &ref = *dataset.reference;
+    genpair::SeedMap seedmap(ref, genpair::SeedMapParams{});
+
+    // Pre-serialize every request's FASTQ blobs once: client-side read
+    // cost is not what either side is being measured on.
+    const u64 numBatches = kPairs / kBatchPairs;
+    std::vector<std::string> r1Blobs(numBatches), r2Blobs(numBatches);
+    for (u64 b = 0; b < numBatches; ++b) {
+        std::vector<genomics::Read> side1, side2;
+        for (u64 i = b * kBatchPairs; i < (b + 1) * kBatchPairs; ++i) {
+            side1.push_back(dataset.pairs[i].first);
+            side2.push_back(dataset.pairs[i].second);
+        }
+        std::ostringstream os1, os2;
+        genomics::writeFastq(os1, side1);
+        genomics::writeFastq(os2, side2);
+        r1Blobs[b] = os1.str();
+        r2Blobs[b] = os2.str();
+    }
+
+    // --- direct: warm ParallelMapper, FASTQ text -> SAM records -----
+    genpair::DriverConfig driverConfig;
+    driverConfig.threads = kThreads;
+    genpair::ParallelMapper direct(ref, seedmap, driverConfig);
+
+    Side directSide;
+    auto runDirect = [&]() {
+        util::Stopwatch total;
+        u64 samBytes = 0;
+        for (u64 b = 0; b < numBatches; ++b) {
+            util::Stopwatch req;
+            std::istringstream is1(r1Blobs[b]), is2(r2Blobs[b]);
+            auto reads1 = genomics::readFastq(is1);
+            auto reads2 = genomics::readFastq(is2);
+            std::vector<genomics::ReadPair> pairs;
+            pairs.reserve(reads1.size());
+            for (std::size_t i = 0; i < reads1.size(); ++i)
+                pairs.push_back({ std::move(reads1[i]),
+                                  std::move(reads2[i]) });
+            auto result = direct.mapAll(pairs);
+            std::ostringstream samOs;
+            genomics::SamWriter sam(samOs, ref);
+            for (std::size_t i = 0; i < pairs.size(); ++i)
+                sam.writePair(pairs[i], result.mappings[i]);
+            samBytes += samOs.str().size();
+            directSide.latencyMs.push_back(req.seconds() * 1e3);
+        }
+        directSide.samBytes = samBytes;
+        return total.seconds();
+    };
+
+    // --- serve: the same blobs through a live daemon -----------------
+    std::string socketPath = "/tmp/gpx_serve_bench_" +
+                             std::to_string(::getpid()) + ".sock";
+    serve::MountSpec mount;
+    mount.name = "bench";
+    mount.ref = &ref;
+    mount.view = seedmap;
+    serve::ServeConfig serveConfig;
+    serveConfig.socketPath = socketPath;
+    serveConfig.threads = kThreads;
+    serve::ServeServer server({ mount }, serveConfig);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
+        return 1;
+    }
+    auto client = serve::ServeClient::connectUnix(socketPath, &error);
+    if (!client) {
+        std::fprintf(stderr, "cannot connect: %s\n", error.c_str());
+        return 1;
+    }
+
+    Side serveSide;
+    auto runServe = [&]() {
+        util::Stopwatch total;
+        u64 samBytes = 0;
+        for (u64 b = 0; b < numBatches; ++b) {
+            util::Stopwatch req;
+            serve::MapReplyBody reply;
+            auto status = client->mapBatch("bench", r1Blobs[b],
+                                           r2Blobs[b], false, &reply);
+            if (!status.ok) {
+                std::fprintf(stderr, "map request failed: %s\n",
+                             status.describe().c_str());
+                std::exit(1);
+            }
+            if (reply.pairCount != kBatchPairs) {
+                std::fprintf(stderr, "short reply: %u pairs\n",
+                             reply.pairCount);
+                std::exit(1);
+            }
+            samBytes += reply.sam.size();
+            serveSide.latencyMs.push_back(req.seconds() * 1e3);
+        }
+        serveSide.samBytes = samBytes;
+        return total.seconds();
+    };
+
+    // Warm-up both sides (pool spin-up, page faults, allocator), then
+    // interleave the reps so host noise lands on both equally.
+    runDirect();
+    runServe();
+    directSide.latencyMs.clear();
+    serveSide.latencyMs.clear();
+    directSide.bestSecs = runDirect();
+    serveSide.bestSecs = runServe();
+    for (int rep = 1; rep < kReps; ++rep) {
+        directSide.bestSecs = std::min(directSide.bestSecs, runDirect());
+        serveSide.bestSecs = std::min(serveSide.bestSecs, runServe());
+    }
+
+    // Serving must not change the bytes: both sides rendered the same
+    // records (per rep), so per-rep totals must agree.
+    if (directSide.samBytes != serveSide.samBytes) {
+        std::fprintf(stderr, "SAM byte mismatch: direct %llu, serve %llu\n",
+                     static_cast<unsigned long long>(directSide.samBytes),
+                     static_cast<unsigned long long>(serveSide.samBytes));
+        return 1;
+    }
+
+    const double ratio = directSide.pairsPerSec() > 0
+                             ? serveSide.pairsPerSec() /
+                                   directSide.pairsPerSec()
+                             : 0;
+
+    util::Table table({ "path", "req/s", "pairs/s", "p50 ms", "p99 ms" });
+    table.row()
+        .cell("direct (in-process)")
+        .cell(directSide.requestsPerSec(), 1)
+        .cell(directSide.pairsPerSec(), 0)
+        .cell(percentile(directSide.latencyMs, 0.50), 2)
+        .cell(percentile(directSide.latencyMs, 0.99), 2);
+    table.row()
+        .cell("gpx_serve (unix socket)")
+        .cell(serveSide.requestsPerSec(), 1)
+        .cell(serveSide.pairsPerSec(), 0)
+        .cell(percentile(serveSide.latencyMs, 0.50), 2)
+        .cell(percentile(serveSide.latencyMs, 0.99), 2);
+    table.print("warm request path, " + std::to_string(kBatchPairs) +
+                " pairs/request, " + std::to_string(kThreads) +
+                " worker threads");
+    std::printf("serve throughput = %.3fx direct\n", ratio);
+
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+            return 1;
+        }
+        auto num = [](double v, int prec) {
+            std::ostringstream str;
+            str << std::fixed << std::setprecision(prec) << v;
+            return str.str();
+        };
+        auto side = [&](const Side &s) {
+            return "{\"requests_per_s\": " + num(s.requestsPerSec(), 1) +
+                   ", \"pairs_per_s\": " + num(s.pairsPerSec(), 0) +
+                   ", \"p50_ms\": " + num(percentile(s.latencyMs, 0.50), 3) +
+                   ", \"p99_ms\": " + num(percentile(s.latencyMs, 0.99), 3) +
+                   "}";
+        };
+        out << "{\n  \"bench\": \"micro_serve_latency\",\n"
+            << "  \"gpx_version\": \"" << kVersion << "\",\n"
+            << "  \"pairs\": " << kPairs << ",\n"
+            << "  \"batch_pairs\": " << kBatchPairs << ",\n"
+            << "  \"threads\": " << kThreads << ",\n"
+            << "  \"direct\": " << side(directSide) << ",\n"
+            << "  \"serve\": " << side(serveSide) << ",\n"
+            << "  \"serve_vs_direct\": " << num(ratio, 3) << "\n}\n";
+        out.flush();
+        if (!out) {
+            std::fprintf(stderr, "write to %s failed\n", jsonPath.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+
+    client->shutdownServer();
+    server.waitUntilDrained();
+    ::unlink(socketPath.c_str());
+    return 0;
+}

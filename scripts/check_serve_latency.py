@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Gate CI on the micro_serve_latency benchmark.
+
+The benchmark runs the same FASTQ batches through a warm in-process
+ParallelMapper and through a live gpx_serve daemon on a Unix socket, in
+one process on one host — so serve_vs_direct is a within-run ratio and
+machine-independent, the same contract style as check_stage_batch.py.
+The serving layer (framing, socket copies, admission gate, handler
+handoff) is allowed to cost at most 10% of warm mapping throughput;
+the checked-in BENCH_serve_latency.json records the reference run.
+
+Usage:
+  check_serve_latency.py CURRENT.json [--min-ratio 0.90]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("--min-ratio", type=float, default=0.90,
+                    help="required warm-serve / direct throughput ratio")
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "micro_serve_latency":
+        print(f"error: {args.current} is not a micro_serve_latency record")
+        return 1
+
+    for name in ("direct", "serve"):
+        side = doc[name]
+        print(f"  {name:>6}: {side['requests_per_s']:>8} req/s  "
+              f"{side['pairs_per_s']:>10} pairs/s  "
+              f"p50 {side['p50_ms']} ms  p99 {side['p99_ms']} ms")
+
+    ratio = float(doc["serve_vs_direct"])
+    if ratio < args.min_ratio:
+        print(f"FAIL: warm-serve throughput is {ratio:.3f}x direct, "
+              f"below the required {args.min_ratio:.2f}x")
+        return 1
+    print(f"OK: warm-serve throughput {ratio:.3f}x direct "
+          f"(required >= {args.min_ratio:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,16 +81,47 @@ writeFastq(std::ostream &os, const std::vector<Read> &reads, char quality)
 bool
 FastqReader::next(Read &read)
 {
+    std::string error;
+    switch (tryNext(read, &error)) {
+    case FastqParse::kRecord:
+        return true;
+    case FastqParse::kEof:
+        return false;
+    case FastqParse::kError:
+        gpx_fatal(error);
+    }
+    return false; // unreachable
+}
+
+FastqParse
+FastqReader::tryNext(Read &read, std::string *error)
+{
+    if (poisoned_) {
+        if (error != nullptr)
+            *error = lastError_;
+        return FastqParse::kError;
+    }
+    auto fail = [&](std::string msg) {
+        poisoned_ = true;
+        lastError_ = std::move(msg);
+        if (error != nullptr)
+            *error = lastError_;
+        return FastqParse::kError;
+    };
     std::string header, seq, plus, qual;
     while (std::getline(is_, header)) {
         chompCr(header);
         if (header.empty())
             continue;
-        gpx_assert(header[0] == '@', "malformed FASTQ header");
+        if (header[0] != '@')
+            return fail(util::detail::cat(
+                "malformed FASTQ header at record ", records_ + 1,
+                ": expected '@', got '", header.substr(0, 40), "'"));
         if (!std::getline(is_, seq) || !std::getline(is_, plus) ||
             !std::getline(is_, qual)) {
-            gpx_fatal("truncated FASTQ record: EOF mid-record at record ",
-                      records_ + 1, " (header '", header, "')");
+            return fail(util::detail::cat(
+                "truncated FASTQ record: EOF mid-record at record ",
+                records_ + 1, " (header '", header, "')"));
         }
         chompCr(seq);
         std::size_t end = header.find_first_of(" \t", 1);
@@ -108,9 +139,9 @@ FastqReader::next(Read &read)
         read.truthPos = kInvalidPos;
         read.truthReverse = false;
         ++records_;
-        return true;
+        return FastqParse::kRecord;
     }
-    return false;
+    return FastqParse::kEof;
 }
 
 std::vector<Read>

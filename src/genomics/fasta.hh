@@ -46,18 +46,43 @@ void writeFastq(std::ostream &os, const std::vector<Read> &reads,
 /** Read a FASTQ stream. */
 std::vector<Read> readFastq(std::istream &is);
 
+/** Outcome of one FastqReader::tryNext() step. */
+enum class FastqParse
+{
+    kRecord, ///< a record was parsed into the output
+    kEof,    ///< clean end of stream, no record produced
+    kError,  ///< malformed input (truncation, bad header); see message
+};
+
 /**
  * Incremental FASTQ reader for streaming pipelines: yields one record
  * at a time so arbitrarily large read sets map in bounded memory
  * (genpair::StreamingMapper drives a pair of these).
+ *
+ * Two error disciplines share one parser: the CLI drivers call next(),
+ * which exits the process on malformed input (a batch job cannot do
+ * anything useful with half a record), while gpx_serve calls
+ * tryNext(), which reports the malformation to the caller so one bad
+ * request can be rejected with an error frame instead of killing a
+ * daemon that other clients are connected to.
  */
 class FastqReader
 {
   public:
     explicit FastqReader(std::istream &is) : is_(is) {}
 
-    /** Parse the next record into @p read; false at end of stream. */
+    /** Parse the next record into @p read; false at end of stream.
+     *  Fatal (process exit) on malformed input — CLI discipline. */
     bool next(Read &read);
+
+    /**
+     * Recoverable form of next(): parses the next record into @p read
+     * and reports malformed input as kError (with a diagnostic in
+     * @p error when non-null) instead of exiting. After kError the
+     * reader is poisoned: every further call returns kError (the
+     * stream position inside a broken record is meaningless).
+     */
+    FastqParse tryNext(Read &read, std::string *error = nullptr);
 
     /** Records yielded so far. */
     u64 recordsRead() const { return records_; }
@@ -73,6 +98,8 @@ class FastqReader
     u64 records_ = 0;
     IngestStats stats_;
     bool warnedAmbiguous_ = false;
+    bool poisoned_ = false;
+    std::string lastError_;
 };
 
 } // namespace genomics

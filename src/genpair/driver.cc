@@ -69,7 +69,7 @@ ParallelMapper::mapAll(const std::vector<genomics::ReadPair> &pairs)
         config_.recordTrace ? result.trace.data() : nullptr;
     const bool useGenPair = config_.useGenPair;
 
-    result.timing = engine_->run(
+    result.timing = engine_->submit(
         pairs.size(), [&](WorkerContext &wc, u64 begin, u64 end) {
             auto &ctx = static_cast<PairWorkerContext &>(wc);
             if (useGenPair) {
@@ -87,6 +87,15 @@ ParallelMapper::mapAll(const std::vector<genomics::ReadPair> &pairs)
             static_cast<PairWorkerContext &>(ctx).pipeline.stats();
     });
     return result;
+}
+
+DriverResult
+ParallelMapper::mapAllShared(const std::vector<genomics::ReadPair> &pairs)
+{
+    // The stats reset / engine run / stats merge sequence in mapAll()
+    // touches every worker context; one submitter at a time may own it.
+    std::lock_guard<std::mutex> lock(mapMu_);
+    return mapAll(pairs);
 }
 
 } // namespace genpair

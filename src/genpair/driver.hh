@@ -19,6 +19,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "baseline/mm2lite.hh"
@@ -87,6 +88,16 @@ class ParallelMapper
     /** Map all pairs; mappings[i] corresponds to pairs[i]. */
     DriverResult mapAll(const std::vector<genomics::ReadPair> &pairs);
 
+    /**
+     * Thread-safe form of mapAll() for foreign-thread submission
+     * (gpx_serve connection handlers): concurrent callers are
+     * serialized in arrival order, each call owning the worker pool —
+     * and the per-worker stats accumulators — for its whole batch.
+     * Results are bit-identical to mapAll() from the owning thread.
+     */
+    DriverResult
+    mapAllShared(const std::vector<genomics::ReadPair> &pairs);
+
     u32 threads() const { return engine_->threads(); }
 
   private:
@@ -96,6 +107,8 @@ class ParallelMapper
     std::shared_ptr<const baseline::MinimizerIndex> sharedIndex_;
     /** Built after sharedIndex_ (workers capture it); one pool. */
     std::unique_ptr<MapperEngine> engine_;
+    /** Serializes mapAllShared() callers around the pool + stats. */
+    std::mutex mapMu_;
 };
 
 } // namespace genpair

@@ -113,6 +113,18 @@ class MapperEngine
     RunTiming run(u64 items, const BlockFn &fn);
 
     /**
+     * Thread-safe job submission: like run(), but callable from any
+     * thread, concurrently. Concurrent submitters are serialized in
+     * arrival order (one job owns the whole pool at a time — the
+     * workers inside a job are the parallelism), which is exactly the
+     * admission discipline a resident server wants: a request's batch
+     * runs on every core, requests queue behind each other. The
+     * returned timing covers only this job's pool occupancy, not the
+     * time spent waiting behind other submitters.
+     */
+    RunTiming submit(u64 items, const BlockFn &fn);
+
+    /**
      * Visit every worker context from the calling thread (stats reset
      * before a run, stats merge after). Engine must be idle.
      */
@@ -129,6 +141,9 @@ class MapperEngine
 
     u32 threads_;
     u64 blockItems_;
+
+    /** Serializes submit() callers; run() callers never take it. */
+    std::mutex submitMu_;
 
     // Job hand-off: run() publishes the job under mu_, bumps jobSeq_
     // and wakes the pool; workers race the shared cursor and the last

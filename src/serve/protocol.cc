@@ -1,0 +1,242 @@
+#include "serve/protocol.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace serve {
+
+// --- payload encoding ------------------------------------------------
+
+void
+putU16(std::vector<u8> &out, u16 v)
+{
+    out.push_back(static_cast<u8>(v & 0xff));
+    out.push_back(static_cast<u8>(v >> 8));
+}
+
+void
+putU32(std::vector<u8> &out, u32 v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(static_cast<u8>(v >> shift));
+}
+
+void
+putString16(std::vector<u8> &out, const std::string &s)
+{
+    gpx_assert(s.size() <= 0xffff, "string16 field overflow");
+    putU16(out, static_cast<u16>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+void
+putString32(std::vector<u8> &out, const std::string &s)
+{
+    gpx_assert(s.size() <= 0xffffffffull, "string32 field overflow");
+    putU32(out, static_cast<u32>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+bool
+PayloadReader::take(void *out, u64 len)
+{
+    if (!ok_ || size_ - pos_ < len) {
+        ok_ = false;
+        return false;
+    }
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return true;
+}
+
+u8
+PayloadReader::takeU8()
+{
+    u8 v = 0;
+    take(&v, 1);
+    return v;
+}
+
+u16
+PayloadReader::takeU16()
+{
+    u8 b[2] = {};
+    take(b, 2);
+    return static_cast<u16>(b[0] | (u16{ b[1] } << 8));
+}
+
+u32
+PayloadReader::takeU32()
+{
+    u8 b[4] = {};
+    take(b, 4);
+    return b[0] | (u32{ b[1] } << 8) | (u32{ b[2] } << 16) |
+           (u32{ b[3] } << 24);
+}
+
+std::string
+PayloadReader::takeString16()
+{
+    u16 len = takeU16();
+    if (!ok_ || size_ - pos_ < len) {
+        ok_ = false;
+        return {};
+    }
+    std::string s(reinterpret_cast<const char *>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+}
+
+std::string
+PayloadReader::takeString32()
+{
+    u32 len = takeU32();
+    if (!ok_ || size_ - pos_ < len) {
+        ok_ = false;
+        return {};
+    }
+    std::string s(reinterpret_cast<const char *>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+}
+
+// --- body encode/decode ----------------------------------------------
+
+std::vector<u8>
+encodeHello(const HelloBody &body)
+{
+    std::vector<u8> out;
+    putU32(out, body.magic);
+    putU16(out, body.version);
+    gpx_assert(body.mounts.size() <= 0xffff, "too many mounts");
+    putU16(out, static_cast<u16>(body.mounts.size()));
+    for (const auto &name : body.mounts)
+        putString16(out, name);
+    return out;
+}
+
+bool
+decodeHello(const std::vector<u8> &payload, HelloBody *out)
+{
+    PayloadReader r(payload);
+    out->magic = r.takeU32();
+    out->version = r.takeU16();
+    u16 mountCount = r.takeU16();
+    out->mounts.clear();
+    for (u16 i = 0; i < mountCount && r.ok(); ++i)
+        out->mounts.push_back(r.takeString16());
+    return r.done();
+}
+
+std::vector<u8>
+encodeMapRequest(const MapRequestBody &body)
+{
+    std::vector<u8> out;
+    putU32(out, body.requestId);
+    out.push_back(body.flags);
+    putString16(out, body.refName);
+    putString32(out, body.r1Fastq);
+    putString32(out, body.r2Fastq);
+    return out;
+}
+
+bool
+decodeMapRequest(const std::vector<u8> &payload, MapRequestBody *out)
+{
+    PayloadReader r(payload);
+    out->requestId = r.takeU32();
+    out->flags = r.takeU8();
+    out->refName = r.takeString16();
+    out->r1Fastq = r.takeString32();
+    out->r2Fastq = r.takeString32();
+    return r.done();
+}
+
+std::vector<u8>
+encodeMapReply(const MapReplyBody &body)
+{
+    std::vector<u8> out;
+    putU32(out, body.requestId);
+    putU32(out, body.pairCount);
+    putString32(out, body.sam);
+    putString32(out, body.statsJson);
+    return out;
+}
+
+bool
+decodeMapReply(const std::vector<u8> &payload, MapReplyBody *out)
+{
+    PayloadReader r(payload);
+    out->requestId = r.takeU32();
+    out->pairCount = r.takeU32();
+    out->sam = r.takeString32();
+    out->statsJson = r.takeString32();
+    return r.done();
+}
+
+std::vector<u8>
+encodeError(const ErrorBody &body)
+{
+    std::vector<u8> out;
+    putU32(out, body.requestId);
+    putU16(out, body.code);
+    putString16(out, body.message);
+    return out;
+}
+
+bool
+decodeError(const std::vector<u8> &payload, ErrorBody *out)
+{
+    PayloadReader r(payload);
+    out->requestId = r.takeU32();
+    out->code = r.takeU16();
+    out->message = r.takeString16();
+    return r.done();
+}
+
+// --- frame I/O -------------------------------------------------------
+
+bool
+writeFrame(const util::Socket &sock, u8 type,
+           const std::vector<u8> &payload)
+{
+    gpx_assert(payload.size() < 0xffffffffull, "frame payload overflow");
+    std::vector<u8> buf;
+    buf.reserve(5 + payload.size());
+    putU32(buf, static_cast<u32>(payload.size() + 1));
+    buf.push_back(type);
+    buf.insert(buf.end(), payload.begin(), payload.end());
+    return sock.writeExact(buf.data(), buf.size());
+}
+
+bool
+writeBlobFrame(const util::Socket &sock, u8 type, const std::string &blob)
+{
+    std::vector<u8> payload;
+    putString32(payload, blob);
+    return writeFrame(sock, type, payload);
+}
+
+FrameRead
+readFrame(const util::Socket &sock, Frame *out, u32 max_frame_bytes)
+{
+    u8 prefix[4];
+    bool cleanEof = false;
+    if (!sock.readExact(prefix, sizeof(prefix), &cleanEof))
+        return cleanEof ? FrameRead::kEof : FrameRead::kError;
+    u32 len = prefix[0] | (u32{ prefix[1] } << 8) |
+              (u32{ prefix[2] } << 16) | (u32{ prefix[3] } << 24);
+    if (len == 0 || len > max_frame_bytes)
+        return FrameRead::kTooLarge;
+    if (!sock.readExact(&out->type, 1))
+        return FrameRead::kError;
+    out->payload.resize(len - 1);
+    if (len > 1 && !sock.readExact(out->payload.data(), len - 1))
+        return FrameRead::kError;
+    return FrameRead::kFrame;
+}
+
+} // namespace serve
+} // namespace gpx

@@ -1,0 +1,455 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <sys/socket.h>
+#include <utility>
+
+#include "genomics/fasta.hh"
+#include "genomics/sam.hh"
+#include "util/logging.hh"
+
+namespace gpx {
+namespace serve {
+
+// --- AdmissionGate ---------------------------------------------------
+
+bool
+ServeServer::AdmissionGate::acquire(bool *waited,
+                                    const std::atomic<bool> &draining)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (waited != nullptr)
+        *waited = inFlight_ >= slots_;
+    freed_.wait(lock, [&] {
+        return inFlight_ < slots_ ||
+               draining.load(std::memory_order_relaxed);
+    });
+    if (draining.load(std::memory_order_relaxed))
+        return false;
+    ++inFlight_;
+    return true;
+}
+
+void
+ServeServer::AdmissionGate::release()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        gpx_assert(inFlight_ > 0, "admission release without acquire");
+        --inFlight_;
+    }
+    freed_.notify_one();
+}
+
+void
+ServeServer::AdmissionGate::wakeAll()
+{
+    freed_.notify_all();
+}
+
+// --- ServeServer -----------------------------------------------------
+
+ServeServer::ServeServer(std::vector<MountSpec> mounts,
+                         const ServeConfig &config)
+    : config_(config), gate_(config.admissionSlots)
+{
+    gpx_assert(!mounts.empty(), "ServeServer needs at least one mount");
+    mounts_.reserve(mounts.size());
+    for (auto &spec : mounts) {
+        gpx_assert(spec.ref != nullptr, "mount needs a reference");
+        Mount m;
+        m.name = spec.name;
+        m.ref = spec.ref;
+        genpair::DriverConfig driver = config_.driver;
+        driver.threads = config_.threads;
+        m.mapper = std::make_unique<genpair::ParallelMapper>(
+            *spec.ref, spec.view, driver);
+        // The SAM header is a pure function of the mount's reference;
+        // render it once so every HEADER request is a memcpy.
+        std::ostringstream os;
+        genomics::SamWriter sam(os, *spec.ref);
+        sam.writeHeader();
+        m.samHeader = os.str();
+        mounts_.push_back(std::move(m));
+    }
+    for (std::size_t i = 0; i < mounts_.size(); ++i)
+        for (std::size_t j = i + 1; j < mounts_.size(); ++j)
+            gpx_assert(mounts_[i].name != mounts_[j].name,
+                       "duplicate mount name: ", mounts_[i].name);
+}
+
+ServeServer::~ServeServer()
+{
+    requestShutdown();
+    waitUntilDrained();
+}
+
+bool
+ServeServer::start(std::string *error)
+{
+    gpx_assert(!started_, "ServeServer::start called twice");
+    std::optional<util::Socket> listener;
+    if (!config_.socketPath.empty())
+        listener = util::listenUnix(config_.socketPath, error);
+    else
+        listener = util::listenTcp(config_.port, error, &boundPort_);
+    if (!listener)
+        return false;
+    listener_ = std::move(*listener);
+    started_ = true;
+    acceptThread_ = std::thread([this]() { acceptLoop(); });
+    return true;
+}
+
+void
+ServeServer::waitUntilDrained()
+{
+    if (!started_)
+        return;
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    std::vector<std::thread> handlers;
+    {
+        std::unique_lock<std::mutex> lock(connMu_);
+        connDone_.wait(lock, [&] { return liveConnections_ == 0; });
+        handlers.swap(connThreads_);
+    }
+    for (auto &t : handlers)
+        t.join();
+}
+
+void
+ServeServer::requestShutdown()
+{
+    draining_.store(true, std::memory_order_relaxed);
+    // Wake the accept loop (accept() fails once the listener is shut
+    // down) and every idle connection (blocked reads return EOF).
+    listener_.shutdownBoth();
+    gate_.wakeAll();
+    std::lock_guard<std::mutex> lock(connMu_);
+    for (int fd : liveFds_)
+        ::shutdown(fd, SHUT_RD);
+}
+
+ServeCounters
+ServeServer::counters() const
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    return counters_;
+}
+
+std::vector<std::string>
+ServeServer::mountNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(mounts_.size());
+    for (const auto &m : mounts_)
+        names.push_back(m.name);
+    return names;
+}
+
+std::string
+ServeServer::statsJson() const
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    std::ostringstream os;
+    os << "{\n\"server\": {\n"
+       << "  \"connections_accepted\": "
+       << counters_.connectionsAccepted << ",\n"
+       << "  \"requests_served\": " << counters_.requestsServed << ",\n"
+       << "  \"requests_rejected\": " << counters_.requestsRejected
+       << ",\n"
+       << "  \"pairs_mapped\": " << counters_.pairsMapped << ",\n"
+       << "  \"sam_bytes_sent\": " << counters_.samBytesSent << ",\n"
+       << "  \"admission_waits\": " << counters_.admissionWaits << ",\n"
+       << "  \"map_seconds\": " << counters_.mapSeconds << "\n},\n"
+       << "\"mounts\": {\n";
+    for (std::size_t i = 0; i < mounts_.size(); ++i) {
+        os << "\"" << mounts_[i].name << "\": ";
+        mounts_[i].stats.writeJson(os);
+        if (i + 1 < mounts_.size())
+            os << ",";
+        os << "\n";
+    }
+    os << "}\n}\n";
+    return os.str();
+}
+
+void
+ServeServer::acceptLoop()
+{
+    for (;;) {
+        auto conn = util::acceptOne(listener_, nullptr);
+        if (!conn) {
+            if (draining_.load(std::memory_order_relaxed))
+                return;
+            // Transient accept failure (e.g. the peer aborted inside
+            // the backlog); keep serving.
+            continue;
+        }
+        std::lock_guard<std::mutex> lock(connMu_);
+        if (draining_.load(std::memory_order_relaxed))
+            return; // drop the late arrival; its socket closes here
+        ++liveConnections_;
+        util::Socket sock = std::move(*conn);
+        connThreads_.emplace_back(
+            [this, s = std::move(sock)]() mutable {
+                handleConnection(std::move(s));
+            });
+        {
+            std::lock_guard<std::mutex> slock(statsMu_);
+            ++counters_.connectionsAccepted;
+        }
+    }
+}
+
+ServeServer::Mount *
+ServeServer::findMount(const std::string &refName)
+{
+    if (refName.empty())
+        return mounts_.size() == 1 ? &mounts_[0] : nullptr;
+    for (auto &m : mounts_)
+        if (m.name == refName)
+            return &m;
+    return nullptr;
+}
+
+bool
+ServeServer::sendError(const util::Socket &sock, u32 request_id,
+                       u16 code, const std::string &message)
+{
+    ErrorBody body;
+    body.requestId = request_id;
+    body.code = code;
+    body.message = message;
+    return writeFrame(sock, kErrorReply, encodeError(body));
+}
+
+namespace {
+
+/**
+ * Parse one side of a framed FASTQ batch through the recoverable
+ * reader path. False = malformed; @p error carries the diagnostic.
+ */
+bool
+parseFastqBatch(const std::string &text,
+                std::vector<genomics::Read> *reads, std::string *error)
+{
+    std::istringstream is(text);
+    genomics::FastqReader reader(is);
+    genomics::Read read;
+    for (;;) {
+        switch (reader.tryNext(read, error)) {
+        case genomics::FastqParse::kRecord:
+            reads->push_back(std::move(read));
+            break;
+        case genomics::FastqParse::kEof:
+            return true;
+        case genomics::FastqParse::kError:
+            return false;
+        }
+    }
+}
+
+} // namespace
+
+bool
+ServeServer::handleMapRequest(const util::Socket &sock,
+                              const std::vector<u8> &payload)
+{
+    MapRequestBody req;
+    if (!decodeMapRequest(payload, &req)) {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++counters_.requestsRejected;
+        sendError(sock, 0, kErrBadFrame, "undecodable MAP request");
+        return false;
+    }
+    auto reject = [&](u16 code, const std::string &msg, bool keep) {
+        {
+            std::lock_guard<std::mutex> lock(statsMu_);
+            ++counters_.requestsRejected;
+        }
+        return sendError(sock, req.requestId, code, msg) && keep;
+    };
+
+    Mount *mount = findMount(req.refName);
+    if (mount == nullptr)
+        return reject(kErrUnknownReference,
+                      "no mount named '" + req.refName + "'", true);
+
+    // Recoverable ingest: a malformed batch rejects this one request
+    // with a diagnostic error frame; the daemon and the connection
+    // both survive (the batch tools' fatal discipline would take every
+    // other client down with the bad request).
+    std::vector<genomics::Read> reads1, reads2;
+    std::string parseError;
+    if (!parseFastqBatch(req.r1Fastq, &reads1, &parseError))
+        return reject(kErrBadFastq, "R1: " + parseError, true);
+    if (!parseFastqBatch(req.r2Fastq, &reads2, &parseError))
+        return reject(kErrBadFastq, "R2: " + parseError, true);
+    if (reads1.size() != reads2.size())
+        return reject(kErrBadFastq,
+                      "R1 has " + std::to_string(reads1.size()) +
+                          " records but R2 has " +
+                          std::to_string(reads2.size()),
+                      true);
+    if (reads1.size() > config_.maxPairsPerRequest)
+        return reject(kErrTooLarge,
+                      "batch of " + std::to_string(reads1.size()) +
+                          " pairs exceeds the per-request limit of " +
+                          std::to_string(config_.maxPairsPerRequest),
+                      false);
+
+    std::vector<genomics::ReadPair> pairs;
+    pairs.reserve(reads1.size());
+    for (std::size_t i = 0; i < reads1.size(); ++i)
+        pairs.push_back(
+            { std::move(reads1[i]), std::move(reads2[i]) });
+
+    bool waited = false;
+    if (!gate_.acquire(&waited, draining_))
+        return reject(kErrDraining, "server is draining", false);
+    genpair::DriverResult result = mount->mapper->mapAllShared(pairs);
+    gate_.release();
+
+    // SAM records only — the header is a per-mount constant served by
+    // the HEADER frame, so batch responses concatenate cleanly.
+    std::ostringstream samOs;
+    genomics::SamWriter sam(samOs, *mount->ref);
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+        sam.writePair(pairs[i], result.mappings[i]);
+
+    MapReplyBody reply;
+    reply.requestId = req.requestId;
+    reply.pairCount = static_cast<u32>(pairs.size());
+    reply.sam = samOs.str();
+    if (req.flags & kMapWantStats) {
+        std::ostringstream statsOs;
+        result.stats.writeJson(statsOs);
+        reply.statsJson = statsOs.str();
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        mount->stats += result.stats;
+        ++counters_.requestsServed;
+        counters_.pairsMapped += pairs.size();
+        counters_.samBytesSent += reply.sam.size();
+        counters_.admissionWaits += waited ? 1 : 0;
+        counters_.mapSeconds += result.timing.seconds;
+    }
+    return writeFrame(sock, kMapReply, encodeMapReply(reply));
+}
+
+void
+ServeServer::handleConnection(util::Socket sock)
+{
+    bool lateArrival = false;
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        liveFds_.push_back(sock.fd());
+        // If shutdown raced ahead of this registration, its fd
+        // broadcast missed us; the flag check under the same lock
+        // closes that window (a registered fd always gets woken).
+        lateArrival = draining_.load(std::memory_order_relaxed);
+    }
+
+    // Scope guard: deregister the fd *before* the socket closes so the
+    // shutdown broadcast can never touch a recycled descriptor.
+    struct Deregister
+    {
+        ServeServer *server;
+        int fd;
+        ~Deregister()
+        {
+            std::lock_guard<std::mutex> lock(server->connMu_);
+            auto &fds = server->liveFds_;
+            fds.erase(std::find(fds.begin(), fds.end(), fd));
+            --server->liveConnections_;
+            server->connDone_.notify_all();
+        }
+    } deregister{ this, sock.fd() };
+
+    if (lateArrival)
+        return;
+
+    // HELLO handshake: the client leads with magic + version.
+    Frame frame;
+    if (readFrame(sock, &frame, config_.maxFrameBytes) !=
+            FrameRead::kFrame ||
+        frame.type != kHelloRequest) {
+        sendError(sock, 0, kErrBadFrame, "expected HELLO");
+        return;
+    }
+    HelloBody hello;
+    if (!decodeHello(frame.payload, &hello) ||
+        hello.magic != kProtoMagic) {
+        sendError(sock, 0, kErrBadMagic, "bad protocol magic");
+        return;
+    }
+    if (hello.version != kProtoVersion) {
+        sendError(sock, 0, kErrBadVersion,
+                  "unsupported protocol version " +
+                      std::to_string(hello.version) + " (server speaks " +
+                      std::to_string(kProtoVersion) + ")");
+        return;
+    }
+    HelloBody reply;
+    reply.mounts = mountNames();
+    if (!writeFrame(sock, kHelloReply, encodeHello(reply)))
+        return;
+
+    for (;;) {
+        switch (readFrame(sock, &frame, config_.maxFrameBytes)) {
+        case FrameRead::kFrame:
+            break;
+        case FrameRead::kTooLarge:
+            sendError(sock, 0, kErrTooLarge, "frame exceeds limit");
+            return;
+        case FrameRead::kEof:
+        case FrameRead::kError:
+            return;
+        }
+        if (draining_.load(std::memory_order_relaxed)) {
+            sendError(sock, 0, kErrDraining, "server is draining");
+            return;
+        }
+        switch (frame.type) {
+        case kMapRequest:
+            if (!handleMapRequest(sock, frame.payload))
+                return;
+            break;
+        case kHeaderRequest: {
+            PayloadReader r(frame.payload);
+            std::string refName = r.takeString16();
+            Mount *mount = r.done() ? findMount(refName) : nullptr;
+            if (mount == nullptr) {
+                if (!sendError(sock, 0, kErrUnknownReference,
+                               "no mount named '" + refName + "'"))
+                    return;
+                break;
+            }
+            if (!writeBlobFrame(sock, kHeaderReply, mount->samHeader))
+                return;
+            break;
+        }
+        case kStatsRequest:
+            if (!writeBlobFrame(sock, kStatsReply, statsJson()))
+                return;
+            break;
+        case kShutdownRequest:
+            writeFrame(sock, kShutdownReply, {});
+            requestShutdown();
+            return;
+        default:
+            sendError(sock, 0, kErrBadFrame,
+                      "unknown frame type " +
+                          std::to_string(frame.type));
+            return;
+        }
+    }
+}
+
+} // namespace serve
+} // namespace gpx

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * ServeServer: the resident mapping daemon behind gpx_serve.
+ *
+ * The cold-start economics of the batch tools are wrong for service
+ * traffic: every gpx_map run pays reference load + index open + pool
+ * spawn before the first pair maps. The server pays them once — v2
+ * SeedMap shards stay mounted behind a SeedMapView on kernel-shared
+ * mmap pages, one persistent MapperEngine worker pool per mount stays
+ * warm — and then serves any number of concurrent connections speaking
+ * gpx-serve-proto v1 (protocol.hh, docs/serve_protocol.md).
+ *
+ * Concurrency shape: one accept loop, one handler thread per
+ * connection, and a bounded admission gate in front of the mapping
+ * pool. A connection thread parses its request, waits for an admission
+ * slot (backpressure: when the queue is full the handler blocks, the
+ * client's socket fills, and the client's send blocks — no unbounded
+ * buffering anywhere), then submits the batch to the mount's
+ * ParallelMapper through the thread-safe mapAllShared() entry point.
+ * Requests on one connection are handled strictly in order; requests
+ * on different connections share the pool in admission order. Mapping
+ * itself is bit-identical to gpx_map over the same pairs — the golden
+ * corpus digest is pinned by tests/test_serve.cc.
+ *
+ * Lifecycle: requestShutdown() (SIGTERM via the tool, a SHUTDOWN
+ * frame, or a test) stops the accept loop, wakes idle connections,
+ * lets in-flight requests finish, and run() returns with the aggregate
+ * counters still queryable.
+ */
+
+#ifndef GPX_SERVE_SERVER_HH
+#define GPX_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "genpair/driver.hh"
+#include "serve/protocol.hh"
+#include "util/socket.hh"
+
+namespace gpx {
+namespace serve {
+
+/** One reference + index pair the server mounts at start-up. */
+struct MountSpec
+{
+    /** Routing key for MapRequestBody::refName; must be unique. */
+    std::string name;
+    /** Non-owning; must outlive the server. */
+    const genomics::Reference *ref = nullptr;
+    /** View over the shards (mmap image or owning map outlives us). */
+    genpair::SeedMapView view;
+};
+
+/** Server configuration. */
+struct ServeConfig
+{
+    /** Unix-domain socket path; empty = TCP on @p port. */
+    std::string socketPath;
+    /** TCP port on 127.0.0.1 (0 = kernel-assigned) when no path. */
+    u16 port = 0;
+    /** Worker threads per mount's pool (0 = hardware concurrency). */
+    u32 threads = 0;
+    /** Admission slots: requests mapping or waiting to map. */
+    u32 admissionSlots = 4;
+    /** Per-frame byte ceiling. */
+    u32 maxFrameBytes = kDefaultMaxFrameBytes;
+    /** Per-request pair-count ceiling. */
+    u32 maxPairsPerRequest = kDefaultMaxPairsPerRequest;
+    genpair::DriverConfig driver; ///< threads field is ignored
+};
+
+/** Aggregate serving counters (exposed as the STATS JSON). */
+struct ServeCounters
+{
+    u64 connectionsAccepted = 0;
+    u64 requestsServed = 0;   ///< MAP requests answered with MAP_REPLY
+    u64 requestsRejected = 0; ///< MAP requests answered with ERROR
+    u64 pairsMapped = 0;
+    u64 samBytesSent = 0;
+    u64 admissionWaits = 0; ///< requests that found the gate full
+    double mapSeconds = 0;  ///< summed pool occupancy of MAP requests
+};
+
+/** The resident mapping daemon. */
+class ServeServer
+{
+  public:
+    /**
+     * Mounts every spec (building one persistent mapper pool per
+     * mount) but does not open the socket yet.
+     */
+    ServeServer(std::vector<MountSpec> mounts, const ServeConfig &config);
+    ~ServeServer();
+
+    ServeServer(const ServeServer &) = delete;
+    ServeServer &operator=(const ServeServer &) = delete;
+
+    /**
+     * Bind the socket and start the accept loop on a background
+     * thread. Returns false (with a diagnostic) if the socket cannot
+     * be opened. After success, boundPort() reports the TCP port when
+     * config.port was 0.
+     */
+    bool start(std::string *error);
+
+    /** Block until shutdown has been requested and every connection
+     *  handler has drained. */
+    void waitUntilDrained();
+
+    /**
+     * Begin graceful shutdown from any thread (signal-safe enough for
+     * a self-pipe pattern; the tool calls it from its signal watcher):
+     * stop accepting, wake idle connections, let in-flight requests
+     * complete. Idempotent.
+     */
+    void requestShutdown();
+
+    u16 boundPort() const { return boundPort_; }
+
+    /** Snapshot of the aggregate serving counters. */
+    ServeCounters counters() const;
+
+    /**
+     * Aggregate stats JSON: server counters plus the merged
+     * PipelineStats of every mount (the --stats-json / STATS frame
+     * payload).
+     */
+    std::string statsJson() const;
+
+    /** Mount names in mount order (HELLO reply payload). */
+    std::vector<std::string> mountNames() const;
+
+  private:
+    struct Mount
+    {
+        std::string name;
+        const genomics::Reference *ref;
+        std::unique_ptr<genpair::ParallelMapper> mapper;
+        std::string samHeader;
+        /** Merged stats of every request served by this mount. */
+        genpair::PipelineStats stats;
+    };
+
+    /** Bounded admission gate (see class comment). */
+    class AdmissionGate
+    {
+      public:
+        explicit AdmissionGate(u32 slots) : slots_(slots ? slots : 1) {}
+
+        /** Blocks until a slot frees; returns false once draining. */
+        bool acquire(bool *waited, const std::atomic<bool> &draining);
+        void release();
+        /** Wake all waiters (shutdown path). */
+        void wakeAll();
+
+      private:
+        std::mutex mu_;
+        std::condition_variable freed_;
+        u32 slots_;
+        u32 inFlight_ = 0;
+    };
+
+    void acceptLoop();
+    void handleConnection(util::Socket sock);
+    Mount *findMount(const std::string &refName);
+    /** Serve one MAP request; false closes the connection. */
+    bool handleMapRequest(const util::Socket &sock,
+                          const std::vector<u8> &payload);
+    bool sendError(const util::Socket &sock, u32 request_id, u16 code,
+                   const std::string &message);
+
+    ServeConfig config_;
+    std::vector<Mount> mounts_;
+    AdmissionGate gate_;
+
+    util::Socket listener_;
+    u16 boundPort_ = 0;
+    std::thread acceptThread_;
+    std::atomic<bool> draining_{ false };
+    bool started_ = false;
+
+    mutable std::mutex connMu_;
+    std::condition_variable connDone_;
+    std::vector<std::thread> connThreads_;
+    u32 liveConnections_ = 0;
+    /** Raw fds of live connections, for shutdown wake-up. */
+    std::vector<int> liveFds_;
+
+    mutable std::mutex statsMu_;
+    ServeCounters counters_;
+};
+
+} // namespace serve
+} // namespace gpx
+
+#endif // GPX_SERVE_SERVER_HH

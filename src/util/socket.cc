@@ -1,0 +1,238 @@
+#include "util/socket.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <utility>
+
+namespace gpx {
+namespace util {
+
+namespace {
+
+std::string
+errnoString(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+void
+setError(std::string *error, const std::string &msg)
+{
+    if (error != nullptr)
+        *error = msg;
+}
+
+} // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1))
+{
+}
+
+Socket &
+Socket::operator=(Socket &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Socket::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+bool
+Socket::readExact(void *buf, u64 len, bool *clean_eof) const
+{
+    if (clean_eof != nullptr)
+        *clean_eof = false;
+    u8 *p = static_cast<u8 *>(buf);
+    u64 done = 0;
+    while (done < len) {
+        ssize_t n = ::read(fd_, p + done, len - done);
+        if (n == 0) {
+            if (done == 0 && clean_eof != nullptr)
+                *clean_eof = true;
+            return false;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<u64>(n);
+    }
+    return true;
+}
+
+bool
+Socket::writeExact(const void *buf, u64 len) const
+{
+    const u8 *p = static_cast<const u8 *>(buf);
+    u64 done = 0;
+    while (done < len) {
+        // MSG_NOSIGNAL: a peer that hung up turns into an EPIPE error
+        // return instead of a process-killing SIGPIPE.
+        ssize_t n = ::send(fd_, p + done, len - done, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<u64>(n);
+    }
+    return true;
+}
+
+std::optional<Socket>
+listenUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        setError(error, "unix socket path too long: " + path);
+        return std::nullopt;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!s.valid()) {
+        setError(error, errnoString("socket(AF_UNIX)"));
+        return std::nullopt;
+    }
+    ::unlink(path.c_str()); // stale socket file from a previous run
+    if (::bind(s.fd(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        setError(error, errnoString(("bind " + path).c_str()));
+        return std::nullopt;
+    }
+    if (::listen(s.fd(), SOMAXCONN) != 0) {
+        setError(error, errnoString("listen"));
+        return std::nullopt;
+    }
+    return s;
+}
+
+std::optional<Socket>
+connectUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        setError(error, "unix socket path too long: " + path);
+        return std::nullopt;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!s.valid()) {
+        setError(error, errnoString("socket(AF_UNIX)"));
+        return std::nullopt;
+    }
+    if (::connect(s.fd(), reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        setError(error, errnoString(("connect " + path).c_str()));
+        return std::nullopt;
+    }
+    return s;
+}
+
+std::optional<Socket>
+listenTcp(u16 port, std::string *error, u16 *bound_port)
+{
+    Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!s.valid()) {
+        setError(error, errnoString("socket(AF_INET)"));
+        return std::nullopt;
+    }
+    int one = 1;
+    ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(s.fd(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        setError(error, errnoString("bind"));
+        return std::nullopt;
+    }
+    if (::listen(s.fd(), SOMAXCONN) != 0) {
+        setError(error, errnoString("listen"));
+        return std::nullopt;
+    }
+    if (bound_port != nullptr) {
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(s.fd(), reinterpret_cast<sockaddr *>(&bound),
+                          &len) != 0) {
+            setError(error, errnoString("getsockname"));
+            return std::nullopt;
+        }
+        *bound_port = ntohs(bound.sin_port);
+    }
+    return s;
+}
+
+std::optional<Socket>
+connectTcp(const std::string &host, u16 port, std::string *error)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        setError(error, "not an IPv4 address: " + host);
+        return std::nullopt;
+    }
+    Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!s.valid()) {
+        setError(error, errnoString("socket(AF_INET)"));
+        return std::nullopt;
+    }
+    if (::connect(s.fd(), reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        setError(error, errnoString(("connect " + host).c_str()));
+        return std::nullopt;
+    }
+    return s;
+}
+
+std::optional<Socket>
+acceptOne(const Socket &listener, std::string *error)
+{
+    for (;;) {
+        int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd >= 0)
+            return Socket(fd);
+        if (errno == EINTR)
+            continue;
+        // EBADF/EINVAL after the listener was shut down or closed is
+        // the accept loop's normal exit, not an error worth a message.
+        setError(error, errnoString("accept"));
+        return std::nullopt;
+    }
+}
+
+} // namespace util
+} // namespace gpx

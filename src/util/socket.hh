@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal stream-socket layer for the gpx_serve daemon and its client:
+ * RAII file descriptors, Unix-domain and TCP listeners/connectors, and
+ * exact-length read/write helpers. Everything reports failures through
+ * status returns (a resident server must survive every peer-side
+ * misbehavior; only programming errors may panic).
+ */
+
+#ifndef GPX_UTIL_SOCKET_HH
+#define GPX_UTIL_SOCKET_HH
+
+#include <optional>
+#include <string>
+
+#include "util/types.hh"
+
+namespace gpx {
+namespace util {
+
+/** RAII owner of one socket file descriptor. Movable, not copyable. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket();
+
+    Socket(Socket &&other) noexcept;
+    Socket &operator=(Socket &&other) noexcept;
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close now (idempotent; also done by the destructor). */
+    void close();
+
+    /**
+     * Shut down the socket for both directions without closing the
+     * descriptor: any thread blocked in a read on this socket wakes
+     * with EOF. The drain half of graceful shutdown.
+     */
+    void shutdownBoth();
+
+    /**
+     * Read exactly @p len bytes (retrying short reads / EINTR).
+     * Returns false on EOF-before-len or error; a clean EOF at offset
+     * zero sets @p clean_eof when non-null (a peer hanging up between
+     * frames is not an error).
+     */
+    bool readExact(void *buf, u64 len, bool *clean_eof = nullptr) const;
+
+    /** Write exactly @p len bytes (retrying short writes / EINTR). */
+    bool writeExact(const void *buf, u64 len) const;
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Listen on a Unix-domain stream socket at @p path (any stale socket
+ * file at that path is unlinked first). Returns nullopt and sets
+ * @p error on failure.
+ */
+std::optional<Socket> listenUnix(const std::string &path,
+                                 std::string *error);
+
+/** Connect to a Unix-domain stream socket. */
+std::optional<Socket> connectUnix(const std::string &path,
+                                  std::string *error);
+
+/**
+ * Listen on TCP 127.0.0.1:@p port (port 0 = kernel-assigned; the
+ * chosen port is written to @p bound_port when non-null).
+ */
+std::optional<Socket> listenTcp(u16 port, std::string *error,
+                                u16 *bound_port = nullptr);
+
+/** Connect to TCP @p host:@p port. */
+std::optional<Socket> connectTcp(const std::string &host, u16 port,
+                                 std::string *error);
+
+/**
+ * Accept one connection from @p listener. Returns nullopt on error or
+ * once the listener has been shut down (the accept loop's exit path).
+ */
+std::optional<Socket> acceptOne(const Socket &listener,
+                                std::string *error);
+
+} // namespace util
+} // namespace gpx
+
+#endif // GPX_UTIL_SOCKET_HH

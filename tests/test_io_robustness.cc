@@ -210,6 +210,74 @@ TEST(FastqRobust, StreamingReaderAgreesOnEdgeCaseInput)
     EXPECT_EQ(reader.recordsRead(), 3u);
 }
 
+// ---------------------------------------------------------------------
+// Recoverable parse path (the serve-mode discipline): tryNext() must
+// report malformed input instead of exiting, so gpx_serve can reject
+// one bad request without taking the daemon down.
+// ---------------------------------------------------------------------
+
+TEST(FastqTryNext, CleanStreamMatchesNext)
+{
+    std::istringstream in("@r1\nACGT\n+\nIIII\n@r2\nTTGG\n+\nIIII\n");
+    genomics::FastqReader reader(in);
+    genomics::Read r;
+    std::string error;
+    EXPECT_EQ(reader.tryNext(r, &error), genomics::FastqParse::kRecord);
+    EXPECT_EQ(r.name, "r1");
+    EXPECT_EQ(reader.tryNext(r, &error), genomics::FastqParse::kRecord);
+    EXPECT_EQ(r.name, "r2");
+    EXPECT_EQ(reader.tryNext(r, &error), genomics::FastqParse::kEof);
+    EXPECT_TRUE(error.empty());
+}
+
+TEST(FastqTryNext, TruncatedRecordReportsErrorNotDeath)
+{
+    std::istringstream in("@r1\nACGT\n+\nIIII\n@r2\nACGT\n+\n");
+    genomics::FastqReader reader(in);
+    genomics::Read r;
+    std::string error;
+    EXPECT_EQ(reader.tryNext(r, &error), genomics::FastqParse::kRecord);
+    EXPECT_EQ(reader.tryNext(r, &error), genomics::FastqParse::kError);
+    EXPECT_NE(error.find("truncated FASTQ record"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("record 2"), std::string::npos) << error;
+    EXPECT_NE(error.find("@r2"), std::string::npos) << error;
+}
+
+TEST(FastqTryNext, MalformedHeaderReportsErrorNotDeath)
+{
+    std::istringstream in("ACGT\nACGT\n+\nIIII\n");
+    genomics::FastqReader reader(in);
+    genomics::Read r;
+    std::string error;
+    EXPECT_EQ(reader.tryNext(r, &error), genomics::FastqParse::kError);
+    EXPECT_NE(error.find("malformed FASTQ header"), std::string::npos)
+        << error;
+}
+
+TEST(FastqTryNext, ErrorPoisonsReader)
+{
+    // After one kError the stream position inside the broken record is
+    // meaningless; every further call must keep failing with the same
+    // diagnostic rather than resynchronize on garbage.
+    std::istringstream in("@r1\nACGT\n+\n");
+    genomics::FastqReader reader(in);
+    genomics::Read r;
+    std::string first, second;
+    EXPECT_EQ(reader.tryNext(r, &first), genomics::FastqParse::kError);
+    EXPECT_EQ(reader.tryNext(r, &second), genomics::FastqParse::kError);
+    EXPECT_EQ(first, second);
+    EXPECT_FALSE(first.empty());
+}
+
+TEST(FastqTryNext, NullErrorPointerAccepted)
+{
+    std::istringstream in("garbage");
+    genomics::FastqReader reader(in);
+    genomics::Read r;
+    EXPECT_EQ(reader.tryNext(r), genomics::FastqParse::kError);
+}
+
 TEST(FastqRobustDeath, TruncatedRecordIsFatal)
 {
     EXPECT_DEATH(

@@ -53,10 +53,23 @@ class Cli
             if (i + 1 >= argc)
                 die("flag " + arg + " needs a value");
             flags_[arg] = argv[++i];
+            multi_[arg].push_back(flags_[arg]);
         }
     }
 
     bool has(const std::string &flag) const { return flags_.count(flag); }
+
+    /**
+     * Every value given for a repeatable flag, in the order given
+     * (str()/num() see only the last). Empty when the flag is absent.
+     */
+    std::vector<std::string>
+    all(const std::string &flag) const
+    {
+        auto it = multi_.find(flag);
+        return it == multi_.end() ? std::vector<std::string>{}
+                                  : it->second;
+    }
 
     std::string
     str(const std::string &flag, const std::string &fallback = "") const
@@ -112,6 +125,7 @@ class Cli
     }
 
     std::map<std::string, std::string> flags_;
+    std::map<std::string, std::vector<std::string>> multi_;
     std::string usage_;
 };
 
