@@ -25,7 +25,7 @@ run_step(${GPX_SIMULATE} --out ${WORK_DIR}/sim
 run_step(${GPX_INDEX} --ref ${WORK_DIR}/sim.fa --out ${WORK_DIR}/sim.gpx)
 run_step(${GPX_MAP} --ref ${WORK_DIR}/sim.fa --index ${WORK_DIR}/sim.gpx
     --r1 ${WORK_DIR}/sim_1.fq --r2 ${WORK_DIR}/sim_2.fq
-    --out ${WORK_DIR}/out.sam --threads 2
+    --out ${WORK_DIR}/out.sam --threads 2 --io-threads 2
     --stats-json ${WORK_DIR}/stats.json
     --trace ${WORK_DIR}/run.trace)
 run_step(${GPX_MAPEVAL} --ref ${WORK_DIR}/sim.fa
@@ -33,9 +33,11 @@ run_step(${GPX_MAPEVAL} --ref ${WORK_DIR}/sim.fa
     --min-correct 90)
 
 # --stats-json must carry the full PipelineStats, including the
-# per-stage counters of the stage graph.
+# per-stage counters of the stage graph and the I/O spine's stall
+# accounting (reader-starved vs emission-bound seconds).
 file(READ ${WORK_DIR}/stats.json STATS_JSON)
-foreach(key pairs_total light_aligned stages light_align fallback)
+foreach(key pairs_total light_aligned stages light_align fallback
+        reader_stall_seconds writer_stall_seconds)
     if(NOT STATS_JSON MATCHES "\"${key}\"")
         message(FATAL_ERROR "stats.json is missing key '${key}'")
     endif()

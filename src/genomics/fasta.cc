@@ -78,6 +78,33 @@ writeFastq(std::ostream &os, const std::vector<Read> &reads, char quality)
     }
 }
 
+FastqReader::FastqReader(std::istream &is, u64 record_base,
+                         std::atomic<bool> *warned_ambiguous)
+    : ownedRaw_(std::make_unique<util::IstreamSource>(is)),
+      ownedInflate_(std::make_unique<util::AutoInflateSource>(*ownedRaw_)),
+      lines_(*ownedInflate_), recordBase_(record_base),
+      sharedWarn_(warned_ambiguous)
+{
+}
+
+FastqReader::FastqReader(util::ByteSource &source, u64 record_base,
+                         std::atomic<bool> *warned_ambiguous)
+    : lines_(source), recordBase_(record_base),
+      sharedWarn_(warned_ambiguous)
+{
+}
+
+bool
+FastqReader::claimAmbiguousWarn()
+{
+    if (sharedWarn_ != nullptr)
+        return !sharedWarn_->exchange(true);
+    if (warnedAmbiguous_)
+        return false;
+    warnedAmbiguous_ = true;
+    return true;
+}
+
 bool
 FastqReader::next(Read &read)
 {
@@ -109,19 +136,22 @@ FastqReader::tryNext(Read &read, std::string *error)
         return FastqParse::kError;
     };
     std::string header, seq, plus, qual;
-    while (std::getline(is_, header)) {
+    while (lines_.getline(header)) {
         chompCr(header);
         if (header.empty())
             continue;
         if (header[0] != '@')
             return fail(util::detail::cat(
-                "malformed FASTQ header at record ", records_ + 1,
-                ": expected '@', got '", header.substr(0, 40), "'"));
-        if (!std::getline(is_, seq) || !std::getline(is_, plus) ||
-            !std::getline(is_, qual)) {
+                "malformed FASTQ header at record ",
+                recordBase_ + records_ + 1, ": expected '@', got '",
+                header.substr(0, 40), "'"));
+        if (!lines_.getline(seq) || !lines_.getline(plus) ||
+            !lines_.getline(qual)) {
+            if (!lines_.error().empty())
+                return fail(lines_.error());
             return fail(util::detail::cat(
                 "truncated FASTQ record: EOF mid-record at record ",
-                records_ + 1, " (header '", header, "')"));
+                recordBase_ + records_ + 1, " (header '", header, "')"));
         }
         chompCr(seq);
         std::size_t end = header.find_first_of(" \t", 1);
@@ -129,11 +159,11 @@ FastqReader::tryNext(Read &read, std::string *error)
             1, end == std::string::npos ? end : end - 1);
         u64 ambiguousBefore = stats_.ambiguousBases;
         read.seq = DnaSequence(seq, &stats_.ambiguousBases);
-        if (stats_.ambiguousBases > ambiguousBefore && !warnedAmbiguous_) {
-            warnedAmbiguous_ = true;
+        if (stats_.ambiguousBases > ambiguousBefore &&
+            claimAmbiguousWarn()) {
             gpx_warn("FASTQ ingestion: ambiguous (non-ACGT) bases encoded "
                      "as A, first in record ",
-                     records_ + 1, " ('", read.name,
+                     recordBase_ + records_ + 1, " ('", read.name,
                      "'); counting silently from here on");
         }
         read.truthPos = kInvalidPos;
@@ -141,6 +171,8 @@ FastqReader::tryNext(Read &read, std::string *error)
         ++records_;
         return FastqParse::kRecord;
     }
+    if (!lines_.error().empty())
+        return fail(lines_.error());
     return FastqParse::kEof;
 }
 

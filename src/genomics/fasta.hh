@@ -8,12 +8,16 @@
 #ifndef GPX_GENOMICS_FASTA_HH
 #define GPX_GENOMICS_FASTA_HH
 
+#include <atomic>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "genomics/readpair.hh"
 #include "genomics/reference.hh"
+#include "util/byte_stream.hh"
+#include "util/gzip_stream.hh"
 
 namespace gpx {
 namespace genomics {
@@ -69,7 +73,27 @@ enum class FastqParse
 class FastqReader
 {
   public:
-    explicit FastqReader(std::istream &is) : is_(is) {}
+    /**
+     * Read from @p is. Gzip input (magic 0x1f 0x8b) is inflated
+     * transparently; in a binary built without zlib it fails with a
+     * "rebuild with zlib" diagnostic through the usual error paths.
+     *
+     * @p record_base offsets the record indices in diagnostics: a
+     * reader parsing a slice that starts at global record N passes N
+     * so its "record ..." messages match the whole-stream numbering.
+     * @p warned_ambiguous, when non-null, is a warn-once flag shared
+     * across the readers of one logical stream (parallel slice
+     * parsers warn once per run, not once per slice).
+     */
+    explicit FastqReader(std::istream &is, u64 record_base = 0,
+                         std::atomic<bool> *warned_ambiguous = nullptr);
+
+    /**
+     * Read from an already-decompressed ByteSource (slice parsing —
+     * no gzip sniffing: a mid-stream slice is always plain text).
+     */
+    explicit FastqReader(util::ByteSource &source, u64 record_base = 0,
+                         std::atomic<bool> *warned_ambiguous = nullptr);
 
     /** Parse the next record into @p read; false at end of stream.
      *  Fatal (process exit) on malformed input — CLI discipline. */
@@ -84,7 +108,7 @@ class FastqReader
      */
     FastqParse tryNext(Read &read, std::string *error = nullptr);
 
-    /** Records yielded so far. */
+    /** Records yielded so far (by this reader; excludes record_base). */
     u64 recordsRead() const { return records_; }
 
     /** Non-ACGT bases (encoded as A) seen so far; warns once per reader. */
@@ -94,9 +118,17 @@ class FastqReader
     const IngestStats &stats() const { return stats_; }
 
   private:
-    std::istream &is_;
+    bool claimAmbiguousWarn();
+
+    // Owned only by the istream constructor; declaration order is the
+    // construction order the stack needs (raw below inflate).
+    std::unique_ptr<util::IstreamSource> ownedRaw_;
+    std::unique_ptr<util::AutoInflateSource> ownedInflate_;
+    util::LineReader lines_;
+    u64 recordBase_;
     u64 records_ = 0;
     IngestStats stats_;
+    std::atomic<bool> *sharedWarn_;
     bool warnedAmbiguous_ = false;
     bool poisoned_ = false;
     std::string lastError_;

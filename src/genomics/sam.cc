@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <ostream>
+#include <sstream>
 
 #include "util/logging.hh"
 
@@ -26,7 +27,8 @@ SamWriter::writeHeader()
 }
 
 void
-SamWriter::writeRecord(const Read &read, const Mapping &mapping, u32 flags,
+SamWriter::writeRecord(std::ostream &os, const Read &read,
+                       const Mapping &mapping, u32 flags,
                        const Mapping *mate, i64 tlen)
 {
     std::string rname = "*";
@@ -65,15 +67,16 @@ SamWriter::writeRecord(const Read &read, const Mapping &mapping, u32 flags,
                           : read.seq.toString();
     u8 mapq = mapping.mapped ? 60 : 0;
 
-    os_ << read.name << '\t' << flags << '\t' << rname << '\t' << pos1
-        << '\t' << static_cast<u32>(mapq) << '\t' << cigar << '\t'
-        << rnext << '\t' << pnext << '\t' << tlen << '\t' << seq << '\t'
-        << '*' << "\tAS:i:" << mapping.score << '\n';
+    os << read.name << '\t' << flags << '\t' << rname << '\t' << pos1
+       << '\t' << static_cast<u32>(mapq) << '\t' << cigar << '\t'
+       << rnext << '\t' << pnext << '\t' << tlen << '\t' << seq << '\t'
+       << '*' << "\tAS:i:" << mapping.score << '\n';
     ++records_;
 }
 
 void
-SamWriter::writePair(const ReadPair &pair, const PairMapping &mapping)
+SamWriter::writePairTo(std::ostream &os, const ReadPair &pair,
+                       const PairMapping &mapping)
 {
     u32 f1 = kSamPaired | kSamFirstInPair;
     u32 f2 = kSamPaired | kSamSecondInPair;
@@ -101,14 +104,32 @@ SamWriter::writePair(const ReadPair &pair, const PairMapping &mapping)
     i64 tlen1 = mapping.first.reverse ? -tlen : tlen;
     i64 tlen2 = mapping.second.reverse ? -tlen : tlen;
 
-    writeRecord(pair.first, mapping.first, f1, &mapping.second, tlen1);
-    writeRecord(pair.second, mapping.second, f2, &mapping.first, tlen2);
+    writeRecord(os, pair.first, mapping.first, f1, &mapping.second,
+                tlen1);
+    writeRecord(os, pair.second, mapping.second, f2, &mapping.first,
+                tlen2);
+}
+
+void
+SamWriter::writePair(const ReadPair &pair, const PairMapping &mapping)
+{
+    writePairTo(os_, pair, mapping);
+}
+
+void
+SamWriter::writePairBatch(const ReadPair *pairs,
+                          const PairMapping *mappings, std::size_t n)
+{
+    std::ostringstream buf;
+    for (std::size_t i = 0; i < n; ++i)
+        writePairTo(buf, pairs[i], mappings[i]);
+    os_ << buf.str();
 }
 
 void
 SamWriter::writeRead(const Read &read, const Mapping &mapping)
 {
-    writeRecord(read, mapping, 0, nullptr, 0);
+    writeRecord(os_, read, mapping, 0, nullptr, 0);
 }
 
 u8

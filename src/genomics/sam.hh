@@ -50,6 +50,15 @@ class SamWriter
     /** Emit the two records of a mapped pair. */
     void writePair(const ReadPair &pair, const PairMapping &mapping);
 
+    /**
+     * Emit @p n pairs as one stream write: records render into an
+     * in-memory buffer first, so the output stream sees one large
+     * write per batch instead of ~a dozen small ones per record.
+     * Byte-identical to n writePair() calls (same rendering code).
+     */
+    void writePairBatch(const ReadPair *pairs, const PairMapping *mappings,
+                        std::size_t n);
+
     /** Emit one single-end record (long reads). */
     void writeRead(const Read &read, const Mapping &mapping);
 
@@ -57,8 +66,11 @@ class SamWriter
     u64 recordsWritten() const { return records_; }
 
   private:
-    void writeRecord(const Read &read, const Mapping &mapping, u32 flags,
+    void writeRecord(std::ostream &os, const Read &read,
+                     const Mapping &mapping, u32 flags,
                      const Mapping *mate, i64 tlen);
+    void writePairTo(std::ostream &os, const ReadPair &pair,
+                     const PairMapping &mapping);
 
     std::ostream &os_;
     const Reference &ref_;

@@ -65,6 +65,16 @@ struct PipelineStats
     u64 lightHypotheses = 0;
     u64 gateRejected = 0; ///< candidates dropped by the SS8 gate
 
+    /**
+     * I/O-spine stall accounting (streaming drivers only; zero for
+     * batch runs). Reader stall is time the mapping stage spent
+     * waiting for parsed input (ingest-bound); writer stall is time it
+     * spent waiting for emission backpressure (output-bound). Either
+     * dominating the wall clock names the pipeline's bottleneck.
+     */
+    double readerStallSeconds = 0;
+    double writerStallSeconds = 0;
+
     /** Per-stage visit counters of the stage graph (stages.hh). */
     std::array<StageCounters, kNumStages> stage{};
 
@@ -96,6 +106,8 @@ struct PipelineStats
         lightAlignsAttempted += other.lightAlignsAttempted;
         lightHypotheses += other.lightHypotheses;
         gateRejected += other.gateRejected;
+        readerStallSeconds += other.readerStallSeconds;
+        writerStallSeconds += other.writerStallSeconds;
         for (std::size_t s = 0; s < kNumStages; ++s)
             stage[s] += other.stage[s];
         return *this;

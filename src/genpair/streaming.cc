@@ -1,11 +1,15 @@
 #include "genpair/streaming.hh"
 
-#include <condition_variable>
-#include <mutex>
-#include <optional>
+#include <atomic>
+#include <map>
 #include <thread>
 #include <utility>
+#include <vector>
 
+#include "genomics/fastq_ingest.hh"
+#include "util/byte_stream.hh"
+#include "util/channel.hh"
+#include "util/gzip_stream.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
 
@@ -14,59 +18,14 @@ namespace genpair {
 
 namespace {
 
-/**
- * Single-slot blocking hand-off between one producer and one consumer
- * thread: the double-buffering primitive of the streaming pipeline.
- * push() blocks while the slot is full; pop() blocks while it is empty
- * and returns nullopt once the channel is closed and drained.
- */
-template <typename T>
-class HandoffSlot
+/** One chunk leaving the mapper for the emission stage. */
+struct MappedChunk
 {
-  public:
-    void
-    push(T value)
-    {
-        std::unique_lock<std::mutex> lock(mu_);
-        spaceFree_.wait(lock, [&] { return !slot_.has_value(); });
-        slot_.emplace(std::move(value));
-        itemReady_.notify_one();
-    }
-
-    std::optional<T>
-    pop()
-    {
-        std::unique_lock<std::mutex> lock(mu_);
-        itemReady_.wait(lock, [&] { return slot_.has_value() || closed_; });
-        if (!slot_.has_value())
-            return std::nullopt;
-        std::optional<T> out = std::move(slot_);
-        slot_.reset();
-        spaceFree_.notify_one();
-        return out;
-    }
-
-    void
-    close()
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        closed_ = true;
-        itemReady_.notify_one();
-    }
-
-  private:
-    std::mutex mu_;
-    std::condition_variable itemReady_;
-    std::condition_variable spaceFree_;
-    std::optional<T> slot_;
-    bool closed_ = false;
-};
-
-/** One chunk moving through the reader → mapper → writer pipeline. */
-struct Batch
-{
+    u64 seq = 0;
     std::vector<genomics::ReadPair> pairs;
-    std::vector<genomics::PairMapping> mappings; ///< filled by the mapper
+    std::vector<genomics::PairMapping> mappings;
+    std::vector<PairTraceRecord> trace;
+    genomics::IngestError error; ///< when set: emission stops here
 };
 
 } // namespace
@@ -74,10 +33,21 @@ struct Batch
 StreamingMapper::StreamingMapper(const genomics::Reference &ref,
                                  const SeedMapView &map,
                                  const DriverConfig &config,
-                                 u64 chunk_pairs)
-    : ref_(ref), mapper_(ref, map, config),
+                                 u64 chunk_pairs, u32 io_threads)
+    : owned_(std::make_unique<ParallelMapper>(ref, map, config)),
+      mapper_(*owned_), borrowed_(false),
       chunkPairs_(chunk_pairs == 0 ? 1 : chunk_pairs),
+      ioThreads_(io_threads == 0 ? 1 : io_threads),
       traceEnabled_(config.recordTrace)
+{
+}
+
+StreamingMapper::StreamingMapper(ParallelMapper &shared, u64 chunk_pairs,
+                                 u32 io_threads, bool record_trace)
+    : mapper_(shared), borrowed_(true),
+      chunkPairs_(chunk_pairs == 0 ? 1 : chunk_pairs),
+      ioThreads_(io_threads == 0 ? 1 : io_threads),
+      traceEnabled_(record_trace)
 {
 }
 
@@ -86,79 +56,168 @@ StreamingMapper::run(std::istream &r1, std::istream &r2,
                      genomics::SamWriter &sam,
                      const TraceSink &trace_sink)
 {
+    StreamingResult result;
+    genomics::IngestError error;
+    const StreamRunStatus status =
+        tryRun(r1, r2, sam, result, &error, 0, trace_sink);
+    if (status != StreamRunStatus::kOk)
+        gpx_fatal(error.message);
+    return result;
+}
+
+StreamRunStatus
+StreamingMapper::tryRun(std::istream &r1, std::istream &r2,
+                        genomics::SamWriter &sam, StreamingResult &result,
+                        genomics::IngestError *error, u64 max_pairs,
+                        const TraceSink &trace_sink)
+{
     gpx_assert(!trace_sink || traceEnabled_,
                "trace sink needs DriverConfig::recordTrace");
-    StreamingResult result;
+    result = StreamingResult{};
     util::Stopwatch watch;
 
-    HandoffSlot<Batch> parsed;
-    HandoffSlot<Batch> mapped;
+    const std::size_t qcap =
+        std::max<std::size_t>(2, static_cast<std::size_t>(ioThreads_) * 2);
+    util::Channel<genomics::FastqChunk> rawQ(qcap);
+    util::Channel<genomics::ParsedChunk> parsedQ(qcap);
+    util::Channel<MappedChunk> mappedQ(2);
 
-    // Reader: parse the next chunk while the pool maps the current one.
-    std::thread reader([&]() {
-        genomics::FastqReader reader1(r1);
-        genomics::FastqReader reader2(r2);
-        bool done = false;
-        while (!done) {
-            Batch batch;
-            batch.pairs.reserve(chunkPairs_);
-            while (batch.pairs.size() < chunkPairs_) {
-                genomics::ReadPair pair;
-                const bool got1 = reader1.next(pair.first);
-                const bool got2 = reader2.next(pair.second);
-                if (got1 != got2)
-                    gpx_fatal("FASTQ streams disagree: ",
-                              got1 ? "R2" : "R1", " ended early after ",
-                              (got1 ? reader2 : reader1).recordsRead(),
-                              " records while ", got1 ? "R1" : "R2",
-                              " still has reads (",
-                              (got1 ? reader1 : reader2).recordsRead(),
-                              " so far)");
-                if (!got1) {
-                    done = true;
-                    break;
-                }
-                batch.pairs.push_back(std::move(pair));
-            }
-            if (!batch.pairs.empty())
-                parsed.push(std::move(batch));
+    std::atomic<bool> warnedAmbiguous{false};
+
+    // Chunker: owns the byte stacks. Prefetch sits above inflate so
+    // file reads AND gzip decompression run ahead of the scan.
+    std::thread chunkerThread([&]() {
+        util::IstreamSource raw1(r1);
+        util::IstreamSource raw2(r2);
+        util::AutoInflateSource inflate1(raw1);
+        util::AutoInflateSource inflate2(raw2);
+        util::PrefetchSource prefetch1(inflate1);
+        util::PrefetchSource prefetch2(inflate2);
+        genomics::PairedFastqChunker chunker(prefetch1, prefetch2,
+                                             chunkPairs_);
+        genomics::FastqChunk chunk;
+        while (chunker.next(chunk)) {
+            // push fails only after an early close (downstream error).
+            if (!rawQ.push(std::move(chunk)))
+                break;
+            chunk = genomics::FastqChunk{};
         }
-        parsed.close();
+        rawQ.close();
     });
 
-    // Writer: drain SAM records while the pool maps the next chunk.
-    // Single consumer of the `mapped` slot, so records leave in chunk
-    // order — output stays bit-identical to a batch run.
-    std::thread writer([&]() {
-        while (auto batch = mapped.pop()) {
-            for (std::size_t i = 0; i < batch->pairs.size(); ++i)
-                sam.writePair(batch->pairs[i], batch->mappings[i]);
+    // Parsers: the expensive half of ingest, over disjoint chunks.
+    // The last one out closes the parsed queue.
+    std::atomic<u32> parsersLive{ioThreads_};
+    std::vector<std::thread> parserThreads;
+    parserThreads.reserve(ioThreads_);
+    for (u32 t = 0; t < ioThreads_; ++t) {
+        parserThreads.emplace_back([&]() {
+            while (auto chunk = rawQ.pop()) {
+                genomics::ParsedChunk parsed = genomics::parseFastqChunk(
+                    std::move(*chunk), &warnedAmbiguous);
+                if (!parsedQ.push(std::move(parsed)))
+                    break;
+            }
+            if (parsersLive.fetch_sub(1) == 1)
+                parsedQ.close();
+        });
+    }
+
+    // Writer: the only thread that touches `sam`. Reorders by chunk
+    // sequence number so emission is strictly input-ordered; stops at
+    // the first in-order error chunk, which by construction carries
+    // the diagnostic the serial reader would have hit first.
+    genomics::IngestError firstError;
+    std::thread writerThread([&]() {
+        std::map<u64, MappedChunk> reorder;
+        u64 nextSeq = 0;
+        bool stopped = false;
+        while (auto m = mappedQ.pop()) {
+            reorder.emplace(m->seq, std::move(*m));
+            while (!stopped) {
+                auto it = reorder.find(nextSeq);
+                if (it == reorder.end())
+                    break;
+                MappedChunk chunk = std::move(it->second);
+                reorder.erase(it);
+                if (chunk.error.set()) {
+                    firstError = std::move(chunk.error);
+                    stopped = true;
+                    break;
+                }
+                if (trace_sink)
+                    trace_sink(chunk.trace.data(), chunk.trace.size());
+                sam.writePairBatch(chunk.pairs.data(),
+                                   chunk.mappings.data(),
+                                   chunk.pairs.size());
+                ++nextSeq;
+            }
         }
     });
 
     // Mapper (this thread): the pool's workers are the parallelism.
-    // Chunks flow through here in input order, so the trace sink sees
-    // stage events exactly as a serial run would emit them.
+    // Chunks are mapped in arrival order (mapping is per-pair pure;
+    // the writer restores input order).
     double mapSeconds = 0;
-    while (auto batch = parsed.pop()) {
-        DriverResult res = mapper_.mapAll(batch->pairs);
-        result.stats += res.stats;
-        mapSeconds += res.timing.seconds;
-        result.pairs += batch->pairs.size();
-        ++result.chunks;
-        if (trace_sink)
-            trace_sink(res.trace.data(), res.trace.size());
-        batch->mappings = std::move(res.mappings);
-        mapped.push(std::move(*batch));
+    u64 totalParsed = 0;
+    bool tooLarge = false;
+    while (auto parsed = parsedQ.pop()) {
+        MappedChunk m;
+        m.seq = parsed->seq;
+        m.error = std::move(parsed->error);
+        totalParsed += parsed->pairs.size();
+        if (max_pairs != 0 && totalParsed > max_pairs)
+            tooLarge = true;
+        if (m.error.set()) {
+            // Stop the chunker; queued chunks still drain so every
+            // sequence number below the error reaches the writer.
+            rawQ.close();
+        } else if (!tooLarge) {
+            DriverResult res = borrowed_
+                                   ? mapper_.mapAllShared(parsed->pairs)
+                                   : mapper_.mapAll(parsed->pairs);
+            result.stats += res.stats;
+            mapSeconds += res.timing.seconds;
+            result.pairs += parsed->pairs.size();
+            ++result.chunks;
+            m.pairs = std::move(parsed->pairs);
+            m.mappings = std::move(res.mappings);
+            m.trace = std::move(res.trace);
+        }
+        mappedQ.push(std::move(m));
     }
-    mapped.close();
+    mappedQ.close();
 
-    reader.join();
-    writer.join();
+    writerThread.join();
+    rawQ.close(); // idempotent; normally closed by the chunker itself
+    chunkerThread.join();
+    for (auto &t : parserThreads)
+        t.join();
 
+    // Spine stall accounting: this thread is the sole parsedQ popper
+    // and sole mappedQ pusher, so the channel counters are exactly the
+    // mapping stage's ingest-wait vs emission-wait split.
+    result.stats.readerStallSeconds = parsedQ.popStall().seconds;
+    result.stats.writerStallSeconds = mappedQ.pushStall().seconds;
+
+    if (firstError.set()) {
+        if (error != nullptr)
+            *error = std::move(firstError);
+        return StreamRunStatus::kParseError;
+    }
+    if (tooLarge) {
+        if (error != nullptr) {
+            error->recordIndex = totalParsed;
+            error->rank = 2;
+            error->message = util::detail::cat(
+                "batch of ", totalParsed,
+                " pairs exceeds the per-request limit of ", max_pairs);
+        }
+        return StreamRunStatus::kTooLarge;
+    }
     result.total = RunTiming::of(result.pairs, watch.seconds());
     result.mapping = RunTiming::of(result.pairs, mapSeconds);
-    return result;
+    return StreamRunStatus::kOk;
 }
 
 } // namespace genpair

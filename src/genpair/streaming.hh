@@ -1,19 +1,29 @@
 /**
  * @file
  * Streaming mapping driver: FASTQ pair in, SAM out, bounded memory,
- * I/O overlapped with compute.
+ * every pipeline stage free to scale independently.
  *
  * The batch ParallelMapper needs every read pair resident; real read
  * sets (the paper maps 100 M pairs, §6) do not fit the host budget
- * that way. StreamingMapper runs a three-stage pipeline over fixed-size
- * chunks: a reader thread parses the next FASTQ chunk and a writer
- * thread drains the previous chunk's SAM records while the persistent
- * worker pool maps the current chunk. Each hand-off queue is
- * single-slot (double buffering per stage), so peak memory stays
- * bounded by a small constant number of chunks regardless of input
- * size, and results are bit-identical to a whole-file batch run
- * (mapping is per-pair pure and chunks flow reader → mapper → writer
- * in input order).
+ * that way. StreamingMapper runs the async I/O spine over fixed-size
+ * chunks of pairs:
+ *
+ *   chunker thread  — scans raw FASTQ text (gzip inflated, prefetch
+ *                     double-buffered) into sequence-numbered chunks
+ *   N parser threads— full parse/encode of disjoint chunks (the
+ *                     --io-threads knob)
+ *   mapper (caller) — feeds each parsed chunk to the MapperEngine
+ *                     worker pool, in arrival order
+ *   writer thread   — sequence-numbered reorder buffer; emits trace
+ *                     events and batched SAM strictly in input order
+ *
+ * Stages hand off through bounded util::Channel queues, so peak
+ * memory stays proportional to the queue capacities regardless of
+ * input size, and the channels' stall counters feed the reader-stall/
+ * writer-stall fields of PipelineStats (`gpx_map --stats-json`).
+ * Mapping is per-pair pure and the writer reorders by chunk sequence
+ * number, so output is bit-identical to a whole-file batch run at
+ * every reader/worker/chunk-size combination.
  */
 
 #ifndef GPX_GENPAIR_STREAMING_HH
@@ -21,8 +31,11 @@
 
 #include <functional>
 #include <iosfwd>
+#include <memory>
+#include <string>
 
 #include "genomics/fasta.hh"
+#include "genomics/fastq_ingest.hh"
 #include "genomics/sam.hh"
 #include "genpair/driver.hh"
 
@@ -34,11 +47,19 @@ struct StreamingResult
 {
     u64 pairs = 0;
     u64 chunks = 0;
-    PipelineStats stats; ///< aggregated over all chunks
+    PipelineStats stats; ///< aggregated over all chunks (incl. stalls)
     /** End-to-end timing including FASTQ parse and SAM drain. */
     RunTiming total;
     /** Pure mapping time summed over chunks (see RunTiming). */
     RunTiming mapping;
+};
+
+/** Outcome of one StreamingMapper::tryRun(). */
+enum class StreamRunStatus
+{
+    kOk,
+    kParseError, ///< malformed/disagreeing FASTQ; see the error string
+    kTooLarge,   ///< input exceeded the caller's max_pairs bound
 };
 
 /** Chunked mapping driver over the shared SeedMap. */
@@ -47,7 +68,7 @@ class StreamingMapper
   public:
     /**
      * Consumer of recorded per-pair stage events, invoked on the
-     * mapping thread once per chunk, in input order (the hand-off to
+     * emission thread once per chunk, in input order (the hand-off to
      * `gpx_map --trace`). Requires DriverConfig::recordTrace.
      */
     using TraceSink =
@@ -57,26 +78,57 @@ class StreamingMapper
      * @param map Non-owning SeedMap view (owning or mmap-backed; the
      *            backing storage must outlive the mapper).
      * @param chunk_pairs Read pairs mapped per chunk (the memory bound).
+     * @param io_threads Parser threads of the ingest spine (>= 1).
      */
     StreamingMapper(const genomics::Reference &ref,
                     const SeedMapView &map, const DriverConfig &config,
-                    u64 chunk_pairs = 65536);
+                    u64 chunk_pairs = 65536, u32 io_threads = 1);
 
     /**
-     * Map all pairs from @p r1/@p r2 (same-order FASTQ streams) and
-     * write records through @p sam. Fatal error — naming the stream
-     * that ended early — if the streams yield different record counts.
-     * @p trace_sink (optional) receives each chunk's stage-event
-     * records; the driver must have been configured with recordTrace.
+     * Borrowing form for daemons: rides an existing ParallelMapper
+     * (thread-safe mapAllShared submission) instead of owning a pool,
+     * so many request handlers can stream over one resident mount.
+     * @p shared must outlive this mapper.
+     */
+    explicit StreamingMapper(ParallelMapper &shared,
+                             u64 chunk_pairs = 65536, u32 io_threads = 1,
+                             bool record_trace = false);
+
+    /**
+     * Map all pairs from @p r1/@p r2 (same-order FASTQ streams; plain
+     * or gzip) and write records through @p sam. Fatal error — naming
+     * the stream that ended early — if the streams yield different
+     * record counts. @p trace_sink (optional) receives each chunk's
+     * stage-event records; the driver must have been configured with
+     * recordTrace.
      */
     StreamingResult run(std::istream &r1, std::istream &r2,
                         genomics::SamWriter &sam,
                         const TraceSink &trace_sink = nullptr);
 
+    /**
+     * Recoverable form of run() (the gpx_serve discipline): malformed
+     * input and an exceeded @p max_pairs bound (0 = unbounded) come
+     * back as a status instead of killing the process. On kParseError
+     * @p error carries the winning diagnostic — message plus the
+     * stream rank (0 = R1, 1 = R2, 2 = pair-level disagreement) so
+     * callers can attribute it. On any status other than kOk the SAM
+     * output and @p result are partial and must be discarded by the
+     * caller.
+     */
+    StreamRunStatus tryRun(std::istream &r1, std::istream &r2,
+                           genomics::SamWriter &sam,
+                           StreamingResult &result,
+                           genomics::IngestError *error = nullptr,
+                           u64 max_pairs = 0,
+                           const TraceSink &trace_sink = nullptr);
+
   private:
-    const genomics::Reference &ref_;
-    ParallelMapper mapper_;
+    std::unique_ptr<ParallelMapper> owned_;
+    ParallelMapper &mapper_;
+    const bool borrowed_;
     u64 chunkPairs_;
+    u32 ioThreads_;
     bool traceEnabled_;
 };
 

@@ -65,6 +65,8 @@ ServeServer::ServeServer(std::vector<MountSpec> mounts,
         driver.threads = config_.threads;
         m.mapper = std::make_unique<genpair::ParallelMapper>(
             *spec.ref, spec.view, driver);
+        m.spine = std::make_unique<genpair::StreamingMapper>(
+            *m.mapper, config_.chunkPairs, config_.ioThreads);
         // The SAM header is a pure function of the mount's reference;
         // render it once so every HEADER request is a memcpy.
         std::ostringstream os;
@@ -163,7 +165,11 @@ ServeServer::statsJson() const
        << "  \"pairs_mapped\": " << counters_.pairsMapped << ",\n"
        << "  \"sam_bytes_sent\": " << counters_.samBytesSent << ",\n"
        << "  \"admission_waits\": " << counters_.admissionWaits << ",\n"
-       << "  \"map_seconds\": " << counters_.mapSeconds << "\n},\n"
+       << "  \"map_seconds\": " << counters_.mapSeconds << ",\n"
+       << "  \"reader_stall_seconds\": " << counters_.readerStallSeconds
+       << ",\n"
+       << "  \"writer_stall_seconds\": " << counters_.writerStallSeconds
+       << "\n},\n"
        << "\"mounts\": {\n";
     for (std::size_t i = 0; i < mounts_.size(); ++i) {
         os << "\"" << mounts_[i].name << "\": ";
@@ -226,34 +232,6 @@ ServeServer::sendError(const util::Socket &sock, u32 request_id,
     return writeFrame(sock, kErrorReply, encodeError(body));
 }
 
-namespace {
-
-/**
- * Parse one side of a framed FASTQ batch through the recoverable
- * reader path. False = malformed; @p error carries the diagnostic.
- */
-bool
-parseFastqBatch(const std::string &text,
-                std::vector<genomics::Read> *reads, std::string *error)
-{
-    std::istringstream is(text);
-    genomics::FastqReader reader(is);
-    genomics::Read read;
-    for (;;) {
-        switch (reader.tryNext(read, error)) {
-        case genomics::FastqParse::kRecord:
-            reads->push_back(std::move(read));
-            break;
-        case genomics::FastqParse::kEof:
-            return true;
-        case genomics::FastqParse::kError:
-            return false;
-        }
-    }
-}
-
-} // namespace
-
 bool
 ServeServer::handleMapRequest(const util::Socket &sock,
                               const std::vector<u8> &payload)
@@ -278,51 +256,46 @@ ServeServer::handleMapRequest(const util::Socket &sock,
         return reject(kErrUnknownReference,
                       "no mount named '" + req.refName + "'", true);
 
-    // Recoverable ingest: a malformed batch rejects this one request
-    // with a diagnostic error frame; the daemon and the connection
-    // both survive (the batch tools' fatal discipline would take every
-    // other client down with the bad request).
-    std::vector<genomics::Read> reads1, reads2;
-    std::string parseError;
-    if (!parseFastqBatch(req.r1Fastq, &reads1, &parseError))
-        return reject(kErrBadFastq, "R1: " + parseError, true);
-    if (!parseFastqBatch(req.r2Fastq, &reads2, &parseError))
-        return reject(kErrBadFastq, "R2: " + parseError, true);
-    if (reads1.size() != reads2.size())
-        return reject(kErrBadFastq,
-                      "R1 has " + std::to_string(reads1.size()) +
-                          " records but R2 has " +
-                          std::to_string(reads2.size()),
-                      true);
-    if (reads1.size() > config_.maxPairsPerRequest)
-        return reject(kErrTooLarge,
-                      "batch of " + std::to_string(reads1.size()) +
-                          " pairs exceeds the per-request limit of " +
-                          std::to_string(config_.maxPairsPerRequest),
-                      false);
-
-    std::vector<genomics::ReadPair> pairs;
-    pairs.reserve(reads1.size());
-    for (std::size_t i = 0; i < reads1.size(); ++i)
-        pairs.push_back(
-            { std::move(reads1[i]), std::move(reads2[i]) });
-
+    // The request rides the mount's streaming spine (the same code
+    // path as gpx_map): chunked parallel ingest — plain or gzip —
+    // through the borrowed pool, emission input-ordered into the
+    // reply buffer. tryRun's recoverable discipline means a malformed
+    // batch rejects this one request with a diagnostic error frame;
+    // the daemon and the connection both survive (the batch tools'
+    // fatal discipline would take every other client down with the
+    // bad request).
     bool waited = false;
     if (!gate_.acquire(&waited, draining_))
         return reject(kErrDraining, "server is draining", false);
-    genpair::DriverResult result = mount->mapper->mapAllShared(pairs);
-    gate_.release();
-
+    std::istringstream r1(req.r1Fastq);
+    std::istringstream r2(req.r2Fastq);
+    std::ostringstream samOs;
     // SAM records only — the header is a per-mount constant served by
     // the HEADER frame, so batch responses concatenate cleanly.
-    std::ostringstream samOs;
     genomics::SamWriter sam(samOs, *mount->ref);
-    for (std::size_t i = 0; i < pairs.size(); ++i)
-        sam.writePair(pairs[i], result.mappings[i]);
+    genpair::StreamingResult result;
+    genomics::IngestError ingestError;
+    const genpair::StreamRunStatus status =
+        mount->spine->tryRun(r1, r2, sam, result, &ingestError,
+                             config_.maxPairsPerRequest);
+    gate_.release();
+
+    switch (status) {
+    case genpair::StreamRunStatus::kParseError: {
+        const char *side = ingestError.rank == 0   ? "R1: "
+                           : ingestError.rank == 1 ? "R2: "
+                                                   : "";
+        return reject(kErrBadFastq, side + ingestError.message, true);
+    }
+    case genpair::StreamRunStatus::kTooLarge:
+        return reject(kErrTooLarge, ingestError.message, false);
+    case genpair::StreamRunStatus::kOk:
+        break;
+    }
 
     MapReplyBody reply;
     reply.requestId = req.requestId;
-    reply.pairCount = static_cast<u32>(pairs.size());
+    reply.pairCount = static_cast<u32>(result.pairs);
     reply.sam = samOs.str();
     if (req.flags & kMapWantStats) {
         std::ostringstream statsOs;
@@ -334,10 +307,12 @@ ServeServer::handleMapRequest(const util::Socket &sock,
         std::lock_guard<std::mutex> lock(statsMu_);
         mount->stats += result.stats;
         ++counters_.requestsServed;
-        counters_.pairsMapped += pairs.size();
+        counters_.pairsMapped += result.pairs;
         counters_.samBytesSent += reply.sam.size();
         counters_.admissionWaits += waited ? 1 : 0;
-        counters_.mapSeconds += result.timing.seconds;
+        counters_.mapSeconds += result.mapping.seconds;
+        counters_.readerStallSeconds += result.stats.readerStallSeconds;
+        counters_.writerStallSeconds += result.stats.writerStallSeconds;
     }
     return writeFrame(sock, kMapReply, encodeMapReply(reply));
 }

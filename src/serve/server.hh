@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "genpair/driver.hh"
+#include "genpair/streaming.hh"
 #include "serve/protocol.hh"
 #include "util/socket.hh"
 
@@ -72,6 +73,10 @@ struct ServeConfig
     u32 maxFrameBytes = kDefaultMaxFrameBytes;
     /** Per-request pair-count ceiling. */
     u32 maxPairsPerRequest = kDefaultMaxPairsPerRequest;
+    /** Parser threads of each request's ingest spine (>= 1). */
+    u32 ioThreads = 1;
+    /** Read pairs per streaming chunk of a request's spine run. */
+    u32 chunkPairs = 1024;
     genpair::DriverConfig driver; ///< threads field is ignored
 };
 
@@ -85,6 +90,10 @@ struct ServeCounters
     u64 samBytesSent = 0;
     u64 admissionWaits = 0; ///< requests that found the gate full
     double mapSeconds = 0;  ///< summed pool occupancy of MAP requests
+    /** Summed spine stalls across requests: time the mapping stage
+     *  waited for parsed input vs for emission backpressure. */
+    double readerStallSeconds = 0;
+    double writerStallSeconds = 0;
 };
 
 /** The resident mapping daemon. */
@@ -142,6 +151,9 @@ class ServeServer
         std::string name;
         const genomics::Reference *ref;
         std::unique_ptr<genpair::ParallelMapper> mapper;
+        /** Borrowed-pool streaming spine over `mapper`; tryRun() is
+         *  safe to call from any number of handler threads at once. */
+        std::unique_ptr<genpair::StreamingMapper> spine;
         std::string samHeader;
         /** Merged stats of every request served by this mount. */
         genpair::PipelineStats stats;

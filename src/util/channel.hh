@@ -1,0 +1,209 @@
+/**
+ * @file
+ * util::Channel<T>: the bounded MPMC hand-off queue of the async I/O
+ * spine.
+ *
+ * The PR 2 streaming pipeline connected its three stages with
+ * single-slot, single-producer/single-consumer hand-off slots — enough
+ * to double-buffer one reader against one writer, structurally unable
+ * to fan work out to N parser threads or fan results back in. Channel
+ * generalizes the hand-off: any number of producers push(), any number
+ * of consumers pop(), capacity bounds the in-flight items (memory and
+ * backpressure in one knob), and close() gives the whole pipeline a
+ * deterministic drain: producers learn the downstream is gone (push
+ * returns false), consumers drain what is queued and then see
+ * end-of-stream (nullopt).
+ *
+ * Every blocking edge is accounted: time a producer spends waiting for
+ * space and time a consumer spends waiting for an item accumulate into
+ * stall counters, so a driver can report *which* stage of its pipeline
+ * is the bottleneck (reader-starved vs writer-bound) instead of just a
+ * slower wall clock — the numbers behind the reader/writer-stall
+ * fields of PipelineStats and `gpx_map --stats-json`.
+ *
+ * Mutex + two condvars, by design: the queues carry whole chunks of
+ * work (thousands of read pairs each), so hand-off cost is amortized
+ * across the chunk and lock-free cleverness would buy nothing but TSan
+ * risk. All operations are thread-safe; the stall accessors are exact
+ * once the threads touching the channel have been joined.
+ */
+
+#ifndef GPX_UTIL_CHANNEL_HH
+#define GPX_UTIL_CHANNEL_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/types.hh"
+
+namespace gpx {
+namespace util {
+
+/** Aggregate wait accounting of one channel side (push or pop). */
+struct ChannelStall
+{
+    double seconds = 0; ///< total time spent blocked
+    u64 waits = 0;      ///< operations that had to block at all
+};
+
+template <typename T>
+class Channel
+{
+  public:
+    /** @param capacity In-flight item bound; clamped to >= 1. */
+    explicit Channel(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    Channel(const Channel &) = delete;
+    Channel &operator=(const Channel &) = delete;
+
+    /**
+     * Enqueue @p value, blocking while the channel is full. Returns
+     * false — with the value dropped — once the channel is closed:
+     * the producer's signal to stop (its consumer has aborted or
+     * drained).
+     */
+    bool
+    push(T value)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (queue_.size() >= capacity_ && !closed_) {
+            const auto begin = Clock::now();
+            notFull_.wait(lock, [&] {
+                return queue_.size() < capacity_ || closed_;
+            });
+            pushStall_.seconds += sinceSeconds(begin);
+            ++pushStall_.waits;
+        }
+        if (closed_)
+            return false;
+        queue_.push_back(std::move(value));
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /** Non-blocking push; false when full or closed. */
+    bool
+    tryPush(T &value)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_ || queue_.size() >= capacity_)
+            return false;
+        queue_.push_back(std::move(value));
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue the next item, blocking while the channel is empty.
+     * After close(), remaining items still drain in FIFO order;
+     * nullopt means closed-and-drained (end of stream).
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (queue_.empty() && !closed_) {
+            const auto begin = Clock::now();
+            notEmpty_.wait(lock,
+                           [&] { return !queue_.empty() || closed_; });
+            popStall_.seconds += sinceSeconds(begin);
+            ++popStall_.waits;
+        }
+        if (queue_.empty())
+            return std::nullopt;
+        std::optional<T> out(std::move(queue_.front()));
+        queue_.pop_front();
+        notFull_.notify_one();
+        return out;
+    }
+
+    /** Non-blocking pop; nullopt when nothing is queued right now. */
+    std::optional<T>
+    tryPop()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (queue_.empty())
+            return std::nullopt;
+        std::optional<T> out(std::move(queue_.front()));
+        queue_.pop_front();
+        notFull_.notify_one();
+        return out;
+    }
+
+    /**
+     * Close the channel: every blocked producer wakes and fails, every
+     * blocked consumer wakes and drains. Idempotent; safe from any
+     * thread (including a destructor racing a stuck producer).
+     */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+        notFull_.notify_all();
+        notEmpty_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return closed_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return queue_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Producer-side wait accounting (time blocked on a full queue). */
+    ChannelStall
+    pushStall() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return pushStall_;
+    }
+
+    /** Consumer-side wait accounting (time blocked on an empty queue). */
+    ChannelStall
+    popStall() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return popStall_;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    static double
+    sinceSeconds(Clock::time_point begin)
+    {
+        return std::chrono::duration<double>(Clock::now() - begin)
+            .count();
+    }
+
+    mutable std::mutex mu_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<T> queue_;
+    const std::size_t capacity_;
+    bool closed_ = false;
+    ChannelStall pushStall_;
+    ChannelStall popStall_;
+};
+
+} // namespace util
+} // namespace gpx
+
+#endif // GPX_UTIL_CHANNEL_HH

@@ -1,0 +1,226 @@
+#include "util/gzip_stream.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+#ifdef GPX_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace gpx {
+namespace util {
+
+namespace {
+constexpr unsigned char kGzipMagic0 = 0x1f;
+constexpr unsigned char kGzipMagic1 = 0x8b;
+constexpr std::size_t kInflateBlockBytes = 256 * 1024;
+} // namespace
+
+bool
+gzipSupported()
+{
+#ifdef GPX_HAVE_ZLIB
+    return true;
+#else
+    return false;
+#endif
+}
+
+#ifdef GPX_HAVE_ZLIB
+
+std::string
+gzipCompress(const std::string &plain, int level)
+{
+    z_stream zs;
+    std::memset(&zs, 0, sizeof(zs));
+    // windowBits 15+16 selects the gzip wrapper.
+    if (deflateInit2(&zs, level, Z_DEFLATED, 15 + 16, 8,
+                     Z_DEFAULT_STRATEGY) != Z_OK)
+        gpx_fatal("deflateInit2 failed");
+    std::string out;
+    out.resize(deflateBound(&zs, static_cast<uLong>(plain.size())));
+    zs.next_in =
+        reinterpret_cast<Bytef *>(const_cast<char *>(plain.data()));
+    zs.avail_in = static_cast<uInt>(plain.size());
+    zs.next_out = reinterpret_cast<Bytef *>(out.data());
+    zs.avail_out = static_cast<uInt>(out.size());
+    const int rc = deflate(&zs, Z_FINISH);
+    if (rc != Z_STREAM_END) {
+        deflateEnd(&zs);
+        gpx_fatal("gzip compression failed (zlib rc ", rc, ")");
+    }
+    out.resize(zs.total_out);
+    deflateEnd(&zs);
+    return out;
+}
+
+struct AutoInflateSource::Inflater
+{
+    z_stream zs;
+    bool memberDone = false;
+
+    Inflater()
+    {
+        std::memset(&zs, 0, sizeof(zs));
+        // windowBits 15+16: gzip wrapper only (reject raw zlib here;
+        // plain text never reaches the inflater).
+        if (inflateInit2(&zs, 15 + 16) != Z_OK)
+            gpx_fatal("inflateInit2 failed");
+    }
+    ~Inflater() { inflateEnd(&zs); }
+};
+
+bool
+AutoInflateSource::readInflated(std::string &block)
+{
+    // A failed read must not leave the caller's block holding the
+    // scratch bytes resized below — ByteSource::read() promises the
+    // block is meaningful only on true.
+    block.resize(kInflateBlockBytes);
+    auto &zs = inflater_->zs;
+    zs.next_out = reinterpret_cast<Bytef *>(block.data());
+    zs.avail_out = static_cast<uInt>(block.size());
+    while (zs.avail_out > 0) {
+        if (pendingPos_ >= pending_.size() && !innerEof_)
+            fill();
+        if (!error_.empty()) {
+            block.clear();
+            return false;
+        }
+        const std::size_t avail = pending_.size() - pendingPos_;
+        if (avail == 0 && innerEof_) {
+            if (!inflater_->memberDone) {
+                error_ = "corrupt gzip stream: truncated member "
+                         "(unexpected EOF)";
+                block.clear();
+                return false;
+            }
+            break;
+        }
+        if (inflater_->memberDone) {
+            // Concatenated-member convention: a fresh gzip stream
+            // follows the previous one.
+            if (inflateReset(&zs) != Z_OK) {
+                error_ = "corrupt gzip stream: inflateReset failed";
+                block.clear();
+                return false;
+            }
+            inflater_->memberDone = false;
+        }
+        zs.next_in = reinterpret_cast<Bytef *>(
+            const_cast<char *>(pending_.data() + pendingPos_));
+        zs.avail_in = static_cast<uInt>(avail);
+        const int rc = inflate(&zs, Z_NO_FLUSH);
+        pendingPos_ += avail - zs.avail_in;
+        if (rc == Z_STREAM_END) {
+            inflater_->memberDone = true;
+            // Trailing bytes that are not another gzip member (e.g.
+            // bgzip padding of zeros is a valid empty member, but a
+            // lone partial magic is garbage we surface below on the
+            // next iteration via inflate's own error).
+            continue;
+        }
+        if (rc != Z_OK && rc != Z_BUF_ERROR) {
+            error_ = std::string("corrupt gzip stream: ") +
+                     (zs.msg != nullptr ? zs.msg : "inflate failed");
+            block.clear();
+            return false;
+        }
+        if (rc == Z_BUF_ERROR && avail == zs.avail_in && innerEof_) {
+            error_ = "corrupt gzip stream: no progress at EOF";
+            block.clear();
+            return false;
+        }
+    }
+    block.resize(block.size() - zs.avail_out);
+    return !block.empty();
+}
+
+#else // !GPX_HAVE_ZLIB
+
+std::string
+gzipCompress(const std::string &, int)
+{
+    gpx_fatal("gzipCompress requires zlib; rebuild with zlib available");
+}
+
+struct AutoInflateSource::Inflater
+{
+};
+
+bool
+AutoInflateSource::readInflated(std::string &)
+{
+    error_ = "input is gzip-compressed but this binary was built "
+             "without zlib; rebuild with zlib to read .gz input";
+    return false;
+}
+
+#endif // GPX_HAVE_ZLIB
+
+AutoInflateSource::AutoInflateSource(ByteSource &inner) : inner_(inner) {}
+
+AutoInflateSource::~AutoInflateSource() = default;
+
+bool
+AutoInflateSource::fill()
+{
+    if (pendingPos_ >= pending_.size()) {
+        pending_.clear();
+        pendingPos_ = 0;
+    }
+    std::string block;
+    if (!inner_.read(block)) {
+        innerEof_ = true;
+        if (!inner_.error().empty())
+            error_ = inner_.error();
+        return false;
+    }
+    pending_.append(block);
+    return true;
+}
+
+bool
+AutoInflateSource::read(std::string &block)
+{
+    if (!error_.empty())
+        return false;
+    if (!sniffed_) {
+        // Buffer at least two bytes (or hit EOF) before deciding.
+        while (pending_.size() < 2 && !innerEof_)
+            fill();
+        if (!error_.empty())
+            return false;
+        sniffed_ = true;
+        gzip_ = pending_.size() >= 2 &&
+                static_cast<unsigned char>(pending_[0]) == kGzipMagic0 &&
+                static_cast<unsigned char>(pending_[1]) == kGzipMagic1;
+        if (gzip_) {
+#ifdef GPX_HAVE_ZLIB
+            inflater_ = std::make_unique<Inflater>();
+#endif
+        }
+    }
+    if (gzip_)
+        return readInflated(block);
+    // Passthrough: drain the sniff buffer first, then forward reads.
+    if (pendingPos_ < pending_.size()) {
+        block.assign(pending_, pendingPos_, std::string::npos);
+        pending_.clear();
+        pendingPos_ = 0;
+        return true;
+    }
+    if (innerEof_)
+        return false;
+    if (!inner_.read(block)) {
+        innerEof_ = true;
+        if (!inner_.error().empty())
+            error_ = inner_.error();
+        return false;
+    }
+    return true;
+}
+
+} // namespace util
+} // namespace gpx

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Transparent gzip ingest for the byte-source stack.
+ *
+ * AutoInflateSource sniffs the first two bytes of its inner source for
+ * the gzip magic (0x1f 0x8b). Plain input passes through untouched;
+ * gzip input is inflated block-by-block, including multi-member files
+ * (the concatenated-gzip convention bgzip and `cat a.gz b.gz` both
+ * produce). Detection is per-stream and automatic, so every FASTQ
+ * consumer in the tree — gpx_map, gpx_serve request blobs, the test
+ * helpers — gains `.fastq.gz` support without a flag.
+ *
+ * zlib is an optional build dependency: all zlib usage lives in the
+ * .cc behind GPX_HAVE_ZLIB. Without it the passthrough path still
+ * works, and gzip input fails with an actionable "rebuild with zlib"
+ * diagnostic instead of a parser error on binary garbage.
+ */
+
+#ifndef GPX_UTIL_GZIP_STREAM_HH
+#define GPX_UTIL_GZIP_STREAM_HH
+
+#include <memory>
+#include <string>
+
+#include "util/byte_stream.hh"
+
+namespace gpx {
+namespace util {
+
+/** True when the binary was built with zlib (GPX_HAVE_ZLIB). */
+bool gzipSupported();
+
+/**
+ * Gzip-compress @p plain (for tests and tools; requires zlib —
+ * fatal if called without it).
+ */
+std::string gzipCompress(const std::string &plain, int level = 6);
+
+/**
+ * Decorator: passthrough for plain input, streaming inflate for gzip
+ * input (detected by magic bytes). read() returns false on error with
+ * error() describing the failure — corrupt stream, truncated member,
+ * or gzip input in a binary built without zlib.
+ */
+class AutoInflateSource : public ByteSource
+{
+  public:
+    explicit AutoInflateSource(ByteSource &inner);
+    ~AutoInflateSource() override;
+
+    bool read(std::string &block) override;
+    const std::string &error() const override { return error_; }
+
+  private:
+    bool fill();
+    bool readInflated(std::string &block);
+
+    ByteSource &inner_;
+    std::string pending_;   ///< compressed (or plain) bytes not yet consumed
+    std::size_t pendingPos_ = 0;
+    bool innerEof_ = false;
+    bool sniffed_ = false;
+    bool gzip_ = false;
+    std::string error_;
+    struct Inflater; ///< zlib state, defined only when GPX_HAVE_ZLIB
+    std::unique_ptr<Inflater> inflater_;
+};
+
+} // namespace util
+} // namespace gpx
+
+#endif // GPX_UTIL_GZIP_STREAM_HH

@@ -24,6 +24,7 @@
 #include "genpair/seedmap_io.hh"
 #include "genpair/streaming.hh"
 #include "hwsim/trace_adapter.hh"
+#include "util/gzip_stream.hh"
 #include "util/md5.hh"
 
 namespace {
@@ -130,6 +131,57 @@ TEST_F(GoldenCorpusTest, StreamingDriverReproducesPinnedDigest)
         auto result = mapper.run(r1, r2, sam);
         EXPECT_EQ(result.pairs, pairs_.size());
         EXPECT_GT(result.chunks, 1u);
+    });
+    EXPECT_EQ(digest, kGoldenSamMd5);
+}
+
+TEST_F(GoldenCorpusTest, IoThreadSweepReproducesPinnedDigest)
+{
+    // The async spine contract: parser fan-out, chunk size and worker
+    // count must never move the digest — the reorder buffer restores
+    // exact input order at every combination.
+    std::string dir = goldenDir();
+    for (u32 io : { 1u, 2u, 4u }) {
+        for (u64 chunk : { u64{ 16 }, u64{ 100000 } }) {
+            std::string digest =
+                samDigest([&](genomics::SamWriter &sam) {
+                    std::ifstream r1(dir + "/r1.fq"), r2(dir + "/r2.fq");
+                    ASSERT_TRUE(r1 && r2);
+                    genpair::DriverConfig config = config_;
+                    config.threads = 3;
+                    genpair::StreamingMapper mapper(ref_, *map_, config,
+                                                    chunk, io);
+                    auto result = mapper.run(r1, r2, sam);
+                    EXPECT_EQ(result.pairs, pairs_.size());
+                });
+            EXPECT_EQ(digest, kGoldenSamMd5)
+                << "io_threads=" << io << " chunk=" << chunk;
+        }
+    }
+}
+
+TEST_F(GoldenCorpusTest, GzipIngestReproducesPinnedDigest)
+{
+    // Round the golden FASTQ through gzip and back in via the sniffing
+    // ingest path: same bits out as the plain-text corpus.
+    if (!util::gzipSupported())
+        GTEST_SKIP() << "built without zlib";
+    std::string dir = goldenDir();
+    auto slurp = [](const std::string &path) {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream os;
+        os << in.rdbuf();
+        return os.str();
+    };
+    const std::string gz1 = util::gzipCompress(slurp(dir + "/r1.fq"));
+    const std::string gz2 = util::gzipCompress(slurp(dir + "/r2.fq"));
+    std::string digest = samDigest([&](genomics::SamWriter &sam) {
+        std::istringstream r1(gz1), r2(gz2);
+        genpair::DriverConfig config = config_;
+        config.threads = 2;
+        genpair::StreamingMapper mapper(ref_, *map_, config, 64, 2);
+        auto result = mapper.run(r1, r2, sam);
+        EXPECT_EQ(result.pairs, pairs_.size());
     });
     EXPECT_EQ(digest, kGoldenSamMd5);
 }

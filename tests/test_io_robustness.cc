@@ -7,10 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 
 #include "../tools/cli.hh"
 #include "genomics/fasta.hh"
+#include "util/byte_stream.hh"
+#include "util/gzip_stream.hh"
 
 namespace {
 
@@ -309,6 +312,90 @@ TEST(FastqRobustDeath, MalformedHeaderIsFatal)
             genomics::readFastq(in);
         },
         "malformed FASTQ header");
+}
+
+// ---------------------------------------------------------------------
+// Gzip ingest + record-base offsets (the splittable-reader contracts)
+// ---------------------------------------------------------------------
+
+TEST(FastqGzip, GzipStreamDecodesLikePlainText)
+{
+    if (!util::gzipSupported())
+        GTEST_SKIP() << "built without zlib";
+    const std::string text =
+        "@a one\nACGT\n+\nIIII\n@b two\nTTAA\n+\nIIII\n";
+    std::istringstream in(util::gzipCompress(text));
+    genomics::FastqReader reader(in);
+    genomics::Read r;
+    std::vector<std::string> names;
+    while (reader.next(r))
+        names.push_back(r.name);
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a");
+    EXPECT_EQ(names[1], "b");
+}
+
+TEST(FastqGzip, MultiMemberGzipConcatenationDecodes)
+{
+    // `cat a.fq.gz b.fq.gz` is a valid gzip file; the inflater must
+    // cross the member boundary instead of stopping at the first one.
+    if (!util::gzipSupported())
+        GTEST_SKIP() << "built without zlib";
+    std::string joined = util::gzipCompress("@a\nACGT\n+\nIIII\n") +
+                         util::gzipCompress("@b\nTTAA\n+\nIIII\n");
+    std::istringstream in(joined);
+    genomics::FastqReader reader(in);
+    genomics::Read r;
+    u64 count = 0;
+    while (reader.next(r))
+        ++count;
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(FastqGzip, CorruptGzipPayloadReportsError)
+{
+    if (!util::gzipSupported())
+        GTEST_SKIP() << "built without zlib";
+    std::string gz = util::gzipCompress("@a\nACGT\n+\nIIII\n");
+    ASSERT_GT(gz.size(), 12u);
+    // Valid gzip header, then a deflate block with the reserved type:
+    // inflate must reject it before yielding any bytes to the parser.
+    gz = gz.substr(0, 10) + std::string(4, '\xff');
+    std::istringstream in(gz);
+    genomics::FastqReader reader(in);
+    genomics::Read r;
+    std::string error;
+    EXPECT_EQ(reader.tryNext(r, &error), genomics::FastqParse::kError);
+    EXPECT_NE(error.find("gzip"), std::string::npos) << error;
+}
+
+TEST(FastqRecordBase, ErrorIndicesAreOffsetByRecordBase)
+{
+    // A chunk parser that owns records 100.. must report absolute
+    // record numbers: the second record of this slice is record 102.
+    util::StringSource slice("@r1\nACGT\n+\nIIII\n@r2\nACGT\n+\n");
+    genomics::FastqReader reader(slice, 100);
+    genomics::Read r;
+    std::string error;
+    EXPECT_EQ(reader.tryNext(r, &error), genomics::FastqParse::kRecord);
+    EXPECT_EQ(reader.tryNext(r, &error), genomics::FastqParse::kError);
+    EXPECT_NE(error.find("at record 102"), std::string::npos) << error;
+}
+
+TEST(FastqRecordBase, SharedAmbiguityWarningFiresOnce)
+{
+    // Concurrent slice readers share one warned-ambiguous latch so a
+    // file full of N bases warns once, not once per parser thread.
+    std::atomic<bool> warned{ false };
+    util::StringSource s1("@a\nACGN\n+\nIIII\n");
+    util::StringSource s2("@b\nNNNN\n+\nIIII\n");
+    genomics::FastqReader r1(s1, 0, &warned);
+    genomics::FastqReader r2(s2, 1, &warned);
+    genomics::Read r;
+    EXPECT_TRUE(r1.next(r));
+    EXPECT_TRUE(warned.load());
+    EXPECT_TRUE(r2.next(r));
+    EXPECT_EQ(r1.ambiguousBases() + r2.ambiguousBases(), 5u);
 }
 
 // ---------------------------------------------------------------------

@@ -22,6 +22,7 @@
 #include "serve/client.hh"
 #include "serve/protocol.hh"
 #include "serve/server.hh"
+#include "util/gzip_stream.hh"
 #include "util/md5.hh"
 
 namespace {
@@ -265,7 +266,8 @@ class ServeGoldenTest : public ::testing::Test
     /** Start the daemon on a Unix socket in the test temp dir. */
     void
     startServer(u32 threads = 2, u32 admission_slots = 2,
-                u32 max_pairs = serve::kDefaultMaxPairsPerRequest)
+                u32 max_pairs = serve::kDefaultMaxPairsPerRequest,
+                u32 io_threads = 1, u32 chunk_pairs = 1024)
     {
         socketPath_ = ::testing::TempDir() + "gpx_serve_test.sock";
         serve::MountSpec spec;
@@ -277,6 +279,8 @@ class ServeGoldenTest : public ::testing::Test
         config.threads = threads;
         config.admissionSlots = admission_slots;
         config.maxPairsPerRequest = max_pairs;
+        config.ioThreads = io_threads;
+        config.chunkPairs = chunk_pairs;
         server_ = std::make_unique<serve::ServeServer>(
             std::vector<serve::MountSpec>{ spec }, config);
         std::string error;
@@ -395,6 +399,72 @@ TEST_F(ServeGoldenTest, ConcurrentClientsEachReproducePinnedDigest)
     serve::ServeCounters counters = server_->counters();
     EXPECT_EQ(counters.pairsMapped, kClients * reads1_.size());
     EXPECT_EQ(counters.connectionsAccepted, 3u);
+}
+
+TEST_F(ServeGoldenTest, SpineConfigReproducesPinnedDigestOverSocket)
+{
+    // Force every request through the full multi-queue spine: 16-pair
+    // chunks make each 64-pair batch span 4 sequence-numbered chunks,
+    // 2 parser threads race the reorder buffer, and 2 connections
+    // share the mount's pool. Bits must not move, and the aggregate
+    // stall counters must surface in the STATS frame.
+    startServer(/*threads=*/2, /*admission_slots=*/2,
+                serve::kDefaultMaxPairsPerRequest, /*io_threads=*/2,
+                /*chunk_pairs=*/16);
+    std::vector<std::string> digests(2);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < 2; ++c)
+        threads.emplace_back([this, c, &digests]() {
+            auto client = connect();
+            digests[static_cast<std::size_t>(c)] =
+                mapCorpus(client, 64 + 13 * static_cast<std::size_t>(c));
+        });
+    for (auto &t : threads)
+        t.join();
+    for (const auto &digest : digests)
+        EXPECT_EQ(digest, kGoldenSamMd5);
+
+    serve::ServeCounters counters = server_->counters();
+    EXPECT_EQ(counters.pairsMapped, 2 * reads1_.size());
+    EXPECT_GE(counters.readerStallSeconds, 0.0);
+    EXPECT_GE(counters.writerStallSeconds, 0.0);
+
+    auto client = connect();
+    std::string json;
+    auto status = client.fetchStats(&json);
+    ASSERT_TRUE(status.ok) << status.describe();
+    EXPECT_NE(json.find("\"reader_stall_seconds\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"writer_stall_seconds\""), std::string::npos)
+        << json;
+}
+
+TEST_F(ServeGoldenTest, GzipRequestPayloadReproducesPinnedDigest)
+{
+    // A client may ship its FASTQ batches gzip-compressed; the sniffing
+    // ingest path must decode them to the same pinned bits.
+    if (!util::gzipSupported())
+        GTEST_SKIP() << "built without zlib";
+    startServer(/*threads=*/2, /*admission_slots=*/2,
+                serve::kDefaultMaxPairsPerRequest, /*io_threads=*/2,
+                /*chunk_pairs=*/16);
+    auto client = connect();
+    std::string doc;
+    auto status = client.fetchHeader("", &doc);
+    ASSERT_TRUE(status.ok) << status.describe();
+    constexpr std::size_t kBatch = 64;
+    for (std::size_t i = 0; i < reads1_.size(); i += kBatch) {
+        std::size_t end = std::min(i + kBatch, reads1_.size());
+        serve::MapReplyBody reply;
+        status = client.mapBatch(
+            "golden", util::gzipCompress(fastqSlice(reads1_, i, end)),
+            util::gzipCompress(fastqSlice(reads2_, i, end)), false,
+            &reply);
+        ASSERT_TRUE(status.ok) << status.describe();
+        EXPECT_EQ(reply.pairCount, end - i);
+        doc += reply.sam;
+    }
+    EXPECT_EQ(util::md5Hex(doc), kGoldenSamMd5);
 }
 
 TEST_F(ServeGoldenTest, PerRequestStatsJsonAttached)

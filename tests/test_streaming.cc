@@ -14,6 +14,7 @@
 #include "genpair/streaming.hh"
 #include "simdata/datasets.hh"
 #include "test_gates.hh"
+#include "util/gzip_stream.hh"
 
 namespace {
 
@@ -42,23 +43,33 @@ class StreamingTest : public ::testing::Test
         fq2_ = o2.str();
     }
 
-    /** SAM text of a streaming run with the given chunk size. */
+    /** SAM text of a streaming run over the given FASTQ bytes. */
     std::string
-    streamedSam(u64 chunk_pairs, genpair::StreamingResult *out = nullptr,
-                u32 threads = 2)
+    streamedSamOver(const std::string &t1, const std::string &t2,
+                    u64 chunk_pairs, genpair::StreamingResult *out,
+                    u32 threads, u32 io_threads)
     {
-        std::istringstream i1(fq1_), i2(fq2_);
+        std::istringstream i1(t1), i2(t2);
         std::ostringstream sam;
         genomics::SamWriter writer(sam, *dataset_.reference);
         writer.writeHeader();
         genpair::DriverConfig config;
         config.threads = threads;
         genpair::StreamingMapper mapper(*dataset_.reference, *map_,
-                                        config, chunk_pairs);
+                                        config, chunk_pairs, io_threads);
         auto result = mapper.run(i1, i2, writer);
         if (out)
             *out = result;
         return sam.str();
+    }
+
+    /** SAM text of a streaming run with the given chunk size. */
+    std::string
+    streamedSam(u64 chunk_pairs, genpair::StreamingResult *out = nullptr,
+                u32 threads = 2, u32 io_threads = 1)
+    {
+        return streamedSamOver(fq1_, fq2_, chunk_pairs, out, threads,
+                               io_threads);
     }
 
     struct ReferenceRun
@@ -170,6 +181,75 @@ TEST_F(StreamingTest, ThreadAndChunkSweepIsDeterministic)
                 << "threads=" << threads << " chunk=" << chunk;
         }
     }
+}
+
+TEST_F(StreamingTest, IoThreadSweepIsDeterministic)
+{
+    // The tentpole contract of the async spine: parser fan-out and the
+    // reorder buffer must never change a byte of output, at any
+    // (io_threads, worker threads, chunk) combination.
+    for (u32 io : { 1u, 2u, 4u }) {
+        for (u64 chunk : { u64{ 3 }, u64{ 100 } }) {
+            genpair::StreamingResult r;
+            std::string sam = streamedSam(chunk, &r, 2, io);
+            EXPECT_EQ(sam, referenceSam())
+                << "io_threads=" << io << " chunk=" << chunk;
+            EXPECT_EQ(r.pairs, dataset_.pairs.size());
+        }
+    }
+}
+
+TEST_F(StreamingTest, ZeroIoThreadsIsClampedToOne)
+{
+    genpair::StreamingResult r;
+    std::string sam = streamedSam(64, &r, 2, 0);
+    EXPECT_EQ(sam, referenceSam());
+    EXPECT_EQ(r.pairs, dataset_.pairs.size());
+}
+
+TEST_F(StreamingTest, StallCountersAreReportedAndSane)
+{
+    // Forcing one-pair chunks through many parsers makes the mapping
+    // stage block on ingest or emission at least once; either way the
+    // counters must come back finite and non-negative, and a fresh run
+    // must not inherit a previous run's stall time.
+    genpair::StreamingResult r;
+    streamedSam(1, &r, 2, 4);
+    EXPECT_GE(r.stats.readerStallSeconds, 0.0);
+    EXPECT_GE(r.stats.writerStallSeconds, 0.0);
+    EXPECT_LT(r.stats.readerStallSeconds, 3600.0);
+    EXPECT_LT(r.stats.writerStallSeconds, 3600.0);
+
+    std::ostringstream js;
+    r.stats.writeJson(js);
+    EXPECT_NE(js.str().find("\"reader_stall_seconds\""),
+              std::string::npos);
+    EXPECT_NE(js.str().find("\"writer_stall_seconds\""),
+              std::string::npos);
+}
+
+TEST_F(StreamingTest, GzipInputMatchesPlainBitForBit)
+{
+    if (!util::gzipSupported())
+        GTEST_SKIP() << "built without zlib";
+    const std::string gz1 = util::gzipCompress(fq1_);
+    const std::string gz2 = util::gzipCompress(fq2_);
+    ASSERT_LT(gz1.size(), fq1_.size());
+    genpair::StreamingResult r;
+    std::string sam = streamedSamOver(gz1, gz2, 64, &r, 2, 2);
+    EXPECT_EQ(sam, referenceSam());
+    EXPECT_EQ(r.pairs, dataset_.pairs.size());
+}
+
+TEST_F(StreamingTest, MixedGzipAndPlainStreamsMatch)
+{
+    // Sniffing is per-stream: a gzip R1 against a plain R2 must work
+    // and produce the same bytes.
+    if (!util::gzipSupported())
+        GTEST_SKIP() << "built without zlib";
+    std::string sam = streamedSamOver(util::gzipCompress(fq1_), fq2_,
+                                      64, nullptr, 2, 2);
+    EXPECT_EQ(sam, referenceSam());
 }
 
 TEST_F(StreamingTest, GateRejectionsSurviveChunkAggregation)

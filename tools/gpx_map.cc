@@ -36,8 +36,8 @@ const char kUsage[] =
     "       gpx_map --ref REF.fa --long READS.fq --out OUT.sam\n"
     "\n"
     "  --ref FILE           reference FASTA\n"
-    "  --r1 FILE            first-in-pair FASTQ\n"
-    "  --r2 FILE            second-in-pair FASTQ\n"
+    "  --r1 FILE            first-in-pair FASTQ (plain or gzip)\n"
+    "  --r2 FILE            second-in-pair FASTQ (plain or gzip)\n"
     "  --long FILE          long-read FASTQ (SS4.7 pseudo-pair mode;\n"
     "                       replaces --r1/--r2)\n"
     "  --out FILE           output SAM ('-' for stdout)\n"
@@ -48,6 +48,8 @@ const char kUsage[] =
     "  --no-mmap            force the owning copy path even for v2\n"
     "                       images (debugging / comparison)\n"
     "  --threads N          worker threads (0 = hardware)     [0]\n"
+    "  --io-threads N       FASTQ parser threads of the I/O\n"
+    "                       spine (paired mode)               [1]\n"
     "  --chunk N            read pairs mapped per chunk (the\n"
     "                       memory bound)                 [65536]\n"
     "  --delta N            paired-adjacency threshold in bp  [500]\n"
@@ -67,7 +69,7 @@ main(int argc, char **argv)
     using namespace gpx;
     tools::Cli cli(argc, argv,
                    { "--ref", "--r1", "--r2", "--long", "--out",
-                     "--index", "--threads", "--delta",
+                     "--index", "--threads", "--io-threads", "--delta",
                      "--filter-threshold", "--chunk", "--stats-json",
                      "--trace" },
                    { "--baseline", "--no-mmap" }, kUsage);
@@ -226,7 +228,8 @@ main(int argc, char **argv)
     }
 
     genpair::StreamingMapper mapper(
-        ref, map, config, static_cast<u64>(cli.num("--chunk", 65536)));
+        ref, map, config, static_cast<u64>(cli.num("--chunk", 65536)),
+        static_cast<u32>(cli.num("--io-threads", 1)));
     auto result = mapper.run(r1File, r2File, sam, traceSink);
     os->flush();
     if (traceFile.is_open()) {
@@ -240,6 +243,9 @@ main(int argc, char **argv)
                 result.total.seconds, result.total.itemsPerSec,
                 static_cast<unsigned long long>(result.chunks),
                 result.mapping.seconds, result.mapping.itemsPerSec);
+    std::printf("I/O spine stalls: reader %.3f s, writer %.3f s\n",
+                result.stats.readerStallSeconds,
+                result.stats.writerStallSeconds);
 
     // Fig. 10 routing summary.
     const auto &st = result.stats;

@@ -45,6 +45,8 @@ const char kUsage[] =
     "  --port N             listen on TCP 127.0.0.1:N instead\n"
     "                       (0 = kernel-assigned, printed at start)\n"
     "  --threads N          worker threads per mount (0 = hardware) [0]\n"
+    "  --io-threads N       FASTQ parser threads of each request's\n"
+    "                       I/O spine                             [1]\n"
     "  --queue N            admission slots: requests mapping or\n"
     "                       queued; more block in their sockets   [4]\n"
     "  --max-frame-mib N    per-frame size limit                 [64]\n"
@@ -115,8 +117,9 @@ main(int argc, char **argv)
     using namespace gpx;
     tools::Cli cli(argc, argv,
                    { "--ref", "--index", "--mount", "--socket", "--port",
-                     "--threads", "--queue", "--max-frame-mib",
-                     "--max-pairs", "--filter-threshold", "--stats-every",
+                     "--threads", "--io-threads", "--queue",
+                     "--max-frame-mib", "--max-pairs",
+                     "--filter-threshold", "--stats-every",
                      "--stats-json" },
                    {}, kUsage);
 
@@ -203,6 +206,7 @@ main(int argc, char **argv)
         cli.num("--max-frame-mib", 64) << 20);
     config.maxPairsPerRequest =
         static_cast<u32>(cli.num("--max-pairs", 65536));
+    config.ioThreads = static_cast<u32>(cli.num("--io-threads", 1));
 
     serve::ServeServer server(std::move(specs), config);
     std::string error;
@@ -249,7 +253,8 @@ main(int argc, char **argv)
                 std::fprintf(stderr,
                              "served %llu requests / %llu pairs over "
                              "%llu connections (%llu rejected, %llu "
-                             "admission waits)\n",
+                             "admission waits; stalls: reader %.3f s, "
+                             "writer %.3f s)\n",
                              static_cast<unsigned long long>(
                                  c.requestsServed),
                              static_cast<unsigned long long>(
@@ -259,7 +264,8 @@ main(int argc, char **argv)
                              static_cast<unsigned long long>(
                                  c.requestsRejected),
                              static_cast<unsigned long long>(
-                                 c.admissionWaits));
+                                 c.admissionWaits),
+                             c.readerStallSeconds, c.writerStallSeconds);
             }
         }
     });
