@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Hold the fault wall to its contract.
+
+util::FaultInjector only proves anything if three sets stay equal:
+
+  1. the registry   — kKnownPoints in src/util/fault.cc;
+  2. the call sites — checkFault("...") / checkFaultBytes("...") in
+     src/ (a point with no call site injects nothing);
+  3. the coverage   — every point named by at least one fault plan in
+     tests/ or .github/workflows/ci.yml (a point no test arms is
+     recovery code that has never run).
+
+This script recomputes all three from the sources and fails on any
+drift, so removing a call site, renaming a point, or dropping a chaos
+plan breaks CI instead of silently retiring an injection point. It
+also syntax-checks every plan it finds: plans naming unknown points
+would be rejected at configure time and test nothing.
+
+Usage:
+  check_fault_wall.py [--repo ROOT]
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+POINT_RE = re.compile(r'check(?:Fault|FaultBytes)\(\s*"([a-z._]+)"')
+REGISTRY_RE = re.compile(
+    r"kKnownPoints\s*=\s*\{(.*?)\};", re.DOTALL)
+REGISTRY_ENTRY_RE = re.compile(r'"([a-z._]+)"')
+# A fault plan as it appears in test source (configure/arm calls) or in
+# CI env blocks: point:action with an optional @trigger.
+PLAN_RULE_RE = re.compile(
+    r'([a-z]+\.[a-z]+):'
+    r'(fail|short|sigbus|enospc|eio|epipe|delay=\d+(?:ms)?)'
+    r'(?:@[a-zA-Z0-9=.]+)?')
+
+
+def fail(msg):
+    print(f"check_fault_wall: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def registry_points(repo):
+    text = (repo / "src/util/fault.cc").read_text()
+    m = REGISTRY_RE.search(text)
+    if not m:
+        fail("cannot find kKnownPoints registry in src/util/fault.cc")
+    points = set(REGISTRY_ENTRY_RE.findall(m.group(1)))
+    if not points:
+        fail("kKnownPoints registry parsed empty")
+    return points
+
+
+def call_site_points(repo):
+    sites = {}
+    for path in sorted((repo / "src").rglob("*.cc")) + sorted(
+            (repo / "src").rglob("*.hh")):
+        if path.name in ("fault.cc", "fault.hh"):
+            continue  # the injector itself is not a call site
+        for point in POINT_RE.findall(path.read_text()):
+            sites.setdefault(point, []).append(
+                str(path.relative_to(repo)))
+    return sites
+
+
+def plan_points(repo):
+    covered = {}
+    sources = sorted((repo / "tests").glob("*.cc"))
+    ci = repo / ".github/workflows/ci.yml"
+    if ci.exists():
+        sources.append(ci)
+    for path in sources:
+        for line in path.read_text().splitlines():
+            # Negative tests deliberately feed the injector bogus
+            # plans and assert the rejection; those are not coverage.
+            if "EXPECT_FALSE" in line or "bad plan" in line:
+                continue
+            for point, _action in PLAN_RULE_RE.findall(line):
+                covered.setdefault(point, []).append(
+                    str(path.relative_to(repo)))
+    return covered
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--repo", default=".",
+                    help="repository root (default: cwd)")
+    args = ap.parse_args()
+    repo = pathlib.Path(args.repo).resolve()
+
+    registry = registry_points(repo)
+    sites = call_site_points(repo)
+    plans = plan_points(repo)
+
+    missing_sites = registry - set(sites)
+    if missing_sites:
+        fail(f"registered points with no call site in src/: "
+             f"{sorted(missing_sites)}")
+    unregistered = set(sites) - registry
+    if unregistered:
+        detail = {p: sites[p] for p in sorted(unregistered)}
+        fail(f"call sites naming unregistered points: {detail}")
+
+    bogus = set(plans) - registry
+    if bogus:
+        detail = {p: plans[p] for p in sorted(bogus)}
+        fail(f"fault plans naming unknown points (would be rejected "
+             f"at configure time): {detail}")
+    uncovered = registry - set(plans)
+    if uncovered:
+        fail(f"registered points never armed by any test/CI plan: "
+             f"{sorted(uncovered)}")
+
+    print(f"fault wall intact: {len(registry)} points, each with "
+          f"call sites and test coverage")
+    for point in sorted(registry):
+        print(f"  {point}: {len(sites[point])} call site(s), "
+              f"{len(plans[point])} plan source(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

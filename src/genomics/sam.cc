@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/fault.hh"
 #include "util/logging.hh"
 
 namespace gpx {
@@ -16,14 +17,52 @@ SamWriter::SamWriter(std::ostream &os, const Reference &ref,
 }
 
 void
+SamWriter::checkWrites(std::string label, bool fatal_on_error)
+{
+    outputLabel_ = std::move(label);
+    checkWrites_ = true;
+    fatalOnError_ = fatal_on_error;
+}
+
+void
+SamWriter::commit(const std::string &rendered)
+{
+    if (writeFailed_)
+        return; // latched: drop output, the caller already has the error
+    if (util::checkFaultBytes("sam.write", rendered.size())) {
+        // Simulated ENOSPC/short write: poison the stream the way a
+        // real full filesystem would, so the check below and any later
+        // flush see the same failed state.
+        os_.setstate(std::ios::failbit);
+    } else {
+        os_.write(rendered.data(),
+                  static_cast<std::streamsize>(rendered.size()));
+    }
+    if (checkWrites_ && !os_) {
+        writeFailed_ = true;
+        writeError_ = util::detail::cat(
+            "SAM write failed at byte offset ", bytesWritten_, " of ",
+            outputLabel_.empty() ? "<output>" : outputLabel_,
+            " (short write or disk full)");
+        if (fatalOnError_)
+            gpx_fatal(writeError_);
+        return;
+    }
+    if (os_)
+        bytesWritten_ += rendered.size();
+}
+
+void
 SamWriter::writeHeader()
 {
-    os_ << "@HD\tVN:1.6\tSO:unknown\n";
+    std::ostringstream buf;
+    buf << "@HD\tVN:1.6\tSO:unknown\n";
     for (u32 c = 0; c < ref_.numChromosomes(); ++c) {
-        os_ << "@SQ\tSN:" << ref_.name(c)
+        buf << "@SQ\tSN:" << ref_.name(c)
             << "\tLN:" << ref_.chromosomeLength(c) << '\n';
     }
-    os_ << "@PG\tID:genpairx\tPN:genpairx\tVN:1.0\n";
+    buf << "@PG\tID:genpairx\tPN:genpairx\tVN:1.0\n";
+    commit(buf.str());
 }
 
 void
@@ -113,7 +152,9 @@ SamWriter::writePairTo(std::ostream &os, const ReadPair &pair,
 void
 SamWriter::writePair(const ReadPair &pair, const PairMapping &mapping)
 {
-    writePairTo(os_, pair, mapping);
+    std::ostringstream buf;
+    writePairTo(buf, pair, mapping);
+    commit(buf.str());
 }
 
 void
@@ -123,13 +164,15 @@ SamWriter::writePairBatch(const ReadPair *pairs,
     std::ostringstream buf;
     for (std::size_t i = 0; i < n; ++i)
         writePairTo(buf, pairs[i], mappings[i]);
-    os_ << buf.str();
+    commit(buf.str());
 }
 
 void
 SamWriter::writeRead(const Read &read, const Mapping &mapping)
 {
-    writeRecord(os_, read, mapping, 0, nullptr, 0);
+    std::ostringstream buf;
+    writeRecord(buf, read, mapping, 0, nullptr, 0);
+    commit(buf.str());
 }
 
 u8

@@ -12,6 +12,7 @@
 #define GPX_GENOMICS_SAM_HH
 
 #include <iosfwd>
+#include <string>
 
 #include "genomics/readpair.hh"
 #include "genomics/reference.hh"
@@ -62,6 +63,26 @@ class SamWriter
     /** Emit one single-end record (long reads). */
     void writeRead(const Read &read, const Mapping &mapping);
 
+    /**
+     * Name the output (a path for the batch tools, a role for the
+     * daemon's reply buffers) and check the stream after *every*
+     * write: a short write or ENOSPC fails right at the offending
+     * batch with the label and byte offset in the diagnostic, instead
+     * of surfacing — or not — at stream close. With @p fatal_on_error
+     * the first failure kills the process (the batch tools' fatal
+     * discipline); without it the failure latches into writeFailed()
+     * and all further output is dropped, so a recoverable caller (the
+     * serve daemon) can fail one request and keep the process.
+     */
+    void checkWrites(std::string label, bool fatal_on_error);
+
+    /** True once a checked write failed (non-fatal mode). */
+    bool writeFailed() const { return writeFailed_; }
+    /** Diagnostic of the failed write (label + byte offset). */
+    const std::string &writeError() const { return writeError_; }
+    /** Payload bytes successfully handed to the stream. */
+    u64 bytesWritten() const { return bytesWritten_; }
+
     /** Records written so far. */
     u64 recordsWritten() const { return records_; }
 
@@ -71,11 +92,19 @@ class SamWriter
                      const Mapping *mate, i64 tlen);
     void writePairTo(std::ostream &os, const ReadPair &pair,
                      const PairMapping &mapping);
+    /** Sole stream toucher: every emission funnels through here. */
+    void commit(const std::string &rendered);
 
     std::ostream &os_;
     const Reference &ref_;
     u32 maxProperInsert_;
     u64 records_ = 0;
+    std::string outputLabel_;
+    bool checkWrites_ = false;
+    bool fatalOnError_ = false;
+    bool writeFailed_ = false;
+    std::string writeError_;
+    u64 bytesWritten_ = 0;
 };
 
 /**

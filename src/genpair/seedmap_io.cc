@@ -7,7 +7,9 @@
 #include <istream>
 #include <ostream>
 
+#include "util/fault.hh"
 #include "util/logging.hh"
+#include "util/sigbus_guard.hh"
 #include "util/xxhash.hh"
 
 namespace gpx {
@@ -470,11 +472,28 @@ SeedMapImage::open(const std::string &path,
 
     SeedMapImage image;
     if (magicVersion[1] == SeedMapImageHeaderV2::kVersion) {
+        if (util::checkFault("mmap.validate")) {
+            setError(error, path + ": injected validation fault "
+                            "(mmap.validate)");
+            return std::nullopt;
+        }
         // Validate in place against the mapping — once — whether the
-        // caller wants zero-copy serving or a forced owning copy.
+        // caller wants zero-copy serving or a forced owning copy. The
+        // pass touches every byte the image will ever serve, so it
+        // runs under the SIGBUS guard: a file truncated between mmap
+        // and here (or shrunk by a botched index refresh) becomes a
+        // diagnostic reject instead of killing the process.
         mapped->prefetch();
-        auto parsed =
-            parseV2Image(mapped->data(), mapped->size(), options, error);
+        std::optional<ParsedV2> parsed;
+        const bool survived = util::SigbusGuard::run([&] {
+            parsed = parseV2Image(mapped->data(), mapped->size(),
+                                  options, error);
+        });
+        if (!survived) {
+            setError(error, path + " truncated while validating "
+                            "(SIGBUS on a mapped page); refusing image");
+            return std::nullopt;
+        }
         if (!parsed)
             return std::nullopt;
         if (options.forceCopy) {

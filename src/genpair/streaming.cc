@@ -128,6 +128,7 @@ StreamingMapper::tryRun(std::istream &r1, std::istream &r2,
     // the first in-order error chunk, which by construction carries
     // the diagnostic the serial reader would have hit first.
     genomics::IngestError firstError;
+    std::atomic<bool> writeFailed{ false };
     std::thread writerThread([&]() {
         std::map<u64, MappedChunk> reorder;
         u64 nextSeq = 0;
@@ -150,6 +151,16 @@ StreamingMapper::tryRun(std::istream &r1, std::istream &r2,
                 sam.writePairBatch(chunk.pairs.data(),
                                    chunk.mappings.data(),
                                    chunk.pairs.size());
+                if (sam.writeFailed()) {
+                    // Checked writer latched a short write/ENOSPC:
+                    // nothing downstream of this byte offset can be
+                    // emitted in order, so stop writing and let the
+                    // pipeline drain (upstream stops via rawQ below).
+                    writeFailed.store(true,
+                                      std::memory_order_relaxed);
+                    stopped = true;
+                    break;
+                }
                 ++nextSeq;
             }
         }
@@ -168,11 +179,17 @@ StreamingMapper::tryRun(std::istream &r1, std::istream &r2,
         totalParsed += parsed->pairs.size();
         if (max_pairs != 0 && totalParsed > max_pairs)
             tooLarge = true;
+        if (writeFailed.load(std::memory_order_relaxed)) {
+            // The writer latched an emission failure; stop producing
+            // and drain what is in flight.
+            rawQ.close();
+        }
         if (m.error.set()) {
             // Stop the chunker; queued chunks still drain so every
             // sequence number below the error reaches the writer.
             rawQ.close();
-        } else if (!tooLarge) {
+        } else if (!tooLarge &&
+                   !writeFailed.load(std::memory_order_relaxed)) {
             DriverResult res = borrowed_
                                    ? mapper_.mapAllShared(parsed->pairs)
                                    : mapper_.mapAll(parsed->pairs);
@@ -200,6 +217,13 @@ StreamingMapper::tryRun(std::istream &r1, std::istream &r2,
     result.stats.readerStallSeconds = parsedQ.popStall().seconds;
     result.stats.writerStallSeconds = mappedQ.pushStall().seconds;
 
+    if (writeFailed.load(std::memory_order_relaxed)) {
+        if (error != nullptr) {
+            error->rank = 2;
+            error->message = sam.writeError();
+        }
+        return StreamRunStatus::kWriteError;
+    }
     if (firstError.set()) {
         if (error != nullptr)
             *error = std::move(firstError);

@@ -60,6 +60,7 @@ enum class StreamRunStatus
     kOk,
     kParseError, ///< malformed/disagreeing FASTQ; see the error string
     kTooLarge,   ///< input exceeded the caller's max_pairs bound
+    kWriteError, ///< SAM emission failed (checked writer); output torn
 };
 
 /** Chunked mapping driver over the shared SeedMap. */

@@ -1,5 +1,8 @@
 #include "serve/client.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace gpx {
@@ -110,6 +113,31 @@ ServeClient::mapBatch(const std::string &ref_name,
                       const std::string &r2_fastq, bool want_stats,
                       MapReplyBody *reply)
 {
+    u64 backoff = retry_.backoffMs;
+    for (u32 attempt = 0;; ++attempt) {
+        ClientStatus status = mapBatchOnce(ref_name, r1_fastq, r2_fastq,
+                                           want_stats, reply);
+        // Only OVERLOADED is retryable: the server explicitly said
+        // "come back later" and the connection is still usable.
+        // Transport failures and other error codes stay fail-fast.
+        const bool shed = !status.ok && status.errorFrame.has_value() &&
+                          status.errorFrame->code == kErrOverloaded;
+        if (!shed || attempt >= retry_.maxRetries)
+            return status;
+        const u64 hint = status.errorFrame->retryAfterMs;
+        const u64 waitMs = std::max<u64>(hint, backoff);
+        backoff = std::min<u64>(backoff * 2, retry_.maxBackoffMs);
+        ++retriesPerformed_;
+        std::this_thread::sleep_for(std::chrono::milliseconds(waitMs));
+    }
+}
+
+ClientStatus
+ServeClient::mapBatchOnce(const std::string &ref_name,
+                          const std::string &r1_fastq,
+                          const std::string &r2_fastq, bool want_stats,
+                          MapReplyBody *reply)
+{
     ClientStatus status;
     MapRequestBody req;
     req.requestId = nextRequestId_++;
@@ -175,6 +203,29 @@ ServeClient::fetchStats(std::string *json)
     *json = r.takeString32();
     if (!r.done()) {
         status.transportError = "undecodable STATS reply";
+        return status;
+    }
+    status.ok = true;
+    return status;
+}
+
+ClientStatus
+ServeClient::refreshMount(const std::string &ref_name)
+{
+    ClientStatus status;
+    std::vector<u8> payload;
+    putString16(payload, ref_name);
+    if (!writeFrame(sock_, kRefreshRequest, payload)) {
+        status.transportError = "REFRESH request send failed";
+        return status;
+    }
+    Frame frame;
+    if (!readReply(&frame, kRefreshReply, &status))
+        return status;
+    PayloadReader r(frame.payload);
+    (void)r.takeString16(); // echoed mount name
+    if (!r.done()) {
+        status.transportError = "undecodable REFRESH reply";
         return status;
     }
     status.ok = true;

@@ -37,6 +37,18 @@ struct ClientStatus
     std::string describe() const;
 };
 
+/**
+ * Client-side retry discipline for OVERLOADED rejections: capped
+ * exponential backoff seeded by the server's retry_after_ms hint.
+ * maxRetries = 0 (the default) preserves fail-fast semantics.
+ */
+struct RetryPolicy
+{
+    u32 maxRetries = 0;   ///< re-sends after the first attempt
+    u32 backoffMs = 50;   ///< first backoff step
+    u32 maxBackoffMs = 2000; ///< backoff cap (doubling stops here)
+};
+
 /** Synchronous gpx-serve-proto v1 connection. */
 class ServeClient
 {
@@ -51,6 +63,13 @@ class ServeClient
 
     /** Mount names announced by the server's HELLO reply. */
     const std::vector<std::string> &mounts() const { return mounts_; }
+
+    /** Install the OVERLOADED retry policy for subsequent mapBatch
+     *  calls (default: no retries). */
+    void setRetryPolicy(const RetryPolicy &policy) { retry_ = policy; }
+
+    /** OVERLOADED rejections absorbed by retries so far. */
+    u64 retriesPerformed() const { return retriesPerformed_; }
 
     /**
      * Map one framed FASTQ pair batch on mount @p ref_name (empty =
@@ -75,6 +94,13 @@ class ServeClient
     /** Ask the server to drain and exit. */
     ClientStatus shutdownServer();
 
+    /**
+     * Ask the server to hot-swap mount @p ref_name's index (empty =
+     * the sole mount). Failure (kErrRefreshFailed) leaves the old
+     * epoch serving and the connection usable.
+     */
+    ClientStatus refreshMount(const std::string &ref_name);
+
   private:
     explicit ServeClient(util::Socket sock) : sock_(std::move(sock)) {}
 
@@ -82,9 +108,16 @@ class ServeClient
     /** Read the next frame; decodes an ERROR frame into @p status. */
     bool readReply(Frame *frame, u8 expected_type, ClientStatus *status);
 
+    ClientStatus mapBatchOnce(const std::string &ref_name,
+                              const std::string &r1_fastq,
+                              const std::string &r2_fastq,
+                              bool want_stats, MapReplyBody *reply);
+
     util::Socket sock_;
     std::vector<std::string> mounts_;
     u32 nextRequestId_ = 1;
+    RetryPolicy retry_;
+    u64 retriesPerformed_ = 0;
 };
 
 } // namespace serve

@@ -1,5 +1,7 @@
 #include "serve/protocol.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "util/logging.hh"
@@ -183,6 +185,7 @@ encodeError(const ErrorBody &body)
     putU32(out, body.requestId);
     putU16(out, body.code);
     putString16(out, body.message);
+    putU32(out, body.retryAfterMs);
     return out;
 }
 
@@ -193,6 +196,7 @@ decodeError(const std::vector<u8> &payload, ErrorBody *out)
     out->requestId = r.takeU32();
     out->code = r.takeU16();
     out->message = r.takeString16();
+    out->retryAfterMs = r.takeU32();
     return r.done();
 }
 
@@ -220,21 +224,50 @@ writeBlobFrame(const util::Socket &sock, u8 type, const std::string &blob)
 }
 
 FrameRead
-readFrame(const util::Socket &sock, Frame *out, u32 max_frame_bytes)
+readFrame(const util::Socket &sock, Frame *out, u32 max_frame_bytes,
+          const FrameTimeouts &timeouts)
 {
+    using Clock = std::chrono::steady_clock;
+    // The first byte waits out the *idle* budget (nothing in flight
+    // yet); everything after it shares one monotonic *frame* budget,
+    // so a peer dribbling one byte per poll interval still hits the
+    // deadline (slow-loris defense).
     u8 prefix[4];
-    bool cleanEof = false;
-    if (!sock.readExact(prefix, sizeof(prefix), &cleanEof))
-        return cleanEof ? FrameRead::kEof : FrameRead::kError;
+    auto first = sock.readExactDeadline(prefix, 1, timeouts.idleMs);
+    if (!first.ok) {
+        if (first.timedOut)
+            return FrameRead::kIdleTimeout;
+        return first.cleanEof ? FrameRead::kEof : FrameRead::kError;
+    }
+    const auto begin = Clock::now();
+    auto budgetLeft = [&]() -> i64 {
+        if (timeouts.frameMs < 0)
+            return -1;
+        auto spent = std::chrono::duration_cast<
+                         std::chrono::milliseconds>(Clock::now() - begin)
+                         .count();
+        return std::max<i64>(0, timeouts.frameMs - spent);
+    };
+    auto rest = sock.readExactDeadline(prefix + 1, sizeof(prefix) - 1,
+                                       budgetLeft());
+    if (!rest.ok)
+        return rest.timedOut ? FrameRead::kTimeout : FrameRead::kError;
     u32 len = prefix[0] | (u32{ prefix[1] } << 8) |
               (u32{ prefix[2] } << 16) | (u32{ prefix[3] } << 24);
     if (len == 0 || len > max_frame_bytes)
         return FrameRead::kTooLarge;
-    if (!sock.readExact(&out->type, 1))
-        return FrameRead::kError;
+    auto typeRead = sock.readExactDeadline(&out->type, 1, budgetLeft());
+    if (!typeRead.ok)
+        return typeRead.timedOut ? FrameRead::kTimeout
+                                 : FrameRead::kError;
     out->payload.resize(len - 1);
-    if (len > 1 && !sock.readExact(out->payload.data(), len - 1))
-        return FrameRead::kError;
+    if (len > 1) {
+        auto body = sock.readExactDeadline(out->payload.data(), len - 1,
+                                           budgetLeft());
+        if (!body.ok)
+            return body.timedOut ? FrameRead::kTimeout
+                                 : FrameRead::kError;
+    }
     return FrameRead::kFrame;
 }
 

@@ -36,8 +36,9 @@ namespace serve {
 
 /** Wire magic: the bytes "GPXP" read as a little-endian u32. */
 inline constexpr u32 kProtoMagic = 0x50585047;
-/** Protocol version spoken by this build. */
-inline constexpr u16 kProtoVersion = 1;
+/** Protocol version spoken by this build (v2: retry_after_ms in
+ *  ERROR, REFRESH frames, DEADLINE/OVERLOADED codes). */
+inline constexpr u16 kProtoVersion = 2;
 /** Default ceiling on one frame's length field (64 MiB). */
 inline constexpr u32 kDefaultMaxFrameBytes = 64u << 20;
 /** Default ceiling on read pairs in one MAP request. */
@@ -56,6 +57,8 @@ enum FrameType : u8
     kStatsReply = 0x21,     ///< JSON payload
     kShutdownRequest = 0x30,///< drain and exit
     kShutdownReply = 0x31,  ///<
+    kRefreshRequest = 0x32, ///< hot-swap a mount's index image
+    kRefreshReply = 0x33,   ///< swap published (name echoed back)
     kErrorReply = 0x3F,     ///< see ErrorCode
 };
 
@@ -69,6 +72,13 @@ enum ErrorCode : u16
     kErrBadFastq = 5,        ///< malformed FASTQ batch (survives)
     kErrTooLarge = 6,        ///< frame or pair-count limit (closes)
     kErrDraining = 7,        ///< server is shutting down (closes)
+    kErrDeadline = 8,        ///< read/write deadline expired (closes)
+    kErrOverloaded = 9,      ///< shed at the admission gate (survives;
+                             ///< retryAfterMs says when to try again)
+    kErrRefreshFailed = 10,  ///< index swap rejected (survives; old
+                             ///< epoch keeps serving)
+    kErrIoFault = 11,        ///< server-side I/O fault while serving
+                             ///< the request (survives)
 };
 
 /** MAP request flag bits. */
@@ -117,6 +127,8 @@ struct ErrorBody
     u32 requestId = 0; ///< 0 when not tied to a MAP request
     u16 code = 0;
     std::string message;
+    /** kErrOverloaded only: client backoff hint (0 = none given). */
+    u32 retryAfterMs = 0;
 };
 
 // --- payload encoding ------------------------------------------------
@@ -190,10 +202,25 @@ bool writeBlobFrame(const util::Socket &sock, u8 type,
 /** Read result of readFrame(). */
 enum class FrameRead
 {
-    kFrame,    ///< a frame was read into the output
-    kEof,      ///< peer closed cleanly between frames
-    kTooLarge, ///< length field exceeded @p max_frame_bytes
-    kError,    ///< short read / I/O error
+    kFrame,       ///< a frame was read into the output
+    kEof,         ///< peer closed cleanly between frames
+    kTooLarge,    ///< length field exceeded @p max_frame_bytes
+    kError,       ///< short read / I/O error
+    kIdleTimeout, ///< no frame started within the idle budget
+    kTimeout,     ///< frame started but stalled past the frame budget
+};
+
+/**
+ * Per-read deadlines for readFrame(). Both default off (-1). idleMs
+ * bounds the wait for a frame's *first byte* (an abandoned connection
+ * parks here); frameMs is a monotonic budget for the rest of the
+ * frame once it has started (a slow-loris peer dribbling bytes cannot
+ * reset it).
+ */
+struct FrameTimeouts
+{
+    i64 idleMs = -1;
+    i64 frameMs = -1;
 };
 
 /**
@@ -202,7 +229,8 @@ enum class FrameRead
  * (the connection is unusable afterwards — close it).
  */
 FrameRead readFrame(const util::Socket &sock, Frame *out,
-                    u32 max_frame_bytes = kDefaultMaxFrameBytes);
+                    u32 max_frame_bytes = kDefaultMaxFrameBytes,
+                    const FrameTimeouts &timeouts = {});
 
 } // namespace serve
 } // namespace gpx

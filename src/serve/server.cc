@@ -14,21 +14,30 @@ namespace serve {
 
 // --- AdmissionGate ---------------------------------------------------
 
-bool
-ServeServer::AdmissionGate::acquire(bool *waited,
-                                    const std::atomic<bool> &draining)
+ServeServer::AdmissionGate::Outcome
+ServeServer::AdmissionGate::acquireFor(u32 timeout_ms, bool *waited,
+                                       const std::atomic<bool> &draining)
 {
     std::unique_lock<std::mutex> lock(mu_);
     if (waited != nullptr)
         *waited = inFlight_ >= slots_;
-    freed_.wait(lock, [&] {
+    auto freeOrDraining = [&] {
         return inFlight_ < slots_ ||
                draining.load(std::memory_order_relaxed);
-    });
+    };
+    if (timeout_ms == 0) {
+        // Unbounded wait: backpressure propagates through TCP (the
+        // pre-shedding discipline, still the default).
+        freed_.wait(lock, freeOrDraining);
+    } else if (!freed_.wait_for(lock,
+                                std::chrono::milliseconds(timeout_ms),
+                                freeOrDraining)) {
+        return Outcome::kTimedOut;
+    }
     if (draining.load(std::memory_order_relaxed))
-        return false;
+        return Outcome::kDraining;
     ++inFlight_;
-    return true;
+    return Outcome::kAcquired;
 }
 
 void
@@ -50,6 +59,20 @@ ServeServer::AdmissionGate::wakeAll()
 
 // --- ServeServer -----------------------------------------------------
 
+std::shared_ptr<ServeServer::MountEpoch>
+ServeServer::buildEpoch(const genomics::Reference &ref,
+                        const genpair::SeedMapView &view) const
+{
+    auto epoch = std::make_shared<MountEpoch>();
+    genpair::DriverConfig driver = config_.driver;
+    driver.threads = config_.threads;
+    epoch->mapper =
+        std::make_unique<genpair::ParallelMapper>(ref, view, driver);
+    epoch->spine = std::make_unique<genpair::StreamingMapper>(
+        *epoch->mapper, config_.chunkPairs, config_.ioThreads);
+    return epoch;
+}
+
 ServeServer::ServeServer(std::vector<MountSpec> mounts,
                          const ServeConfig &config)
     : config_(config), gate_(config.admissionSlots)
@@ -61,12 +84,8 @@ ServeServer::ServeServer(std::vector<MountSpec> mounts,
         Mount m;
         m.name = spec.name;
         m.ref = spec.ref;
-        genpair::DriverConfig driver = config_.driver;
-        driver.threads = config_.threads;
-        m.mapper = std::make_unique<genpair::ParallelMapper>(
-            *spec.ref, spec.view, driver);
-        m.spine = std::make_unique<genpair::StreamingMapper>(
-            *m.mapper, config_.chunkPairs, config_.ioThreads);
+        m.indexPath = spec.indexPath;
+        m.epoch = buildEpoch(*spec.ref, spec.view);
         // The SAM header is a pure function of the mount's reference;
         // render it once so every HEADER request is a memcpy.
         std::ostringstream os;
@@ -165,6 +184,13 @@ ServeServer::statsJson() const
        << "  \"pairs_mapped\": " << counters_.pairsMapped << ",\n"
        << "  \"sam_bytes_sent\": " << counters_.samBytesSent << ",\n"
        << "  \"admission_waits\": " << counters_.admissionWaits << ",\n"
+       << "  \"shedded\": " << counters_.shedded << ",\n"
+       << "  \"deadline_expired\": " << counters_.deadlineExpired
+       << ",\n"
+       << "  \"idle_closed\": " << counters_.idleClosed << ",\n"
+       << "  \"io_faults\": " << counters_.ioFaults << ",\n"
+       << "  \"index_swaps\": " << counters_.indexSwaps << ",\n"
+       << "  \"swaps_rejected\": " << counters_.swapsRejected << ",\n"
        << "  \"map_seconds\": " << counters_.mapSeconds << ",\n"
        << "  \"reader_stall_seconds\": " << counters_.readerStallSeconds
        << ",\n"
@@ -221,14 +247,87 @@ ServeServer::findMount(const std::string &refName)
     return nullptr;
 }
 
+std::shared_ptr<ServeServer::MountEpoch>
+ServeServer::currentEpoch(Mount *mount) const
+{
+    std::lock_guard<std::mutex> lock(epochMu_);
+    return mount->epoch;
+}
+
+bool
+ServeServer::refreshMount(const std::string &ref_name,
+                          std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg;
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++counters_.swapsRejected;
+        return false;
+    };
+    Mount *mount = findMount(ref_name);
+    if (mount == nullptr)
+        return fail("no mount named '" + ref_name + "'");
+    if (mount->indexPath.empty())
+        return fail("mount '" + mount->name +
+                    "' is not backed by an image file (built in "
+                    "memory); nothing to refresh");
+
+    // Validate the candidate end to end — open, checksum every shard,
+    // structural checks, all SIGBUS-guarded — *before* anything is
+    // published. A corrupt or truncated candidate leaves the serving
+    // epoch untouched.
+    std::string openError;
+    auto image = genpair::SeedMapImage::open(
+        mount->indexPath, genpair::SeedMapOpenOptions{}, &openError);
+    if (!image)
+        return fail("refresh of '" + mount->name + "' rejected: " +
+                    openError);
+
+    auto epoch = buildEpoch(*mount->ref, image->view());
+    epoch->image = std::move(*image);
+
+    {
+        std::lock_guard<std::mutex> lock(epochMu_);
+        epoch->epochId = mount->epoch->epochId + 1;
+        // Atomic publish: new requests pin the new epoch; requests
+        // already in flight finish on the epoch they pinned, and the
+        // old image unmaps when the last of them releases its pin.
+        mount->epoch = std::move(epoch);
+    }
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++counters_.indexSwaps;
+    }
+    return true;
+}
+
+u32
+ServeServer::refreshAllMounts()
+{
+    u32 swapped = 0;
+    for (auto &m : mounts_) {
+        if (m.indexPath.empty())
+            continue;
+        std::string error;
+        if (refreshMount(m.name, &error))
+            ++swapped;
+        else
+            gpx_warn("mount '", m.name, "': ", error);
+    }
+    return swapped;
+}
+
 bool
 ServeServer::sendError(const util::Socket &sock, u32 request_id,
-                       u16 code, const std::string &message)
+                       u16 code, const std::string &message,
+                       u32 retry_after_ms)
 {
     ErrorBody body;
     body.requestId = request_id;
     body.code = code;
     body.message = message;
+    body.retryAfterMs = retry_after_ms;
     return writeFrame(sock, kErrorReply, encodeError(body));
 }
 
@@ -265,18 +364,63 @@ ServeServer::handleMapRequest(const util::Socket &sock,
     // fatal discipline would take every other client down with the
     // bad request).
     bool waited = false;
-    if (!gate_.acquire(&waited, draining_))
+    switch (gate_.acquireFor(config_.queueTimeoutMs, &waited,
+                             draining_)) {
+    case AdmissionGate::Outcome::kDraining:
         return reject(kErrDraining, "server is draining", false);
+    case AdmissionGate::Outcome::kTimedOut: {
+        // Shed instead of queueing forever: the client gets explicit
+        // load feedback plus a backoff hint, and its connection stays
+        // usable for the retry.
+        {
+            std::lock_guard<std::mutex> lock(statsMu_);
+            ++counters_.requestsRejected;
+            ++counters_.shedded;
+        }
+        return sendError(sock, req.requestId, kErrOverloaded,
+                         "admission queue full for " +
+                             std::to_string(config_.queueTimeoutMs) +
+                             " ms",
+                         config_.retryAfterMs);
+    }
+    case AdmissionGate::Outcome::kAcquired:
+        break;
+    }
+
+    // Chaos hook: delay rules model a slow mapping stage (the way
+    // tests fill the admission gate deterministically); failure rules
+    // model a mid-request server-side fault.
+    if (util::checkFault("serve.map")) {
+        gate_.release();
+        {
+            std::lock_guard<std::mutex> lock(statsMu_);
+            ++counters_.ioFaults;
+        }
+        return reject(kErrIoFault, "injected server fault (serve.map)",
+                      true);
+    }
+
+    // Pin this request's epoch: a concurrent REFRESH swaps the mount
+    // pointer, not the epoch we hold, so the image under our feet
+    // cannot unmap mid-request.
+    std::shared_ptr<MountEpoch> epoch = currentEpoch(mount);
+
     std::istringstream r1(req.r1Fastq);
     std::istringstream r2(req.r2Fastq);
     std::ostringstream samOs;
     // SAM records only — the header is a per-mount constant served by
     // the HEADER frame, so batch responses concatenate cleanly.
     genomics::SamWriter sam(samOs, *mount->ref);
+    // Non-fatal write checking: an emission fault (injected ENOSPC,
+    // allocation-backed stream failure) fails this request with a
+    // diagnostic; the daemon and connection survive.
+    sam.checkWrites("reply buffer of request " +
+                        std::to_string(req.requestId),
+                    /*fatal_on_error=*/false);
     genpair::StreamingResult result;
     genomics::IngestError ingestError;
     const genpair::StreamRunStatus status =
-        mount->spine->tryRun(r1, r2, sam, result, &ingestError,
+        epoch->spine->tryRun(r1, r2, sam, result, &ingestError,
                              config_.maxPairsPerRequest);
     gate_.release();
 
@@ -289,6 +433,12 @@ ServeServer::handleMapRequest(const util::Socket &sock,
     }
     case genpair::StreamRunStatus::kTooLarge:
         return reject(kErrTooLarge, ingestError.message, false);
+    case genpair::StreamRunStatus::kWriteError:
+        {
+            std::lock_guard<std::mutex> lock(statsMu_);
+            ++counters_.ioFaults;
+        }
+        return reject(kErrIoFault, ingestError.message, true);
     case genpair::StreamRunStatus::kOk:
         break;
     }
@@ -314,7 +464,14 @@ ServeServer::handleMapRequest(const util::Socket &sock,
         counters_.readerStallSeconds += result.stats.readerStallSeconds;
         counters_.writerStallSeconds += result.stats.writerStallSeconds;
     }
-    return writeFrame(sock, kMapReply, encodeMapReply(reply));
+    if (!writeFrame(sock, kMapReply, encodeMapReply(reply))) {
+        // Peer died (or stalled past SO_SNDTIMEO) mid-reply; only this
+        // connection is affected.
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++counters_.ioFaults;
+        return false;
+    }
+    return true;
 }
 
 void
@@ -349,11 +506,44 @@ ServeServer::handleConnection(util::Socket sock)
     if (lateArrival)
         return;
 
+    // Per-connection deadlines. Reads get the precise treatment (poll
+    // with a monotonic per-frame budget via readFrame); writes get the
+    // SO_SNDTIMEO backstop so a peer that stops draining its receive
+    // buffer fails the reply instead of pinning this thread.
+    FrameTimeouts timeouts;
+    if (config_.idleTimeoutMs > 0)
+        timeouts.idleMs = config_.idleTimeoutMs;
+    if (config_.connTimeoutMs > 0) {
+        timeouts.frameMs = config_.connTimeoutMs;
+        sock.setSendTimeout(config_.connTimeoutMs);
+    }
+    auto closeForDeadline = [&](bool idle) {
+        {
+            std::lock_guard<std::mutex> lock(statsMu_);
+            ++(idle ? counters_.idleClosed : counters_.deadlineExpired);
+        }
+        // Best-effort courtesy frame; the peer may of course be gone.
+        sendError(sock, 0, kErrDeadline,
+                  idle ? "idle timeout: no frame received"
+                       : "read deadline expired mid-frame");
+    };
+
     // HELLO handshake: the client leads with magic + version.
     Frame frame;
-    if (readFrame(sock, &frame, config_.maxFrameBytes) !=
-            FrameRead::kFrame ||
-        frame.type != kHelloRequest) {
+    switch (readFrame(sock, &frame, config_.maxFrameBytes, timeouts)) {
+    case FrameRead::kFrame:
+        break;
+    case FrameRead::kIdleTimeout:
+        closeForDeadline(/*idle=*/true);
+        return;
+    case FrameRead::kTimeout:
+        closeForDeadline(/*idle=*/false);
+        return;
+    default:
+        sendError(sock, 0, kErrBadFrame, "expected HELLO");
+        return;
+    }
+    if (frame.type != kHelloRequest) {
         sendError(sock, 0, kErrBadFrame, "expected HELLO");
         return;
     }
@@ -376,11 +566,22 @@ ServeServer::handleConnection(util::Socket sock)
         return;
 
     for (;;) {
-        switch (readFrame(sock, &frame, config_.maxFrameBytes)) {
+        switch (readFrame(sock, &frame, config_.maxFrameBytes,
+                          timeouts)) {
         case FrameRead::kFrame:
             break;
         case FrameRead::kTooLarge:
             sendError(sock, 0, kErrTooLarge, "frame exceeds limit");
+            return;
+        case FrameRead::kIdleTimeout:
+            // The idle reaper: an abandoned connection gives its
+            // handler thread back instead of holding it forever.
+            closeForDeadline(/*idle=*/true);
+            return;
+        case FrameRead::kTimeout:
+            // Slow-loris defense: a frame that dribbles past the
+            // budget closes with a clean diagnostic.
+            closeForDeadline(/*idle=*/false);
             return;
         case FrameRead::kEof:
         case FrameRead::kError:
@@ -413,6 +614,29 @@ ServeServer::handleConnection(util::Socket sock)
             if (!writeBlobFrame(sock, kStatsReply, statsJson()))
                 return;
             break;
+        case kRefreshRequest: {
+            PayloadReader r(frame.payload);
+            std::string refName = r.takeString16();
+            if (!r.done()) {
+                sendError(sock, 0, kErrBadFrame,
+                          "undecodable REFRESH request");
+                return;
+            }
+            std::string refreshError;
+            if (!refreshMount(refName, &refreshError)) {
+                // Request-scoped: the old epoch keeps serving and the
+                // connection stays usable.
+                if (!sendError(sock, 0, kErrRefreshFailed,
+                               refreshError))
+                    return;
+                break;
+            }
+            std::vector<u8> payload;
+            putString16(payload, refName);
+            if (!writeFrame(sock, kRefreshReply, payload))
+                return;
+            break;
+        }
         case kShutdownRequest:
             writeFrame(sock, kShutdownReply, {});
             requestShutdown();

@@ -35,11 +35,13 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "genpair/driver.hh"
+#include "genpair/seedmap_io.hh"
 #include "genpair/streaming.hh"
 #include "serve/protocol.hh"
 #include "util/socket.hh"
@@ -56,6 +58,13 @@ struct MountSpec
     const genomics::Reference *ref = nullptr;
     /** View over the shards (mmap image or owning map outlives us). */
     genpair::SeedMapView view;
+    /**
+     * Path of the v2 image backing @p view, when there is one. A
+     * non-empty path makes the mount hot-swappable: REFRESH/SIGHUP
+     * re-opens this path, validates it, and publishes a new epoch.
+     * Mounts built in memory (no file) refuse refresh requests.
+     */
+    std::string indexPath;
 };
 
 /** Server configuration. */
@@ -77,6 +86,28 @@ struct ServeConfig
     u32 ioThreads = 1;
     /** Read pairs per streaming chunk of a request's spine run. */
     u32 chunkPairs = 1024;
+    /**
+     * Close a connection with no traffic for this long (0 = never).
+     * The idle reaper: an abandoned peer stops pinning its handler
+     * thread; the close is counted in STATS (idle_closed).
+     */
+    u32 idleTimeoutMs = 0;
+    /**
+     * Monotonic budget for reading one frame once its first byte has
+     * arrived, and the SO_SNDTIMEO bound on replies (0 = none). A
+     * slow-loris peer gets ERROR{DEADLINE} and a close instead of a
+     * pinned handler thread.
+     */
+    u32 connTimeoutMs = 0;
+    /**
+     * Bounded admission wait (0 = wait forever, pre-PR8 semantics).
+     * A request that cannot get a mapping slot within this budget is
+     * shed with ERROR{OVERLOADED, retry_after_ms} — explicit load
+     * feedback instead of indefinite TCP backpressure.
+     */
+    u32 queueTimeoutMs = 0;
+    /** retry_after_ms hint attached to OVERLOADED rejections. */
+    u32 retryAfterMs = 100;
     genpair::DriverConfig driver; ///< threads field is ignored
 };
 
@@ -89,6 +120,12 @@ struct ServeCounters
     u64 pairsMapped = 0;
     u64 samBytesSent = 0;
     u64 admissionWaits = 0; ///< requests that found the gate full
+    u64 shedded = 0;          ///< OVERLOADED rejections (queue timeout)
+    u64 deadlineExpired = 0;  ///< connections closed mid-frame (DEADLINE)
+    u64 idleClosed = 0;       ///< connections reaped for idleness
+    u64 ioFaults = 0;         ///< server-side I/O failures serving requests
+    u64 indexSwaps = 0;       ///< epochs published by REFRESH/SIGHUP
+    u64 swapsRejected = 0;    ///< refresh attempts that failed validation
     double mapSeconds = 0;  ///< summed pool occupancy of MAP requests
     /** Summed spine stalls across requests: time the mapping stage
      *  waited for parsed input vs for emission backpressure. */
@@ -145,16 +182,55 @@ class ServeServer
     /** Mount names in mount order (HELLO reply payload). */
     std::vector<std::string> mountNames() const;
 
+    /**
+     * Hot-swap @p ref_name's index (empty = the sole mount): re-open
+     * the mount's indexPath, validate the image end to end (checksums,
+     * structure, SIGBUS-guarded), and only then atomically publish it
+     * as a new epoch. In-flight requests keep the epoch they started
+     * on; the old image unmaps when its last request drains. On any
+     * failure — no indexPath, unreadable/corrupt candidate — the old
+     * epoch keeps serving and this returns false with a diagnostic.
+     * Thread-safe (REFRESH frames and SIGHUP may race; last publish
+     * wins).
+     */
+    bool refreshMount(const std::string &ref_name, std::string *error);
+
+    /**
+     * Refresh every file-backed mount (the SIGHUP handler's path).
+     * Returns how many mounts published a new epoch; failures warn
+     * and leave their old epoch serving.
+     */
+    u32 refreshAllMounts();
+
   private:
-    struct Mount
+    /**
+     * One published generation of a mount's index: the image (for
+     * refreshed epochs; the initial epoch borrows MountSpec::view),
+     * its warm mapper pool, and the streaming spine over it. Request
+     * handlers pin the epoch with a shared_ptr for the duration of a
+     * request, so an old epoch survives — mapped and serving — until
+     * its last in-flight request completes, then unmaps in the
+     * destructor. No locks are held while mapping.
+     */
+    struct MountEpoch
     {
-        std::string name;
-        const genomics::Reference *ref;
+        u64 epochId = 0;
+        /** Owns the mmap for refreshed epochs; nullopt initially. */
+        std::optional<genpair::SeedMapImage> image;
         std::unique_ptr<genpair::ParallelMapper> mapper;
         /** Borrowed-pool streaming spine over `mapper`; tryRun() is
          *  safe to call from any number of handler threads at once. */
         std::unique_ptr<genpair::StreamingMapper> spine;
+    };
+
+    struct Mount
+    {
+        std::string name;
+        const genomics::Reference *ref;
+        std::string indexPath; ///< empty = not hot-swappable
         std::string samHeader;
+        /** Current epoch; guarded by epochMu_ (swap on refresh). */
+        std::shared_ptr<MountEpoch> epoch;
         /** Merged stats of every request served by this mount. */
         genpair::PipelineStats stats;
     };
@@ -165,8 +241,20 @@ class ServeServer
       public:
         explicit AdmissionGate(u32 slots) : slots_(slots ? slots : 1) {}
 
-        /** Blocks until a slot frees; returns false once draining. */
-        bool acquire(bool *waited, const std::atomic<bool> &draining);
+        enum class Outcome
+        {
+            kAcquired,
+            kTimedOut, ///< bounded wait expired (shed the request)
+            kDraining, ///< server is shutting down
+        };
+
+        /**
+         * Wait for a slot: forever when @p timeout_ms is 0 (TCP
+         * backpressure, the pre-shedding discipline), else at most
+         * @p timeout_ms before reporting kTimedOut.
+         */
+        Outcome acquireFor(u32 timeout_ms, bool *waited,
+                           const std::atomic<bool> &draining);
         void release();
         /** Wake all waiters (shutdown path). */
         void wakeAll();
@@ -178,14 +266,21 @@ class ServeServer
         u32 inFlight_ = 0;
     };
 
+    /** Build a warm epoch (pool + spine) over @p view. */
+    std::shared_ptr<MountEpoch>
+    buildEpoch(const genomics::Reference &ref,
+               const genpair::SeedMapView &view) const;
+
     void acceptLoop();
     void handleConnection(util::Socket sock);
     Mount *findMount(const std::string &refName);
+    /** The epoch new requests on @p mount should pin. */
+    std::shared_ptr<MountEpoch> currentEpoch(Mount *mount) const;
     /** Serve one MAP request; false closes the connection. */
     bool handleMapRequest(const util::Socket &sock,
                           const std::vector<u8> &payload);
     bool sendError(const util::Socket &sock, u32 request_id, u16 code,
-                   const std::string &message);
+                   const std::string &message, u32 retry_after_ms = 0);
 
     ServeConfig config_;
     std::vector<Mount> mounts_;
@@ -206,6 +301,9 @@ class ServeServer
 
     mutable std::mutex statsMu_;
     ServeCounters counters_;
+
+    /** Guards every Mount::epoch pointer (publish and pin). */
+    mutable std::mutex epochMu_;
 };
 
 } // namespace serve

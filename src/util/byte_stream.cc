@@ -3,12 +3,18 @@
 #include <cstring>
 #include <istream>
 
+#include "util/fault.hh"
+
 namespace gpx {
 namespace util {
 
 bool
 IstreamSource::read(std::string &block)
 {
+    if (checkFault("byte.read")) {
+        error_ = "injected byte-source fault (byte.read)";
+        return false;
+    }
     block.resize(blockBytes_);
     is_.read(block.data(), static_cast<std::streamsize>(blockBytes_));
     const std::size_t got = static_cast<std::size_t>(is_.gcount());

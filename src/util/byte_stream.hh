@@ -93,10 +93,12 @@ class IstreamSource : public ByteSource
     }
 
     bool read(std::string &block) override;
+    const std::string &error() const override { return error_; }
 
   private:
     std::istream &is_;
     std::size_t blockBytes_;
+    std::string error_; ///< injected-fault diagnostic only
 };
 
 /**

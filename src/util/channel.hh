@@ -38,6 +38,7 @@
 #include <optional>
 #include <utility>
 
+#include "util/fault.hh"
 #include "util/types.hh"
 
 namespace gpx {
@@ -72,6 +73,12 @@ class Channel
     bool
     push(T value)
     {
+        // Chaos hook: a delay rule here stalls one hand-off edge and
+        // shifts every stage's relative timing (the race amplifier the
+        // chaos CI sweep runs the suites under). Failure actions make
+        // the push behave as if the channel were closed.
+        if (checkFault("chan.push"))
+            return false;
         std::unique_lock<std::mutex> lock(mu_);
         if (queue_.size() >= capacity_ && !closed_) {
             const auto begin = Clock::now();

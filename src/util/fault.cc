@@ -1,0 +1,368 @@
+#include "util/fault.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+#include "util/rng.hh"
+
+namespace gpx {
+namespace util {
+
+std::atomic<bool> FaultInjector::armed_{ false };
+
+namespace {
+
+/**
+ * Every injection point, in registry order. A new call site must be
+ * added here (configure() rejects its name otherwise) and must gain a
+ * test plan (check_fault_wall.py fails the chaos job otherwise).
+ */
+const std::vector<std::string> kKnownPoints = {
+    "socket.read",   ///< Socket::readExact — recv-side I/O error
+    "socket.write",  ///< Socket::writeExact — short write / EPIPE
+    "mmap.open",     ///< MappedFile::open — map failure
+    "mmap.validate", ///< SeedMapImage::open — image rejected in validation
+    "byte.read",     ///< IstreamSource::read — ingest byte-source error
+    "chan.push",     ///< Channel::push — hand-off delay (stall chaos)
+    "sam.write",     ///< SamWriter sink — ENOSPC / short write
+    "serve.map",     ///< per-request map latency in the serve daemon
+};
+
+struct Trigger
+{
+    enum Kind : u8
+    {
+        kAlways,
+        kProb,  ///< fire with probability p per evaluation
+        kAfter, ///< fire once > n units (calls, or bytes) accumulated
+        kEvery, ///< fire on every nth call
+        kNth,   ///< fire on exactly the nth call
+        kOnce,  ///< fire on the first call only
+    };
+    Kind kind = kAlways;
+    double probability = 0;
+    u64 n = 0;
+};
+
+struct Rule
+{
+    std::string point;
+    FaultHit::Kind action = FaultHit::kFail;
+    u64 errnoValue = 0;
+    bool isDelay = false;
+    u64 delayMs = 0;
+    Trigger trigger;
+
+    // Runtime trigger state.
+    u64 calls = 0;
+    u64 units = 0; ///< calls, or bytes through checkBytes()
+    u64 fires = 0;
+};
+
+struct State
+{
+    std::mutex mu;
+    std::vector<Rule> rules;
+    std::map<std::string, u64> evaluations;
+    Pcg32 rng;
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+bool
+parseU64(const std::string &text, u64 *out)
+{
+    if (text.empty())
+        return false;
+    u64 value = 0;
+    std::size_t pos = 0;
+    for (; pos < text.size(); ++pos) {
+        char c = text[pos];
+        if (c < '0' || c > '9')
+            break;
+        value = value * 10 + static_cast<u64>(c - '0');
+    }
+    if (pos == 0)
+        return false;
+    std::string suffix = text.substr(pos);
+    if (suffix == "KiB")
+        value <<= 10;
+    else if (suffix == "MiB")
+        value <<= 20;
+    else if (!suffix.empty() && suffix != "ms")
+        return false;
+    *out = value;
+    return true;
+}
+
+bool
+parseRule(const std::string &text, Rule *rule, std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = "fault rule '" + text + "': " + msg;
+        return false;
+    };
+
+    std::size_t colon = text.find(':');
+    if (colon == std::string::npos || colon == 0)
+        return fail("expected point:action[@trigger]");
+    rule->point = text.substr(0, colon);
+    if (std::find(kKnownPoints.begin(), kKnownPoints.end(),
+                  rule->point) == kKnownPoints.end())
+        return fail("unknown injection point '" + rule->point + "'");
+
+    std::string rest = text.substr(colon + 1);
+    std::string action = rest;
+    std::string trigger;
+    std::size_t at = rest.find('@');
+    if (at != std::string::npos) {
+        action = rest.substr(0, at);
+        trigger = rest.substr(at + 1);
+    }
+
+    if (action == "fail" || action == "sigbus") {
+        rule->action = FaultHit::kFail;
+    } else if (action == "short") {
+        rule->action = FaultHit::kShort;
+    } else if (action == "enospc") {
+        rule->action = FaultHit::kErrno;
+        rule->errnoValue = ENOSPC;
+    } else if (action == "eio") {
+        rule->action = FaultHit::kErrno;
+        rule->errnoValue = EIO;
+    } else if (action == "epipe") {
+        rule->action = FaultHit::kErrno;
+        rule->errnoValue = EPIPE;
+    } else if (action.rfind("delay=", 0) == 0) {
+        rule->isDelay = true;
+        if (!parseU64(action.substr(6), &rule->delayMs))
+            return fail("bad delay value");
+    } else {
+        return fail("unknown action '" + action + "'");
+    }
+
+    if (trigger.empty()) {
+        rule->trigger.kind = Trigger::kAlways;
+    } else if (trigger == "once") {
+        rule->trigger.kind = Trigger::kOnce;
+    } else if (trigger.rfind("p=", 0) == 0) {
+        rule->trigger.kind = Trigger::kProb;
+        char *end = nullptr;
+        rule->trigger.probability =
+            std::strtod(trigger.c_str() + 2, &end);
+        if (end == nullptr || *end != '\0' ||
+            rule->trigger.probability < 0 ||
+            rule->trigger.probability > 1)
+            return fail("bad probability");
+    } else if (trigger.rfind("after=", 0) == 0) {
+        rule->trigger.kind = Trigger::kAfter;
+        if (!parseU64(trigger.substr(6), &rule->trigger.n))
+            return fail("bad after= value");
+    } else if (trigger.rfind("every=", 0) == 0) {
+        rule->trigger.kind = Trigger::kEvery;
+        if (!parseU64(trigger.substr(6), &rule->trigger.n) ||
+            rule->trigger.n == 0)
+            return fail("bad every= value");
+    } else if (trigger.rfind("nth=", 0) == 0) {
+        rule->trigger.kind = Trigger::kNth;
+        if (!parseU64(trigger.substr(4), &rule->trigger.n) ||
+            rule->trigger.n == 0)
+            return fail("bad nth= value");
+    } else {
+        return fail("unknown trigger '" + trigger + "'");
+    }
+    return true;
+}
+
+/** Trigger evaluation; counters already advanced by the caller. */
+bool
+shouldFire(Rule &rule, Pcg32 &rng)
+{
+    switch (rule.trigger.kind) {
+    case Trigger::kAlways:
+        return true;
+    case Trigger::kProb:
+        return rng.chance(rule.trigger.probability);
+    case Trigger::kAfter:
+        return rule.units > rule.trigger.n;
+    case Trigger::kEvery:
+        return rule.calls % rule.trigger.n == 0;
+    case Trigger::kNth:
+        return rule.calls == rule.trigger.n;
+    case Trigger::kOnce:
+        return rule.fires == 0;
+    }
+    return false;
+}
+
+FaultHit
+evaluate(const char *point, u64 units)
+{
+    State &s = state();
+    u64 delayMs = 0;
+    FaultHit hit;
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        ++s.evaluations[point];
+        for (auto &rule : s.rules) {
+            if (rule.point != point)
+                continue;
+            ++rule.calls;
+            rule.units += units;
+            if (!shouldFire(rule, s.rng))
+                continue;
+            ++rule.fires;
+            if (rule.isDelay) {
+                delayMs += rule.delayMs;
+            } else if (!hit) {
+                hit.kind = rule.action;
+                hit.value = rule.errnoValue;
+            }
+        }
+    }
+    // Sleep outside the lock: a delay rule must stall only its own
+    // call site, not every other armed injection point.
+    if (delayMs > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
+    return hit;
+}
+
+} // namespace
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+bool
+FaultInjector::configure(const std::string &plan, u64 seed,
+                         std::string *error)
+{
+    std::vector<Rule> rules;
+    std::size_t begin = 0;
+    while (begin <= plan.size() && !plan.empty()) {
+        std::size_t end = plan.find(',', begin);
+        if (end == std::string::npos)
+            end = plan.size();
+        std::string text = plan.substr(begin, end - begin);
+        if (!text.empty()) {
+            Rule rule;
+            if (!parseRule(text, &rule, error))
+                return false;
+            rules.push_back(std::move(rule));
+        }
+        begin = end + 1;
+    }
+
+    const bool arm = !rules.empty();
+    State &s = state();
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.rules = std::move(rules);
+        s.evaluations.clear();
+        s.rng = Pcg32(seed);
+    }
+    armed_.store(arm, std::memory_order_relaxed);
+    return true;
+}
+
+void
+FaultInjector::configureFromEnv()
+{
+    const char *plan = std::getenv("GPX_FAULTS");
+    if (plan == nullptr || plan[0] == '\0')
+        return;
+    u64 seed = 0;
+    if (const char *seedText = std::getenv("GPX_FAULTS_SEED"))
+        seed = std::strtoull(seedText, nullptr, 10);
+    std::string error;
+    if (!configure(plan, seed, &error))
+        std::cerr << "gpx: ignoring GPX_FAULTS: " << error << "\n";
+}
+
+void
+FaultInjector::reset()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    armed_.store(false, std::memory_order_relaxed);
+    s.rules.clear();
+    s.evaluations.clear();
+}
+
+FaultHit
+FaultInjector::check(const char *point)
+{
+    return evaluate(point, 1);
+}
+
+FaultHit
+FaultInjector::checkBytes(const char *point, u64 bytes)
+{
+    return evaluate(point, bytes);
+}
+
+u64
+FaultInjector::fires(const std::string &point) const
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    u64 total = 0;
+    for (const auto &rule : s.rules)
+        if (rule.point == point)
+            total += rule.fires;
+    return total;
+}
+
+u64
+FaultInjector::evaluations(const std::string &point) const
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.evaluations.find(point);
+    return it == s.evaluations.end() ? 0 : it->second;
+}
+
+u64
+FaultInjector::totalFires() const
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    u64 total = 0;
+    for (const auto &rule : s.rules)
+        total += rule.fires;
+    return total;
+}
+
+const std::vector<std::string> &
+FaultInjector::knownPoints()
+{
+    return kKnownPoints;
+}
+
+namespace {
+
+/** Arms the injector from the environment before main() runs, so any
+ *  test binary or tool joins a GPX_FAULTS sweep without code changes. */
+struct EnvArm
+{
+    EnvArm() { FaultInjector::instance().configureFromEnv(); }
+} envArm;
+
+} // namespace
+
+} // namespace util
+} // namespace gpx

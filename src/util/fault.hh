@@ -1,0 +1,164 @@
+/**
+ * @file
+ * util::FaultInjector: deterministic, process-wide fault injection for
+ * the robustness wall.
+ *
+ * The serve path claims to survive slow clients, full disks, truncated
+ * index images and stalled queues; none of those failures occur on a
+ * healthy CI host, so without injection the recovery code is dead code
+ * with green tests. FaultInjector threads *named injection points*
+ * through the I/O layers (socket reads/writes, mmap validation, byte
+ * sources, channel hand-offs, the SAM writer) and arms them from one
+ * declarative plan:
+ *
+ *   GPX_FAULTS="socket.write:short@p=0.01,sam.write:enospc@after=1MiB"
+ *   GPX_FAULTS_SEED=42
+ *
+ * Grammar (see docs/ARCHITECTURE.md "Failure modes & recovery"):
+ *
+ *   plan    := rule (',' rule)*
+ *   rule    := point ':' action ['@' trigger]
+ *   action  := fail | short | sigbus | enospc | eio | epipe
+ *            | delay=<ms>[ms]
+ *   trigger := p=<probability> | after=<N>[KiB|MiB] | every=<N>
+ *            | nth=<N> | once            (default: always)
+ *
+ * Design constraints, in priority order:
+ *  - zero cost disabled: every call site is one relaxed atomic load
+ *    (no lock, no map lookup) when no plan is armed — the injector may
+ *    sit on the hot SAM emission and socket paths;
+ *  - deterministic: probabilistic triggers draw from one seeded
+ *    util::Pcg32, so a failing chaos run replays with the same seed;
+ *  - closed point set: configure() rejects a rule naming a point that
+ *    no code path declares (kKnownPoints), so plans cannot silently
+ *    rot when call sites move — scripts/check_fault_wall.py holds the
+ *    registry and the call sites to the same contract.
+ *
+ * Delay actions are applied inside check() itself (the call site needs
+ * no timing code); failure actions come back as a FaultHit for the
+ * site to translate into its native error convention.
+ */
+
+#ifndef GPX_UTIL_FAULT_HH
+#define GPX_UTIL_FAULT_HH
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace gpx {
+namespace util {
+
+/** Verdict of one injection-point evaluation. */
+struct FaultHit
+{
+    enum Kind : u8
+    {
+        kNone = 0, ///< no fault — proceed normally
+        kFail,     ///< generic failure (also: sigbus alias)
+        kShort,    ///< I/O should transfer a strict prefix, then fail
+        kErrno,    ///< fail as-if a syscall set errno = value
+    };
+    Kind kind = kNone;
+    u64 value = 0; ///< errno number for kErrno
+
+    explicit operator bool() const { return kind != kNone; }
+};
+
+class FaultInjector
+{
+  public:
+    static FaultInjector &instance();
+
+    /** Fast-path gate: false until a non-empty plan is configured. */
+    static bool
+    armed()
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Parse and arm @p plan (grammar in the file comment). An empty
+     * plan disarms. Returns false — leaving the previous plan intact —
+     * on a syntax error or an unknown point name, with the diagnostic
+     * in @p error.
+     */
+    bool configure(const std::string &plan, u64 seed,
+                   std::string *error = nullptr);
+
+    /**
+     * Arm from GPX_FAULTS / GPX_FAULTS_SEED. A malformed plan warns on
+     * stderr and leaves the injector disarmed (a daemon must not die
+     * on a typo'd env var; scripts/check_fault_wall.py vets the plans
+     * CI actually runs).
+     */
+    void configureFromEnv();
+
+    /** Disarm and forget all rules and counters. */
+    void reset();
+
+    /**
+     * Evaluate injection point @p point. Count-based triggers advance
+     * by one evaluation; kDelay rules sleep here. Call through the
+     * free-function checkFault() so the disarmed path stays inline.
+     */
+    FaultHit check(const char *point);
+
+    /**
+     * Byte-counting form for write-path points: `after=N` triggers on
+     * cumulative @p bytes instead of call count (so `after=1MiB` means
+     * "once a megabyte has been written", not "after a megabyte of
+     * calls").
+     */
+    FaultHit checkBytes(const char *point, u64 bytes);
+
+    /** Times @p point fired (any action) since configure()/reset(). */
+    u64 fires(const std::string &point) const;
+    /** Times @p point was evaluated while armed. */
+    u64 evaluations(const std::string &point) const;
+    /** Total fires across all points. */
+    u64 totalFires() const;
+
+    /**
+     * Every injection point any code path declares. configure()
+     * rejects rules outside this set; check_fault_wall.py asserts the
+     * set matches the call sites *and* that every entry is exercised
+     * by at least one test plan.
+     */
+    static const std::vector<std::string> &knownPoints();
+
+  private:
+    FaultInjector() = default;
+
+    static std::atomic<bool> armed_;
+};
+
+/**
+ * Evaluate injection point @p point; the disabled path is one relaxed
+ * atomic load. @p point must be a member of
+ * FaultInjector::knownPoints() (enforced at configure time).
+ */
+inline FaultHit
+checkFault(const char *point)
+{
+    if (!FaultInjector::armed())
+        return {};
+    return FaultInjector::instance().check(point);
+}
+
+/** Byte-counting form (write paths); see FaultInjector::checkBytes. */
+inline FaultHit
+checkFaultBytes(const char *point, u64 bytes)
+{
+    if (!FaultInjector::armed())
+        return {};
+    return FaultInjector::instance().checkBytes(point, bytes);
+}
+
+} // namespace util
+} // namespace gpx
+
+#endif // GPX_UTIL_FAULT_HH

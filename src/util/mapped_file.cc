@@ -4,6 +4,8 @@
 #include <cstring>
 #include <utility>
 
+#include "util/fault.hh"
+
 #if defined(_WIN32)
 #include <cstdio>
 #include <vector>
@@ -66,6 +68,11 @@ std::optional<MappedFile>
 MappedFile::open(const std::string &path, std::string *error)
 {
 #if !defined(_WIN32)
+    if (checkFault("mmap.open")) {
+        setError(error, "cannot mmap " + path +
+                            ": injected fault (mmap.open)");
+        return std::nullopt;
+    }
     int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) {
         setError(error, "cannot open " + path + ": " +
@@ -91,6 +98,19 @@ MappedFile::open(const std::string &path, std::string *error)
             return std::nullopt;
         }
         mf.addr_ = addr;
+    }
+    // Re-check the size after mapping: a file truncated in the window
+    // between fstat and mmap would otherwise hand out a mapping whose
+    // tail pages SIGBUS on first touch. (Truncation *after* open is
+    // the SigbusGuard's job — see SeedMapImage::open.)
+    struct stat st2;
+    if (::fstat(fd, &st2) != 0 || st2.st_size != st.st_size) {
+        setError(error, path + " changed size while mapping (" +
+                            std::to_string(st.st_size) + " -> " +
+                            std::to_string(st2.st_size) +
+                            " bytes); refusing truncated image");
+        ::close(fd);
+        return std::nullopt;
     }
     // The mapping holds its own reference to the file; the descriptor
     // is no longer needed.

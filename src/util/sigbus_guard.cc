@@ -1,0 +1,84 @@
+#include "util/sigbus_guard.hh"
+
+#if !defined(_WIN32)
+
+#include <csetjmp>
+#include <csignal>
+#include <mutex>
+
+namespace gpx {
+namespace util {
+
+namespace {
+
+/** Innermost armed landing pad of this thread (null = unguarded). */
+thread_local sigjmp_buf *tActivePad = nullptr;
+
+void
+onSigbus(int signo)
+{
+    if (tActivePad != nullptr)
+        siglongjmp(*tActivePad, 1);
+    // Unguarded fault: restore the default disposition and re-raise so
+    // the process still dies with the honest signal.
+    std::signal(signo, SIG_DFL);
+    ::raise(signo);
+}
+
+void
+installHandler()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        struct sigaction sa = {};
+        sa.sa_handler = onSigbus;
+        sigemptyset(&sa.sa_mask);
+        // No SA_RESTART: a guarded region's fault must reach us, and
+        // SA_NODEFER keeps nested guards (fault inside a fault path)
+        // deliverable.
+        sa.sa_flags = SA_NODEFER;
+        ::sigaction(SIGBUS, &sa, nullptr);
+    });
+}
+
+} // namespace
+
+bool
+SigbusGuard::run(const std::function<void()> &fn)
+{
+    installHandler();
+    sigjmp_buf pad;
+    sigjmp_buf *outer = tActivePad;
+    // Save the signal mask (second arg nonzero): siglongjmp out of the
+    // handler must restore it or SIGBUS stays blocked forever after.
+    if (sigsetjmp(pad, 1) != 0) {
+        tActivePad = outer;
+        return false;
+    }
+    tActivePad = &pad;
+    fn();
+    tActivePad = outer;
+    return true;
+}
+
+} // namespace util
+} // namespace gpx
+
+#else // _WIN32
+
+namespace gpx {
+namespace util {
+
+// No SIGBUS on Windows and MappedFile's fallback copies the file, so
+// truncation after open cannot fault a mapped page.
+bool
+SigbusGuard::run(const std::function<void()> &fn)
+{
+    fn();
+    return true;
+}
+
+} // namespace util
+} // namespace gpx
+
+#endif

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * SigbusGuard: turn a SIGBUS inside a bounded region into an error
+ * return instead of process death.
+ *
+ * An mmap'd index image is a shared-mutable contract with the
+ * filesystem: if the backing file is truncated after the mapping is
+ * established (operator error, a botched index refresh, NFS), the next
+ * load from a vanished page raises SIGBUS and — unhandled — kills the
+ * daemon and every connection it was serving. The validation pass of
+ * SeedMapImage::open touches every mapped byte it will later trust, so
+ * wrapping *that* region in a guard converts truncation into a
+ * diagnostic reject before the image is ever published to a mount;
+ * pages that survive validation can only fault later if the file is
+ * truncated while mounted, which the hot-swap path's re-validation
+ * also runs under the guard.
+ *
+ * Mechanics: a process-wide SIGBUS handler (installed once, first
+ * use) consults a thread-local landing pad; inside run() the pad is
+ * armed and the handler siglongjmps back out, outside it the default
+ * disposition is restored and the signal re-raised so an unrelated
+ * SIGBUS still crashes loudly. Guarded regions must not hold locks
+ * across the faulting access (the jump abandons the stack) — the
+ * SeedMap validation pass is pure reads over the mapping, which is
+ * exactly the shape this tool is for.
+ */
+
+#ifndef GPX_UTIL_SIGBUS_GUARD_HH
+#define GPX_UTIL_SIGBUS_GUARD_HH
+
+#include <functional>
+
+namespace gpx {
+namespace util {
+
+class SigbusGuard
+{
+  public:
+    /**
+     * Run @p fn with SIGBUS trapped on this thread. Returns false iff
+     * @p fn faulted (its work must be treated as never-happened);
+     * nesting is allowed, the innermost guard wins.
+     */
+    static bool run(const std::function<void()> &fn);
+};
+
+} // namespace util
+} // namespace gpx
+
+#endif // GPX_UTIL_SIGBUS_GUARD_HH

@@ -2,12 +2,17 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 #include <utility>
+
+#include "util/fault.hh"
 
 namespace gpx {
 namespace util {
@@ -65,36 +70,86 @@ Socket::shutdownBoth()
 bool
 Socket::readExact(void *buf, u64 len, bool *clean_eof) const
 {
+    IoStatus status = readExactDeadline(buf, len, -1);
     if (clean_eof != nullptr)
-        *clean_eof = false;
+        *clean_eof = status.cleanEof;
+    return status.ok;
+}
+
+Socket::IoStatus
+Socket::readExactDeadline(void *buf, u64 len, i64 timeout_ms) const
+{
+    using Clock = std::chrono::steady_clock;
+    IoStatus status;
+    if (checkFault("socket.read"))
+        return status;
+    const auto deadline =
+        timeout_ms >= 0 ? Clock::now() + std::chrono::milliseconds(
+                                             timeout_ms)
+                        : Clock::time_point::max();
     u8 *p = static_cast<u8 *>(buf);
-    u64 done = 0;
-    while (done < len) {
-        ssize_t n = ::read(fd_, p + done, len - done);
+    while (status.transferred < len) {
+        if (timeout_ms >= 0) {
+            // Monotonic budget for the whole transfer: poll with the
+            // *remaining* time so partial progress never re-arms it.
+            auto left = std::chrono::duration_cast<
+                            std::chrono::milliseconds>(deadline -
+                                                       Clock::now())
+                            .count();
+            if (left <= 0) {
+                status.timedOut = true;
+                return status;
+            }
+            pollfd pfd{ fd_, POLLIN, 0 };
+            int ready = ::poll(&pfd, 1,
+                               static_cast<int>(
+                                   std::min<i64>(left, INT32_MAX)));
+            if (ready == 0) {
+                status.timedOut = true;
+                return status;
+            }
+            if (ready < 0) {
+                if (errno == EINTR)
+                    continue;
+                return status;
+            }
+        }
+        ssize_t n =
+            ::read(fd_, p + status.transferred, len - status.transferred);
         if (n == 0) {
-            if (done == 0 && clean_eof != nullptr)
-                *clean_eof = true;
-            return false;
+            status.cleanEof = status.transferred == 0;
+            return status;
         }
         if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
+            if (errno == EINTR ||
+                (timeout_ms >= 0 &&
+                 (errno == EAGAIN || errno == EWOULDBLOCK)))
+                continue; // spurious poll wakeup; the deadline governs
+            return status;
         }
-        done += static_cast<u64>(n);
+        status.transferred += static_cast<u64>(n);
     }
-    return true;
+    status.ok = true;
+    return status;
 }
 
 bool
 Socket::writeExact(const void *buf, u64 len) const
 {
+    u64 writable = len;
+    if (auto hit = checkFaultBytes("socket.write", len)) {
+        if (hit.kind != FaultHit::kShort)
+            return false;
+        // Short-write fault: transfer a strict prefix, then fail — the
+        // peer sees a torn frame, exactly like a writer dying mid-send.
+        writable = len / 2;
+    }
     const u8 *p = static_cast<const u8 *>(buf);
     u64 done = 0;
-    while (done < len) {
+    while (done < writable) {
         // MSG_NOSIGNAL: a peer that hung up turns into an EPIPE error
         // return instead of a process-killing SIGPIPE.
-        ssize_t n = ::send(fd_, p + done, len - done, MSG_NOSIGNAL);
+        ssize_t n = ::send(fd_, p + done, writable - done, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -102,7 +157,25 @@ Socket::writeExact(const void *buf, u64 len) const
         }
         done += static_cast<u64>(n);
     }
-    return true;
+    return done == len;
+}
+
+void
+Socket::setSendTimeout(u32 timeout_ms) const
+{
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void
+Socket::setRecvTimeout(u32 timeout_ms) const
+{
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 std::optional<Socket>

@@ -52,8 +52,36 @@ class Socket
      */
     bool readExact(void *buf, u64 len, bool *clean_eof = nullptr) const;
 
+    /** How a deadline-bounded read ended (readExactDeadline). */
+    struct IoStatus
+    {
+        bool ok = false;       ///< all @p len bytes arrived
+        bool cleanEof = false; ///< peer closed before the first byte
+        bool timedOut = false; ///< deadline expired (see transferred)
+        u64 transferred = 0;   ///< bytes read before the outcome
+    };
+
+    /**
+     * readExact with a wall-clock budget: @p timeout_ms bounds the
+     * whole transfer on a monotonic clock (poll + read loop, so a
+     * peer dribbling one byte per interval cannot reset the deadline
+     * the way a plain SO_RCVTIMEO would). @p timeout_ms < 0 waits
+     * forever (plain readExact semantics).
+     */
+    IoStatus readExactDeadline(void *buf, u64 len, i64 timeout_ms) const;
+
     /** Write exactly @p len bytes (retrying short writes / EINTR). */
     bool writeExact(const void *buf, u64 len) const;
+
+    /**
+     * Bound every send on this socket to @p timeout_ms (SO_SNDTIMEO;
+     * 0 clears). A stalled peer then fails writeExact instead of
+     * pinning the writer thread forever. Best-effort.
+     */
+    void setSendTimeout(u32 timeout_ms) const;
+
+    /** SO_RCVTIMEO backstop for code using plain readExact. */
+    void setRecvTimeout(u32 timeout_ms) const;
 
   private:
     int fd_ = -1;

@@ -209,6 +209,8 @@ TEST(ServeProtocol, DocConstantsMatchHeader)
         { "kStatsReply", serve::kStatsReply },
         { "kShutdownRequest", serve::kShutdownRequest },
         { "kShutdownReply", serve::kShutdownReply },
+        { "kRefreshRequest", serve::kRefreshRequest },
+        { "kRefreshReply", serve::kRefreshReply },
         { "kErrorReply", serve::kErrorReply },
     };
     for (const auto &[name, value] : frameTypes)
@@ -223,6 +225,10 @@ TEST(ServeProtocol, DocConstantsMatchHeader)
         { "kErrBadFastq", serve::kErrBadFastq },
         { "kErrTooLarge", serve::kErrTooLarge },
         { "kErrDraining", serve::kErrDraining },
+        { "kErrDeadline", serve::kErrDeadline },
+        { "kErrOverloaded", serve::kErrOverloaded },
+        { "kErrRefreshFailed", serve::kErrRefreshFailed },
+        { "kErrIoFault", serve::kErrIoFault },
     };
     for (const auto &[name, value] : errorCodes)
         EXPECT_TRUE(docHasRow(doc, name, std::to_string(value)))
@@ -566,6 +572,74 @@ TEST_F(ServeGoldenTest, StatsFrameAggregatesServedRequests)
         << json;
     EXPECT_NE(json.find("\"golden\""), std::string::npos);
     EXPECT_NE(json.find("\"requests_served\": 1"), std::string::npos);
+}
+
+TEST_F(ServeGoldenTest, ClientKilledMidRequestPayload)
+{
+    // A client that dies after sending half a MAP payload must cost
+    // the server nothing but that one connection: the handler sees a
+    // short read, closes, and every other connection still maps the
+    // corpus to the pinned bits.
+    startServer();
+    {
+        std::string error;
+        auto raw = util::connectUnix(socketPath_, &error);
+        ASSERT_TRUE(raw.has_value()) << error;
+        ASSERT_TRUE(serve::writeFrame(*raw, serve::kHelloRequest,
+                                      serve::encodeHello({})));
+        serve::Frame hello;
+        ASSERT_EQ(serve::readFrame(*raw, &hello),
+                  serve::FrameRead::kFrame);
+
+        serve::MapRequestBody req;
+        req.requestId = 1;
+        req.refName = "golden";
+        req.r1Fastq = fastqSlice(reads1_, 0, 32);
+        req.r2Fastq = fastqSlice(reads2_, 0, 32);
+        std::vector<u8> payload = serve::encodeMapRequest(req);
+        std::vector<u8> wire;
+        serve::putU32(wire, static_cast<u32>(payload.size() + 1));
+        wire.push_back(serve::kMapRequest);
+        wire.insert(wire.end(), payload.begin(), payload.end());
+        // Half the frame, then die.
+        ASSERT_TRUE(raw->writeExact(wire.data(), wire.size() / 2));
+        raw->close();
+    }
+    auto client = connect();
+    EXPECT_EQ(mapCorpus(client, 64), kGoldenSamMd5);
+}
+
+TEST_F(ServeGoldenTest, ClientKilledMidReply)
+{
+    // The mirror image: the client sends a complete MAP request, reads
+    // half the reply, and dies. The server's reply write fails (or is
+    // discarded by the kernel); only that connection is affected.
+    startServer();
+    {
+        std::string error;
+        auto raw = util::connectUnix(socketPath_, &error);
+        ASSERT_TRUE(raw.has_value()) << error;
+        ASSERT_TRUE(serve::writeFrame(*raw, serve::kHelloRequest,
+                                      serve::encodeHello({})));
+        serve::Frame hello;
+        ASSERT_EQ(serve::readFrame(*raw, &hello),
+                  serve::FrameRead::kFrame);
+
+        serve::MapRequestBody req;
+        req.requestId = 2;
+        req.refName = "golden";
+        req.r1Fastq = fastqSlice(reads1_, 0, 64);
+        req.r2Fastq = fastqSlice(reads2_, 0, 64);
+        ASSERT_TRUE(serve::writeFrame(*raw, serve::kMapRequest,
+                                      serve::encodeMapRequest(req)));
+        // Read just the reply's length prefix + type, then vanish with
+        // the rest of the reply still in flight.
+        u8 partial[5];
+        ASSERT_TRUE(raw->readExact(partial, sizeof partial));
+        raw->close();
+    }
+    auto client = connect();
+    EXPECT_EQ(mapCorpus(client, 64), kGoldenSamMd5);
 }
 
 TEST_F(ServeGoldenTest, ShutdownFrameDrainsServer)

@@ -36,8 +36,15 @@ const char kUsage[] =
     "  --ref NAME           mount to map against (default: the\n"
     "                       server's sole mount)\n"
     "  --batch N            read pairs per request          [4096]\n"
+    "  --retries N          re-send a request shed with OVERLOADED\n"
+    "                       up to N times (capped exponential\n"
+    "                       backoff seeded by the server's\n"
+    "                       retry_after_ms hint)                [0]\n"
+    "  --backoff-ms N       first backoff step                 [50]\n"
     "  --stats-json FILE    write the last request's PipelineStats\n"
     "  --server-stats       print the server aggregate stats JSON\n"
+    "  --refresh            ask the server to hot-swap --ref's\n"
+    "                       index image (empty = sole mount)\n"
     "  --shutdown           ask the server to drain and exit\n"
     "  --version            print the gpx version and exit\n";
 
@@ -49,8 +56,10 @@ main(int argc, char **argv)
     using namespace gpx;
     tools::Cli cli(argc, argv,
                    { "--socket", "--host", "--port", "--r1", "--r2",
-                     "--out", "--ref", "--batch", "--stats-json" },
-                   { "--server-stats", "--shutdown" }, kUsage);
+                     "--out", "--ref", "--batch", "--retries",
+                     "--backoff-ms", "--stats-json" },
+                   { "--server-stats", "--refresh", "--shutdown" },
+                   kUsage);
 
     std::string error;
     std::optional<serve::ServeClient> client;
@@ -72,6 +81,13 @@ main(int argc, char **argv)
         std::printf("%s", json.c_str());
         return 0;
     }
+    if (cli.has("--refresh")) {
+        auto status = client->refreshMount(cli.str("--ref"));
+        if (!status.ok)
+            gpx_fatal("refresh request failed: ", status.describe());
+        std::printf("index swapped\n");
+        return 0;
+    }
     if (cli.has("--shutdown")) {
         auto status = client->shutdownServer();
         if (!status.ok)
@@ -79,6 +95,12 @@ main(int argc, char **argv)
         std::printf("server draining\n");
         return 0;
     }
+
+    serve::RetryPolicy retryPolicy;
+    retryPolicy.maxRetries = static_cast<u32>(cli.num("--retries", 0));
+    retryPolicy.backoffMs =
+        static_cast<u32>(cli.num("--backoff-ms", 50));
+    client->setRetryPolicy(retryPolicy);
 
     const std::string refName = cli.str("--ref");
     std::ifstream r1File(cli.required("--r1"));
@@ -101,11 +123,26 @@ main(int argc, char **argv)
 
     // Header first, so the output file is a complete SAM document
     // byte-identical to a gpx_map run.
+    // Every output write is checked as it happens, so a full disk
+    // fails with the path and byte offset instead of a silently
+    // truncated SAM.
+    const std::string outLabel =
+        cli.str("--out") == "-" ? "<stdout>" : cli.str("--out");
+    u64 outBytes = 0;
+    auto emit = [&](const std::string &text) {
+        os->write(text.data(),
+                  static_cast<std::streamsize>(text.size()));
+        if (!*os)
+            gpx_fatal("SAM write failed at byte offset ", outBytes,
+                      " of ", outLabel, " (short write or disk full)");
+        outBytes += text.size();
+    };
+
     std::string header;
     auto status = client->fetchHeader(refName, &header);
     if (!status.ok)
         gpx_fatal("header request failed: ", status.describe());
-    *os << header;
+    emit(header);
 
     const u64 batchPairs =
         static_cast<u64>(cli.num("--batch", 4096)) == 0
@@ -153,7 +190,7 @@ main(int argc, char **argv)
         if (reply.pairCount != batch1.size())
             gpx_fatal("server mapped ", reply.pairCount, " of ",
                       batch1.size(), " pairs");
-        *os << reply.sam;
+        emit(reply.sam);
         if (wantStats)
             lastStatsJson = reply.statsJson;
         pairs += reply.pairCount;

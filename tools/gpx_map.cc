@@ -148,6 +148,12 @@ main(int argc, char **argv)
         os = &outFile;
     }
     genomics::SamWriter sam(*os, ref);
+    // Batch mode is all-or-nothing: every SAM write is checked, and a
+    // failure (disk full, short write) aborts with the output path and
+    // byte offset rather than leaving a silently truncated file.
+    sam.checkWrites(cli.str("--out") == "-" ? "<stdout>"
+                                            : cli.str("--out"),
+                    /*fatal_on_error=*/true);
     sam.writeHeader();
 
     if (longMode) {

@@ -51,11 +51,23 @@ const char kUsage[] =
     "                       queued; more block in their sockets   [4]\n"
     "  --max-frame-mib N    per-frame size limit                 [64]\n"
     "  --max-pairs N        per-request pair limit            [65536]\n"
+    "  --idle-timeout N     close connections idle for N seconds\n"
+    "                       (0 = never)                           [0]\n"
+    "  --conn-timeout N     per-frame read/write deadline, seconds;\n"
+    "                       slow peers get ERROR{DEADLINE}        [0]\n"
+    "  --queue-timeout N    shed requests that cannot get an\n"
+    "                       admission slot within N ms with\n"
+    "                       ERROR{OVERLOADED} (0 = block forever) [0]\n"
+    "  --retry-after N      retry_after_ms hint on OVERLOADED   [100]\n"
     "  --filter-threshold N index filter when building inline   [500]\n"
     "  --stats-every N      print aggregate counters to stderr\n"
     "                       every N seconds (0 = off)             [0]\n"
     "  --stats-json FILE    write aggregate stats JSON at shutdown\n"
-    "  --version            print the gpx version and exit\n";
+    "  --version            print the gpx version and exit\n"
+    "\n"
+    "SIGHUP hot-swaps every file-backed mount: each index path is\n"
+    "re-opened and fully validated before the new image is published;\n"
+    "a corrupt candidate is rejected and the old index keeps serving.\n";
 
 /** One parsed --mount (or --ref/--index shorthand). */
 struct MountFiles
@@ -109,6 +121,15 @@ onShutdownSignal(int)
     [[maybe_unused]] ssize_t n = write(gSignalPipe[1], &byte, 1);
 }
 
+extern "C" void
+onRefreshSignal(int)
+{
+    // SIGHUP = hot-swap: the monitor thread re-opens and validates
+    // every file-backed index off the signal path.
+    const char byte = 'r';
+    [[maybe_unused]] ssize_t n = write(gSignalPipe[1], &byte, 1);
+}
+
 } // namespace
 
 int
@@ -119,6 +140,8 @@ main(int argc, char **argv)
                    { "--ref", "--index", "--mount", "--socket", "--port",
                      "--threads", "--io-threads", "--queue",
                      "--max-frame-mib", "--max-pairs",
+                     "--idle-timeout", "--conn-timeout",
+                     "--queue-timeout", "--retry-after",
                      "--filter-threshold", "--stats-every",
                      "--stats-json" },
                    {}, kUsage);
@@ -173,6 +196,7 @@ main(int argc, char **argv)
             if (!loaded[i].image)
                 gpx_fatal("index image rejected: ", err);
             spec.view = loaded[i].image->view();
+            spec.indexPath = files.indexPath; // hot-swappable
             std::fprintf(stderr,
                          "mounted %s: %s + %s (%s, %u shard%s)\n",
                          files.name.c_str(), files.refPath.c_str(),
@@ -207,6 +231,14 @@ main(int argc, char **argv)
     config.maxPairsPerRequest =
         static_cast<u32>(cli.num("--max-pairs", 65536));
     config.ioThreads = static_cast<u32>(cli.num("--io-threads", 1));
+    config.idleTimeoutMs =
+        static_cast<u32>(cli.num("--idle-timeout", 0) * 1000);
+    config.connTimeoutMs =
+        static_cast<u32>(cli.num("--conn-timeout", 0) * 1000);
+    config.queueTimeoutMs =
+        static_cast<u32>(cli.num("--queue-timeout", 0));
+    config.retryAfterMs =
+        static_cast<u32>(cli.num("--retry-after", 100));
 
     serve::ServeServer server(std::move(specs), config);
     std::string error;
@@ -231,6 +263,7 @@ main(int argc, char **argv)
         gpx_fatal("cannot create signal pipe");
     std::signal(SIGTERM, onShutdownSignal);
     std::signal(SIGINT, onShutdownSignal);
+    std::signal(SIGHUP, onRefreshSignal);
 
     const long statsEvery = cli.num("--stats-every", 0);
     std::atomic<bool> exiting{ false };
@@ -242,6 +275,14 @@ main(int argc, char **argv)
                                 : -1;
             int rc = poll(&pfd, 1, timeoutMs);
             if (rc > 0) {
+                char byte = 's';
+                if (read(gSignalPipe[0], &byte, 1) == 1 && byte == 'r') {
+                    u32 swapped = server.refreshAllMounts();
+                    std::fprintf(stderr,
+                                 "SIGHUP: refreshed %u mount%s\n",
+                                 swapped, swapped == 1 ? "" : "s");
+                    continue;
+                }
                 std::fprintf(stderr, "shutdown signal: draining\n");
                 server.requestShutdown();
                 return;
@@ -253,7 +294,9 @@ main(int argc, char **argv)
                 std::fprintf(stderr,
                              "served %llu requests / %llu pairs over "
                              "%llu connections (%llu rejected, %llu "
-                             "admission waits; stalls: reader %.3f s, "
+                             "admission waits, %llu shed, %llu idle "
+                             "closed, %llu deadline, %llu io faults, "
+                             "%llu swaps; stalls: reader %.3f s, "
                              "writer %.3f s)\n",
                              static_cast<unsigned long long>(
                                  c.requestsServed),
@@ -265,6 +308,14 @@ main(int argc, char **argv)
                                  c.requestsRejected),
                              static_cast<unsigned long long>(
                                  c.admissionWaits),
+                             static_cast<unsigned long long>(c.shedded),
+                             static_cast<unsigned long long>(
+                                 c.idleClosed),
+                             static_cast<unsigned long long>(
+                                 c.deadlineExpired),
+                             static_cast<unsigned long long>(c.ioFaults),
+                             static_cast<unsigned long long>(
+                                 c.indexSwaps),
                              c.readerStallSeconds, c.writerStallSeconds);
             }
         }
