@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Gate CI on the scenario wall (gpx_scenario --json, format 1).
+
+Accuracy floors live in BENCH_scenarios.json. Unlike the throughput
+benches, accuracy is machine-independent by construction — simulation
+is seeded and mapping is bit-identical at every thread count — so a
+floor violation is a real behavior change, not host noise. Throughput
+fields (reads_per_s, map_seconds) are printed but never gated.
+
+The gate is environment-aware in the check_driver_scaling.py style:
+
+  * a run recorded at --scale != 1 SKIPs (floors are recorded at
+    scale 1; tests exercise reduced scales through the library);
+  * a scenario row marked skipped (e.g. gzip without zlib) SKIPs with
+    its reason instead of failing.
+
+Per-scenario floor fields (all optional):
+  min_accuracy      mapping_eval recall floor
+  min_snp_f1        variant-calling SNP F1 floor (variant leg only)
+  min_indel_f1      variant-calling INDEL F1 floor
+  max_cross_frac    per-region cross-mapped fraction ceiling
+  min_shards        mounted image shard count floor (contamination)
+  min_ambiguous     ambiguous-base ingest count floor (dirty inputs
+                    must stay visible in the stats)
+  expect_rejected   the scenario must reject its input (truncation)
+  expect_sam_match  gzip SAM must be byte-identical to the plain run
+
+Usage:
+  check_scenarios.py CURRENT.json [--floors BENCH_scenarios.json]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def check_row(name, row, floor):
+    """Returns a list of failure messages for one scenario row."""
+    errors = []
+    if floor.get("expect_rejected"):
+        if not row.get("rejected"):
+            errors.append(f"{name}: expected the input to be rejected")
+        elif not row.get("reject_diagnostic"):
+            errors.append(f"{name}: rejected without a diagnostic")
+        else:
+            print(f"  {name}: rejected as expected "
+                  f"({row['reject_diagnostic'][:60]}...)")
+        return errors
+    if row.get("rejected"):
+        errors.append(f"{name}: unexpectedly rejected: "
+                      f"{row.get('reject_diagnostic', '')}")
+        return errors
+
+    acc = float(row.get("accuracy", 0.0))
+    line = f"  {name}: accuracy {acc:.4f}"
+    if "min_accuracy" in floor:
+        if acc < floor["min_accuracy"]:
+            errors.append(f"{name}: accuracy {acc:.4f} below the "
+                          f"floor {floor['min_accuracy']:.4f}")
+        line += f" (floor {floor['min_accuracy']:.4f})"
+    for key, field in (("min_snp_f1", "snp_f1"),
+                       ("min_indel_f1", "indel_f1")):
+        if key in floor:
+            value = float(row.get(field, -1.0))
+            if value < floor[key]:
+                errors.append(f"{name}: {field} {value:.4f} below the "
+                              f"floor {floor[key]:.4f}")
+            line += f", {field} {value:.4f} (floor {floor[key]:.4f})"
+    if "max_cross_frac" in floor:
+        regions = row.get("attribution", [])
+        if not regions:
+            errors.append(f"{name}: no attribution regions in the row")
+        for region in regions:
+            frac = float(region.get("cross_fraction", 1.0))
+            if frac > floor["max_cross_frac"]:
+                errors.append(
+                    f"{name}: region '{region.get('label')}' cross "
+                    f"fraction {frac:.4f} above the ceiling "
+                    f"{floor['max_cross_frac']:.4f}")
+            line += (f", {region.get('label')} cross {frac:.4f}"
+                     f" (ceiling {floor['max_cross_frac']:.4f})")
+    if "min_shards" in floor:
+        shards = int(row.get("shard_count", 1))
+        if shards < floor["min_shards"]:
+            errors.append(f"{name}: mounted {shards} shard(s), floor "
+                          f"is {floor['min_shards']}")
+        line += f", {shards} shards"
+    if "min_ambiguous" in floor:
+        ambiguous = int(row.get("ambiguous_bases", 0))
+        if ambiguous < floor["min_ambiguous"]:
+            errors.append(f"{name}: ambiguous_bases {ambiguous} below "
+                          f"{floor['min_ambiguous']} — ingest "
+                          f"accounting lost the dirty input")
+        line += f", {ambiguous} ambiguous bases"
+    if floor.get("expect_sam_match") and not row.get("sam_matches_plain"):
+        errors.append(f"{name}: gzip SAM differs from the plain-text "
+                      f"run (bit-identity contract broken)")
+    line += f"  [{row.get('reads_per_s', 0):.0f} reads/s]"
+    print(line)
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("--floors", default="BENCH_scenarios.json")
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "scenarios":
+        return fail(f"{args.current} is not a scenarios record")
+    if doc.get("format") != 1:
+        return fail(f"{args.current} is format {doc.get('format')!r}, "
+                    f"need 1 (rerun gpx_scenario)")
+
+    with open(args.floors) as f:
+        floors_doc = json.load(f)
+    if floors_doc.get("bench") != "scenarios":
+        return fail(f"{args.floors} is not a scenarios floors record")
+    floors = floors_doc.get("floors", {})
+
+    scale = float(doc.get("scale", 0.0))
+    print(f"scenario run at scale {scale}, "
+          f"{doc.get('host_threads', '?')}-thread host, "
+          f"{len(doc.get('scenarios', []))} rows")
+    if scale != 1.0:
+        print(f"SKIP: floors are recorded at scale 1, this run used "
+              f"scale {scale}")
+        return 0
+
+    rows = {row.get("name"): row for row in doc.get("scenarios", [])}
+    errors = []
+    skipped = 0
+    for name, floor in floors.items():
+        row = rows.get(name)
+        if row is None:
+            errors.append(f"{name}: missing from the run (the wall "
+                          f"must run every pinned scenario)")
+            continue
+        if row.get("skipped"):
+            print(f"  {name}: SKIP ({row.get('skip_reason', '')})")
+            skipped += 1
+            continue
+        errors.extend(check_row(name, row, floor))
+
+    extra = set(rows) - set(floors)
+    if extra:
+        print(f"note: {len(extra)} scenario(s) without floors: "
+              f"{', '.join(sorted(extra))} — pin them in {args.floors}")
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}")
+        return 1
+    print(f"OK: {len(floors) - skipped} scenario(s) within floors"
+          f"{f', {skipped} skipped' if skipped else ''}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,24 +1,59 @@
 #include "eval/mapping_eval.hh"
 
+#include <utility>
+
 namespace gpx {
 namespace eval {
+
+void
+MappingEvaluator::addRegion(std::string label, GlobalPos begin,
+                            GlobalPos end)
+{
+    RegionAccuracy region;
+    region.label = std::move(label);
+    region.begin = begin;
+    region.end = end;
+    regions_.push_back(std::move(region));
+}
+
+RegionAccuracy *
+MappingEvaluator::regionOf(GlobalPos pos)
+{
+    for (auto &region : regions_)
+        if (pos >= region.begin && pos < region.end)
+            return &region;
+    return nullptr;
+}
 
 void
 MappingEvaluator::addRead(const genomics::Read &read,
                           const genomics::Mapping &m)
 {
     ++acc_.readsTotal;
+    RegionAccuracy *region = read.truthPos != kInvalidPos
+                                 ? regionOf(read.truthPos)
+                                 : nullptr;
+    if (region != nullptr)
+        ++region->readsTotal;
     if (!m.mapped)
         return;
     ++acc_.mapped;
+    if (region != nullptr) {
+        ++region->mapped;
+        if (m.pos < region->begin || m.pos >= region->end)
+            ++region->crossMapped;
+    }
     if (read.truthPos == kInvalidPos)
         return;
     if (m.reverse != read.truthReverse)
         return;
     u64 diff = m.pos > read.truthPos ? m.pos - read.truthPos
                                      : read.truthPos - m.pos;
-    if (diff <= tolerance_)
+    if (diff <= tolerance_) {
         ++acc_.correct;
+        if (region != nullptr)
+            ++region->correct;
+    }
 }
 
 void

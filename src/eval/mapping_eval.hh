@@ -8,6 +8,9 @@
 #ifndef GPX_EVAL_MAPPING_EVAL_HH
 #define GPX_EVAL_MAPPING_EVAL_HH
 
+#include <string>
+#include <vector>
+
 #include "genomics/readpair.hh"
 #include "util/types.hh"
 
@@ -43,11 +46,44 @@ struct MappingAccuracy
     }
 };
 
+/**
+ * Per-region accuracy attribution: a labeled half-open GlobalPos range
+ * (a species in a contamination mix, a shard's genome span, one
+ * chromosome) with the reads whose *truth* origin falls inside it.
+ * crossMapped counts that region's reads whose reported position
+ * landed outside it — the contamination-bleed number the scenario
+ * wall pins.
+ */
+struct RegionAccuracy
+{
+    std::string label;
+    GlobalPos begin = 0;
+    GlobalPos end = 0; ///< exclusive
+
+    u64 readsTotal = 0;   ///< truth origin inside [begin, end)
+    u64 mapped = 0;
+    u64 correct = 0;      ///< same correctness criterion as the total
+    u64 crossMapped = 0;  ///< mapped, but outside this region
+
+    double
+    crossFraction() const
+    {
+        return mapped ? static_cast<double>(crossMapped) / mapped : 0.0;
+    }
+};
+
 /** Accumulates per-read correctness against simulator ground truth. */
 class MappingEvaluator
 {
   public:
     explicit MappingEvaluator(u64 tolerance = 50) : tolerance_(tolerance) {}
+
+    /**
+     * Register an attribution region (optional; evaluation without
+     * regions is unchanged). Regions must not overlap: a truth
+     * position is attributed to the first region containing it.
+     */
+    void addRegion(std::string label, GlobalPos begin, GlobalPos end);
 
     /** Score one read's mapping against its truth origin. */
     void addRead(const genomics::Read &read, const genomics::Mapping &m);
@@ -58,9 +94,15 @@ class MappingEvaluator
 
     const MappingAccuracy &result() const { return acc_; }
 
+    /** Per-region attribution, in addRegion() order. */
+    const std::vector<RegionAccuracy> &regions() const { return regions_; }
+
   private:
+    RegionAccuracy *regionOf(GlobalPos pos);
+
     u64 tolerance_;
     MappingAccuracy acc_;
+    std::vector<RegionAccuracy> regions_;
 };
 
 } // namespace eval

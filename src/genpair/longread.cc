@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <ostream>
 
 #include "util/logging.hh"
 
@@ -209,6 +210,25 @@ LongReadDriver::mapAll(const std::vector<genomics::Read> &reads)
             static_cast<LongReadWorkerContext &>(ctx).mapper.stats();
     });
     return result;
+}
+
+void
+writeLongReadStatsJson(std::ostream &os, const LongReadStats &stats,
+                       u64 ambiguous_bases)
+{
+    os << "{\n"
+       << "  \"reads_total\": " << stats.readsTotal << ",\n"
+       << "  \"mapped\": " << stats.mapped << ",\n"
+       << "  \"unmapped\": " << stats.unmapped << ",\n"
+       << "  \"pseudo_pairs\": " << stats.pseudoPairs << ",\n"
+       << "  \"votes\": " << stats.votes << ",\n"
+       << "  \"dp_cells\": " << stats.dpCells << ",\n"
+       << "  \"query\": {\"seed_lookups\": " << stats.query.seedLookups
+       << ", \"locations_fetched\": " << stats.query.locationsFetched
+       << ", \"filter_iterations\": " << stats.query.filterIterations
+       << "},\n"
+       << "  \"ingest\": {\"ambiguous_bases\": " << ambiguous_bases
+       << "}\n}\n";
 }
 
 } // namespace genpair

@@ -14,6 +14,7 @@
 #ifndef GPX_GENPAIR_LONGREAD_HH
 #define GPX_GENPAIR_LONGREAD_HH
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -65,6 +66,15 @@ struct LongReadStats
         return *this;
     }
 };
+
+/**
+ * Machine-readable form of LongReadStats plus the ingest accounting
+ * (`gpx_map --long --stats-json`): the long-read counterpart of
+ * PipelineStats::writeJson, with the same "ingest" object so dirty
+ * inputs surface identically in both modes.
+ */
+void writeLongReadStatsJson(std::ostream &os, const LongReadStats &stats,
+                            u64 ambiguous_bases);
 
 /** Long-read mapper built from GenPair stages plus DP alignment. */
 class LongReadMapper

@@ -61,6 +61,8 @@ PipelineStats::writeJson(std::ostream &os) const
        << ", \"locations_fetched\": " << query.locationsFetched
        << ", \"filter_iterations\": " << query.filterIterations
        << "},\n"
+       << "  \"ingest\": {\"ambiguous_bases\": " << ambiguousBases
+       << "},\n"
        << "  \"io\": {\"reader_stall_seconds\": " << readerStallSeconds
        << ", \"writer_stall_seconds\": " << writerStallSeconds << "},\n"
        << "  \"stages\": {\n";

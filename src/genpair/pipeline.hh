@@ -66,6 +66,15 @@ struct PipelineStats
     u64 gateRejected = 0; ///< candidates dropped by the SS8 gate
 
     /**
+     * Ingest accounting (streaming drivers only; zero for batch runs,
+     * whose reads arrive pre-encoded): non-ACGT input characters the
+     * FASTQ parsers encoded as A (IngestStats), summed over both
+     * streams. Dirty inputs must stay visible in --stats-json no
+     * matter which driver consumed them.
+     */
+    u64 ambiguousBases = 0;
+
+    /**
      * I/O-spine stall accounting (streaming drivers only; zero for
      * batch runs). Reader stall is time the mapping stage spent
      * waiting for parsed input (ingest-bound); writer stall is time it
@@ -106,6 +115,7 @@ struct PipelineStats
         lightAlignsAttempted += other.lightAlignsAttempted;
         lightHypotheses += other.lightHypotheses;
         gateRejected += other.gateRejected;
+        ambiguousBases += other.ambiguousBases;
         readerStallSeconds += other.readerStallSeconds;
         writerStallSeconds += other.writerStallSeconds;
         for (std::size_t s = 0; s < kNumStages; ++s)

@@ -176,6 +176,12 @@ StreamingMapper::tryRun(std::istream &r1, std::istream &r2,
         MappedChunk m;
         m.seq = parsed->seq;
         m.error = std::move(parsed->error);
+        // Ingest accounting: the slice parsers count the non-ACGT
+        // bases they encoded away (IngestStats); fold them in here so
+        // the spine reports dirty inputs exactly like the serial
+        // reader path would.
+        result.stats.ambiguousBases += parsed->r1Stats.ambiguousBases +
+                                       parsed->r2Stats.ambiguousBases;
         totalParsed += parsed->pairs.size();
         if (max_pairs != 0 && totalParsed > max_pairs)
             tooLarge = true;

@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "eval/mapping_eval.hh"
 #include "eval/pileup.hh"
 #include "eval/variant_bench.hh"
+#include "eval/vcf.hh"
 #include "genomics/reference.hh"
 #include "util/rng.hh"
 
@@ -326,6 +329,153 @@ TEST(VariantBench, DuplicateCallsBecomeFalsePositives)
     auto r = eval::benchmarkVariants({ t }, { c, c }, VariantClass::Snp);
     EXPECT_EQ(r.tp, 1u);
     EXPECT_EQ(r.fp, 1u); // the second call has no remaining truth match
+}
+
+TEST(MappingEval, ZeroMappedReadsScoreZeroEverywhere)
+{
+    MappingEvaluator ev(50);
+    for (int i = 0; i < 5; ++i) {
+        Read read;
+        read.truthPos = 1000 + static_cast<u64>(i);
+        ev.addRead(read, Mapping{}); // all unmapped
+    }
+    EXPECT_EQ(ev.result().readsTotal, 5u);
+    EXPECT_EQ(ev.result().mapped, 0u);
+    // Every ratio must degrade to 0, never divide by zero.
+    EXPECT_DOUBLE_EQ(ev.result().precision(), 0.0);
+    EXPECT_DOUBLE_EQ(ev.result().recall(), 0.0);
+    EXPECT_DOUBLE_EQ(ev.result().f1(), 0.0);
+}
+
+TEST(MappingEval, RegionsAttributeByTruthOrigin)
+{
+    MappingEvaluator ev(50);
+    ev.addRegion("left", 0, 1000);
+    ev.addRegion("right", 1000, 2000);
+
+    auto score = [&ev](u64 truth, u64 mapped_pos) {
+        Read read;
+        read.truthPos = truth;
+        Mapping m;
+        m.mapped = true;
+        m.pos = mapped_pos;
+        ev.addRead(read, m);
+    };
+    score(100, 110);   // left, correct, inside
+    score(200, 1500);  // left, wrong, crossed into the right region
+    score(1200, 1210); // right, correct
+    Read unmappedRead;
+    unmappedRead.truthPos = 300; // left, unmapped
+    ev.addRead(unmappedRead, Mapping{});
+
+    ASSERT_EQ(ev.regions().size(), 2u);
+    const auto &left = ev.regions()[0];
+    EXPECT_EQ(left.label, "left");
+    EXPECT_EQ(left.readsTotal, 3u);
+    EXPECT_EQ(left.mapped, 2u);
+    EXPECT_EQ(left.correct, 1u);
+    EXPECT_EQ(left.crossMapped, 1u);
+    EXPECT_DOUBLE_EQ(left.crossFraction(), 0.5);
+    const auto &right = ev.regions()[1];
+    EXPECT_EQ(right.readsTotal, 1u);
+    EXPECT_EQ(right.crossMapped, 0u);
+    // The global tallies are unaffected by attribution.
+    EXPECT_EQ(ev.result().readsTotal, 4u);
+    EXPECT_EQ(ev.result().correct, 2u);
+}
+
+TEST(Vcf, EmptyCallSetRoundTrips)
+{
+    Reference ref = randomRef(500, 3);
+    std::stringstream vcf;
+    eval::writeVcf(vcf, ref, {});
+    // Header only — still a parseable document yielding zero calls.
+    EXPECT_NE(vcf.str().find("##fileformat=VCF"), std::string::npos);
+    EXPECT_TRUE(eval::readVcf(vcf, ref).empty());
+}
+
+TEST(VariantBench, AdjacentVariantsMatchIndependently)
+{
+    // Two truth SNPs one base apart: position tolerance must not let
+    // one call consume both truths or double-match.
+    Variant t1;
+    t1.pos = 100;
+    t1.type = VariantType::Snp;
+    t1.altBase = genomics::BaseG;
+    Variant t2;
+    t2.pos = 101;
+    t2.type = VariantType::Snp;
+    t2.altBase = genomics::BaseT;
+    CalledVariant c1;
+    c1.pos = 100;
+    c1.type = VariantType::Snp;
+    c1.altBase = genomics::BaseG;
+    CalledVariant c2;
+    c2.pos = 101;
+    c2.type = VariantType::Snp;
+    c2.altBase = genomics::BaseT;
+    auto r = eval::benchmarkVariants({ t1, t2 }, { c1, c2 },
+                                     VariantClass::Snp);
+    EXPECT_EQ(r.tp, 2u);
+    EXPECT_EQ(r.fp, 0u);
+    EXPECT_EQ(r.fn, 0u);
+}
+
+TEST(VariantBench, OverlappingTruthDeletionsMatchAtMostOnce)
+{
+    // Overlapping truth deletions inside one tolerance window: a
+    // single call may claim only one of them.
+    Variant t1;
+    t1.pos = 100;
+    t1.type = VariantType::Deletion;
+    t1.delLen = 3;
+    Variant t2;
+    t2.pos = 101;
+    t2.type = VariantType::Deletion;
+    t2.delLen = 3;
+    CalledVariant c;
+    c.pos = 101;
+    c.type = VariantType::Deletion;
+    c.len = 3;
+    auto r = eval::benchmarkVariants({ t1, t2 }, { c },
+                                     VariantClass::Indel, 2);
+    EXPECT_EQ(r.tp, 1u);
+    EXPECT_EQ(r.fn, 1u);
+    EXPECT_EQ(r.fp, 0u);
+}
+
+TEST_F(PileupTest, ZeroCoverageCallsNothing)
+{
+    PileupCaller caller(ref_, CallerParams{});
+    EXPECT_TRUE(caller.call().empty());
+    EXPECT_DOUBLE_EQ(caller.meanDepth(), 0.0);
+}
+
+TEST_F(PileupTest, AllAmbiguousColumnsResolveToAWithoutCrashing)
+{
+    // Ambiguity codes encode as A at ingest (charToBase contract), so
+    // a pileup over all-N reads is a pileup of A columns: the caller
+    // must stay well-defined and report only A-alt SNPs, never crash
+    // or call INDELs.
+    PileupCaller caller(ref_, CallerParams{});
+    DnaSequence allN(std::string(100, 'N'));
+    for (u32 i = 0; i < 30; ++i) {
+        Mapping m;
+        m.mapped = true;
+        m.pos = 400;
+        m.cigar = Cigar::parse("100M");
+        caller.addAlignment(allN, m);
+    }
+    auto calls = caller.call();
+    u64 refNonA = 0;
+    for (u64 p = 400; p < 500; ++p)
+        refNonA += ref_.baseAt(p) != genomics::BaseA;
+    EXPECT_EQ(calls.size(), refNonA);
+    for (const auto &call : calls) {
+        EXPECT_EQ(call.type, VariantType::Snp);
+        EXPECT_EQ(call.altBase, genomics::BaseA);
+        EXPECT_NEAR(call.altFraction, 1.0, 1e-12);
+    }
 }
 
 } // namespace

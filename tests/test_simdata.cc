@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "genomics/sequence.hh"
 #include "simdata/datasets.hh"
 #include "simdata/genome_generator.hh"
@@ -218,6 +221,101 @@ TEST(ReadSimulator, ErrorRateApproximatelyRealized)
     }
     double rate = static_cast<double>(mismatches) / bases;
     EXPECT_NEAR(rate, 0.01, 0.004);
+}
+
+/**
+ * Anchored-start edit distance of @p read against a prefix of @p win
+ * (free end in the window): counts the substitutions, insertions and
+ * deletions the simulator introduced into an error-only read.
+ */
+u32
+editToWindowPrefix(const DnaSequence &read, const DnaSequence &win)
+{
+    const std::size_t n = read.size(), m = win.size();
+    std::vector<u32> prev(m + 1), cur(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        prev[j] = static_cast<u32>(j);
+    for (std::size_t i = 1; i <= n; ++i) {
+        cur[0] = static_cast<u32>(i);
+        for (std::size_t j = 1; j <= m; ++j) {
+            u32 sub = prev[j - 1] + (read.at(i - 1) != win.at(j - 1));
+            cur[j] = std::min(sub, std::min(prev[j], cur[j - 1]) + 1);
+        }
+        std::swap(prev, cur);
+    }
+    return *std::min_element(prev.begin(), prev.end());
+}
+
+TEST(ReadSimulator, SubstitutionRateCalibratedAcrossRatesAndSeeds)
+{
+    // Substitution-only profiles are Hamming-measurable: the realized
+    // mismatch rate must track the requested rate at every (rate, seed)
+    // combination, not just the single point the default profile uses.
+    for (double rate : { 0.02, 0.05, 0.10 }) {
+        for (u64 seed : { u64{ 101 }, u64{ 202 }, u64{ 303 } }) {
+            Reference ref = generateGenome(smallGenome(150000, seed));
+            VariantParams vp;
+            vp.snpRate = 0;
+            vp.indelRate = 0;
+            DiploidGenome dg(ref, vp);
+            ReadSimParams rp;
+            rp.seed = seed + 9;
+            rp.errors.subRate = rate;
+            rp.errors.insRate = 0;
+            rp.errors.delRate = 0;
+            rp.errors.badFragmentFrac = 0;
+            ReadSimulator sim(dg, rp);
+            u64 mismatches = 0, bases = 0;
+            for (int i = 0; i < 150; ++i) {
+                auto pair = sim.simulatePair();
+                DnaSequence truth = ref.window(pair.first.truthPos, 150);
+                if (truth.size() != 150)
+                    continue;
+                mismatches +=
+                    genomics::hammingDistance(pair.first.seq, truth);
+                bases += 150;
+            }
+            double measured = static_cast<double>(mismatches) / bases;
+            EXPECT_NEAR(measured, rate, std::max(0.005, rate * 0.3))
+                << "rate " << rate << " seed " << seed;
+        }
+    }
+}
+
+TEST(ReadSimulator, TotalErrorRateCalibratedWithIndels)
+{
+    // The uniform profile splits the total rate across sub/ins/del;
+    // the realized edit distance to the truth window must track it.
+    // Edit distance undercounts slightly (adjacent edits merge, random
+    // matches absorb some), so the tolerance is asymmetric.
+    for (double rate : { 0.05, 0.10 }) {
+        for (u64 seed : { u64{ 101 }, u64{ 303 } }) {
+            Reference ref = generateGenome(smallGenome(150000, seed));
+            VariantParams vp;
+            vp.snpRate = 0;
+            vp.indelRate = 0;
+            DiploidGenome dg(ref, vp);
+            ReadSimParams rp;
+            rp.seed = seed + 13;
+            rp.errors = ErrorProfile::uniform(rate);
+            ReadSimulator sim(dg, rp);
+            u64 edits = 0, bases = 0;
+            for (int i = 0; i < 120; ++i) {
+                auto pair = sim.simulatePair();
+                DnaSequence win =
+                    ref.window(pair.first.truthPos, 150 + 30);
+                if (win.size() != 180)
+                    continue;
+                edits += editToWindowPrefix(pair.first.seq, win);
+                bases += pair.first.seq.size();
+            }
+            double measured = static_cast<double>(edits) / bases;
+            EXPECT_GT(measured, rate * 0.55)
+                << "rate " << rate << " seed " << seed;
+            EXPECT_LT(measured, rate * 1.35 + 0.005)
+                << "rate " << rate << " seed " << seed;
+        }
+    }
 }
 
 TEST(LongReadSimulator, LengthsAndTruth)

@@ -56,7 +56,9 @@ const char kUsage[] =
     "  --filter-threshold N index filter when building inline [500]\n"
     "  --baseline           bypass GenPair; map with MM2-lite only\n"
     "  --stats-json FILE    write PipelineStats (incl. per-stage\n"
-    "                       counters) as JSON after mapping\n"
+    "                       counters) as JSON after mapping; in\n"
+    "                       --long mode, LongReadStats. Both carry\n"
+    "                       the ambiguous-base ingest count\n"
     "  --trace FILE         record per-pair stage events for hwsim\n"
     "                       co-simulation (gpx-stage-trace v1)\n"
     "  --version            print the gpx version and exit\n";
@@ -205,6 +207,19 @@ main(int argc, char **argv)
         std::printf("wrote %llu SAM records\n",
                     static_cast<unsigned long long>(
                         sam.recordsWritten()));
+        if (cli.has("--stats-json")) {
+            std::ofstream statsFile(cli.str("--stats-json"));
+            if (!statsFile)
+                gpx_fatal("cannot open stats output: ",
+                          cli.str("--stats-json"));
+            genpair::writeLongReadStatsJson(
+                statsFile, stats, reader.stats().ambiguousBases);
+            statsFile.flush();
+            if (!statsFile)
+                gpx_fatal("write to stats file failed");
+            std::printf("wrote long-read stats to %s\n",
+                        cli.str("--stats-json").c_str());
+        }
         return 0;
     }
 
