@@ -136,6 +136,7 @@ main(int argc, char **argv)
         };
         out << "{\n  \"bench\": \"fig11_end_to_end\",\n"
             << "  \"gpx_version\": \"" << kVersion << "\",\n"
+            << "  \"context\": " << simdContextJson() << ",\n"
             << "  \"systems\": [\n";
         for (std::size_t i = 0; i < systems.size(); ++i) {
             const auto &sys = systems[i];

@@ -382,6 +382,7 @@ main(int argc, char **argv)
         out << "{\n  \"bench\": \"micro_driver_scaling\",\n"
             << "  \"format\": 2,\n"
             << "  \"gpx_version\": \"" << kVersion << "\",\n"
+            << "  \"context\": " << simdContextJson() << ",\n"
             << "  \"pairs\": " << pairs.size() << ",\n"
             << "  \"host_threads\": " << hostThreads << ",\n"
             << "  \"max_threads\": " << maxThreads << ",\n"

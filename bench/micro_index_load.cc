@@ -295,6 +295,7 @@ main(int argc, char **argv)
         js << "{\n"
            << "  \"bench\": \"micro_index_load\",\n"
            << "  \"gpx_version\": \"" << gpx::kVersion << "\",\n"
+           << "  \"context\": " << gpx::bench::simdContextJson() << ",\n"
            << "  \"reference_bp\": " << ref.totalLength() << ",\n"
            << "  \"image_bytes_v1\": " << v1Bytes << ",\n"
            << "  \"image_bytes_v2\": " << v2Bytes << ",\n"

@@ -14,6 +14,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "align/affine.hh"
 #include "align/shd.hh"
 #include "align/wfa.hh"
@@ -26,6 +30,7 @@
 #include "genpair/seedmap.hh"
 #include "simdata/genome_generator.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 #include "util/xxhash.hh"
 
 namespace {
@@ -105,6 +110,69 @@ BM_ShdMasks(benchmark::State &state)
     state.SetItemsProcessed(static_cast<i64>(state.iterations()));
 }
 BENCHMARK(BM_ShdMasks);
+
+/**
+ * SIMD-across-batch counterpart of BM_ShdMasks: the 2e+1 masks of one
+ * read against 8 candidate windows per run (align::ShdBatch), one row
+ * per backend the host supports. items_per_second counts candidate
+ * windows, so the speedup over BM_ShdMasks reads off directly.
+ */
+void
+ShdMasksBatch8(benchmark::State &state, util::SimdBackend backend)
+{
+    const util::SimdBackend prev = util::activeSimdBackend();
+    util::forceSimdBackend(backend);
+    auto read = sharedRef().chromosome(0).sub(10000, 150);
+    align::BitPlanes readPlanes(read);
+    constexpr u32 kLanes = 8;
+    std::vector<genomics::DnaSequence> windows;
+    std::vector<align::BitPlanes> windowPlanes(kLanes);
+    for (u32 l = 0; l < kLanes; ++l) {
+        windows.push_back(
+            sharedRef().chromosome(0).sub(9995 + 400 * l, 160));
+        windowPlanes[l].assign(windows.back());
+    }
+    align::ShdBatch batch;
+    const u32 chunk = util::simdMaskLanes(backend);
+    for (auto _ : state) {
+        // Production chunking (ShdFilter::evaluateBatch): lane groups
+        // of the backend's width until the 8 candidates are consumed.
+        for (u32 i = 0; i < kLanes; i += chunk) {
+            const u32 lanes = std::min(chunk, kLanes - i);
+            batch.begin(lanes, 150, 5, 5);
+            for (u32 l = 0; l < lanes; ++l)
+                batch.setLane(l, readPlanes, windowPlanes[i + l]);
+            batch.run();
+            benchmark::DoNotOptimize(batch.maskWords.data());
+            benchmark::DoNotOptimize(batch.popcount.data());
+        }
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) * kLanes);
+    util::forceSimdBackend(prev);
+}
+
+/**
+ * Register one batch row per supported backend and surface the
+ * dispatch provenance in the JSON context block. ISA-dependent rows
+ * ("/avx*") are optional in check_kernel_regression.py, so a baseline
+ * recorded on a wider host still gates on narrower CI runners.
+ */
+const bool registeredShdBatch = [] {
+    benchmark::AddCustomContext(
+        "simd_backend",
+        util::simdBackendName(util::activeSimdBackend()));
+    benchmark::AddCustomContext("simd_reason", util::simdBackendReason());
+    for (util::SimdBackend b :
+         { util::SimdBackend::Scalar, util::SimdBackend::Avx2,
+           util::SimdBackend::Avx512 }) {
+        if (b > util::maxSimdBackend())
+            continue;
+        std::string name =
+            std::string("BM_ShdMasksBatch8/") + util::simdBackendName(b);
+        benchmark::RegisterBenchmark(name.c_str(), ShdMasksBatch8, b);
+    }
+    return true;
+}();
 
 void
 BM_LightAlign(benchmark::State &state)

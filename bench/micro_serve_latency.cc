@@ -265,6 +265,7 @@ main(int argc, char **argv)
         };
         out << "{\n  \"bench\": \"micro_serve_latency\",\n"
             << "  \"gpx_version\": \"" << kVersion << "\",\n"
+            << "  \"context\": " << simdContextJson() << ",\n"
             << "  \"pairs\": " << kPairs << ",\n"
             << "  \"batch_pairs\": " << kBatchPairs << ",\n"
             << "  \"threads\": " << kThreads << ",\n"

@@ -10,16 +10,20 @@
  * attempts per pair). The stage graph (stages.hh) runs the same work
  * over structure-of-arrays batches with every scratch buffer reused.
  * This harness replays the seed implementation verbatim (`monolith`)
- * next to the batched engine across batch sizes, single-threaded (the
- * per-core win; thread scaling is micro_driver_scaling's job), checks
- * the mappings and stats are identical, and records the grid with
- * `--json` (see BENCH_stage_batch.json at the repo root, gated by
+ * next to the batched engine across batch sizes and every SIMD backend
+ * the host supports (scalar / AVX2 / AVX-512 — the batch kernels of
+ * util/simd.hh), single-threaded (the per-core win; thread scaling is
+ * micro_driver_scaling's job), checks the mappings and stats are
+ * identical under every backend, and records the per-backend grid with
+ * fallback fractions and candidate counts with `--json` (see
+ * BENCH_stage_batch.json at the repo root, gated by
  * scripts/check_stage_batch.py).
  */
 
 #include <algorithm>
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <unordered_set>
@@ -421,6 +425,7 @@ class MonolithPipeline
 struct Row
 {
     std::string name;
+    std::string simd;
     u64 batchPairs;
     double pairsPerSec;
 
@@ -464,6 +469,10 @@ main(int argc, char **argv)
 
     banner("Batched SoA stage graph vs monolithic per-pair pipeline",
            "stage-graph engine PR; single-thread mapping hot path");
+
+    // Capture the session's dispatch provenance before the backend
+    // sweep overwrites it with "(forced)".
+    const std::string simdContext = simdContextJson();
 
     // The micro_driver_scaling dataset: small enough for a grid,
     // large enough that the light path dominates.
@@ -514,67 +523,105 @@ main(int argc, char **argv)
         return secs;
     };
 
-    // The refactor must not change a single mapping or stats counter.
+    // Reference stats, once: the monolith counters every batched run
+    // (any backend, any batch size) must reproduce exactly.
+    genpair::PipelineStats monolithStats;
+    {
+        MonolithPipeline check(ref, seedmap, params, &seedMm2);
+        for (u64 i = 0; i < n; ++i)
+            check.mapPair(pairs[i]);
+        monolithStats = check.stats();
+    }
+
+    // The refactor must not change a single mapping or stats counter —
+    // under any SIMD backend.
     auto crossCheck = [&](u64 batchPairs) {
         timeBatched(batchPairs);
         for (u64 i = 0; i < n; ++i) {
             if (!sameMapping(monolithOut[i], batchedOut[i])) {
-                std::fprintf(stderr,
-                             "batched(%llu)/monolith mismatch at pair "
-                             "%llu\n",
-                             static_cast<unsigned long long>(batchPairs),
-                             static_cast<unsigned long long>(i));
+                std::fprintf(
+                    stderr,
+                    "batched(%llu, %s)/monolith mismatch at pair %llu\n",
+                    static_cast<unsigned long long>(batchPairs),
+                    util::simdBackendName(util::activeSimdBackend()),
+                    static_cast<unsigned long long>(i));
                 std::exit(1);
             }
         }
-        MonolithPipeline check(ref, seedmap, params, &seedMm2);
-        for (u64 i = 0; i < n; ++i)
-            check.mapPair(pairs[i]);
-        const auto &a = check.stats();
+        const auto &a = monolithStats;
         const auto &b = batchedStats;
         if (a.lightAligned != b.lightAligned ||
             a.candidatePairs != b.candidatePairs ||
             a.lightAlignsAttempted != b.lightAlignsAttempted ||
             a.query.filterIterations != b.query.filterIterations ||
             a.unmapped != b.unmapped) {
-            std::fprintf(stderr, "stats mismatch at batch %llu\n",
-                         static_cast<unsigned long long>(batchPairs));
+            std::fprintf(stderr, "stats mismatch at batch %llu (%s)\n",
+                         static_cast<unsigned long long>(batchPairs),
+                         util::simdBackendName(util::activeSimdBackend()));
             std::exit(1);
         }
     };
 
-    const std::vector<u64> batchGrid{ 1, 16, 64, 256, n };
-    for (u64 b : batchGrid)
-        crossCheck(b);
+    // Every backend the host can execute gets its own grid sweep; the
+    // vectorized-vs-scalar ratio is a within-run contract gated by
+    // scripts/check_stage_batch.py.
+    const util::SimdBackend defaultBackend = util::activeSimdBackend();
+    std::vector<util::SimdBackend> backends;
+    for (util::SimdBackend want :
+         { util::SimdBackend::Scalar, util::SimdBackend::Avx2,
+           util::SimdBackend::Avx512 })
+        if (util::forceSimdBackend(want) == want)
+            backends.push_back(want);
+    util::forceSimdBackend(defaultBackend);
 
-    // Interleaved best-of-N: both sides see the same host noise.
-    constexpr int kReps = 5;
-    double monolithSecs = timeMonolith();
-    std::vector<double> batchedSecs(batchGrid.size());
-    for (std::size_t g = 0; g < batchGrid.size(); ++g)
-        batchedSecs[g] = timeBatched(batchGrid[g]);
-    for (int rep = 1; rep < kReps; ++rep) {
-        monolithSecs = std::min(monolithSecs, timeMonolith());
-        for (std::size_t g = 0; g < batchGrid.size(); ++g)
-            batchedSecs[g] =
-                std::min(batchedSecs[g], timeBatched(batchGrid[g]));
+    const std::vector<u64> batchGrid{ 1, 16, 64, 256, n };
+    std::vector<genpair::PipelineStats> backendStats(backends.size());
+    for (std::size_t bk = 0; bk < backends.size(); ++bk) {
+        util::forceSimdBackend(backends[bk]);
+        for (u64 b : batchGrid)
+            crossCheck(b);
+        backendStats[bk] = batchedStats;
     }
+
+    // Interleaved best-of-N: every engine sees the same host noise.
+    constexpr int kReps = 3;
+    std::vector<std::vector<double>> batchedSecs(
+        backends.size(),
+        std::vector<double>(batchGrid.size(),
+                            std::numeric_limits<double>::infinity()));
+    double monolithSecs = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kReps; ++rep) {
+        monolithSecs = std::min(monolithSecs, timeMonolith());
+        for (std::size_t bk = 0; bk < backends.size(); ++bk) {
+            util::forceSimdBackend(backends[bk]);
+            for (std::size_t g = 0; g < batchGrid.size(); ++g)
+                batchedSecs[bk][g] = std::min(batchedSecs[bk][g],
+                                              timeBatched(batchGrid[g]));
+        }
+    }
+    util::forceSimdBackend(defaultBackend);
 
     const double monolithRate =
         monolithSecs > 0 ? n / monolithSecs : 0;
     std::vector<Row> rows;
-    rows.push_back({ "monolith (seed mapPair)", 0, monolithRate });
-    for (std::size_t g = 0; g < batchGrid.size(); ++g)
-        rows.push_back(
-            { batchGrid[g] == n ? "stage graph (whole set)"
-                                : "stage graph",
-              batchGrid[g],
-              batchedSecs[g] > 0 ? n / batchedSecs[g] : 0 });
+    rows.push_back({ "monolith (seed mapPair)", "-", 0, monolithRate });
+    for (std::size_t bk = 0; bk < backends.size(); ++bk)
+        for (std::size_t g = 0; g < batchGrid.size(); ++g)
+            rows.push_back({ batchGrid[g] == n
+                                 ? "stage graph (whole set)"
+                                 : "stage graph",
+                             util::simdBackendName(backends[bk]),
+                             batchGrid[g],
+                             batchedSecs[bk][g] > 0
+                                 ? n / batchedSecs[bk][g]
+                                 : 0 });
 
-    util::Table table({ "engine", "batch", "pairs/s", "vs monolith" });
+    util::Table table(
+        { "engine", "simd", "batch", "pairs/s", "vs monolith" });
     for (const auto &row : rows) {
         table.row()
             .cell(row.name)
+            .cell(row.simd)
             .cell(static_cast<double>(row.batchPairs), 0)
             .cell(row.pairsPerSec, 0)
             .cell(row.speedupVs(monolithRate), 2);
@@ -596,15 +643,47 @@ main(int argc, char **argv)
             << "  \"gpx_version\": \"" << kVersion << "\",\n"
             << "  \"pairs\": " << n << ",\n"
             << "  \"threads\": 1,\n"
+            << "  \"context\": " << simdContext << ",\n"
             << "  \"monolith_pairs_per_s\": " << num(monolithRate, 0)
             << ",\n  \"grid\": [\n";
-        for (std::size_t g = 0; g < batchGrid.size(); ++g) {
-            double rate = batchedSecs[g] > 0 ? n / batchedSecs[g] : 0;
-            out << "    {\"batch_pairs\": " << batchGrid[g]
-                << ", \"pairs_per_s\": " << num(rate, 0)
-                << ", \"speedup_vs_monolith\": "
-                << num(monolithRate > 0 ? rate / monolithRate : 0, 3)
-                << "}" << (g + 1 < batchGrid.size() ? "," : "") << "\n";
+        for (std::size_t bk = 0; bk < backends.size(); ++bk) {
+            const auto &st = backendStats[bk];
+            const u64 fallbacks = st.seedMissFallback +
+                                  st.paFilterFallback +
+                                  st.lightAlignFallback;
+            const double fallbackFraction =
+                st.pairsTotal
+                    ? static_cast<double>(fallbacks) / st.pairsTotal
+                    : 0;
+            for (std::size_t g = 0; g < batchGrid.size(); ++g) {
+                double rate = batchedSecs[bk][g] > 0
+                                  ? n / batchedSecs[bk][g]
+                                  : 0;
+                out << "    {\"backend\": \""
+                    << util::simdBackendName(backends[bk])
+                    << "\", \"dp_lanes\": "
+                    << util::simdDpLanes(backends[bk])
+                    << ", \"batch_pairs\": " << batchGrid[g]
+                    << ", \"pairs_per_s\": " << num(rate, 0)
+                    << ", \"speedup_vs_monolith\": "
+                    << num(monolithRate > 0 ? rate / monolithRate : 0, 3)
+                    << ",\n     \"fallback_fraction\": "
+                    << num(fallbackFraction, 4)
+                    << ", \"candidate_pairs\": " << st.candidatePairs
+                    << ", \"light_aligns_attempted\": "
+                    << st.lightAlignsAttempted
+                    << ", \"light_align_fallback\": "
+                    << st.lightAlignFallback
+                    << ", \"seed_miss_fallback\": "
+                    << st.seedMissFallback
+                    << ", \"pa_filter_fallback\": "
+                    << st.paFilterFallback << "}"
+                    << (bk + 1 < backends.size() ||
+                                g + 1 < batchGrid.size()
+                            ? ","
+                            : "")
+                    << "\n";
+            }
         }
         out << "  ]\n}\n";
         out.flush();

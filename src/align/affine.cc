@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "align/affine_internal.hh"
 #include "util/logging.hh"
 
 namespace gpx {
@@ -16,117 +17,7 @@ using genomics::ScoringScheme;
 
 namespace {
 
-constexpr i32 kNegInf = std::numeric_limits<i32>::min() / 4;
-
-/** Alignment boundary conditions. */
-enum class Mode { Global, Fit, Local };
-
-/** Traceback byte layout. */
-constexpr u8 kSrcMask = 0x07;
-constexpr u8 kSrcDiag = 0;
-constexpr u8 kSrcE1 = 1;
-constexpr u8 kSrcE2 = 2;
-constexpr u8 kSrcF1 = 3;
-constexpr u8 kSrcF2 = 4;
-constexpr u8 kSrcStart = 5;
-constexpr u8 kExtE1 = 0x08;
-constexpr u8 kExtE2 = 0x10;
-constexpr u8 kExtF1 = 0x20;
-constexpr u8 kExtF2 = 0x40;
-
-struct EngineResult
-{
-    bool valid = false;
-    i32 score = 0;
-    Cigar cigar;
-    u64 queryStart = 0;
-    u64 targetStart = 0;
-    u64 targetEnd = 0;
-    u64 cellUpdates = 0;
-};
-
-/**
- * Reconstruct the optimal path from the traceback matrix, shared by
- * the reference and the branchless engine (their matrices are
- * bit-identical; only the fill loop differs).
- */
-void
-tracebackPath(EngineResult &out, const std::vector<u8> &tb,
-              std::size_t n, Mode mode, i32 best, std::size_t bestI,
-              std::size_t bestJ)
-{
-    auto tbAt = [&](std::size_t i, std::size_t j) -> u8 {
-        return tb[i * (n + 1) + j];
-    };
-
-    Cigar rev;
-    std::size_t i = bestI, j = bestJ;
-    u8 state = 0; // 0 = H, 1 = E1, 2 = E2, 3 = F1, 4 = F2
-    bool hitStart = false;
-    while (!hitStart) {
-        if (state == 0) {
-            u8 cell = tbAt(i, j);
-            switch (cell & kSrcMask) {
-              case kSrcStart:
-                hitStart = true;
-                break;
-              case kSrcDiag:
-                rev.push(CigarOp::Match, 1);
-                --i;
-                --j;
-                if (i == 0 && j == 0 && mode != Mode::Fit)
-                    hitStart = true;
-                if (mode == Mode::Fit && i == 0)
-                    hitStart = true;
-                if (mode == Mode::Local && (tbAt(i, j) & kSrcMask) ==
-                        kSrcStart && i == 0)
-                    hitStart = true;
-                break;
-              case kSrcE1: state = 1; break;
-              case kSrcE2: state = 2; break;
-              case kSrcF1: state = 3; break;
-              case kSrcF2: state = 4; break;
-            }
-            if (mode == Mode::Fit && state == 0 && !hitStart && i == 0)
-                hitStart = true;
-        } else if (state == 1 || state == 2) {
-            u8 cell = tbAt(i, j);
-            rev.push(CigarOp::Deletion, 1);
-            bool ext = cell & (state == 1 ? kExtE1 : kExtE2);
-            --j;
-            if (!ext)
-                state = 0;
-            if (j == 0 && state != 0)
-                gpx_panic("affine traceback escaped matrix (E)");
-        } else {
-            u8 cell = tbAt(i, j);
-            rev.push(CigarOp::Insertion, 1);
-            bool ext = cell & (state == 3 ? kExtF1 : kExtF2);
-            --i;
-            if (!ext)
-                state = 0;
-            if (i == 0 && state != 0)
-                gpx_panic("affine traceback escaped matrix (F)");
-            if (mode == Mode::Fit && state == 0 && i == 0)
-                hitStart = true;
-        }
-        if (mode == Mode::Global && i == 0 && j == 0)
-            hitStart = true;
-    }
-
-    // Reverse the CIGAR.
-    Cigar cigar;
-    const auto &elems = rev.elems();
-    for (auto it = elems.rbegin(); it != elems.rend(); ++it)
-        cigar.push(it->op, it->len);
-
-    out.valid = true;
-    out.score = best;
-    out.cigar = std::move(cigar);
-    out.queryStart = i;
-    out.targetStart = j;
-    out.targetEnd = bestJ;
-}
+using namespace affine_detail;
 
 /**
  * The seed DP engine, kept verbatim as the oracle for the branchless
@@ -305,7 +196,10 @@ runReference(const DnaView &query, const DnaView &target,
     if (best <= kNegInf / 2)
         return out; // band excluded every complete path
 
-    tracebackPath(out, tb, n, mode, best, bestI, bestJ);
+    tracebackPath(
+        out,
+        [&](std::size_t ti, std::size_t tj) { return tb[ti * (n + 1) + tj]; },
+        mode, best, bestI, bestJ);
     return out;
 }
 
@@ -495,7 +389,11 @@ runBranchless(const DnaView &query, const DnaView &target,
     if (best <= kNegInf / 2)
         return out; // band excluded every complete path
 
-    tracebackPath(out, scr.traceback, n, mode, best, bestI, bestJ);
+    const u8 *tbc = scr.traceback.data();
+    tracebackPath(
+        out,
+        [&](std::size_t ti, std::size_t tj) { return tbc[ti * (n + 1) + tj]; },
+        mode, best, bestI, bestJ);
     return out;
 }
 

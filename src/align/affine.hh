@@ -86,6 +86,50 @@ AlignResult fitAlignRef(const genomics::DnaView &query,
                         const genomics::ScoringScheme &scheme,
                         i32 band = -1);
 
+/** One fitting alignment of a batch (see fitAlignBatch). */
+struct FitTask
+{
+    genomics::DnaView query;
+    genomics::DnaView target;
+    /** Band half-width; negative disables banding. */
+    i32 band = -1;
+};
+
+/**
+ * Working set of the interleaved batch engine: lane-major (struct-of-
+ * lanes) H/E/F rows, decoded operands and the lane-major traceback
+ * matrix, plus a scalar AlignScratch for the portable backend. Sized
+ * by the widest lane group seen; reuse across calls is allocation-free
+ * once warm.
+ */
+struct BatchAlignScratch
+{
+    std::vector<u8> traceback; ///< [(i*(nMax+1)+j)*L + lane]
+    std::vector<i32> queryCodes;  ///< [(i-1)*L + lane]
+    std::vector<i32> targetCodes; ///< [(j-1)*L + lane]
+    std::vector<i32> hPrev;
+    std::vector<i32> hCur;
+    std::vector<i32> f1;
+    std::vector<i32> f2;
+    std::vector<u8> decodeTmp; ///< contiguous decode staging
+    AlignScratch scalar;       ///< SimdBackend::Scalar fallback path
+};
+
+/**
+ * Fitting alignment of @p count independent tasks, interleaved across
+ * SIMD lanes: out[i] is bit-identical to
+ * fitAlign(tasks[i].query, tasks[i].target, scheme, tasks[i].band) —
+ * lanes never exchange data, each computes exactly the scalar engine's
+ * arithmetic — but consecutive tasks with equal query length advance
+ * in lockstep through one band sweep (8 lanes under AVX2, 16 under
+ * AVX-512; per-lane masking covers ragged target lengths and bands).
+ * The active util::SimdBackend picks the lane width; the scalar
+ * backend runs the production scalar engine per task.
+ */
+void fitAlignBatch(const FitTask *tasks, std::size_t count,
+                   const genomics::ScoringScheme &scheme,
+                   BatchAlignScratch &scratch, AlignResult *out);
+
 /**
  * Global alignment: both sequences consumed end to end. Used by unit tests
  * and by the chain-gap stitching of the long-read path.

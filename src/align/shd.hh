@@ -69,6 +69,10 @@ class BitPlanes
     void equalityMaskInto(const BitPlanes &ref, u32 ref_offset,
                           HammingMask &out) const;
 
+    /** Raw plane words (the batch kernels gather these lane-major). */
+    const std::vector<u64> &lo() const { return lo_; }
+    const std::vector<u64> &hi() const { return hi_; }
+
   private:
     std::vector<u64> lo_;
     std::vector<u64> hi_;
@@ -93,6 +97,79 @@ std::vector<HammingMask> shiftedMasks(const genomics::DnaView &read,
 void shiftedMasksInto(const BitPlanes &read_planes,
                       const BitPlanes &window_planes, u32 center, u32 e,
                       std::vector<HammingMask> &out);
+
+/**
+ * SIMD-across-batch shifted-mask statistics: the 2e+1 Hamming masks of
+ * up to L (read, window) candidate lanes computed per vector register,
+ * with per-(shift, lane) popcount and all-ones prefix/suffix lengths —
+ * exactly the three statistics the Light Alignment hypothesis search
+ * and the SHD-family filters consume.
+ *
+ * Usage: begin() fixes the lane geometry (uniform read length and
+ * center; per-lane windows may differ in length), setLane() gathers
+ * each lane's packed plane words into the lane-major staging buffers,
+ * run() executes the kernel for the active util::SimdBackend. Every
+ * output word is bit-identical to the corresponding scalar
+ * shiftedMasksInto() mask (lanes never mix), pinned by
+ * tests/test_simd.cc.
+ *
+ * Buffers are owned by the caller's scratch (LightAlignScratch embeds
+ * one) and reused across runs; warm runs are allocation-free.
+ */
+struct ShdBatch
+{
+    u32 lanes = 0;     ///< lanes staged in this run
+    u32 bits = 0;      ///< uniform read length n
+    u32 center = 0;    ///< nominal read start inside each window
+    u32 e = 0;         ///< max shift (2e+1 masks)
+    u32 readWords = 0; ///< plane words per read lane
+    u32 winWords = 0;  ///< staged (zero-padded) plane words per window lane
+
+    // Lane-major staging: [word * lanes + lane].
+    std::vector<u64> readLo, readHi;
+    std::vector<u64> winLo, winHi;
+    std::vector<u32> winBits; ///< per-lane window length
+
+    // Lane-major results: masks [(shift * readWords + word) * lanes +
+    // lane], statistics [shift * lanes + lane].
+    std::vector<u64> maskWords;
+    std::vector<u32> popcount;
+    std::vector<u32> prefix;
+    std::vector<u32> suffix;
+
+    /** Reset geometry for a batch of @p lane_count candidate lanes. */
+    void begin(u32 lane_count, u32 read_bits, u32 center_off,
+               u32 max_shift);
+
+    /** Gather one lane's plane words into the staging buffers. */
+    void setLane(u32 lane, const BitPlanes &read_planes,
+                 const BitPlanes &window_planes);
+
+    /** Compute masks + statistics for every staged lane. */
+    void run();
+
+    u32 shifts() const { return 2 * e + 1; }
+
+    u64
+    maskWord(u32 shift, u32 w, u32 lane) const
+    {
+        return maskWords[(static_cast<std::size_t>(shift) * readWords + w) *
+                             lanes +
+                         lane];
+    }
+    u32 pop(u32 shift, u32 lane) const
+    {
+        return popcount[static_cast<std::size_t>(shift) * lanes + lane];
+    }
+    u32 pre(u32 shift, u32 lane) const
+    {
+        return prefix[static_cast<std::size_t>(shift) * lanes + lane];
+    }
+    u32 suf(u32 shift, u32 lane) const
+    {
+        return suffix[static_cast<std::size_t>(shift) * lanes + lane];
+    }
+};
 
 } // namespace align
 } // namespace gpx

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * SIMD-across-batch shifted Hamming mask kernel (ShdBatch).
+ *
+ * The scalar datapath (shd.cc) builds each mask with a shifted
+ * two-word combine per plane followed by XOR/OR/NOT — ~6 word ops per
+ * mask word. Here the same ops run over lane-major stores, so one
+ * vector register carries the w-th mask word of 4 (AVX2) or 8
+ * (AVX-512) candidate lanes and the whole 2e+1 mask family of a lane
+ * group costs one sweep per shift. The per-lane popcount and
+ * prefix/suffix extraction stay word-scalar (three words per lane);
+ * they are the cheap side of the filter.
+ *
+ * Bit-identity with BitPlanes::equalityMaskInto() is by construction:
+ * lane l's staged plane words are lane l's scalar plane words (zero
+ * padded where the scalar fetch would have bounds-checked to zero),
+ * and the valid-bit clearing replays the scalar clamp per lane. The
+ * multiversioning scheme matches affine_simd.cc: one template, plain
+ * u64 lane loops, instantiated under per-function target attributes
+ * and dispatched through util::activeSimdBackend().
+ */
+
+#include <algorithm>
+#include <bit>
+
+#include "align/shd.hh"
+#include "util/logging.hh"
+#include "util/simd.hh"
+
+namespace gpx {
+namespace align {
+
+namespace {
+
+/**
+ * Mask words of every (shift, word, lane) cell. The lane count is
+ * runtime (ragged final groups), so the lane loop is plain u64 code;
+ * the fixed shift/XOR arithmetic autovectorizes under the wrappers'
+ * target ISAs below.
+ */
+[[gnu::always_inline]] inline void
+maskKernel(const ShdBatch &b, u64 *out)
+{
+    const u32 L = b.lanes;
+    const u64 *rlo = b.readLo.data();
+    const u64 *rhi = b.readHi.data();
+    const u64 *wlo = b.winLo.data();
+    const u64 *whi = b.winHi.data();
+
+    for (u32 si = 0; si < b.shifts(); ++si) {
+        // Window offset of this shift: center - e + si (center >= e
+        // is asserted in begin()).
+        const u32 off = b.center - b.e + si;
+        const u32 sh = off & 63u;
+        const std::size_t wordOff = off >> 6;
+        u64 *maskS = out + static_cast<std::size_t>(si) * b.readWords * L;
+        for (u32 w = 0; w < b.readWords; ++w) {
+            const u64 *rloW = rlo + static_cast<std::size_t>(w) * L;
+            const u64 *rhiW = rhi + static_cast<std::size_t>(w) * L;
+            const u64 *wloW = wlo + (w + wordOff) * L;
+            const u64 *whiW = whi + (w + wordOff) * L;
+            u64 *outW = maskS + static_cast<std::size_t>(w) * L;
+            if (sh == 0) {
+                for (u32 l = 0; l < L; ++l)
+                    outW[l] = ~((rloW[l] ^ wloW[l]) | (rhiW[l] ^ whiW[l]));
+            } else {
+                const u64 *wloN = wloW + L;
+                const u64 *whiN = whiW + L;
+                for (u32 l = 0; l < L; ++l) {
+                    const u64 glo = (wloW[l] >> sh) | (wloN[l] << (64 - sh));
+                    const u64 ghi = (whiW[l] >> sh) | (whiN[l] << (64 - sh));
+                    outW[l] = ~((rloW[l] ^ glo) | (rhiW[l] ^ ghi));
+                }
+            }
+        }
+    }
+}
+
+#if GPX_SIMD_MULTIVERSION
+__attribute__((target("avx2"))) void
+maskKernelAvx2(const ShdBatch &b, u64 *out)
+{
+    maskKernel(b, out);
+}
+
+__attribute__((target("avx512f,avx512bw,avx512dq,avx512vl"))) void
+maskKernelAvx512(const ShdBatch &b, u64 *out)
+{
+    maskKernel(b, out);
+}
+#else
+void
+maskKernelAvx2(const ShdBatch &b, u64 *out)
+{
+    maskKernel(b, out);
+}
+
+void
+maskKernelAvx512(const ShdBatch &b, u64 *out)
+{
+    maskKernel(b, out);
+}
+#endif
+
+/** Ones-prefix of one lane's mask words (same walk as HammingMask). */
+u32
+lanePrefix(const u64 *words, u32 stride, u32 nWords, u32 bits)
+{
+    u32 run = 0;
+    for (u32 w = 0; w < nWords; ++w) {
+        u32 remaining = bits - w * 64;
+        u32 inWord = remaining < 64 ? remaining : 64;
+        u64 v = words[static_cast<std::size_t>(w) * stride];
+        if (inWord < 64)
+            v |= ~u64{0} << inWord;
+        u32 ones = static_cast<u32>(std::countr_one(v));
+        if (ones >= inWord) {
+            run += inWord;
+            continue;
+        }
+        run += ones;
+        break;
+    }
+    return run < bits ? run : bits;
+}
+
+/** Ones-suffix of one lane's mask words (same walk as HammingMask). */
+u32
+laneSuffix(const u64 *words, u32 stride, u32 nWords, u32 bits)
+{
+    u32 run = 0;
+    for (u32 idx = nWords; idx > 0; --idx) {
+        u32 w = idx - 1;
+        u32 base = w * 64;
+        u32 inWord = bits - base < 64 ? bits - base : 64;
+        u64 v = words[static_cast<std::size_t>(w) * stride];
+        v <<= (64 - inWord);
+        u32 ones = static_cast<u32>(std::countl_one(v));
+        if (ones >= inWord) {
+            run += inWord;
+            continue;
+        }
+        run += ones;
+        break;
+    }
+    return run < bits ? run : bits;
+}
+
+} // namespace
+
+void
+ShdBatch::begin(u32 lane_count, u32 read_bits, u32 center_off,
+                u32 max_shift)
+{
+    gpx_assert(center_off >= max_shift,
+               "window must extend e bases left of center");
+    lanes = lane_count;
+    bits = read_bits;
+    center = center_off;
+    e = max_shift;
+    readWords = (bits + 63) / 64;
+    // The shifted fetch of read word w touches window words
+    // w + (off >> 6) and the one after; stage enough zero-padded words
+    // that the widest shift stays in bounds.
+    winWords = readWords + ((center + e) >> 6) + 2;
+
+    readLo.assign(static_cast<std::size_t>(readWords) * lanes, 0);
+    readHi.assign(static_cast<std::size_t>(readWords) * lanes, 0);
+    winLo.assign(static_cast<std::size_t>(winWords) * lanes, 0);
+    winHi.assign(static_cast<std::size_t>(winWords) * lanes, 0);
+    winBits.assign(lanes, 0);
+    maskWords.assign(
+        static_cast<std::size_t>(shifts()) * readWords * lanes, 0);
+    popcount.assign(static_cast<std::size_t>(shifts()) * lanes, 0);
+    prefix.assign(static_cast<std::size_t>(shifts()) * lanes, 0);
+    suffix.assign(static_cast<std::size_t>(shifts()) * lanes, 0);
+}
+
+void
+ShdBatch::setLane(u32 lane, const BitPlanes &read_planes,
+                  const BitPlanes &window_planes)
+{
+    gpx_assert(lane < lanes, "ShdBatch lane out of range");
+    gpx_assert(read_planes.bits() == bits,
+               "ShdBatch lanes need a uniform read length");
+    const std::vector<u64> &rl = read_planes.lo();
+    const std::vector<u64> &rh = read_planes.hi();
+    for (u32 w = 0; w < readWords; ++w) {
+        readLo[static_cast<std::size_t>(w) * lanes + lane] = rl[w];
+        readHi[static_cast<std::size_t>(w) * lanes + lane] = rh[w];
+    }
+    const std::vector<u64> &gl = window_planes.lo();
+    const std::vector<u64> &gh = window_planes.hi();
+    const u32 have = static_cast<u32>(
+        std::min<std::size_t>(gl.size(), winWords));
+    for (u32 w = 0; w < have; ++w) {
+        winLo[static_cast<std::size_t>(w) * lanes + lane] = gl[w];
+        winHi[static_cast<std::size_t>(w) * lanes + lane] = gh[w];
+    }
+    for (u32 w = have; w < winWords; ++w) {
+        winLo[static_cast<std::size_t>(w) * lanes + lane] = 0;
+        winHi[static_cast<std::size_t>(w) * lanes + lane] = 0;
+    }
+    winBits[lane] = window_planes.bits();
+}
+
+void
+ShdBatch::run()
+{
+    if (lanes == 0 || bits == 0)
+        return;
+
+    const util::SimdBackend backend = util::activeSimdBackend();
+    if (backend == util::SimdBackend::Avx512)
+        maskKernelAvx512(*this, maskWords.data());
+    else if (backend == util::SimdBackend::Avx2)
+        maskKernelAvx2(*this, maskWords.data());
+    else
+        maskKernel(*this, maskWords.data());
+
+    // Clear bits beyond the read length and beyond each lane's window
+    // (the scalar clamp of equalityMaskInto(), replayed per lane),
+    // then extract the three per-(shift, lane) statistics.
+    for (u32 si = 0; si < shifts(); ++si) {
+        const u32 off = center - e + si;
+        u64 *maskS =
+            maskWords.data() +
+            static_cast<std::size_t>(si) * readWords * lanes;
+        for (u32 l = 0; l < lanes; ++l) {
+            u32 valid = bits;
+            if (off > winBits[l])
+                valid = 0;
+            else if (winBits[l] - off < bits)
+                valid = winBits[l] - off;
+            for (u32 w = 0; w < readWords; ++w) {
+                u64 &word = maskS[static_cast<std::size_t>(w) * lanes + l];
+                const u32 base = w * 64;
+                if (base >= valid)
+                    word = 0;
+                else if (valid - base < 64)
+                    word &= (u64{1} << (valid - base)) - 1;
+            }
+            u32 pop = 0;
+            for (u32 w = 0; w < readWords; ++w)
+                pop += static_cast<u32>(std::popcount(
+                    maskS[static_cast<std::size_t>(w) * lanes + l]));
+            popcount[static_cast<std::size_t>(si) * lanes + l] = pop;
+            prefix[static_cast<std::size_t>(si) * lanes + l] =
+                lanePrefix(maskS + l, lanes, readWords, bits);
+            suffix[static_cast<std::size_t>(si) * lanes + l] =
+                laneSuffix(maskS + l, lanes, readWords, bits);
+        }
+    }
+}
+
+} // namespace align
+} // namespace gpx

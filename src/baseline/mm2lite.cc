@@ -86,8 +86,8 @@ Mm2Lite::collectAnchors(const Read &read)
     return anchors;
 }
 
-std::vector<Mapping>
-Mm2Lite::mapRead(const Read &read)
+std::vector<Chain>
+Mm2Lite::planRead(const Read &read)
 {
     std::vector<Anchor> anchors;
     {
@@ -115,6 +115,35 @@ Mm2Lite::mapRead(const Read &read)
         if (chains.size() > params_.maxCandidates)
             chains.resize(params_.maxCandidates);
     }
+    return chains;
+}
+
+std::vector<Mapping>
+Mm2Lite::finishRead(std::vector<Mapping> &mappings)
+{
+    std::sort(mappings.begin(), mappings.end(),
+              [](const Mapping &a, const Mapping &b) {
+                  return a.score > b.score;
+              });
+    // Deduplicate identical positions (multiple chains, same alignment):
+    // hash-set membership keeps the first (best-scoring) occurrence in
+    // O(n) instead of the old quadratic scan over the kept list.
+    std::vector<Mapping> unique;
+    unique.reserve(mappings.size());
+    std::unordered_set<u64> seen;
+    seen.reserve(mappings.size() * 2);
+    for (auto &m : mappings) {
+        const u64 key = (m.pos << 1) | (m.reverse ? 1u : 0u);
+        if (seen.insert(key).second)
+            unique.push_back(std::move(m));
+    }
+    return unique;
+}
+
+std::vector<Mapping>
+Mm2Lite::mapRead(const Read &read)
+{
+    std::vector<Chain> chains = planRead(read);
 
     std::vector<Mapping> mappings;
     {
@@ -159,23 +188,7 @@ Mm2Lite::mapRead(const Read &read)
         }
     }
 
-    std::sort(mappings.begin(), mappings.end(),
-              [](const Mapping &a, const Mapping &b) {
-                  return a.score > b.score;
-              });
-    // Deduplicate identical positions (multiple chains, same alignment):
-    // hash-set membership keeps the first (best-scoring) occurrence in
-    // O(n) instead of the old quadratic scan over the kept list.
-    std::vector<Mapping> unique;
-    unique.reserve(mappings.size());
-    std::unordered_set<u64> seen;
-    seen.reserve(mappings.size() * 2);
-    for (auto &m : mappings) {
-        const u64 key = (m.pos << 1) | (m.reverse ? 1u : 0u);
-        if (seen.insert(key).second)
-            unique.push_back(std::move(m));
-    }
-    return unique;
+    return finishRead(mappings);
 }
 
 Mapping
@@ -201,11 +214,9 @@ Mm2Lite::alignAt(const DnaSequence &read, GlobalPos pos, u32 slack)
 }
 
 PairMapping
-Mm2Lite::mapPair(const ReadPair &pair)
+Mm2Lite::pairFromCandidates(const std::vector<Mapping> &cands1,
+                            const std::vector<Mapping> &cands2)
 {
-    auto cands1 = mapRead(pair.first);
-    auto cands2 = mapRead(pair.second);
-
     util::StageTimers::Scope scope(timers_, stages::kPairing);
     PairMapping best;
     best.path = MappingPath::FullDpFallback;
@@ -242,6 +253,151 @@ Mm2Lite::mapPair(const ReadPair &pair)
     if (!best.first.mapped && !best.second.mapped)
         best.path = MappingPath::Unmapped;
     return best;
+}
+
+PairMapping
+Mm2Lite::mapPair(const ReadPair &pair)
+{
+    auto cands1 = mapRead(pair.first);
+    auto cands2 = mapRead(pair.second);
+    return pairFromCandidates(cands1, cands2);
+}
+
+void
+Mm2Lite::mapPairsBatch(const ReadPair *const *pairs, std::size_t count,
+                       PairMapping *out)
+{
+    // Plan every read of the batch first (seeding + chaining, scalar),
+    // so the alignment phase can hand one flat task list to the
+    // interleaved DP engine. Reads are 2 per pair, plans are indexed
+    // [2 * p + side].
+    struct ReadState
+    {
+        std::vector<Chain> chains;
+        DnaSequence rc; ///< stable storage — FitTasks hold views into it
+        bool haveRc = false;
+        std::vector<Mapping> mappings;
+    };
+    std::vector<ReadState> reads(2 * count);
+    for (std::size_t p = 0; p < count; ++p) {
+        reads[2 * p + 0].chains = planRead(pairs[p]->first);
+        reads[2 * p + 1].chains = planRead(pairs[p]->second);
+    }
+
+    // One FitTask per surviving chain window of every read, in the
+    // exact order the scalar loop would visit them.
+    struct TaskRef
+    {
+        u32 read;      ///< index into reads[]
+        u32 chain;     ///< index into that read's chain list
+        GlobalPos wstart;
+    };
+    std::vector<align::FitTask> tasks;
+    std::vector<TaskRef> refs;
+    std::vector<align::AlignResult> results;
+    {
+        util::StageTimers::Scope scope(timers_, stages::kAlignment);
+        for (std::size_t p = 0; p < count; ++p) {
+            for (u32 side = 0; side < 2; ++side) {
+                ReadState &rs = reads[2 * p + side];
+                const Read &read =
+                    side == 0 ? pairs[p]->first : pairs[p]->second;
+                for (u32 ci = 0; ci < rs.chains.size(); ++ci) {
+                    const Chain &chain = rs.chains[ci];
+                    const DnaSequence *query = &read.seq;
+                    if (chain.reverse) {
+                        if (!rs.haveRc) {
+                            rs.rc = read.seq.revComp();
+                            rs.haveRc = true;
+                        }
+                        query = &rs.rc;
+                    }
+                    GlobalPos expect =
+                        chain.refStart > chain.queryStart
+                            ? chain.refStart - chain.queryStart
+                            : 0;
+                    auto [wstart, wlen] = clampWindow(
+                        ref_, expect, query->size(), params_.alignSlack);
+                    if (wlen < query->size())
+                        continue;
+                    align::FitTask ft;
+                    ft.query = *query;
+                    ft.target = ref_.windowView(wstart, wlen);
+                    ft.band =
+                        static_cast<i32>(2 * params_.alignSlack + 32);
+                    tasks.push_back(ft);
+                    refs.push_back({ static_cast<u32>(2 * p + side), ci,
+                                     wstart });
+                }
+            }
+        }
+        results.resize(tasks.size());
+        align::fitAlignBatch(tasks.data(), tasks.size(), params_.scoring,
+                             batchScratch_, results.data());
+
+        // Scalar epilogue per task, replayed in visit order.
+        for (std::size_t t = 0; t < tasks.size(); ++t) {
+            align::AlignResult &res = results[t];
+            const TaskRef &tr = refs[t];
+            ReadState &rs = reads[tr.read];
+            dpWork_.alignCells += res.cellUpdates;
+            if (!res.valid || res.score < params_.minAlignScore)
+                continue;
+            Mapping m;
+            m.mapped = true;
+            m.pos = tr.wstart + res.targetStart;
+            m.reverse = rs.chains[tr.chain].reverse;
+            m.score = res.score;
+            m.cigar = std::move(res.cigar);
+            rs.mappings.push_back(std::move(m));
+        }
+    }
+
+    for (std::size_t p = 0; p < count; ++p) {
+        auto cands1 = finishRead(reads[2 * p + 0].mappings);
+        auto cands2 = finishRead(reads[2 * p + 1].mappings);
+        out[p] = pairFromCandidates(cands1, cands2);
+    }
+}
+
+void
+Mm2Lite::alignAtBatch(const AlignAtTask *batch, std::size_t count,
+                      Mapping *out)
+{
+    util::StageTimers::Scope scope(timers_, stages::kAlignment);
+    std::vector<align::FitTask> tasks(count);
+    std::vector<GlobalPos> wstarts(count);
+    std::vector<u8> skip(count, 0);
+    for (std::size_t t = 0; t < count; ++t) {
+        const AlignAtTask &at = batch[t];
+        auto [wstart, wlen] =
+            clampWindow(ref_, at.pos, at.read->size(), at.slack);
+        wstarts[t] = wstart;
+        if (wlen < at.read->size()) {
+            skip[t] = 1;
+            continue; // fitAlignBatch treats the empty task as invalid
+        }
+        tasks[t].query = *at.read;
+        tasks[t].target = ref_.windowView(wstart, wlen);
+        tasks[t].band = static_cast<i32>(2 * at.slack + 32);
+    }
+    std::vector<align::AlignResult> results(count);
+    align::fitAlignBatch(tasks.data(), count, params_.scoring,
+                         batchScratch_, results.data());
+    for (std::size_t t = 0; t < count; ++t) {
+        Mapping &m = out[t];
+        m = Mapping{};
+        if (skip[t])
+            continue;
+        align::AlignResult &res = results[t];
+        dpWork_.alignCells += res.cellUpdates;
+        if (!res.valid || res.score < params_.minAlignScore)
+            continue;
+        m.mapped = true;
+        m.pos = wstarts[t] + res.targetStart;
+        m.score = res.score;
+        m.cigar = std::move(res.cigar);
+    }
 }
 
 } // namespace baseline

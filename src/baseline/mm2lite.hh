@@ -74,6 +74,18 @@ class Mm2Lite
     genomics::PairMapping mapPair(const genomics::ReadPair &pair);
 
     /**
+     * Map @p count pairs through the interleaved DP engine: every
+     * chain alignment of every read in the batch joins one
+     * align::fitAlignBatch() run, so length-uniform short-read batches
+     * fill all SIMD lanes across read and pair boundaries. Per-pair
+     * results are bit-identical to mapPair() — the seeding, chaining,
+     * filtering and pairing logic is shared code, and the batch DP
+     * engine is lane-exact against the scalar one.
+     */
+    void mapPairsBatch(const genomics::ReadPair *const *pairs,
+                       std::size_t count, genomics::PairMapping *out);
+
+    /**
      * Align a read at a known candidate position (the "DP-Alignment"
      * fallback entry of Fig. 10 that bypasses seeding and chaining).
      *
@@ -83,6 +95,22 @@ class Mm2Lite
      */
     genomics::Mapping alignAt(const genomics::DnaSequence &read,
                               GlobalPos pos, u32 slack);
+
+    /** One alignAt() request inside an alignAtBatch() run. */
+    struct AlignAtTask
+    {
+        const genomics::DnaSequence *read = nullptr;
+        GlobalPos pos = 0;
+        u32 slack = 0;
+    };
+
+    /**
+     * alignAt() over a batch of independent requests, interleaved
+     * across SIMD lanes. out[i] is bit-identical to
+     * alignAt(*tasks[i].read, tasks[i].pos, tasks[i].slack).
+     */
+    void alignAtBatch(const AlignAtTask *tasks, std::size_t count,
+                      genomics::Mapping *out);
 
     /** Per-stage wall-clock accumulators (Fig. 1). */
     util::StageTimers &timers() { return timers_; }
@@ -96,6 +124,12 @@ class Mm2Lite
 
   private:
     std::vector<align::Anchor> collectAnchors(const genomics::Read &read);
+    std::vector<align::Chain> planRead(const genomics::Read &read);
+    std::vector<genomics::Mapping>
+    finishRead(std::vector<genomics::Mapping> &mappings);
+    genomics::PairMapping
+    pairFromCandidates(const std::vector<genomics::Mapping> &cands1,
+                       const std::vector<genomics::Mapping> &cands2);
 
     const genomics::Reference &ref_;
     Mm2LiteParams params_;
@@ -108,6 +142,8 @@ class Mm2Lite
      * whole batch shares one allocation).
      */
     align::AlignScratch alignScratch_;
+    /** Lane-major working set of the interleaved batch DP engine. */
+    align::BatchAlignScratch batchScratch_;
 };
 
 } // namespace baseline

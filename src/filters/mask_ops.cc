@@ -63,6 +63,27 @@ orMasks(const align::HammingMask &a, const align::HammingMask &b)
 u32
 zeroRunCount(const align::HammingMask &mask)
 {
+    // A zero run starts wherever a 0 bit follows a 1 bit or the mask
+    // boundary: starts = ~m & ((m << 1) | 1), carried across words.
+    u32 runs = 0;
+    u64 carry = 1; // the boundary before bit 0 counts as a 1
+    for (u32 w = 0; w * 64 < mask.bits; ++w) {
+        u64 word = mask.words[w];
+        const u32 remaining = mask.bits - w * 64;
+        if (remaining < 64) {
+            // Force bits past the end to 1 so they start no run.
+            word |= ~u64{0} << remaining;
+        }
+        const u64 starts = ~word & ((word << 1) | carry);
+        runs += static_cast<u32>(std::popcount(starts));
+        carry = word >> 63;
+    }
+    return runs;
+}
+
+u32
+zeroRunCountRef(const align::HammingMask &mask)
+{
     u32 runs = 0;
     bool inRun = false;
     for (u32 i = 0; i < mask.bits; ++i) {

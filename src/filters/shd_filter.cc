@@ -1,6 +1,7 @@
 #include "filters/shd_filter.hh"
 
 #include "filters/mask_ops.hh"
+#include "util/simd.hh"
 
 namespace gpx {
 namespace filters {
@@ -33,6 +34,64 @@ ShdFilter::evaluate(const genomics::DnaView &read,
     d.estimatedEdits = zeroRunCount(combined);
     d.accept = d.estimatedEdits <= maxEdits;
     return d;
+}
+
+void
+ShdFilter::evaluateBatch(const genomics::DnaView &read,
+                         const genomics::DnaView *windows,
+                         std::size_t count, u32 center, u32 maxEdits,
+                         FilterDecision *out) const
+{
+    const util::SimdBackend backend = util::activeSimdBackend();
+    if (backend == util::SimdBackend::Scalar || read.empty()) {
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = evaluate(read, windows[i], center, maxEdits);
+        return;
+    }
+
+    const u32 n = static_cast<u32>(read.size());
+    const u32 maxLanes = util::simdMaskLanes(backend);
+    align::ShdBatch batch;
+    align::BitPlanes readPlanes(read);
+    std::vector<align::BitPlanes> windowPlanes(maxLanes);
+    align::HammingMask mask, combined;
+
+    std::size_t i = 0;
+    while (i < count) {
+        const u32 lanes =
+            static_cast<u32>(std::min<std::size_t>(maxLanes, count - i));
+        batch.begin(lanes, n, center, maxEdits);
+        for (u32 l = 0; l < lanes; ++l) {
+            windowPlanes[l].assign(windows[i + l]);
+            batch.setLane(l, readPlanes, windowPlanes[l]);
+        }
+        batch.run();
+
+        // Per-lane epilogue over the lane-major mask words: identical
+        // arithmetic to evaluate() since the words are bit-identical
+        // to the scalar shiftedMasks().
+        for (u32 l = 0; l < lanes; ++l) {
+            mask.bits = n;
+            mask.words.resize(batch.readWords);
+            combined.bits = n;
+            combined.words.resize(batch.readWords);
+            for (u32 w = 0; w < batch.readWords; ++w)
+                combined.words[w] = batch.maskWord(maxEdits, w, l);
+            for (u32 s = 0; s < batch.shifts(); ++s) {
+                if (s == maxEdits)
+                    continue;
+                for (u32 w = 0; w < batch.readWords; ++w)
+                    mask.words[w] = batch.maskWord(s, w, l);
+                combined = orMasks(
+                    combined, amendShortRuns(mask, params_.minMatchRun));
+            }
+            FilterDecision d;
+            d.estimatedEdits = zeroRunCount(combined);
+            d.accept = d.estimatedEdits <= maxEdits;
+            out[i + l] = d;
+        }
+        i += lanes;
+    }
 }
 
 } // namespace filters

@@ -43,6 +43,19 @@ class ShdFilter final : public PreAlignmentFilter
                             const genomics::DnaView &window,
                             u32 center, u32 maxEdits) const override;
 
+    /**
+     * SIMD-across-batch form: one read against @p count candidate
+     * windows, mask construction running 4-8 window lanes per vector
+     * register (align::ShdBatch). The amend/OR/cluster-count epilogue
+     * stays word-scalar per lane; out[i] is bit-identical to
+     * evaluate(read, windows[i], center, maxEdits). Under
+     * SimdBackend::Scalar each window runs the production scalar path.
+     */
+    void evaluateBatch(const genomics::DnaView &read,
+                       const genomics::DnaView *windows,
+                       std::size_t count, u32 center, u32 maxEdits,
+                       FilterDecision *out) const;
+
   private:
     ShdParams params_;
 };

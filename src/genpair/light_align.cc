@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace gpx {
 namespace genpair {
@@ -14,9 +15,8 @@ using genomics::DnaView;
 
 LightResult
 LightAligner::evaluateHypotheses(u32 read_len, u32 center,
-                                 const std::vector<HammingMask> &masks,
-                                 const std::vector<u32> &prefix,
-                                 const std::vector<u32> &suffix) const
+                                 const u32 *popcount, const u32 *prefix,
+                                 const u32 *suffix, u32 stride) const
 {
     const u32 n = read_len;
     const u32 e = params_.maxShift;
@@ -36,9 +36,9 @@ LightAligner::evaluateHypotheses(u32 read_len, u32 center,
     // Hypothesis class 1: scattered mismatches only, at each shift.
     for (i32 s = -static_cast<i32>(e); s <= static_cast<i32>(e); ++s) {
         ++best.hypothesesTried;
-        const HammingMask &mask = masks[static_cast<std::size_t>(
-            s + static_cast<i32>(e))];
-        u32 mm = n - mask.popcount();
+        u32 mm = n - popcount[static_cast<std::size_t>(
+                          s + static_cast<i32>(e)) *
+                      stride];
         if (mm > params_.maxMismatches)
             continue;
         i32 score = params_.scoring.scoreFromCounts(n - mm, mm, {});
@@ -64,9 +64,11 @@ LightAligner::evaluateHypotheses(u32 read_len, u32 center,
                 continue;
             ++best.hypothesesTried;
             u32 pre = prefix[static_cast<std::size_t>(
-                s1 + static_cast<i32>(e))];
+                                 s1 + static_cast<i32>(e)) *
+                             stride];
             u32 suf = suffix[static_cast<std::size_t>(
-                s2 + static_cast<i32>(e))];
+                                 s2 + static_cast<i32>(e)) *
+                             stride];
             if (s2 > s1) {
                 // Deletion of k reference bases after read position p.
                 u32 k = static_cast<u32>(s2 - s1);
@@ -122,15 +124,18 @@ LightAligner::alignWindow(const DnaView &read, const DnaView &window,
     auto masks = align::shiftedMasks(read, window, center,
                                      params_.maxShift);
 
-    // Per-mask prefix/suffix lengths (the hardware computes these for all
-    // masks in parallel while streaming the read, §5.4).
+    // Per-mask statistics (the hardware computes these for all masks
+    // in parallel while streaming the read, §5.4).
+    std::vector<u32> popcount(masks.size());
     std::vector<u32> prefix(masks.size()), suffix(masks.size());
     for (std::size_t i = 0; i < masks.size(); ++i) {
+        popcount[i] = masks[i].popcount();
         prefix[i] = masks[i].onesPrefix();
         suffix[i] = masks[i].onesSuffix();
     }
 
-    return evaluateHypotheses(n, center, masks, prefix, suffix);
+    return evaluateHypotheses(n, center, popcount.data(), prefix.data(),
+                              suffix.data(), 1);
 }
 
 namespace {
@@ -168,35 +173,120 @@ LightAligner::align(const DnaView &read, GlobalPos candidate) const
 }
 
 LightResult
-LightAligner::align(const DnaView &read, GlobalPos candidate,
-                    LightAlignScratch &scratch) const
+LightAligner::alignPlanes(const align::BitPlanes &read,
+                          GlobalPos candidate,
+                          LightAlignScratch &scratch) const
 {
     const u32 e = params_.maxShift;
+    const u32 n = read.bits();
     GlobalPos wstart = 0;
     u64 wlen = 0;
-    if (!windowFor(ref_, read, candidate, e, &wstart, &wlen))
+    // windowFor only consumes the read length; a zero-length view
+    // stands in for the original DnaView.
+    if (candidate < e)
+        return {};
+    wstart = candidate - e;
+    wlen = static_cast<u64>(n) + 2 * e;
+    if (!ref_.windowValid(wstart, wlen))
         return {};
 
-    if (!scratch.readValid) {
-        scratch.read.assign(read);
-        scratch.readValid = true;
-    }
     scratch.window.assign(ref_.windowView(wstart, wlen));
-    align::shiftedMasksInto(scratch.read, scratch.window, e, e,
-                            scratch.masks);
+    align::shiftedMasksInto(read, scratch.window, e, e, scratch.masks);
+    scratch.popcount.resize(scratch.masks.size());
     scratch.prefix.resize(scratch.masks.size());
     scratch.suffix.resize(scratch.masks.size());
     for (std::size_t i = 0; i < scratch.masks.size(); ++i) {
+        scratch.popcount[i] = scratch.masks[i].popcount();
         scratch.prefix[i] = scratch.masks[i].onesPrefix();
         scratch.suffix[i] = scratch.masks[i].onesSuffix();
     }
 
-    LightResult res =
-        evaluateHypotheses(static_cast<u32>(read.size()), e,
-                           scratch.masks, scratch.prefix, scratch.suffix);
+    LightResult res = evaluateHypotheses(
+        n, e, scratch.popcount.data(), scratch.prefix.data(),
+        scratch.suffix.data(), 1);
     if (res.aligned)
         res.pos = wstart + res.pos; // window-relative -> global
     return res;
+}
+
+LightResult
+LightAligner::align(const DnaView &read, GlobalPos candidate,
+                    LightAlignScratch &scratch) const
+{
+    if (!scratch.readValid) {
+        scratch.read.assign(read);
+        scratch.readValid = true;
+    }
+    return alignPlanes(scratch.read, candidate, scratch);
+}
+
+void
+LightAligner::alignBatch(const LightBatchItem *items, std::size_t count,
+                         LightBatchScratch &scratch,
+                         LightResult *out) const
+{
+    const u32 e = params_.maxShift;
+    const util::SimdBackend backend = util::activeSimdBackend();
+    const u32 maxLanes = util::simdMaskLanes(backend);
+
+    std::size_t i = 0;
+    while (i < count) {
+        const u32 n = items[i].read->bits();
+        if (backend == util::SimdBackend::Scalar || n == 0) {
+            out[i] = alignPlanes(*items[i].read, items[i].candidate,
+                                 scratch.scalar);
+            ++i;
+            continue;
+        }
+
+        // Lane group: consecutive items with this read length.
+        std::size_t g = i + 1;
+        while (g < count && g - i < maxLanes &&
+               items[g].read->bits() == n)
+            ++g;
+
+        // Stage the lanes whose window is in bounds; out-of-window
+        // items keep the scalar contract (empty result, zero
+        // hypotheses) without burning a lane.
+        if (scratch.windows.size() < maxLanes)
+            scratch.windows.resize(maxLanes);
+        u32 lanes = 0;
+        GlobalPos wstarts[16];
+        std::size_t laneItem[16];
+        for (std::size_t k = i; k < g; ++k) {
+            out[k] = {};
+            const GlobalPos candidate = items[k].candidate;
+            if (candidate < e)
+                continue;
+            const GlobalPos wstart = candidate - e;
+            const u64 wlen = static_cast<u64>(n) + 2 * e;
+            if (!ref_.windowValid(wstart, wlen))
+                continue;
+            wstarts[lanes] = wstart;
+            laneItem[lanes] = k;
+            ++lanes;
+        }
+        if (lanes > 0) {
+            scratch.shd.begin(lanes, n, e, e);
+            for (u32 l = 0; l < lanes; ++l) {
+                scratch.windows[l].assign(ref_.windowView(
+                    wstarts[l], static_cast<u64>(n) + 2 * e));
+                scratch.shd.setLane(l, *items[laneItem[l]].read,
+                                    scratch.windows[l]);
+            }
+            scratch.shd.run();
+            for (u32 l = 0; l < lanes; ++l) {
+                LightResult res = evaluateHypotheses(
+                    n, e, scratch.shd.popcount.data() + l,
+                    scratch.shd.prefix.data() + l,
+                    scratch.shd.suffix.data() + l, lanes);
+                if (res.aligned)
+                    res.pos = wstarts[l] + res.pos;
+                out[laneItem[l]] = res;
+            }
+        }
+        i = g;
+    }
 }
 
 } // namespace genpair

@@ -99,12 +99,37 @@ struct LightAlignScratch
     align::BitPlanes read;
     align::BitPlanes window;
     std::vector<align::HammingMask> masks;
+    std::vector<u32> popcount;
     std::vector<u32> prefix;
     std::vector<u32> suffix;
     bool readValid = false;
 
     /** Mark the cached read planes stale (the read changed). */
     void invalidateRead() { readValid = false; }
+};
+
+/**
+ * One candidate of a LightAligner::alignBatch() run: the read's
+ * prebuilt bit planes plus the candidate start. Planes are shared
+ * across the candidates of one read, so the batch stage builds them
+ * once per pair side.
+ */
+struct LightBatchItem
+{
+    const align::BitPlanes *read = nullptr;
+    GlobalPos candidate = 0;
+};
+
+/**
+ * Scratch of the SIMD-across-batch light aligner: the lane-major
+ * ShdBatch staging plus per-lane window planes. Owned by the caller
+ * (PairBatch keeps one) and reused; warm runs are allocation-free.
+ */
+struct LightBatchScratch
+{
+    align::ShdBatch shd;
+    std::vector<align::BitPlanes> windows;
+    LightAlignScratch scalar; ///< SimdBackend::Scalar fallback path
 };
 
 /** The Light Alignment engine. */
@@ -136,6 +161,20 @@ class LightAligner
                       LightAlignScratch &scratch) const;
 
     /**
+     * SIMD-across-batch form: evaluate @p count candidates, computing
+     * the 2e+1 shifted Hamming masks of up to simdMaskLanes() lanes
+     * per vector register (align::ShdBatch). All reads of one lane
+     * group must share a length; the grouping is handled here —
+     * consecutive items with equal read length fill a group, a length
+     * change starts a new one. out[i] is bit-identical to the scalar
+     * align() of the same read and candidate (pinned by
+     * tests/test_simd.cc); under SimdBackend::Scalar every item runs
+     * the production scalar datapath.
+     */
+    void alignBatch(const LightBatchItem *items, std::size_t count,
+                    LightBatchScratch &scratch, LightResult *out) const;
+
+    /**
      * Core mask-based alignment of @p read against @p window whose
      * position @p center corresponds to the candidate start (the window
      * must extend maxShift bases on each side). Exposed for unit tests
@@ -147,14 +186,21 @@ class LightAligner
 
   private:
     /**
-     * Hypothesis evaluation over precomputed masks and their
-     * prefix/suffix runs — the shared core of both alignWindow forms.
+     * Hypothesis evaluation over per-shift mask statistics — the
+     * shared core of every alignment form. The search only ever needs
+     * the three statistics per shift, never raw mask bits, which is
+     * what lets the batch kernel hand lane-major stat arrays straight
+     * in: entry s of each array lives at [s * stride].
      */
-    LightResult evaluateHypotheses(
-        u32 read_len, u32 center,
-        const std::vector<align::HammingMask> &masks,
-        const std::vector<u32> &prefix,
-        const std::vector<u32> &suffix) const;
+    LightResult evaluateHypotheses(u32 read_len, u32 center,
+                                   const u32 *popcount,
+                                   const u32 *prefix, const u32 *suffix,
+                                   u32 stride) const;
+
+    /** Scalar datapath over prebuilt read planes. */
+    LightResult alignPlanes(const align::BitPlanes &read,
+                            GlobalPos candidate,
+                            LightAlignScratch &scratch) const;
 
     const genomics::Reference &ref_;
     LightAlignParams params_;

@@ -4,6 +4,7 @@
 
 #include "genpair/stages.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace gpx {
 namespace genpair {
@@ -44,6 +45,9 @@ void
 PipelineStats::writeJson(std::ostream &os) const
 {
     os << "{\n"
+       << "  \"simd\": {\"backend\": \""
+       << util::simdBackendName(util::activeSimdBackend())
+       << "\", \"reason\": \"" << util::simdBackendReason() << "\"},\n"
        << "  \"pairs_total\": " << pairsTotal << ",\n"
        << "  \"light_aligned\": " << lightAligned << ",\n"
        << "  \"dp_aligned\": " << dpAligned << ",\n"

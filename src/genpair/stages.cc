@@ -1,6 +1,7 @@
 #include "genpair/stages.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <ostream>
 
 #include "genpair/pipeline.hh"
@@ -87,6 +88,12 @@ PairBatch::bind(const genomics::ReadPair *p, u64 n,
     }
     seeds.resize(4 * n);
     route.assign(n, PairRoute::Pending);
+    if (lightLeft.size() < 2 * n) {
+        lightLeft.resize(2 * n);
+        lightRight.resize(2 * n);
+    }
+    lightLeftValid.assign(2 * n, 0);
+    lightRightValid.assign(2 * n, 0);
 }
 
 void
@@ -192,12 +199,19 @@ runPaFilterStage(const StageContext &ctx, PairBatch &batch)
     sc.itemsOut += pendingCount(batch);
 }
 
-void
-runLightAlignStage(const StageContext &ctx, PairBatch &batch)
-{
-    StageCounters &sc = counters(ctx, StageId::LightAlign);
-    ++sc.batches;
+namespace {
 
+/**
+ * The gated light-alignment path: per-candidate scalar loop, exactly
+ * the pre-batching behavior. Gates may be stateful (SneakySnake keeps
+ * per-read state and its own counters), so admission order must stay
+ * candidate-by-candidate; the SIMD batch path below only runs when no
+ * gate is installed.
+ */
+void
+runLightAlignStageGated(const StageContext &ctx, PairBatch &batch,
+                        StageCounters &sc)
+{
     for (u64 i = 0; i < batch.size; ++i) {
         if (batch.route[i] != PairRoute::Pending)
             continue;
@@ -298,12 +312,183 @@ runLightAlignStage(const StageContext &ctx, PairBatch &batch)
     }
 }
 
+/** Read planes of one pair-side, built once and shared per candidate. */
+inline const align::BitPlanes &
+leftPlanes(PairBatch &batch, u64 i, u32 o)
+{
+    align::BitPlanes &planes = batch.lightLeft[2 * i + o];
+    if (!batch.lightLeftValid[2 * i + o]) {
+        planes.assign(*orientation(batch, i, o).left);
+        batch.lightLeftValid[2 * i + o] = 1;
+    }
+    return planes;
+}
+
+inline const align::BitPlanes &
+rightPlanes(PairBatch &batch, u64 i, u32 o)
+{
+    align::BitPlanes &planes = batch.lightRight[2 * i + o];
+    if (!batch.lightRightValid[2 * i + o]) {
+        planes.assign(*orientation(batch, i, o).right);
+        batch.lightRightValid[2 * i + o] = 1;
+    }
+    return planes;
+}
+
+} // namespace
+
+void
+runLightAlignStage(const StageContext &ctx, PairBatch &batch)
+{
+    StageCounters &sc = counters(ctx, StageId::LightAlign);
+    ++sc.batches;
+
+    if (ctx.gate) {
+        runLightAlignStageGated(ctx, batch, sc);
+        return;
+    }
+
+    // Gate-free path: evaluate the shifted-mask filter for whole lane
+    // groups of candidates per vector register. The scalar loop
+    // attempted the left side of every budgeted candidate and the
+    // right side only where the left aligned; two phased sweeps keep
+    // that exact attempt set, so every counter and trace field is
+    // unchanged.
+    struct CandRef
+    {
+        u64 pair;
+        u64 cand; ///< index into batch.candidatePairs
+        u32 orient;
+    };
+    std::vector<CandRef> cands;
+    std::vector<LightBatchItem> leftItems;
+    for (u64 i = 0; i < batch.size; ++i) {
+        if (batch.route[i] != PairRoute::Pending)
+            continue;
+        ++sc.itemsIn;
+        for (u32 o = 0; o < 2; ++o) {
+            u32 budget = ctx.params.maxCandidatePairs;
+            const u64 begin = batch.pairOffsets[2 * i + o];
+            const u64 end = batch.pairOffsets[2 * i + o + 1];
+            for (u64 c = begin; c < end; ++c) {
+                if (budget-- == 0)
+                    break;
+                cands.push_back({ i, c, o });
+                leftItems.push_back(
+                    { &leftPlanes(batch, i, o),
+                      batch.candidatePairs[c].leftStart });
+            }
+        }
+    }
+
+    std::vector<LightResult> leftRes(cands.size());
+    ctx.light.alignBatch(leftItems.data(), leftItems.size(),
+                         batch.lightBatch, leftRes.data());
+
+    std::vector<LightBatchItem> rightItems;
+    std::vector<std::size_t> rightSlot(cands.size(), SIZE_MAX);
+    for (std::size_t t = 0; t < cands.size(); ++t) {
+        ++ctx.stats.lightAlignsAttempted;
+        ctx.stats.lightHypotheses += leftRes[t].hypothesesTried;
+        if (!leftRes[t].aligned)
+            continue;
+        rightSlot[t] = rightItems.size();
+        rightItems.push_back(
+            { &rightPlanes(batch, cands[t].pair, cands[t].orient),
+              batch.candidatePairs[cands[t].cand].rightStart });
+    }
+    std::vector<LightResult> rightRes(rightItems.size());
+    ctx.light.alignBatch(rightItems.data(), rightItems.size(),
+                         batch.lightBatch, rightRes.data());
+    for (const LightResult &r : rightRes) {
+        ++ctx.stats.lightAlignsAttempted;
+        ctx.stats.lightHypotheses += r.hypothesesTried;
+    }
+
+    // Selection replay, per pair in candidate-visit order.
+    std::size_t t = 0;
+    for (u64 i = 0; i < batch.size; ++i) {
+        if (batch.route[i] != PairRoute::Pending)
+            continue;
+
+        struct Best
+        {
+            bool found = false;
+            i64 score = 0;
+            LightResult left;
+            LightResult right;
+            bool read1IsLeft = true;
+        } best;
+
+        u32 pairAttempts = 0;
+        for (; t < cands.size() && cands[t].pair == i; ++t) {
+            ++pairAttempts;
+            const LightResult &la = leftRes[t];
+            if (!la.aligned)
+                continue;
+            ++pairAttempts; // the right side was attempted too
+            const LightResult &ra = rightRes[rightSlot[t]];
+            if (!ra.aligned)
+                continue;
+            i64 score = static_cast<i64>(la.score) + ra.score;
+            if (!best.found || score > best.score) {
+                best.found = true;
+                best.score = score;
+                best.left = la;
+                best.right = ra;
+                best.read1IsLeft = cands[t].orient == 0;
+            }
+        }
+
+        if (batch.trace)
+            batch.trace[i].lightAligns = pairAttempts;
+
+        if (best.found) {
+            ++ctx.stats.lightAligned;
+            ++sc.itemsOut;
+            batch.route[i] = PairRoute::LightAligned;
+            PairMapping &pm = batch.out[i];
+            pm = {};
+            pm.path = MappingPath::LightAligned;
+            Mapping leftMap, rightMap;
+            leftMap.mapped = true;
+            leftMap.pos = best.left.pos;
+            leftMap.score = best.left.score;
+            leftMap.cigar = best.left.cigar;
+            leftMap.reverse = false;
+            rightMap.mapped = true;
+            rightMap.pos = best.right.pos;
+            rightMap.score = best.right.score;
+            rightMap.cigar = best.right.cigar;
+            rightMap.reverse = true;
+            if (best.read1IsLeft) {
+                pm.first = std::move(leftMap);
+                pm.second = std::move(rightMap);
+            } else {
+                // Orientation B: read 2 maps forward, read 1 reverse.
+                pm.second = std::move(leftMap);
+                pm.first = std::move(rightMap);
+            }
+        } else {
+            // Fallback exit 3: light alignment rejected every candidate.
+            ++ctx.stats.lightAlignFallback;
+            batch.route[i] = PairRoute::LightFallback;
+        }
+    }
+}
+
 void
 runFallbackStage(const StageContext &ctx, PairBatch &batch)
 {
     StageCounters &sc = counters(ctx, StageId::Fallback);
     ++sc.batches;
 
+    // Pass 1: classify routed pairs so each fallback class can run as
+    // one batched DP sweep across the whole PairBatch (the interleaved
+    // engine fills its lanes across pair boundaries). Pairs without a
+    // fallback engine resolve to Unmapped here, exactly as before.
+    std::vector<u64> fullDp; ///< exits 1+2: full seed-chain-align DP
+    std::vector<u64> exit3;  ///< exit 3: DP at known candidate pairs
     for (u64 i = 0; i < batch.size; ++i) {
         const PairRoute route = batch.route[i];
         if (route == PairRoute::LightAligned)
@@ -311,21 +496,39 @@ runFallbackStage(const StageContext &ctx, PairBatch &batch)
         ++sc.itemsIn;
         if (batch.trace)
             batch.trace[i].route = route;
-        PairMapping &pm = batch.out[i];
 
         if (route == PairRoute::SeedMiss || route == PairRoute::PaMiss) {
-            // Full DP pipeline for pairs GenPair could not narrow down.
             if (route == PairRoute::SeedMiss)
                 ++ctx.stats.seedMissFallback;
             else
                 ++ctx.stats.paFilterFallback;
-            if (!ctx.fallback) {
-                ++ctx.stats.unmapped;
-                pm = {};
-                pm.path = MappingPath::Unmapped;
-                continue;
-            }
-            pm = ctx.fallback->mapPair(batch.pairs[i]);
+        }
+        if (!ctx.fallback) {
+            ++ctx.stats.unmapped;
+            PairMapping &pm = batch.out[i];
+            pm = {};
+            pm.path = MappingPath::Unmapped;
+            continue;
+        }
+        if (route == PairRoute::SeedMiss || route == PairRoute::PaMiss)
+            fullDp.push_back(i);
+        else
+            exit3.push_back(i);
+    }
+
+    // Full DP pipeline for pairs GenPair could not narrow down, every
+    // chain alignment of the class in one interleaved batch.
+    if (!fullDp.empty()) {
+        std::vector<const genomics::ReadPair *> prs;
+        prs.reserve(fullDp.size());
+        for (u64 i : fullDp)
+            prs.push_back(&batch.pairs[i]);
+        std::vector<PairMapping> mapped(fullDp.size());
+        ctx.fallback->mapPairsBatch(prs.data(), prs.size(),
+                                    mapped.data());
+        for (std::size_t k = 0; k < fullDp.size(); ++k) {
+            PairMapping &pm = batch.out[fullDp[k]];
+            pm = std::move(mapped[k]);
             pm.path = MappingPath::FullDpFallback;
             if (pm.bothMapped() || pm.first.mapped || pm.second.mapped) {
                 ++ctx.stats.fullDpMapped;
@@ -333,43 +536,82 @@ runFallbackStage(const StageContext &ctx, PairBatch &batch)
             } else {
                 ++ctx.stats.unmapped;
             }
-            continue;
         }
+    }
 
-        // Exit 3: DP-align at the known candidate positions (no
-        // seeding/chaining needed).
-        if (!ctx.fallback) {
-            ++ctx.stats.unmapped;
-            pm = {};
-            pm.path = MappingPath::Unmapped;
-            continue;
-        }
-
-        struct DpBest
+    // Exit 3: DP-align at the known candidate positions (no
+    // seeding/chaining needed). The scalar loop aligned left-then-right
+    // per candidate with the right gated on the left passing; phased
+    // batching keeps that contract — all left windows in one sweep,
+    // then the right windows of passing lefts — so the alignment set
+    // (and with it every counter) is unchanged.
+    if (!exit3.empty()) {
+        struct CandRef
         {
-            bool found = false;
-            i64 score = 0;
-            Mapping left;
-            Mapping right;
-            bool read1IsLeft = true;
-        } dpBest;
+            u64 pair;
+            u64 cand;     ///< index into batch.candidatePairs
+            u32 orient;
+        };
+        std::vector<CandRef> cands;
+        std::vector<baseline::Mm2Lite::AlignAtTask> leftTasks;
+        for (u64 i : exit3) {
+            for (u32 o = 0; o < 2; ++o) {
+                const OrientRefs refs = orientation(batch, i, o);
+                u32 budget =
+                    std::max<u32>(4, ctx.params.maxCandidatePairs / 4);
+                const u64 begin = batch.pairOffsets[2 * i + o];
+                const u64 end = batch.pairOffsets[2 * i + o + 1];
+                for (u64 c = begin; c < end; ++c) {
+                    if (budget-- == 0)
+                        break;
+                    cands.push_back({ i, c, o });
+                    leftTasks.push_back(
+                        { refs.left,
+                          batch.candidatePairs[c].leftStart,
+                          ctx.params.dpSlack });
+                }
+            }
+        }
 
-        for (u32 o = 0; o < 2; ++o) {
-            const OrientRefs refs = orientation(batch, i, o);
-            u32 budget =
-                std::max<u32>(4, ctx.params.maxCandidatePairs / 4);
-            const u64 begin = batch.pairOffsets[2 * i + o];
-            const u64 end = batch.pairOffsets[2 * i + o + 1];
-            for (u64 c = begin; c < end; ++c) {
-                if (budget-- == 0)
-                    break;
-                const CandidatePair &cand = batch.candidatePairs[c];
-                Mapping lm = ctx.fallback->alignAt(
-                    *refs.left, cand.leftStart, ctx.params.dpSlack);
+        std::vector<Mapping> leftRes(cands.size());
+        ctx.fallback->alignAtBatch(leftTasks.data(), leftTasks.size(),
+                                   leftRes.data());
+
+        std::vector<baseline::Mm2Lite::AlignAtTask> rightTasks;
+        std::vector<std::size_t> rightSlot(cands.size(), SIZE_MAX);
+        for (std::size_t t = 0; t < cands.size(); ++t) {
+            const Mapping &lm = leftRes[t];
+            if (!lm.mapped || lm.score < ctx.params.minDpScore)
+                continue;
+            const OrientRefs refs =
+                orientation(batch, cands[t].pair, cands[t].orient);
+            rightSlot[t] = rightTasks.size();
+            rightTasks.push_back(
+                { refs.right,
+                  batch.candidatePairs[cands[t].cand].rightStart,
+                  ctx.params.dpSlack });
+        }
+        std::vector<Mapping> rightRes(rightTasks.size());
+        ctx.fallback->alignAtBatch(rightTasks.data(), rightTasks.size(),
+                                   rightRes.data());
+
+        // Selection replay, per pair in candidate-visit order.
+        std::size_t t = 0;
+        for (u64 i : exit3) {
+            struct DpBest
+            {
+                bool found = false;
+                i64 score = 0;
+                Mapping left;
+                Mapping right;
+                bool read1IsLeft = true;
+            } dpBest;
+
+            for (; t < cands.size() && cands[t].pair == i; ++t) {
+                Mapping &lm = leftRes[t];
                 if (!lm.mapped || lm.score < ctx.params.minDpScore)
                     continue;
-                Mapping rm = ctx.fallback->alignAt(
-                    *refs.right, cand.rightStart, ctx.params.dpSlack);
+                Mapping &rm = rightRes[rightSlot[t]];
                 if (!rm.mapped || rm.score < ctx.params.minDpScore)
                     continue;
                 i64 score = static_cast<i64>(lm.score) + rm.score;
@@ -378,28 +620,29 @@ runFallbackStage(const StageContext &ctx, PairBatch &batch)
                     dpBest.score = score;
                     dpBest.left = std::move(lm);
                     dpBest.right = std::move(rm);
-                    dpBest.read1IsLeft = refs.read1IsLeft;
+                    dpBest.read1IsLeft = cands[t].orient == 0;
                 }
             }
-        }
 
-        pm = {};
-        if (dpBest.found) {
-            ++ctx.stats.dpAligned;
-            ++sc.itemsOut;
-            pm.path = MappingPath::DpAlignFallback;
-            dpBest.left.reverse = false;
-            dpBest.right.reverse = true;
-            if (dpBest.read1IsLeft) {
-                pm.first = std::move(dpBest.left);
-                pm.second = std::move(dpBest.right);
+            PairMapping &pm = batch.out[i];
+            pm = {};
+            if (dpBest.found) {
+                ++ctx.stats.dpAligned;
+                ++sc.itemsOut;
+                pm.path = MappingPath::DpAlignFallback;
+                dpBest.left.reverse = false;
+                dpBest.right.reverse = true;
+                if (dpBest.read1IsLeft) {
+                    pm.first = std::move(dpBest.left);
+                    pm.second = std::move(dpBest.right);
+                } else {
+                    pm.second = std::move(dpBest.left);
+                    pm.first = std::move(dpBest.right);
+                }
             } else {
-                pm.second = std::move(dpBest.left);
-                pm.first = std::move(dpBest.right);
+                ++ctx.stats.unmapped;
+                pm.path = MappingPath::Unmapped;
             }
-        } else {
-            ++ctx.stats.unmapped;
-            pm.path = MappingPath::Unmapped;
         }
     }
 }

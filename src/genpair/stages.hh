@@ -139,6 +139,16 @@ struct PairBatch
     LightAlignScratch scratchLeft;
     LightAlignScratch scratchRight;
 
+    // Batched light-alignment state (the gate-free fast path): read
+    // bit planes per pair x orientation ([2*i+o], built on demand and
+    // shared by every candidate of that side) plus the lane-major
+    // ShdBatch staging.
+    std::vector<align::BitPlanes> lightLeft;
+    std::vector<align::BitPlanes> lightRight;
+    std::vector<u8> lightLeftValid;
+    std::vector<u8> lightRightValid;
+    LightBatchScratch lightBatch;
+
     /** Bind a run and size the SoA lanes (capacity is kept). */
     void bind(const genomics::ReadPair *p, u64 n,
               genomics::PairMapping *o, PairTraceRecord *t);

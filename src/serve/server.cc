@@ -8,6 +8,7 @@
 #include "genomics/fasta.hh"
 #include "genomics/sam.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace gpx {
 namespace serve {
@@ -176,6 +177,9 @@ ServeServer::statsJson() const
     std::lock_guard<std::mutex> lock(statsMu_);
     std::ostringstream os;
     os << "{\n\"server\": {\n"
+       << "  \"simd\": {\"backend\": \""
+       << util::simdBackendName(util::activeSimdBackend())
+       << "\", \"reason\": \"" << util::simdBackendReason() << "\"},\n"
        << "  \"connections_accepted\": "
        << counters_.connectionsAccepted << ",\n"
        << "  \"requests_served\": " << counters_.requestsServed << ",\n"

@@ -1,0 +1,132 @@
+#include "util/simd.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace gpx {
+namespace util {
+
+namespace {
+
+SimdBackend
+detectMaxBackend()
+{
+#if GPX_SIMD_MULTIVERSION
+    // The AVX-512 kernels are compiled with target("avx512f,avx512bw,
+    // avx512dq,avx512vl"); require exactly that set.
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl"))
+        return SimdBackend::Avx512;
+    if (__builtin_cpu_supports("avx2"))
+        return SimdBackend::Avx2;
+#endif
+    return SimdBackend::Scalar;
+}
+
+struct SimdState
+{
+    SimdBackend max = SimdBackend::Scalar;
+    SimdBackend active = SimdBackend::Scalar;
+    std::string reason;
+};
+
+SimdState
+resolve()
+{
+    SimdState st;
+    st.max = detectMaxBackend();
+    st.active = st.max;
+    st.reason = std::string(simdBackendName(st.max)) + " (cpuid)";
+
+    const char *env = std::getenv("GPX_SIMD");
+    if (!env || !*env)
+        return st;
+
+    SimdBackend want;
+    std::string name(env);
+    if (name == "scalar") {
+        want = SimdBackend::Scalar;
+    } else if (name == "avx2") {
+        want = SimdBackend::Avx2;
+    } else if (name == "avx512") {
+        want = SimdBackend::Avx512;
+    } else {
+        gpx_warn("GPX_SIMD=%s not recognized (scalar|avx2|avx512); "
+                 "using %s",
+                 env, simdBackendName(st.max));
+        st.reason = std::string(simdBackendName(st.max)) +
+                    " (GPX_SIMD=" + name + " unrecognized)";
+        return st;
+    }
+    if (want > st.max) {
+        gpx_warn("GPX_SIMD=%s unsupported on this host; clamped to %s",
+                 env, simdBackendName(st.max));
+        st.reason = std::string(simdBackendName(st.max)) +
+                    " (GPX_SIMD=" + name + " unsupported, clamped)";
+        return st;
+    }
+    st.active = want;
+    st.reason = std::string(simdBackendName(want)) + " (GPX_SIMD override)";
+    return st;
+}
+
+SimdState &
+state()
+{
+    static SimdState st = resolve();
+    return st;
+}
+
+} // namespace
+
+const char *
+simdBackendName(SimdBackend backend)
+{
+    switch (backend) {
+    case SimdBackend::Scalar: return "scalar";
+    case SimdBackend::Avx2: return "avx2";
+    case SimdBackend::Avx512: return "avx512";
+    }
+    return "?";
+}
+
+SimdBackend
+activeSimdBackend()
+{
+    return state().active;
+}
+
+SimdBackend
+maxSimdBackend()
+{
+    return state().max;
+}
+
+const std::string &
+simdBackendReason()
+{
+    return state().reason;
+}
+
+SimdBackend
+forceSimdBackend(SimdBackend backend)
+{
+    SimdState &st = state();
+    if (backend > st.max) {
+        st.active = st.max;
+        st.reason = std::string(simdBackendName(st.max)) +
+                    " (forced " + simdBackendName(backend) +
+                    " unsupported, clamped)";
+    } else {
+        st.active = backend;
+        st.reason =
+            std::string(simdBackendName(backend)) + " (forced)";
+    }
+    return st.active;
+}
+
+} // namespace util
+} // namespace gpx
